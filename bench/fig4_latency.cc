@@ -1,0 +1,57 @@
+// Figure 4 (upper): end-to-end latency of random inbound RDMA requests vs.
+// payload, for every communication path.
+//
+// Paper series: RNIC①, SNIC①, SNIC②, SNIC③(S2H), SNIC③(H2S) for READ,
+// WRITE, SEND/RECV. One requester, one outstanding op (paper §3 setup).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/workload/harness.h"
+
+using namespace snicsim;  // NOLINT: bench brevity
+
+namespace {
+
+double LocalLatency(bool s2h, Verb verb, uint32_t payload) {
+  LocalRequesterParams p = s2h ? LocalRequesterParams::Soc() : LocalRequesterParams::Host();
+  p.threads = 1;
+  p.window = 1;
+  HarnessConfig cfg = HarnessConfig::Latency();
+  return MeasureLocalPath(s2h, verb, payload, p, cfg).p50_us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int64_t max_payload =
+      flags.GetInt("max-payload", 16384, "largest payload in the sweep");
+  flags.Finish();
+
+  const std::vector<uint32_t> payloads = {8, 16, 64, 256, 512, 1024, 4096, 16384};
+  const HarnessConfig lat = HarnessConfig::Latency();
+
+  for (Verb verb : {Verb::kRead, Verb::kWrite, Verb::kSend}) {
+    std::printf("== Figure 4 (upper): %s latency (us, p50) ==\n", VerbName(verb));
+    Table t({"payload", "RNIC(1)", "SNIC(1)", "SNIC(2)", "SNIC(3)S2H", "SNIC(3)H2S"});
+    for (uint32_t p : payloads) {
+      if (p > static_cast<uint64_t>(max_payload)) {
+        continue;
+      }
+      t.Row().Add(FormatBytes(p));
+      t.Add(MeasureInboundPath(ServerKind::kRnicHost, verb, p, lat).p50_us, 2);
+      t.Add(MeasureInboundPath(ServerKind::kBluefieldHost, verb, p, lat).p50_us, 2);
+      t.Add(MeasureInboundPath(ServerKind::kBluefieldSoc, verb, p, lat).p50_us, 2);
+      t.Add(LocalLatency(/*s2h=*/true, verb, p), 2);
+      t.Add(LocalLatency(/*s2h=*/false, verb, p), 2);
+    }
+    t.Print(std::cout, flags.csv());
+    std::printf("\n");
+  }
+  std::printf("paper bands: SNIC(1) READ +15-30%% / WRITE +15-21%% / SEND +6-9%% vs "
+              "RNIC(1); SNIC(2) READ up to -14%% vs SNIC(1); S2H highest.\n");
+  return 0;
+}

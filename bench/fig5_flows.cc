@@ -1,0 +1,56 @@
+// Figure 5: peak total bandwidth of flow combinations on each path.
+//
+// Opposite-direction flows (READ pulls data out while WRITE pushes data in)
+// multiplex both directions of every link and approach 2x the one-way limit
+// on paths ① and ②; path ③ crosses PCIe1 in both directions per transfer
+// and cannot double up (paper §3.1/§3.3, Fig. 5(b)).
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/workload/harness.h"
+
+using namespace snicsim;  // NOLINT: bench brevity
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int64_t payload = flags.GetInt("payload", 4096, "payload bytes (paper: 4KB)");
+  const int64_t clients = flags.GetInt("clients", 8, "requester machines");
+  flags.Finish();
+
+  HarnessConfig cfg;
+  cfg.client_machines = static_cast<int>(clients);
+  cfg.warmup = FromMicros(60);
+  cfg.window = FromMicros(400);
+  const uint32_t p = static_cast<uint32_t>(payload);
+
+  Table t({"path", "READ+READ", "WRITE+WRITE", "READ+WRITE", "paper"});
+  struct Row {
+    const char* name;
+    ServerKind kind;
+    const char* paper;
+  };
+  for (const Row& row : {Row{"RNIC(1)", ServerKind::kRnicHost, "~190 / ~190 / ~364"},
+                         Row{"SNIC(1)", ServerKind::kBluefieldHost, "~190 / ~190 / ~364"},
+                         Row{"SNIC(2)", ServerKind::kBluefieldSoc, "~190 / ~190 / ~364"}}) {
+    t.Row().Add(row.name);
+    t.Add(MeasureFlowCombination(row.kind, Verb::kRead, Verb::kRead, p, cfg), 1);
+    t.Add(MeasureFlowCombination(row.kind, Verb::kWrite, Verb::kWrite, p, cfg), 1);
+    t.Add(MeasureFlowCombination(row.kind, Verb::kRead, Verb::kWrite, p, cfg), 1);
+    t.Add(row.paper);
+  }
+  // Path ③: same-direction pair vs. opposite-direction pair of host<->SoC
+  // streams (both verbs are WRITE-shaped pushes at this payload).
+  t.Row().Add("SNIC(3)");
+  t.Add(MeasureLocalFlowCombination(/*opposite=*/false, p, cfg), 1);
+  t.Add("-");
+  t.Add(MeasureLocalFlowCombination(/*opposite=*/true, p, cfg), 1);
+  t.Add("~204 both: no doubling");
+  t.Print(std::cout, flags.csv());
+
+  std::printf("\nGbps of payload, both directions summed. The READ+WRITE column of\n"
+              "paths (1)/(2) should approach twice the same-direction columns; the\n"
+              "path (3) columns should match each other.\n");
+  return 0;
+}

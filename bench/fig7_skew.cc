@@ -1,0 +1,54 @@
+// Figure 7: peak one-sided throughput vs. responder address range — the
+// skewed-access anomaly (Advice #1).
+//
+// The SoC (no DDIO, one DRAM channel) collapses as the range shrinks below
+// the bank-parallelism knee; the host with DDIO stays flat; the host with
+// DDIO disabled sits in between (eight channels still help).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/workload/harness.h"
+
+using namespace snicsim;  // NOLINT: bench brevity
+
+namespace {
+
+Measurement MeasureWithRange(ServerKind kind, Verb verb, uint64_t range, bool ddio) {
+  HarnessConfig cfg;
+  cfg.client_machines = 11;
+  cfg.address_range = range;
+  if (!ddio) {
+    cfg.testbed.host_memory = MemoryParams::HostNoDdio();
+  }
+  return MeasureInboundPath(kind, verb, 64, cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  flags.Finish();
+
+  const std::vector<uint64_t> ranges = {1536,        3 * kKiB,   6 * kKiB,  12 * kKiB,
+                                        24 * kKiB,   48 * kKiB,  96 * kKiB, 1 * kMiB,
+                                        64 * kMiB};
+  for (Verb verb : {Verb::kWrite, Verb::kRead}) {
+    std::printf("== Figure 7: 64B %s throughput vs address range (M reqs/s) ==\n",
+                VerbName(verb));
+    Table t({"range", "SoC (SNIC 2)", "host DDIO (SNIC 1)", "host no-DDIO (SNIC 1)"});
+    for (uint64_t r : ranges) {
+      t.Row().Add(FormatBytes(r));
+      t.Add(MeasureWithRange(ServerKind::kBluefieldSoc, verb, r, true).mreqs, 1);
+      t.Add(MeasureWithRange(ServerKind::kBluefieldHost, verb, r, true).mreqs, 1);
+      t.Add(MeasureWithRange(ServerKind::kBluefieldHost, verb, r, false).mreqs, 1);
+    }
+    t.Print(std::cout, flags.csv());
+    std::printf("\n");
+  }
+  std::printf("paper: SoC WRITE 77.9 -> 22.7 M reqs/s and READ 85 -> 50 M reqs/s as the\n"
+              "range shrinks from 48KB to 1.5KB; DDIO host is hardly affected.\n");
+  return 0;
+}

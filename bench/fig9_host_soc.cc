@@ -1,0 +1,72 @@
+// Figure 9: bandwidth (a) and PCIe packet throughput (b) of host<->SoC
+// transfers (path ③).
+//
+// Path ③ peaks slightly above the network-bound paths (~204 Gbps, PCIe-
+// bound) but needs far more PCIe packets per byte (Table 3): ~320 Mpps at
+// 204 Gbps. Large transfers collapse to ~100 Gbps in both directions, S2H
+// earlier than H2S (Advice #3).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/workload/harness.h"
+
+using namespace snicsim;  // NOLINT: bench brevity
+
+namespace {
+
+Measurement Run(bool s2h, Verb verb, uint32_t payload) {
+  LocalRequesterParams p = s2h ? LocalRequesterParams::Soc() : LocalRequesterParams::Host();
+  if (s2h) {
+    p.doorbell_batch = true;
+    p.batch = 32;
+  }
+  HarnessConfig cfg;
+  cfg.warmup = FromMicros(60);
+  cfg.window = FromMicros(400);
+  return MeasureLocalPath(s2h, verb, payload, p, cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false, "skip the >16MB points");
+  flags.Finish();
+
+  std::vector<uint32_t> payloads = {16 * 1024,       64 * 1024,        256 * 1024,
+                                    1024 * 1024,     4 * 1024 * 1024,  10 * 1024 * 1024,
+                                    16 * 1024 * 1024};
+  if (!quick) {
+    payloads.push_back(32 * 1024 * 1024);
+  }
+
+  std::printf("== Figure 9(a): host<->SoC bandwidth (Gbps) ==\n");
+  Table a({"payload", "R S2H", "R H2S", "W S2H", "W H2S"});
+  std::vector<Measurement> rs2h, rh2s;
+  for (uint32_t p : payloads) {
+    const Measurement r_s2h = Run(true, Verb::kRead, p);
+    const Measurement r_h2s = Run(false, Verb::kRead, p);
+    const Measurement w_s2h = Run(true, Verb::kWrite, p);
+    const Measurement w_h2s = Run(false, Verb::kWrite, p);
+    rs2h.push_back(r_s2h);
+    rh2s.push_back(r_h2s);
+    a.Row().Add(FormatBytes(p));
+    a.Add(r_s2h.gbps, 1).Add(r_h2s.gbps, 1).Add(w_s2h.gbps, 1).Add(w_h2s.gbps, 1);
+  }
+  a.Print(std::cout, flags.csv());
+
+  std::printf("\n== Figure 9(b): PCIe packets (Mpps, all internal links) ==\n");
+  Table b({"payload", "READ S2H mpps", "READ S2H gbps", "READ H2S mpps"});
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    b.Row().Add(FormatBytes(payloads[i]));
+    b.Add(rs2h[i].pcie_total_mpps, 1).Add(rs2h[i].gbps, 1).Add(rh2s[i].pcie_total_mpps, 1);
+  }
+  b.Print(std::cout, flags.csv());
+
+  std::printf("\npaper: 256KB S2H READ reaches ~204 Gbps at ~320 Mpps; payloads beyond\n"
+              "the HoL threshold collapse toward ~100 Gbps, S2H before H2S.\n");
+  return 0;
+}

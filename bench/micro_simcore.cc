@@ -1,0 +1,64 @@
+// Microbenchmarks of the simulation kernel itself (google-benchmark): event
+// throughput, queueing-primitive costs, and one full end-to-end experiment.
+// These bound how much simulated time the figure benches can afford.
+#include <benchmark/benchmark.h>
+
+#include "src/mem/memory.h"
+#include "src/sim/server.h"
+#include "src/sim/simulator.h"
+#include "src/workload/harness.h"
+
+namespace snicsim {
+namespace {
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.In(i, [] {});
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sim.processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+void BM_BusyServerEnqueue(benchmark::State& state) {
+  Simulator sim;
+  BusyServer s(&sim, "s");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.Enqueue(10));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BusyServerEnqueue);
+
+void BM_DramAccess(benchmark::State& state) {
+  Simulator sim;
+  MemorySubsystem mem(&sim, "m", MemoryParams::Soc());
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.Access(sim.now(), addr, 64, false));
+    addr += 4096;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramAccess);
+
+void BM_EndToEndExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    HarnessConfig cfg;
+    cfg.client_machines = 4;
+    cfg.warmup = FromMicros(10);
+    cfg.window = FromMicros(50);
+    const Measurement m =
+        MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 64, cfg);
+    benchmark::DoNotOptimize(m.ops);
+  }
+}
+BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace snicsim

@@ -1,0 +1,102 @@
+// §4: concurrent inter- and intra-machine communication (① + ③).
+//
+// Uncontrolled host<->SoC traffic steals PCIe1 bandwidth, NIC pipeline
+// slots, and host-completer capacity from the network path; the paper's
+// rule is to cap path-③ demand at P − N (PCIe minus network ≈ 56 Gbps on
+// this testbed). This bench shows (a) the small-request interference and
+// (b) the bandwidth budget at 4 KB payloads with opposite-direction
+// network flows.
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/model/bounds.h"
+#include "src/sim/meter.h"
+#include "src/topo/server.h"
+#include "src/workload/client.h"
+#include "src/workload/harness.h"
+#include "src/workload/local_requester.h"
+
+using namespace snicsim;  // NOLINT: bench brevity
+
+namespace {
+
+// Opposite-direction network flows (READ+WRITE) on path ① plus a paced H2S
+// stream; returns {network Gbps, path3 Gbps}.
+std::pair<double, double> BudgetRun(double path3_gbps) {
+  Simulator sim;
+  const TestbedParams tp;
+  Fabric fabric(&sim, tp.network_link_propagation, tp.network_switch_forward);
+  BluefieldServer bf(&sim, &fabric, tp);
+  ClientParams cp;
+  auto clients = MakeClients(&sim, &fabric, cp, 8);
+  Meter net_meter(&sim);
+  Meter p3_meter(&sim);
+  const SimTime warm = FromMicros(60);
+  const SimTime win = FromMicros(400);
+  net_meter.SetWindow(warm, warm + win);
+  p3_meter.SetWindow(warm, warm + win);
+  TargetSpec read;
+  read.engine = &bf.nic();
+  read.endpoint = bf.host_ep();
+  read.server_port = bf.port();
+  read.verb = Verb::kRead;
+  read.payload = 4096;
+  TargetSpec write = read;
+  write.verb = Verb::kWrite;
+  uint64_t seed = 1;
+  for (size_t i = 0; i < clients.size(); ++i) {
+    clients[i]->Start(i % 2 == 0 ? read : write,
+                      AddressGenerator(0, 10ull * 1024 * kMiB, 64, seed++), &net_meter);
+  }
+  std::unique_ptr<LocalRequester> h2s;
+  if (path3_gbps > 0) {
+    LocalRequesterParams p = LocalRequesterParams::Host();
+    p.paced_gbps = path3_gbps;
+    h2s = std::make_unique<LocalRequester>(&sim, &bf.nic(), bf.host_ep(), bf.soc_ep(), p,
+                                           "h2s");
+    h2s->Start(Verb::kWrite, 4096, AddressGenerator(0, 10ull * 1024 * kMiB, 64, 77),
+               &p3_meter);
+  }
+  sim.RunUntil(warm + win);
+  return {net_meter.Gbps(), p3_meter.Gbps()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  flags.Finish();
+
+  HarnessConfig cfg;
+  cfg.client_machines = 11;
+
+  std::printf("== §4(a): small-request interference of (3)H2S on (1) ==\n");
+  Table t({"verb", "(1) alone Mreq/s", "(1)+(3)H2S Mreq/s", "drop %", "paper drop %"});
+  struct VerbRow {
+    Verb verb;
+    const char* paper;
+  };
+  for (const VerbRow& v : {VerbRow{Verb::kRead, "7-15"}, VerbRow{Verb::kWrite, "4-27"},
+                           VerbRow{Verb::kSend, "9-14"}}) {
+    const double clean = MeasureInterference(v.verb, 64, false, cfg).mreqs;
+    const double loaded = MeasureInterference(v.verb, 64, true, cfg).mreqs;
+    t.Row().Add(VerbName(v.verb)).Add(clean, 1).Add(loaded, 1);
+    t.Add((1.0 - loaded / clean) * 100.0, 1).Add(v.paper);
+  }
+  t.Print(std::cout, flags.csv());
+
+  std::printf("\n== §4(b): the P - N budget (opposite-direction (1) + paced (3)) ==\n");
+  const double budget = SafePath3BudgetGbps(TestbedParams());
+  Table b({"path3 demand", "net Gbps", "path3 Gbps", "total Gbps"});
+  for (double demand : {0.0, budget, 2.5 * budget}) {
+    const auto [net, p3] = BudgetRun(demand);
+    b.Row().Add(demand, 0).Add(net, 1).Add(p3, 1).Add(net + p3, 1);
+  }
+  b.Print(std::cout, flags.csv());
+  std::printf("\npaper: with (3) restricted to P - N = %.0f Gbps, the aggregate can\n"
+              "reach ~456 Gbps; uncontrolled (3) throttles the network path.\n",
+              budget);
+  return 0;
+}

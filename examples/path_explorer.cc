@@ -1,0 +1,73 @@
+// Path explorer: for each verb and payload, measure every communication
+// path of the SmartNIC and report the winner — an executable version of the
+// paper's take-away tables, plus the §4 budget reminder.
+//
+//   $ example_path_explorer
+//   $ example_path_explorer --payloads=64,4096
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/model/bounds.h"
+#include "src/workload/harness.h"
+
+using namespace snicsim;  // NOLINT: example brevity
+
+namespace {
+
+std::vector<uint32_t> ParsePayloads(const std::string& csv) {
+  std::vector<uint32_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(static_cast<uint32_t>(std::stoul(item)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string payload_csv =
+      flags.GetString("payloads", "64,512,4096,65536", "comma-separated payload bytes");
+  flags.Finish();
+
+  HarnessConfig cfg;
+  std::printf("measuring all paths on the default BlueField-2 testbed...\n\n");
+  for (Verb verb : {Verb::kRead, Verb::kWrite, Verb::kSend}) {
+    Table t({"payload", "SNIC(1) M/s", "SNIC(2) M/s", "(2)/(1)", "best inbound path"});
+    for (uint32_t p : ParsePayloads(payload_csv)) {
+      const Measurement m1 = MeasureInboundPath(ServerKind::kBluefieldHost, verb, p, cfg);
+      const Measurement m2 = MeasureInboundPath(ServerKind::kBluefieldSoc, verb, p, cfg);
+      const double ratio = m1.mreqs > 0 ? m2.mreqs / m1.mreqs : 0.0;
+      const char* best = ratio > 1.02   ? "SoC (2)"
+                         : ratio < 0.98 ? "host (1)"
+                                        : "either (network-bound)";
+      t.Row().Add(FormatBytes(p)).Add(m1.mreqs, 1).Add(m2.mreqs, 1).Add(ratio, 2).Add(best);
+    }
+    std::printf("== %s ==\n", VerbName(verb));
+    t.Print(std::cout, flags.csv());
+    std::printf("\n");
+  }
+
+  const TestbedParams tp;
+  std::printf("closed-form path bounds (model/bounds.h):\n");
+  for (CommPath p : {CommPath::kSnic1, CommPath::kSnic2, CommPath::kSnic3S2H}) {
+    const PathBounds b = ComputePathBounds(p, tp);
+    std::printf("  %-11s same-dir %.0f Gbps, opposite-dir %.0f Gbps\n", CommPathName(p),
+                b.same_direction_gbps, b.opposite_direction_gbps);
+  }
+  std::printf("\nrules of thumb (the paper's takeaways):\n"
+              "  * one-sided to the SoC is the fastest inbound path, but mind skew\n"
+              "    (Advice #1) and >%s READs (Advice #2);\n"
+              "  * two-sided belongs on the host CPU;\n"
+              "  * keep host<->SoC traffic under P - N = %.0f Gbps when the NIC is\n"
+              "    saturated (Advice #3/#4, budget rule).\n",
+              FormatBytes(tp.bluefield_nic.hol_threshold).c_str(),
+              SafePath3BudgetGbps(tp));
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Minimal logging and invariant-checking macros.
+//
+// The simulator is a measurement tool: an internal inconsistency must abort
+// loudly rather than silently skew a reported figure. CHECK is therefore on
+// in all build types.
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace snicsim {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace snicsim
+
+#define SNIC_CHECK(expr)                             \
+  do {                                               \
+    if (!(expr)) {                                   \
+      ::snicsim::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                \
+  } while (0)
+
+#define SNIC_CHECK_GE(a, b) SNIC_CHECK((a) >= (b))
+#define SNIC_CHECK_GT(a, b) SNIC_CHECK((a) > (b))
+#define SNIC_CHECK_LE(a, b) SNIC_CHECK((a) <= (b))
+#define SNIC_CHECK_LT(a, b) SNIC_CHECK((a) < (b))
+#define SNIC_CHECK_EQ(a, b) SNIC_CHECK((a) == (b))
+#define SNIC_CHECK_NE(a, b) SNIC_CHECK((a) != (b))
+
+#endif  // SRC_COMMON_LOG_H_

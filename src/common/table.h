@@ -1,0 +1,43 @@
+// Aligned-column table printing and CSV emission for bench harnesses.
+//
+// Every bench binary reproduces one paper figure/table; Table renders the
+// same rows/series the paper reports, either human-aligned (default) or as
+// CSV (--csv) for plotting.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace snicsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  // Begins a new row; subsequent Add* calls append cells to it.
+  Table& Row();
+  Table& Add(std::string cell);
+  Table& Add(const char* cell) { return Add(std::string(cell)); }
+  Table& Add(double v, int precision = 2);
+  Table& Add(uint64_t v) { return Add(std::to_string(v)); }
+  Table& Add(int64_t v) { return Add(std::to_string(v)); }
+  Table& Add(int v) { return Add(std::to_string(v)); }
+
+  size_t row_count() const { return rows_.size(); }
+
+  void PrintAligned(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+  // Honors the global --csv toggle (see flags.h users).
+  void Print(std::ostream& os, bool csv) const { csv ? PrintCsv(os) : PrintAligned(os); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,53 @@
+#include "src/common/units.h"
+
+#include <cstdio>
+
+namespace snicsim {
+
+namespace {
+
+std::string Format(const char* fmt, double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v, suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(uint64_t bytes) {
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    return std::to_string(bytes / kGiB) + "GB";
+  }
+  if (bytes >= kMiB && bytes % kMiB == 0) {
+    return std::to_string(bytes / kMiB) + "MB";
+  }
+  if (bytes >= kKiB && bytes % kKiB == 0) {
+    return std::to_string(bytes / kKiB) + "KB";
+  }
+  if (bytes >= kMiB) {
+    return Format("%.1f%s", static_cast<double>(bytes) / static_cast<double>(kMiB), "MB");
+  }
+  if (bytes >= kKiB) {
+    return Format("%.1f%s", static_cast<double>(bytes) / static_cast<double>(kKiB), "KB");
+  }
+  return std::to_string(bytes) + "B";
+}
+
+std::string FormatTime(SimTime t) {
+  if (t >= kMillis) {
+    return Format("%.2f%s", static_cast<double>(t) / static_cast<double>(kMillis), "ms");
+  }
+  if (t >= kMicros) {
+    return Format("%.2f%s", static_cast<double>(t) / static_cast<double>(kMicros), "us");
+  }
+  if (t >= kNanos) {
+    return Format("%.1f%s", static_cast<double>(t) / static_cast<double>(kNanos), "ns");
+  }
+  return std::to_string(t) + "ps";
+}
+
+std::string FormatGbps(double gbps) { return Format("%.1f%s", gbps, "Gbps"); }
+
+std::string FormatMpps(double mpps) { return Format("%.1f%s", mpps, "Mpps"); }
+
+}  // namespace snicsim

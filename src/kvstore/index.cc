@@ -1,0 +1,102 @@
+#include "src/kvstore/index.h"
+
+#include "src/common/log.h"
+
+namespace snicsim {
+namespace kv {
+
+namespace {
+
+// Stable 64-bit mix (splitmix64 finalizer) — keys of any distribution hash
+// uniformly across buckets.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+KvIndex::KvIndex(const IndexConfig& config) : config_(config) {
+  SNIC_CHECK_GT(config_.buckets, 0u);
+  SNIC_CHECK_EQ(config_.buckets & (config_.buckets - 1), 0u);
+  SNIC_CHECK_GT(config_.slots_per_bucket, 0);
+  SNIC_CHECK_GT(config_.max_probes, 0);
+  slots_.assign(static_cast<size_t>(config_.buckets) *
+                    static_cast<size_t>(config_.slots_per_bucket),
+                kEmpty);
+}
+
+uint32_t KvIndex::BucketOf(uint64_t key) const {
+  return static_cast<uint32_t>(Mix(key) & (config_.buckets - 1));
+}
+
+uint64_t KvIndex::BucketAddr(uint32_t bucket) const {
+  return config_.index_base + static_cast<uint64_t>(bucket) * config_.bucket_bytes();
+}
+
+uint64_t KvIndex::ValueAddr(uint32_t bucket, int slot) const {
+  const uint64_t global_slot =
+      static_cast<uint64_t>(bucket) * static_cast<uint64_t>(config_.slots_per_bucket) +
+      static_cast<uint64_t>(slot);
+  return config_.value_base + global_slot * config_.value_bytes;
+}
+
+bool KvIndex::Put(uint64_t key) {
+  SNIC_CHECK_NE(key, kEmpty);
+  uint32_t bucket = BucketOf(key);
+  for (int probe = 0; probe < config_.max_probes; ++probe) {
+    const size_t base = static_cast<size_t>(bucket) *
+                        static_cast<size_t>(config_.slots_per_bucket);
+    for (int s = 0; s < config_.slots_per_bucket; ++s) {
+      if (slots_[base + static_cast<size_t>(s)] == key) {
+        return true;  // already present (values are fixed-size; no update)
+      }
+      if (slots_[base + static_cast<size_t>(s)] == kEmpty) {
+        slots_[base + static_cast<size_t>(s)] = key;
+        ++size_;
+        return true;
+      }
+    }
+    bucket = (bucket + 1) & (config_.buckets - 1);
+  }
+  return false;
+}
+
+Lookup KvIndex::Get(uint64_t key) const {
+  Lookup result;
+  result.value_bytes = config_.value_bytes;
+  uint32_t bucket = BucketOf(key);
+  for (int probe = 0; probe < config_.max_probes; ++probe) {
+    result.bucket_addrs.push_back(BucketAddr(bucket));
+    const size_t base = static_cast<size_t>(bucket) *
+                        static_cast<size_t>(config_.slots_per_bucket);
+    bool bucket_full = true;
+    for (int s = 0; s < config_.slots_per_bucket; ++s) {
+      const uint64_t k = slots_[base + static_cast<size_t>(s)];
+      if (k == key) {
+        result.found = true;
+        result.value_addr = ValueAddr(bucket, s);
+        return result;
+      }
+      if (k == kEmpty) {
+        bucket_full = false;
+      }
+    }
+    if (!bucket_full) {
+      return result;  // an empty slot ends the probe chain: key absent
+    }
+    bucket = (bucket + 1) & (config_.buckets - 1);
+  }
+  return result;
+}
+
+double KvIndex::LoadFactor() const {
+  return static_cast<double>(size_) / static_cast<double>(slots_.size());
+}
+
+}  // namespace kv
+}  // namespace snicsim

@@ -1,0 +1,81 @@
+// Server-side layout of the distributed in-memory key-value store used by
+// the paper's motivating example (Fig. 1): a bucketed hash index plus a
+// value region, both placed at fixed simulated addresses so clients can
+// traverse them with one-sided READs.
+//
+// The index is a real data structure (insertion, collision probing, lookup)
+// — a Get returns the exact probe sequence of bucket addresses a one-sided
+// client must READ, followed by the value address; that sequence is what
+// produces the paper's network amplification.
+#ifndef SRC_KVSTORE_INDEX_H_
+#define SRC_KVSTORE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace snicsim {
+namespace kv {
+
+struct IndexConfig {
+  uint64_t index_base = 0;
+  uint32_t buckets = 1u << 20;      // must be a power of two
+  int slots_per_bucket = 4;
+  uint32_t entry_bytes = 16;        // key + value pointer
+  uint64_t value_base = 16ull * 1024 * kMiB;
+  uint32_t value_bytes = 256;       // fixed-size values
+  int max_probes = 8;               // linear probing over buckets
+
+  uint32_t bucket_bytes() const {
+    return static_cast<uint32_t>(slots_per_bucket) * entry_bytes;
+  }
+};
+
+struct Lookup {
+  bool found = false;
+  // Bucket addresses a one-sided client READs, in probe order.
+  std::vector<uint64_t> bucket_addrs;
+  uint64_t value_addr = 0;
+  uint32_t value_bytes = 0;
+
+  // READ round trips a client-direct get costs (buckets + value).
+  int round_trips() const {
+    return static_cast<int>(bucket_addrs.size()) + (found ? 1 : 0);
+  }
+};
+
+class KvIndex {
+ public:
+  explicit KvIndex(const IndexConfig& config);
+
+  // Inserts `key`; returns false when probing exhausts max_probes (table too
+  // full around that hash).
+  bool Put(uint64_t key);
+
+  // Probe sequence for `key` (valid whether or not the key is present).
+  Lookup Get(uint64_t key) const;
+
+  bool Contains(uint64_t key) const { return Get(key).found; }
+
+  uint64_t size() const { return size_; }
+  const IndexConfig& config() const { return config_; }
+  // Load factor in [0, 1].
+  double LoadFactor() const;
+
+ private:
+  static constexpr uint64_t kEmpty = 0;
+
+  uint32_t BucketOf(uint64_t key) const;
+  uint64_t BucketAddr(uint32_t bucket) const;
+  uint64_t ValueAddr(uint32_t bucket, int slot) const;
+
+  IndexConfig config_;
+  std::vector<uint64_t> slots_;  // buckets * slots_per_bucket keys (0 = empty)
+  uint64_t size_ = 0;
+};
+
+}  // namespace kv
+}  // namespace snicsim
+
+#endif  // SRC_KVSTORE_INDEX_H_

@@ -1,0 +1,78 @@
+// Distributed KV-store frontends reproducing Fig. 1:
+//  (a) client-direct gets over one-sided READs — the index traversal plus
+//      the value fetch each cost a network round trip (amplification);
+//  (b) SoC-offloaded gets — one SEND to the SmartNIC SoC, whose CPU walks
+//      the index locally and fetches the value (from SoC memory, or from
+//      host memory over path ③), then replies.
+#ifndef SRC_KVSTORE_KV_H_
+#define SRC_KVSTORE_KV_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/kvstore/index.h"
+#include "src/rdma/verbs.h"
+#include "src/sim/meter.h"
+#include "src/sim/server.h"
+#include "src/topo/server.h"
+
+namespace snicsim {
+namespace kv {
+
+struct GetResult {
+  bool found = false;
+  int round_trips = 0;
+  SimTime latency = 0;
+};
+
+// Fig. 1(a): gets issued by the client itself via one-sided READs against
+// the server's index + value regions.
+class DirectKvClient {
+ public:
+  DirectKvClient(const KvIndex* index, rdma::QueuePair* qp) : index_(index), qp_(qp) {}
+
+  // Performs index probes + value fetch; `done` runs at completion.
+  void Get(uint64_t key, std::function<void(GetResult)> done);
+
+ private:
+  void ReadProbe(std::shared_ptr<Lookup> lookup, size_t i, int rts, SimTime started,
+                 std::function<void(GetResult)> done);
+
+  const KvIndex* index_;
+  rdma::QueuePair* qp_;
+};
+
+// Fig. 1(b): the get is shipped to the SoC with one SEND; the SoC CPU
+// resolves it. Installs itself as the SoC endpoint's send handler.
+class SocOffloadKvServer {
+ public:
+  struct Config {
+    SimTime lookup_service = FromNanos(350);  // ARM hash-walk per get
+    bool values_on_host = false;              // else in SoC memory
+  };
+
+  SocOffloadKvServer(Simulator* sim, BluefieldServer* server, const KvIndex* index,
+                     const Config& config);
+
+  // Key stream statistics for the handler (the SEND payload carries the key
+  // conceptually; the simulator transfers sizes, not bytes).
+  void SeedKeys(uint64_t max_key, uint64_t seed = 99);
+
+  uint64_t gets_served() const { return gets_served_; }
+
+ private:
+  Simulator* sim_;
+  BluefieldServer* server_;
+  const KvIndex* index_;
+  Config config_;
+  MultiServer soc_cpu_;
+  Rng key_rng_;
+  uint64_t max_key_ = 1;
+  uint64_t gets_served_ = 0;
+};
+
+}  // namespace kv
+}  // namespace snicsim
+
+#endif  // SRC_KVSTORE_KV_H_

@@ -1,0 +1,112 @@
+#include "src/model/advisor.h"
+
+#include <algorithm>
+
+#include "src/model/bounds.h"
+
+namespace snicsim {
+
+namespace {
+
+// Banks engaged by a uniform workload over `range` bytes of SoC memory.
+int BanksEngaged(const MemoryParams& mem, uint64_t range) {
+  const uint64_t rows = std::max<uint64_t>(1, range / mem.row_bytes);
+  const uint64_t total_banks =
+      static_cast<uint64_t>(mem.channels) * static_cast<uint64_t>(mem.banks_per_channel);
+  return static_cast<int>(std::min<uint64_t>(rows, total_banks));
+}
+
+}  // namespace
+
+bool OffloadAdvisor::TriggersSkewAnomaly(const OffloadPlan& plan) const {
+  if (!TargetsSoc(plan.path)) {
+    return false;  // the host absorbs skew in its DDIO LLC
+  }
+  if (plan.verb == Verb::kSend) {
+    return false;  // two-sided traffic lands in a ring, not random addresses
+  }
+  const MemoryParams& mem = tp_.soc_memory;
+  const int engaged = BanksEngaged(mem, plan.address_range);
+  const int total = mem.channels * mem.banks_per_channel;
+  // Losing more than half the bank-level parallelism is where the paper's
+  // Fig. 7 curves visibly dip.
+  return engaged * 2 < total;
+}
+
+bool OffloadAdvisor::TriggersLargeReadAnomaly(const OffloadPlan& plan) const {
+  if (plan.verb != Verb::kRead || !TargetsSoc(plan.path)) {
+    return false;
+  }
+  return plan.payload > tp_.bluefield_nic.hol_threshold &&
+         tp_.soc_pcie_mtu <= tp_.bluefield_nic.hol_mtu_limit;
+}
+
+bool OffloadAdvisor::TriggersPath3LargeTransferAnomaly(const OffloadPlan& plan) const {
+  if (!IsPath3(plan.path)) {
+    return false;
+  }
+  // On path ③ both READ and WRITE stage data through the NIC, so both
+  // collapse past the threshold (Advice #3).
+  return plan.payload > tp_.bluefield_nic.hol_threshold;
+}
+
+bool OffloadAdvisor::DoorbellBatchingHelps(const OffloadPlan& plan) const {
+  if (!IsPath3(plan.path)) {
+    return true;  // inter-machine requesters always gain a little (Fig. 10b)
+  }
+  if (!plan.host_side_requester) {
+    return true;  // SoC-side batching is a 2.7-4.6x win
+  }
+  // Host-side batching only pays off once the batch amortizes the WQE-fetch
+  // round trip; small batches lose (paper: -9/-7/-6% at 16/32/48).
+  return plan.batch_size > 48;
+}
+
+double OffloadAdvisor::Path3BudgetGbps() const { return SafePath3BudgetGbps(tp_); }
+
+std::vector<Advice> OffloadAdvisor::Review(const OffloadPlan& plan) const {
+  std::vector<Advice> out;
+  if (TriggersSkewAnomaly(plan)) {
+    out.push_back(
+        {1, "Avoid skewed memory accesses",
+         "The SoC lacks DDIO and has one DRAM channel: a " +
+             FormatBytes(plan.address_range) +
+             " address range engages too few banks; widen the range or move the "
+             "hot region to the host."});
+  }
+  if (TriggersLargeReadAnomaly(plan)) {
+    out.push_back(
+        {2, "Avoid large READ requests to the SoC",
+         "READs above " + FormatBytes(tp_.bluefield_nic.hol_threshold) +
+             " head-of-line-block the 128 B-MTU SoC endpoint; proactively segment "
+             "into smaller requests."});
+  }
+  if (TriggersPath3LargeTransferAnomaly(plan)) {
+    out.push_back(
+        {3, "Avoid large host<->SoC transfers",
+         "Path 3 crosses PCIe1 twice and collapses for transfers above " +
+             FormatBytes(tp_.bluefield_nic.hol_threshold) + "; segment or stream."});
+  }
+  if (plan.doorbell_batching && !DoorbellBatchingHelps(plan)) {
+    out.push_back(
+        {4, "Doorbell batching hurts here",
+         "Host-side doorbell batching on path 3 inserts a WQE-fetch round trip; "
+             "use batches > 48 or plain (BlueFlame) posts."});
+  }
+  if (!plan.doorbell_batching && IsPath3(plan.path) && !plan.host_side_requester) {
+    out.push_back(
+        {4, "Enable doorbell batching on the SoC side",
+         "SoC MMIO posting is slow; batching doorbells improves S2H posting "
+             "throughput by 2.7-4.6x."});
+  }
+  if (IsPath3(plan.path) && plan.network_saturated &&
+      plan.demand_gbps > Path3BudgetGbps()) {
+    out.push_back(
+        {0, "Path 3 exceeds the spare-PCIe budget",
+         "With the NIC saturated, host<->SoC traffic must stay below P - N = " +
+             FormatGbps(Path3BudgetGbps()) + " to avoid throttling the network path."});
+  }
+  return out;
+}
+
+}  // namespace snicsim

@@ -1,0 +1,89 @@
+// The offload advisor: the paper's four advices plus the §4 bandwidth
+// budget, encoded as a checkable planning API.
+//
+// A designer describes an intended use of the SmartNIC (which path, verb,
+// payload, address locality, batching) and the advisor returns the concrete
+// anomalies the paper predicts, with the prescribed mitigation.
+#ifndef SRC_MODEL_ADVISOR_H_
+#define SRC_MODEL_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/pcie_model.h"
+#include "src/nic/verb.h"
+#include "src/topo/testbed_params.h"
+
+namespace snicsim {
+
+struct OffloadPlan {
+  CommPath path = CommPath::kSnic1;
+  Verb verb = Verb::kRead;
+  uint32_t payload = 64;
+  // Span of responder addresses the workload touches (bytes).
+  uint64_t address_range = 10ull * 1024 * kMiB;
+  // Doorbell batching configuration at the requester.
+  bool doorbell_batching = false;
+  int batch_size = 1;
+  // Whether the requester rings doorbells from the host CPU (matters for
+  // Advice #4's host-side caveat on path ③).
+  bool host_side_requester = true;
+  // Expected path-③ bandwidth demand, if this plan is intra-machine.
+  double demand_gbps = 0.0;
+  // Is the NIC already saturated by inter-machine traffic?
+  bool network_saturated = false;
+};
+
+struct Advice {
+  int number = 0;  // 1..4, or 0 for the §4 budget rule
+  std::string title;
+  std::string detail;
+};
+
+class OffloadAdvisor {
+ public:
+  explicit OffloadAdvisor(TestbedParams tp = TestbedParams::Default()) : tp_(tp) {}
+
+  // Returns every advice triggered by the plan (empty = no anomaly expected).
+  std::vector<Advice> Review(const OffloadPlan& plan) const;
+
+  // Advice #1: one-sided accesses into SoC memory degrade when the address
+  // range engages too few DRAM banks (no DDIO on the SoC).
+  bool TriggersSkewAnomaly(const OffloadPlan& plan) const;
+
+  // Advice #2: READs larger than the head-of-line threshold collapse against
+  // the small-MTU SoC endpoint.
+  bool TriggersLargeReadAnomaly(const OffloadPlan& plan) const;
+
+  // Advice #3: large transfers (either verb) between host and SoC collapse.
+  bool TriggersPath3LargeTransferAnomaly(const OffloadPlan& plan) const;
+
+  // Advice #4: doorbell batching guidance for path ③.
+  bool DoorbellBatchingHelps(const OffloadPlan& plan) const;
+
+  // §4: the largest path-③ bandwidth that does not throttle inter-machine
+  // traffic once the NIC is saturated.
+  double Path3BudgetGbps() const;
+
+  // The maximum READ size to issue against the SoC before proactively
+  // segmenting (Advice #2's mitigation).
+  uint64_t MaxSafeSocReadBytes() const { return tp_.bluefield_nic.hol_threshold; }
+
+  const TestbedParams& testbed() const { return tp_; }
+
+ private:
+  bool TargetsSoc(CommPath path) const {
+    return path == CommPath::kSnic2 || path == CommPath::kSnic3H2S ||
+           path == CommPath::kSnic3S2H;
+  }
+  bool IsPath3(CommPath path) const {
+    return path == CommPath::kSnic3H2S || path == CommPath::kSnic3S2H;
+  }
+
+  TestbedParams tp_;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_MODEL_ADVISOR_H_

@@ -1,0 +1,120 @@
+// Closed-form latency decomposition of one-sided verbs — the analytic
+// companion to the simulator, following the execution flows of the paper's
+// Figure 3.
+//
+// For a READ: the request crosses the wire, the NIC issues a PCIe read
+// (request TLP + memory access + completion TLPs) and only then responds;
+// a WRITE posts its TLPs and acks without waiting for the completion. The
+// per-phase terms let a designer see exactly where the SmartNIC "tax" lands
+// (the PCIe1 + switch crossings), and the model is validated against the
+// simulator in tests/model/latency_model_test.cc.
+#ifndef SRC_MODEL_LATENCY_MODEL_H_
+#define SRC_MODEL_LATENCY_MODEL_H_
+
+#include "src/nic/verb.h"
+#include "src/pcie/tlp.h"
+#include "src/topo/testbed_params.h"
+#include "src/workload/client.h"
+
+namespace snicsim {
+
+// Which inbound configuration the prediction is for (matches harness.h).
+enum class LatencyTarget {
+  kRnicHost,
+  kBluefieldHost,
+  kBluefieldSoc,
+};
+
+struct LatencyBreakdown {
+  double post_us = 0.0;           // WQE build + doorbell MMIO + client NIC
+  double request_wire_us = 0.0;   // client -> server network
+  double pcie_round_trip_us = 0.0;  // NIC <-> memory (READ) or one-way (WRITE)
+  double memory_us = 0.0;         // DRAM/LLC access
+  double response_wire_us = 0.0;  // server -> client network
+  double completion_us = 0.0;     // client NIC delivery + CQE poll
+
+  double total_us() const {
+    return post_us + request_wire_us + pcie_round_trip_us + memory_us +
+           response_wire_us + completion_us;
+  }
+};
+
+// Predicts the unloaded p50 latency of a small one-sided op.
+inline LatencyBreakdown PredictLatency(LatencyTarget target, Verb verb, uint32_t payload,
+                                       const TestbedParams& tp = TestbedParams::Default(),
+                                       const ClientParams& client = ClientParams()) {
+  LatencyBreakdown b;
+  const double ns = 1e-3;  // ns -> us
+
+  // --- requester side -----------------------------------------------------
+  b.post_us = ToNanos(client.wr_build + client.mmio_block + client.mmio_flight +
+                      client.nic_tx_fixed) *
+                  ns +
+              1e6 / client.nic.shared_pipeline.per_sec() * 1e-3;
+
+  // --- network ------------------------------------------------------------
+  const SimTime wire_one_way = tp.network_link_propagation * 2 + tp.network_switch_forward;
+  const Bandwidth client_bw = client.nic.network_bandwidth;
+  const uint32_t net_mtu =
+      target == LatencyTarget::kRnicHost ? tp.rnic.network_mtu : tp.bluefield_nic.network_mtu;
+  const bool request_carries_payload = verb != Verb::kRead;
+  b.request_wire_us =
+      ToNanos(wire_one_way + (request_carries_payload
+                                  ? client_bw.TransferTime(WireBytes(payload, net_mtu))
+                                  : client_bw.TransferTime(ControlWireBytes()))) *
+      ns;
+  const Bandwidth server_bw = target == LatencyTarget::kRnicHost
+                                  ? tp.rnic.network_bandwidth
+                                  : tp.bluefield_nic.network_bandwidth;
+  const bool response_carries_payload = verb == Verb::kRead;
+  b.response_wire_us =
+      ToNanos(wire_one_way + (response_carries_payload
+                                  ? server_bw.TransferTime(WireBytes(payload, net_mtu))
+                                  : server_bw.TransferTime(ControlWireBytes()))) *
+      ns;
+
+  // --- PCIe path at the responder ------------------------------------------
+  SimTime one_way = 0;
+  uint32_t mtu = tp.host_pcie_mtu;
+  switch (target) {
+    case LatencyTarget::kRnicHost:
+      one_way = tp.pcie0_propagation;
+      break;
+    case LatencyTarget::kBluefieldHost:
+      one_way = tp.pcie1_propagation + tp.switch_forward + tp.pcie0_propagation;
+      break;
+    case LatencyTarget::kBluefieldSoc:
+      one_way = tp.pcie1_propagation + tp.switch_forward + tp.soc_port_propagation;
+      mtu = tp.soc_pcie_mtu;
+      break;
+  }
+  const SimTime data_burst = tp.pcie_bandwidth.TransferTime(WireBytes(payload, mtu));
+  if (verb == Verb::kRead) {
+    // Request TLP out + completion burst back (Fig. 3 left).
+    b.pcie_round_trip_us =
+        ToNanos(2 * one_way + tp.pcie_bandwidth.TransferTime(ControlWireBytes()) +
+                data_burst) *
+        ns;
+  } else {
+    // Posted: one-way delivery only (Fig. 3 right).
+    b.pcie_round_trip_us = ToNanos(one_way + data_burst) * ns;
+  }
+
+  // --- memory --------------------------------------------------------------
+  const MemoryParams& mem =
+      target == LatencyTarget::kBluefieldSoc ? tp.soc_memory : tp.host_memory;
+  if (verb == Verb::kRead) {
+    b.memory_us =
+        ToNanos(mem.dram_latency + mem.cmd_read_service + mem.bank_read_service) * ns;
+  } else {
+    b.memory_us = 0.0;  // writes ack before the memory commit
+  }
+
+  // --- completion ------------------------------------------------------------
+  b.completion_us = ToNanos(client.nic_rx_fixed + client.poll) * ns;
+  return b;
+}
+
+}  // namespace snicsim
+
+#endif  // SRC_MODEL_LATENCY_MODEL_H_

@@ -1,0 +1,113 @@
+// The paper's Table-3 analytic model: how many PCIe packets each
+// communication path generates to move N payload bytes, and the resulting
+// packet-rate requirements. The simulator's per-link hardware counters are
+// cross-checked against this model (bench/tab3_pcie_model, tests/model).
+#ifndef SRC_MODEL_PCIE_MODEL_H_
+#define SRC_MODEL_PCIE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/pcie/tlp.h"
+
+namespace snicsim {
+
+// The communication paths of Fig. 2(c). ③ is split by requester side.
+enum class CommPath {
+  kRnic1,    // client -> host via ConnectX-6
+  kSnic1,    // client -> host via BlueField-2 (①)
+  kSnic2,    // client -> SoC (②)
+  kSnic3S2H, // SoC -> host (③)
+  kSnic3H2S, // host -> SoC (③)
+};
+
+constexpr const char* CommPathName(CommPath p) {
+  switch (p) {
+    case CommPath::kRnic1:
+      return "RNIC(1)";
+    case CommPath::kSnic1:
+      return "SNIC(1)";
+    case CommPath::kSnic2:
+      return "SNIC(2)";
+    case CommPath::kSnic3S2H:
+      return "SNIC(3)S2H";
+    case CommPath::kSnic3H2S:
+      return "SNIC(3)H2S";
+  }
+  return "?";
+}
+
+struct PciePacketCounts {
+  uint64_t pcie1 = 0;  // data TLPs crossing PCIe1 (both directions summed)
+  uint64_t pcie0 = 0;  // data TLPs crossing PCIe0
+
+  uint64_t total() const { return pcie1 + pcie0; }
+};
+
+// Data TLPs required to move `bytes` of payload along `path` (Table 3's
+// simplified model: control-path packets are omitted).
+constexpr PciePacketCounts DataPacketsForTransfer(CommPath path, uint64_t bytes,
+                                                  uint32_t host_mtu = kHostPcieMtu,
+                                                  uint32_t soc_mtu = kSocPcieMtu) {
+  PciePacketCounts c;
+  switch (path) {
+    case CommPath::kRnic1:
+      // No internal PCIe1; the (host) PCIe link is tallied as pcie0.
+      c.pcie0 = NumTlps(bytes, host_mtu);
+      break;
+    case CommPath::kSnic1:
+      c.pcie1 = NumTlps(bytes, host_mtu);
+      c.pcie0 = NumTlps(bytes, host_mtu);
+      break;
+    case CommPath::kSnic2:
+      c.pcie1 = NumTlps(bytes, soc_mtu);
+      break;
+    case CommPath::kSnic3S2H:
+    case CommPath::kSnic3H2S:
+      // The data crosses PCIe1 twice: once segmented at the SoC MTU (the
+      // SoC side of the transfer) and once at the host MTU (the host side),
+      // plus PCIe0 at the host MTU.
+      c.pcie1 = NumTlps(bytes, soc_mtu) + NumTlps(bytes, host_mtu);
+      c.pcie0 = NumTlps(bytes, host_mtu);
+      break;
+  }
+  return c;
+}
+
+// Aggregate PCIe packet rate (in packets/s) needed to sustain `gbps` of
+// payload bandwidth on `path` (the paper's §3.3 example: 200 Gbps S2H needs
+// 195M + 49M + 49M ≈ 293 Mpps).
+constexpr double RequiredPacketRate(CommPath path, double gbps,
+                                    uint32_t host_mtu = kHostPcieMtu,
+                                    uint32_t soc_mtu = kSocPcieMtu) {
+  const double bytes_per_sec = gbps * 1e9 / 8.0;
+  double rate = 0.0;
+  switch (path) {
+    case CommPath::kRnic1:
+      rate = bytes_per_sec / host_mtu;
+      break;
+    case CommPath::kSnic1:
+      rate = 2.0 * bytes_per_sec / host_mtu;
+      break;
+    case CommPath::kSnic2:
+      rate = bytes_per_sec / soc_mtu;
+      break;
+    case CommPath::kSnic3S2H:
+    case CommPath::kSnic3H2S:
+      rate = bytes_per_sec / soc_mtu + 2.0 * bytes_per_sec / host_mtu;
+      break;
+  }
+  return rate;
+}
+
+// Payload bandwidth deliverable over a link of `raw` signalling bandwidth
+// when every TLP carries `mtu` payload plus the fixed wire overhead.
+constexpr double EffectiveGbps(Bandwidth raw, uint32_t mtu) {
+  return raw.gbps() * static_cast<double>(mtu) /
+         static_cast<double>(mtu + kTlpOverheadBytes);
+}
+
+}  // namespace snicsim
+
+#endif  // SRC_MODEL_PCIE_MODEL_H_

@@ -1,0 +1,170 @@
+#include "src/nic/endpoint.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace snicsim {
+
+NicEndpoint::NicEndpoint(Simulator* sim, const NicParams& nic, const EndpointParams& params,
+                         PciePath nic_to_mem, MemorySubsystem* memory)
+    : sim_(sim),
+      nic_(nic),
+      params_(params),
+      to_mem_(std::move(nic_to_mem)),
+      from_mem_(to_mem_.Reversed()),
+      memory_(memory),
+      read_credits_(sim, params_.name + ".rdcred", nic.read_credits),
+      write_credits_(sim, params_.name + ".wrcred", nic.write_credits) {
+  SNIC_CHECK(memory_ != nullptr);
+  if (!params_.read_completer.is_zero()) {
+    read_completer_ = std::make_unique<BusyServer>(sim, params_.name + ".rdcmpl");
+  }
+  if (!params_.write_completer.is_zero()) {
+    write_completer_ = std::make_unique<BusyServer>(sim, params_.name + ".wrcmpl");
+  }
+}
+
+SimTime NicEndpoint::ControlRtt() const { return 2 * to_mem_.BaseLatency(); }
+
+void NicEndpoint::DmaRead(uint64_t addr, uint64_t len, DmaCallback cb) {
+  auto op = std::make_shared<ReadOp>();
+  op->addr = addr;
+  op->len = std::max<uint64_t>(len, 1);
+  op->cb = std::move(cb);
+  op->window = nic_.read_credits;
+  // Head-of-line degradation: a single oversized read against a small-MTU
+  // endpoint cannot keep its completion stream pipelined (paper Fig. 8 —
+  // throughput collapses for >9 MB READs to the 128 B-MTU SoC). Because ops
+  // issue in FIFO order, the degraded head also stalls everything behind it.
+  if (op->len > nic_.hol_threshold && params_.pcie_mtu <= nic_.hol_mtu_limit) {
+    op->window = nic_.hol_degraded_credits;
+    ++hol_events_;
+  }
+  read_queue_.push_back(std::move(op));
+  PumpReads();
+}
+
+void NicEndpoint::PumpReads() {
+  while (!read_queue_.empty()) {
+    const std::shared_ptr<ReadOp>& head = read_queue_.front();
+    if (head->issued >= head->len) {
+      // Fully issued: the next op may start streaming behind it.
+      read_queue_.pop_front();
+      continue;
+    }
+    if (head->in_flight >= head->window) {
+      return;  // the head op stalls the line until completions drain
+    }
+    IssueOneSubRead(head);
+  }
+}
+
+void NicEndpoint::IssueOneSubRead(const std::shared_ptr<ReadOp>& op) {
+  const uint64_t chunk = std::min<uint64_t>(nic_.max_read_request, op->len - op->issued);
+  const uint64_t chunk_addr = op->addr + op->issued;
+  op->issued += chunk;
+  op->in_flight += 1;
+  ++reads_issued_;
+  read_credits_.Acquire([this, op, chunk, chunk_addr] {
+    // Non-posted read request travels to the endpoint ...
+    const SimTime req_at = to_mem_.TransferControlAt(sim_, sim_->now());
+    // ... is serviced by the completer and the memory ...
+    SimTime served = req_at;
+    if (read_completer_ != nullptr) {
+      served = read_completer_->EnqueueAt(req_at, params_.read_completer.ServiceTime());
+    }
+    const SimTime data_ready = memory_->Access(served, chunk_addr,
+                                               static_cast<uint32_t>(chunk),
+                                               /*is_write=*/false);
+    // ... and the completion burst streams back, segmented at the
+    // endpoint's PCIe MTU.
+    from_mem_.TransferAt(sim_, data_ready, chunk, params_.pcie_mtu, [this, op, chunk] {
+      read_credits_.Release();
+      op->in_flight -= 1;
+      op->completed += chunk;
+      op->last_done = sim_->now();
+      if (op->completed >= op->len && op->cb) {
+        op->cb(op->last_done);
+      }
+      PumpReads();
+    });
+  });
+}
+
+void NicEndpoint::DmaWrite(uint64_t addr, uint64_t len, DmaCallback posted_cb,
+                           bool single_descriptor) {
+  auto op = std::make_shared<WriteOp>();
+  op->addr = addr;
+  op->len = std::max<uint64_t>(len, 1);
+  op->cb = std::move(posted_cb);
+  op->window = nic_.write_credits;
+  // Oversized bursts against a small-MTU endpoint starve the endpoint's
+  // flow-control credits: the engine must wait for the endpoint to absorb
+  // each window before pushing more (paper Fig. 9 / Advice #3 — large
+  // host<->SoC WRITEs collapse just like large READs).
+  if (single_descriptor && op->len > nic_.hol_threshold &&
+      params_.pcie_mtu <= nic_.hol_mtu_limit) {
+    op->window = nic_.hol_degraded_credits;
+    op->gate_on_commit = true;
+    ++hol_events_;
+  }
+  ++writes_issued_;
+  write_queue_.push_back(std::move(op));
+  PumpWrites();
+}
+
+void NicEndpoint::PumpWrites() {
+  while (!write_queue_.empty()) {
+    const std::shared_ptr<WriteOp>& head = write_queue_.front();
+    if (head->issued >= head->len) {
+      write_queue_.pop_front();
+      continue;
+    }
+    if (head->in_flight >= head->window) {
+      return;
+    }
+    IssueOneSubWrite(head);
+  }
+}
+
+void NicEndpoint::IssueOneSubWrite(const std::shared_ptr<WriteOp>& op) {
+  const uint64_t chunk = std::min<uint64_t>(nic_.max_read_request, op->len - op->issued);
+  const uint64_t chunk_addr = op->addr + op->issued;
+  op->issued += chunk;
+  op->in_flight += 1;
+  // Writes are posted, but each in-flight burst consumes a flow-control
+  // credit released only when the memory system absorbs the data; that is
+  // how a slow endpoint (e.g. the single-channel SoC DRAM) backpressures
+  // the NIC.
+  write_credits_.Acquire([this, op, chunk, chunk_addr] {
+    to_mem_.TransferAt(sim_, sim_->now(), chunk, params_.pcie_mtu,
+                       [this, op, chunk, chunk_addr] {
+      // Burst delivered at the endpoint: the NIC may consider it posted.
+      op->delivered += chunk;
+      op->last_posted = sim_->now();
+      SimTime served = sim_->now();
+      if (write_completer_ != nullptr) {
+        served = write_completer_->EnqueueAt(served, params_.write_completer.ServiceTime());
+      }
+      memory_->Access(served, chunk_addr, static_cast<uint32_t>(chunk),
+                      /*is_write=*/true, [this, op] {
+        write_credits_.Release();
+        if (op->gate_on_commit) {
+          op->in_flight -= 1;
+          PumpWrites();
+        }
+      });
+      if (!op->gate_on_commit) {
+        op->in_flight -= 1;
+        PumpWrites();
+      }
+      if (op->delivered >= op->len && op->cb) {
+        op->cb(op->last_posted);
+      }
+    });
+  });
+}
+
+}  // namespace snicsim

@@ -1,0 +1,141 @@
+// A PCIe endpoint as seen from the NIC cores: the host memory system behind
+// the root port, or the BlueField SoC memory behind the switch.
+//
+// The endpoint owns everything that differs between "DMA to the host" and
+// "DMA to the SoC" (paper §3.1–§3.2):
+//   * the PCIe route (PCIe0+switch+PCIe1 vs. switch+PCIe1) and its latency;
+//   * the negotiated PCIe MTU (512 B host vs. 128 B SoC) that segments
+//     completion/write bursts into TLPs;
+//   * the completer's TLP service rates (the host root port sustains a
+//     bounded rate of inbound non-posted reads / posted writes);
+//   * the memory subsystem behind it (DDIO LLC + 8 channels vs. 1 channel);
+//   * DMA-engine credits, including the head-of-line degradation for
+//     oversized reads against small-MTU endpoints (Advice #2).
+#ifndef SRC_NIC_ENDPOINT_H_
+#define SRC_NIC_ENDPOINT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/mem/memory.h"
+#include "src/nic/params.h"
+#include "src/pcie/path.h"
+#include "src/sim/server.h"
+#include "src/sim/simulator.h"
+
+namespace snicsim {
+
+struct EndpointParams {
+  std::string name = "ep";
+  uint32_t pcie_mtu = kHostPcieMtu;
+  // Completer-side TLP service rates; zero means "not a bottleneck".
+  Rate read_completer = Rate::PerSec(0);
+  Rate write_completer = Rate::PerSec(0);
+};
+
+// Completion handed to the NIC when a DMA finishes. `done` is the simulated
+// completion time (data at the NIC for reads; delivered at the endpoint for
+// posted writes).
+using DmaCallback = std::function<void(SimTime done)>;
+
+class NicEndpoint {
+ public:
+  NicEndpoint(Simulator* sim, const NicParams& nic, const EndpointParams& params,
+              PciePath nic_to_mem, MemorySubsystem* memory);
+
+  NicEndpoint(const NicEndpoint&) = delete;
+  NicEndpoint& operator=(const NicEndpoint&) = delete;
+
+  // DMA-reads `len` bytes starting at `addr`; `cb` fires when the last
+  // completion TLP reaches the NIC. Splits into max_read_request
+  // sub-requests with bounded outstanding credits; a request larger than
+  // the head-of-line threshold against a small-MTU endpoint degrades to
+  // hol_degraded_credits outstanding (paper Fig. 8).
+  void DmaRead(uint64_t addr, uint64_t len, DmaCallback cb);
+
+  // Posted DMA write. `posted_cb` fires when the burst has been delivered
+  // into the endpoint (the NIC may then ack); the write additionally holds a
+  // flow-control credit until the memory system absorbs it, which is what
+  // backpressures writes to the single-channel SoC DRAM.
+  //
+  // `single_descriptor` marks a transfer issued as one giant DMA descriptor
+  // (path-③ staging). Only those hit the head-of-line rule on small-MTU
+  // endpoints: remote WRITEs arrive pre-segmented at the network MTU and are
+  // unaffected (paper §3.2 vs. §3.3).
+  void DmaWrite(uint64_t addr, uint64_t len, DmaCallback posted_cb,
+                bool single_descriptor = false);
+
+  // One header-only TLP to the endpoint and back (for model probes).
+  SimTime ControlRtt() const;
+
+  const EndpointParams& params() const { return params_; }
+  MemorySubsystem* memory() const { return memory_; }
+  const PciePath& to_mem() const { return to_mem_; }
+  const PciePath& from_mem() const { return from_mem_; }
+
+  // Front-end registration id (set by NicEngine).
+  int fe_id = -1;
+
+  uint64_t reads_issued() const { return reads_issued_; }
+  uint64_t writes_issued() const { return writes_issued_; }
+  uint64_t hol_events() const { return hol_events_; }
+
+ private:
+  struct ReadOp {
+    uint64_t addr = 0;
+    uint64_t len = 0;
+    uint64_t issued = 0;     // bytes whose sub-reads have been issued
+    uint64_t completed = 0;  // bytes fully arrived
+    int window = 0;          // outstanding sub-read budget for this op
+    int in_flight = 0;
+    SimTime last_done = 0;
+    DmaCallback cb;
+  };
+
+  struct WriteOp {
+    uint64_t addr = 0;
+    uint64_t len = 0;
+    uint64_t issued = 0;
+    uint64_t delivered = 0;
+    int window = 0;
+    int in_flight = 0;
+    bool gate_on_commit = false;  // HoL mode: next chunk waits for absorb
+    SimTime last_posted = 0;
+    DmaCallback cb;
+  };
+
+  // Ops issue sub-requests strictly in FIFO order: the head op must be
+  // fully issued before the next op may start. A degraded-window head op
+  // therefore blocks the whole line — the paper's head-of-line anomaly.
+  void PumpReads();
+  void IssueOneSubRead(const std::shared_ptr<ReadOp>& op);
+  void PumpWrites();
+  void IssueOneSubWrite(const std::shared_ptr<WriteOp>& op);
+
+  std::deque<std::shared_ptr<ReadOp>> read_queue_;
+  std::deque<std::shared_ptr<WriteOp>> write_queue_;
+
+  Simulator* sim_;
+  const NicParams& nic_;
+  EndpointParams params_;
+  PciePath to_mem_;
+  PciePath from_mem_;
+  MemorySubsystem* memory_;
+
+  TokenPool read_credits_;
+  TokenPool write_credits_;
+  std::unique_ptr<BusyServer> read_completer_;
+  std::unique_ptr<BusyServer> write_completer_;
+
+  uint64_t reads_issued_ = 0;
+  uint64_t writes_issued_ = 0;
+  uint64_t hol_events_ = 0;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_NIC_ENDPOINT_H_

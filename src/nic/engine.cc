@@ -1,0 +1,238 @@
+#include "src/nic/engine.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+#include "src/pcie/tlp.h"
+
+namespace snicsim {
+
+NicEngine::NicEngine(Simulator* sim, NicParams params)
+    : sim_(sim),
+      params_(std::move(params)),
+      frontend_(sim, params_.name + ".fe", params_.shared_pipeline,
+                params_.dedicated_pipeline),
+      pus_(sim, params_.name + ".pu", params_.pu_count) {}
+
+NicEndpoint* NicEngine::AddEndpoint(const EndpointParams& ep, PciePath nic_to_mem,
+                                    MemorySubsystem* memory) {
+  auto endpoint =
+      std::make_unique<NicEndpoint>(sim_, params_, ep, std::move(nic_to_mem), memory);
+  endpoint->fe_id = frontend_.AddEndpoint(ep.name);
+  endpoints_.push_back(std::move(endpoint));
+  dedicated_pus_.push_back(
+      params_.pu_dedicated > 0
+          ? std::make_unique<TokenPool>(sim_, params_.name + ".pu." + ep.name,
+                                        params_.pu_dedicated)
+          : nullptr);
+  send_handlers_.emplace_back();
+  return endpoints_.back().get();
+}
+
+void NicEngine::SetSendHandler(NicEndpoint* ep, SendHandler handler) {
+  SNIC_CHECK_GE(ep->fe_id, 0);
+  SNIC_CHECK_LT(static_cast<size_t>(ep->fe_id), send_handlers_.size());
+  send_handlers_[static_cast<size_t>(ep->fe_id)] = std::move(handler);
+}
+
+void NicEngine::AcquirePu(NicEndpoint* ep, std::function<void(Simulator::Callback)> cb) {
+  TokenPool* dedicated = dedicated_pus_[static_cast<size_t>(ep->fe_id)].get();
+  if (dedicated != nullptr && dedicated->TryAcquire()) {
+    sim_->In(0, [dedicated, cb = std::move(cb)] {
+      cb([dedicated] { dedicated->Release(); });
+    });
+    return;
+  }
+  pus_.Acquire([this, cb = std::move(cb)] {
+    cb([this] { pus_.Release(); });
+  });
+}
+
+void NicEngine::SendResponse(NicEndpoint* ep, uint64_t bytes, SimTime ready, PciePath path,
+                             ResponseCallback done) {
+  // The first response frame's pipeline slot is accounted in the request's
+  // fe_units; only additional frames of a multi-frame response cost extra.
+  const uint64_t frames = bytes == 0 ? 1 : CeilDiv(bytes, params_.network_mtu);
+  SimTime t = ready;
+  if (frames > 1) {
+    t = frontend_.Process(ready, ep->fe_id, static_cast<double>(frames - 1));
+  }
+  if (bytes == 0) {
+    path.TransferControlAt(sim_, t, [this, done] { done(sim_->now()); });
+  } else {
+    path.TransferAt(sim_, t, bytes, params_.network_mtu,
+                    [this, done] { done(sim_->now()); });
+  }
+}
+
+void NicEngine::HandleRequest(NicEndpoint* ep, Verb verb, uint64_t addr, uint32_t len,
+                              double fe_units, PciePath response_path,
+                              ResponseCallback done) {
+  ++requests_served_;
+  const SimTime parsed = frontend_.Process(sim_->now(), ep->fe_id, fe_units);
+  sim_->At(parsed, [this, ep, verb, addr, len, response_path = std::move(response_path),
+                    done = std::move(done)]() mutable {
+    AcquirePu(ep, [this, ep, verb, addr, len, response_path = std::move(response_path),
+                   done = std::move(done)](Simulator::Callback release) mutable {
+      switch (verb) {
+        case Verb::kRead: {
+          if (len == 0) {
+            // Zero-byte ops never reach PCIe (paper §4's microbenchmark).
+            SendResponse(ep, 0, sim_->now(), std::move(response_path), std::move(done));
+            release();
+            return;
+          }
+          ep->DmaRead(addr, len, [this, ep, len, release = std::move(release),
+                                  response_path = std::move(response_path),
+                                  done = std::move(done)](SimTime data_at_nic) mutable {
+            SendResponse(ep, len, data_at_nic, std::move(response_path), std::move(done));
+            sim_->At(data_at_nic + params_.read_pipeline_overhead, std::move(release));
+          });
+          return;
+        }
+        case Verb::kWrite: {
+          if (len == 0) {
+            SendResponse(ep, 0, sim_->now(), std::move(response_path), std::move(done));
+            release();
+            return;
+          }
+          ep->DmaWrite(addr, len, [this, ep, release = std::move(release),
+                                   response_path = std::move(response_path),
+                                   done = std::move(done)](SimTime posted) mutable {
+            // The ack departs as soon as the burst is accepted; the write
+            // commits to memory asynchronously (Fig. 3).
+            SendResponse(ep, 0, posted, std::move(response_path), std::move(done));
+            sim_->At(posted + params_.write_pipeline_overhead, std::move(release));
+          });
+          return;
+        }
+        case Verb::kSend: {
+          // Deliver payload + CQE into the receive ring, then hand off to
+          // the endpoint CPU.
+          const uint64_t ring_bytes = static_cast<uint64_t>(len) + params_.cqe_bytes;
+          ep->DmaWrite(addr, ring_bytes, [this, ep, len, release = std::move(release),
+                                          response_path = std::move(response_path),
+                                          done = std::move(done)](SimTime posted) mutable {
+            sim_->At(posted + params_.write_pipeline_overhead, std::move(release));
+            SendHandler& handler = send_handlers_[static_cast<size_t>(ep->fe_id)];
+            SNIC_CHECK(handler != nullptr);
+            handler(len, [this, ep, response_path = std::move(response_path),
+                          done = std::move(done)](SimTime ready, uint32_t reply_len) mutable {
+              const SimTime t = frontend_.Process(ready, ep->fe_id, 1.0);
+              if (reply_len <= params_.max_inline_bytes) {
+                // Small replies are posted inline: the CPU pushed WQE + data
+                // through the doorbell MMIO (cost already in the handler's
+                // per-message service), so no gather DMA is needed.
+                sim_->At(t, [this, ep, reply_len,
+                             response_path = std::move(response_path),
+                             done = std::move(done)]() mutable {
+                  SendResponse(ep, std::max<uint32_t>(reply_len, 1), sim_->now(),
+                               std::move(response_path), std::move(done));
+                });
+                return;
+              }
+              // Larger replies fetch their payload from the endpoint memory
+              // (WQE + data gather) before hitting the wire.
+              sim_->At(t, [this, ep, reply_len, response_path = std::move(response_path),
+                           done = std::move(done)]() mutable {
+                ep->DmaRead(0x7ef0'0000 + params_.wqe_bytes, reply_len + params_.wqe_bytes,
+                            [this, ep, reply_len, response_path = std::move(response_path),
+                             done = std::move(done)](SimTime data) mutable {
+                  SendResponse(ep, std::max<uint32_t>(reply_len, 1), data,
+                               std::move(response_path), std::move(done));
+                });
+              });
+            });
+          });
+          return;
+        }
+      }
+    });
+  });
+}
+
+void NicEngine::FetchWqes(NicEndpoint* src, uint64_t addr, int count, DmaCallback cb) {
+  SNIC_CHECK_GT(count, 0);
+  // The chain fetch is a real engine job: it occupies a processing-unit
+  // context for the DMA round trip against the requester's memory. On the
+  // host side of path ③ this is what makes small-batch doorbell batching a
+  // net loss (paper Fig. 10(b)): the fetch steals PU time that BlueFlame
+  // posts (WQE pushed with the doorbell) do not.
+  AcquirePu(src, [this, src, addr, count, cb = std::move(cb)](
+                     Simulator::Callback release) mutable {
+    src->DmaRead(addr, static_cast<uint64_t>(count) * params_.wqe_bytes,
+                 [this, release = std::move(release), cb = std::move(cb)](SimTime done) mutable {
+                   cb(done);
+                   sim_->At(done + params_.read_pipeline_overhead, std::move(release));
+                 });
+  });
+}
+
+void NicEngine::ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, uint64_t addr,
+                               uint32_t len, std::function<void(SimTime)> done) {
+  ++requests_served_;
+  const double units =
+      static_cast<double>(std::max<uint64_t>(1, CeilDiv(len, params_.max_read_request)));
+  const SimTime parsed = frontend_.Process(sim_->now(), dst->fe_id, units);
+  // Completions land in the requester's CQ ring: successive CQEs stride
+  // through a 512 KB ring, so they spread over DRAM rows instead of
+  // hammering one bank.
+  const uint64_t cqe_addr = 0x7f00'0000 + (cqe_seq_++ % 4096) * 128;
+  sim_->At(parsed, [this, src, dst, verb, addr, len, cqe_addr,
+                    done = std::move(done)]() mutable {
+    AcquirePu(dst, [this, src, dst, verb, addr, len, cqe_addr,
+                    done = std::move(done)](Simulator::Callback release) mutable {
+      switch (verb) {
+        case Verb::kRead: {
+          // src reads dst's memory: fetch from dst, then deliver data + CQE
+          // into src's memory. The context is held until the delivery is
+          // posted — a local op spans both DMA phases.
+          dst->DmaRead(addr, std::max<uint32_t>(len, 1),
+                       [this, src, len, cqe_addr, release = std::move(release),
+                        done = std::move(done)](SimTime) mutable {
+            src->DmaWrite(cqe_addr, static_cast<uint64_t>(len) + params_.cqe_bytes,
+                          [this, release = std::move(release),
+                           done = std::move(done)](SimTime posted) mutable {
+                            sim_->At(posted + params_.read_pipeline_overhead,
+                                     std::move(release));
+                            done(posted);
+                          },
+                          /*single_descriptor=*/true);
+          });
+          return;
+        }
+        case Verb::kWrite:
+        case Verb::kSend: {
+          // Gather payload from src, write it into dst, then post the CQE
+          // back into src. This is the double PCIe1 crossing of path ③.
+          src->DmaRead(addr, std::max<uint32_t>(len, 1),
+                       [this, src, dst, verb, addr, len, cqe_addr,
+                        release = std::move(release),
+                        done = std::move(done)](SimTime) mutable {
+            const uint64_t dst_bytes =
+                verb == Verb::kSend ? static_cast<uint64_t>(len) + params_.cqe_bytes
+                                    : std::max<uint32_t>(len, 1);
+            dst->DmaWrite(
+                addr, dst_bytes,
+                [this, src, dst, verb, len, cqe_addr, release = std::move(release),
+                 done = std::move(done)](SimTime posted) mutable {
+              sim_->At(posted + params_.write_pipeline_overhead, std::move(release));
+              if (verb == Verb::kSend) {
+                SendHandler& handler = send_handlers_[static_cast<size_t>(dst->fe_id)];
+                if (handler != nullptr) {
+                  handler(len, [](SimTime, uint32_t) {});
+                }
+              }
+              src->DmaWrite(cqe_addr, params_.cqe_bytes,
+                            [done = std::move(done)](SimTime posted) { done(posted); });
+            },
+                /*single_descriptor=*/true);
+          });
+          return;
+        }
+      }
+    });
+  });
+}
+
+}  // namespace snicsim

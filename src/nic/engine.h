@@ -1,0 +1,106 @@
+// The NIC engine: packet front end + processing-unit contexts + per-endpoint
+// DMA, executing the paper's Figure 3 flows.
+//
+// Remote (network) requests:
+//   READ : request frame → front end → PU → DMA read at endpoint →
+//          response frames (PU stalls for the whole PCIe round trip — the
+//          mechanism behind SNIC ①'s small-request throughput loss, §3.1).
+//   WRITE: payload frames → front end → PU → posted DMA write → ack as soon
+//          as the burst is accepted (no completion wait, Fig. 3).
+//   SEND : like WRITE into the endpoint's receive ring, then the endpoint
+//          CPU (host or wimpy SoC) takes over via the registered handler.
+//
+// Local requests (path ③, host↔SoC) skip the wire but pay the doorbell,
+// WQE fetch, and double PCIe1 crossing; see ExecuteLocalOp.
+#ifndef SRC_NIC_ENGINE_H_
+#define SRC_NIC_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/mem/memory.h"
+#include "src/nic/endpoint.h"
+#include "src/nic/frontend.h"
+#include "src/nic/params.h"
+#include "src/nic/verb.h"
+#include "src/pcie/path.h"
+#include "src/sim/server.h"
+#include "src/sim/simulator.h"
+
+namespace snicsim {
+
+// Invoked when the last response frame reaches the far end of the response
+// path (i.e. the requester's NIC).
+using ResponseCallback = std::function<void(SimTime delivered)>;
+
+// Two-sided delivery: the endpoint CPU receives `len` bytes and must
+// eventually call `reply(ready_time, reply_len)` to emit the response.
+using SendHandler =
+    std::function<void(uint32_t len, std::function<void(SimTime, uint32_t)> reply)>;
+
+class NicEngine {
+ public:
+  NicEngine(Simulator* sim, NicParams params);
+
+  NicEngine(const NicEngine&) = delete;
+  NicEngine& operator=(const NicEngine&) = delete;
+
+  // Registers a PCIe endpoint reachable from the NIC cores.
+  NicEndpoint* AddEndpoint(const EndpointParams& ep, PciePath nic_to_mem,
+                           MemorySubsystem* memory);
+
+  // Registers the CPU-side consumer of SENDs targeting `ep`.
+  void SetSendHandler(NicEndpoint* ep, SendHandler handler);
+
+  // Handles a remote request whose last frame arrived now. `fe_units` is the
+  // inbound pipeline work (≈ number of frames). The response (READ data, or
+  // a small ack/CQE-generating packet for WRITE/SEND) is pushed along
+  // `response_path` segmented at the network MTU.
+  void HandleRequest(NicEndpoint* ep, Verb verb, uint64_t addr, uint32_t len,
+                     double fe_units, PciePath response_path, ResponseCallback done);
+
+  // Path ③: an op posted by the CPU of `src` targeting the memory of `dst`
+  // on the same SmartNIC. Assumes doorbell/WQE-fetch costs were already paid
+  // by the requester model; `done` fires when the CQE write has been posted
+  // into `src`'s memory.
+  void ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, uint64_t addr,
+                      uint32_t len, std::function<void(SimTime)> done);
+
+  // Fetches `count` WQEs (doorbell-batching DMA) from `src` memory; `cb`
+  // fires when they are inside the NIC.
+  void FetchWqes(NicEndpoint* src, uint64_t addr, int count, DmaCallback cb);
+
+  const NicParams& params() const { return params_; }
+  FrontEnd& frontend() { return frontend_; }
+  TokenPool& processing_units() { return pus_; }
+
+  // Grants a processing-unit context for work on `ep` — a dedicated
+  // per-endpoint context when one is free, else a shared one (queueing if
+  // exhausted). `cb` receives the matching release callback.
+  void AcquirePu(NicEndpoint* ep, std::function<void(Simulator::Callback release)> cb);
+  Simulator* sim() const { return sim_; }
+  const std::vector<std::unique_ptr<NicEndpoint>>& endpoints() const { return endpoints_; }
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void SendResponse(NicEndpoint* ep, uint64_t bytes, SimTime ready, PciePath path,
+                    ResponseCallback done);
+
+  Simulator* sim_;
+  NicParams params_;
+  FrontEnd frontend_;
+  TokenPool pus_;
+  std::vector<std::unique_ptr<NicEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<TokenPool>> dedicated_pus_;  // indexed by fe_id
+  std::vector<SendHandler> send_handlers_;
+  uint64_t requests_served_ = 0;
+  uint64_t cqe_seq_ = 0;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_NIC_ENGINE_H_

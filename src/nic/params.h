@@ -1,0 +1,106 @@
+// NIC hardware parameters.
+//
+// One NicParams instance describes one ASIC: the ConnectX-6 inside
+// BlueField-2, a standalone ConnectX-6 RNIC, or the clients' ConnectX-4.
+// All values are calibrated against the paper's measurements (§2–§4); the
+// calibration targets are listed in DESIGN.md §4 and validated by
+// tests/topo/calibration_test.cc.
+#ifndef SRC_NIC_PARAMS_H_
+#define SRC_NIC_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/units.h"
+
+namespace snicsim {
+
+struct NicParams {
+  std::string name = "nic";
+
+  // Network side. Each frame of `network_mtu` payload pays the generic
+  // per-packet header overhead of the link model (LRH/BTH/ICRC-class),
+  // which is why a 200 Gbps port delivers ~195 Gbps of goodput.
+  Bandwidth network_bandwidth = Bandwidth::Gbps(200);
+  uint32_t network_mtu = 1024;  // effective RDMA path MTU
+
+  // Packet-processing pipeline (the "NIC cores" of the paper). Total
+  // capacity is shared + dedicated*endpoints; a single endpoint can use
+  // shared + its own dedicated slice (paper Fig. 11: one path peaks at
+  // ~176 Mpps while both paths together reach ~195 Mpps).
+  Rate shared_pipeline = Rate::Mpps(195);
+  Rate dedicated_pipeline = Rate::Mpps(0);  // per endpoint, BlueField only
+
+  // Extra time a processing-unit context stays occupied after its DMA phase
+  // finishes (state update, response build, completion bookkeeping). These
+  // are the calibrated "F" terms of DESIGN.md §4: together with pu_count and
+  // the per-path PCIe round trip they set the small-request ceilings.
+  SimTime read_pipeline_overhead = FromNanos(162);
+  SimTime write_pipeline_overhead = FromNanos(428);
+
+  // Processing-unit contexts: concurrent in-flight requests that occupy a
+  // slot while their DMA phase runs. This is the small-request throughput
+  // limiter for one-sided verbs. Like the packet pipeline, a few contexts
+  // are reserved per endpoint (paper §4: concurrently driving host + SoC
+  // yields more one-sided throughput than either path alone).
+  int pu_count = 46;
+  int pu_dedicated = 13;  // extra contexts per endpoint
+
+  // DMA read engine: reads are split into sub-requests of
+  // max_read_request bytes with up to read_credits outstanding.
+  uint32_t max_read_request = 4096;
+  int read_credits = 64;
+  // In-flight posted writes per endpoint before flow-control backpressure.
+  int write_credits = 64;
+
+  // Head-of-line model (paper Fig. 8, Advice #2): one request whose payload
+  // exceeds hol_threshold against an endpoint with MTU <= hol_mtu_limit
+  // degrades the engine to hol_degraded_credits outstanding sub-reads.
+  uint64_t hol_threshold = 9 * kMiB;
+  uint32_t hol_mtu_limit = 128;
+  int hol_degraded_credits = 3;
+
+  // WQE fetch and CQE write sizes; sends up to max_inline_bytes are pushed
+  // through the doorbell MMIO instead of a gather DMA.
+  uint32_t wqe_bytes = 64;
+  uint32_t cqe_bytes = 64;
+  uint32_t max_inline_bytes = 220;
+
+  static NicParams ConnectX6();          // 200 Gbps RNIC (paper's baseline)
+  static NicParams ConnectX4();          // 100 Gbps client NIC
+  static NicParams Bluefield2NicCores(); // CX6 cores inside BlueField-2
+};
+
+inline NicParams NicParams::ConnectX6() {
+  NicParams p;
+  p.name = "cx6";
+  p.network_bandwidth = Bandwidth::Gbps(200);
+  p.shared_pipeline = Rate::Mpps(195);
+  p.dedicated_pipeline = Rate::Mpps(0);
+  return p;
+}
+
+inline NicParams NicParams::ConnectX4() {
+  NicParams p;
+  p.name = "cx4";
+  p.network_bandwidth = Bandwidth::Gbps(100);
+  p.shared_pipeline = Rate::Mpps(75);
+  p.pu_count = 32;
+  return p;
+}
+
+inline NicParams NicParams::Bluefield2NicCores() {
+  NicParams p;
+  p.name = "bf2";
+  p.network_bandwidth = Bandwidth::Gbps(200);
+  // Most NIC cores are shared between the host and SoC endpoints; a few are
+  // dedicated per endpoint (paper §4: one path alone peaks below the
+  // concurrent-path total).
+  p.shared_pipeline = Rate::Mpps(156);
+  p.dedicated_pipeline = Rate::Mpps(20);
+  return p;
+}
+
+}  // namespace snicsim
+
+#endif  // SRC_NIC_PARAMS_H_

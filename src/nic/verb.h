@@ -1,0 +1,27 @@
+// RDMA verb kinds understood by the NIC engine.
+#ifndef SRC_NIC_VERB_H_
+#define SRC_NIC_VERB_H_
+
+namespace snicsim {
+
+enum class Verb {
+  kRead,   // one-sided RDMA READ
+  kWrite,  // one-sided RDMA WRITE
+  kSend,   // two-sided SEND (consumed by a posted RECV at the responder)
+};
+
+constexpr const char* VerbName(Verb v) {
+  switch (v) {
+    case Verb::kRead:
+      return "READ";
+    case Verb::kWrite:
+      return "WRITE";
+    case Verb::kSend:
+      return "SEND";
+  }
+  return "?";
+}
+
+}  // namespace snicsim
+
+#endif  // SRC_NIC_VERB_H_

@@ -1,0 +1,131 @@
+// A bidirectional PCIe link (or the InfiniBand wire, which shares the same
+// serialization behaviour at this abstraction level).
+//
+// Each direction is an independent serial resource — this is what makes
+// opposite-direction flows (READ data out + WRITE data in) multiplex to
+// nearly twice the nominal bandwidth (paper Fig. 5), while same-direction
+// flows contend. Transfers are bursts segmented at a caller-supplied MTU;
+// the link accounts TLPs, payload bytes, and wire bytes per direction, which
+// the benches read exactly like the paper reads BlueField hardware counters.
+#ifndef SRC_PCIE_LINK_H_
+#define SRC_PCIE_LINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/pcie/tlp.h"
+#include "src/sim/server.h"
+#include "src/sim/simulator.h"
+
+namespace snicsim {
+
+enum class LinkDir {
+  kDown,  // toward the endpoint / device
+  kUp,    // toward the root / host
+};
+
+constexpr LinkDir Opposite(LinkDir d) {
+  return d == LinkDir::kDown ? LinkDir::kUp : LinkDir::kDown;
+}
+
+struct LinkCounters {
+  uint64_t tlps = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t wire_bytes = 0;
+
+  LinkCounters operator-(const LinkCounters& o) const {
+    return {tlps - o.tlps, payload_bytes - o.payload_bytes, wire_bytes - o.wire_bytes};
+  }
+};
+
+class PcieLink {
+ public:
+  // `per_direction` is the raw signalling bandwidth of one direction;
+  // `propagation` is the one-way flight + forwarding latency of the link.
+  PcieLink(Simulator* sim, std::string name, Bandwidth per_direction, SimTime propagation)
+      : sim_(sim),
+        name_(std::move(name)),
+        bandwidth_(per_direction),
+        propagation_(propagation),
+        down_(sim, name_ + ".down"),
+        up_(sim, name_ + ".up") {}
+
+  PcieLink(const PcieLink&) = delete;
+  PcieLink& operator=(const PcieLink&) = delete;
+
+  // Sends a data burst. The burst may not start before `ready`; `cb` fires
+  // when the last TLP has been delivered. Returns that delivery time.
+  SimTime TransferAt(SimTime ready, LinkDir dir, uint64_t payload_bytes, uint32_t mtu,
+                     Simulator::Callback cb = nullptr) {
+    const uint64_t tlps = NumTlps(payload_bytes, mtu);
+    const uint64_t wire = WireBytes(payload_bytes, mtu);
+    Account(dir, tlps, payload_bytes, wire);
+    const SimTime done = Server(dir).EnqueueAt(ready, bandwidth_.TransferTime(wire));
+    const SimTime delivered = done + propagation_;
+    if (cb != nullptr) {
+      sim_->At(delivered, std::move(cb));
+    }
+    return delivered;
+  }
+
+  SimTime Transfer(LinkDir dir, uint64_t payload_bytes, uint32_t mtu,
+                   Simulator::Callback cb = nullptr) {
+    return TransferAt(sim_->now(), dir, payload_bytes, mtu, std::move(cb));
+  }
+
+  // Sends a single header-only control TLP (read request, doorbell, CQE
+  // notification …).
+  SimTime TransferControlAt(SimTime ready, LinkDir dir, Simulator::Callback cb = nullptr) {
+    Account(dir, 1, 0, ControlWireBytes());
+    const SimTime done = Server(dir).EnqueueAt(ready, bandwidth_.TransferTime(ControlWireBytes()));
+    const SimTime delivered = done + propagation_;
+    if (cb != nullptr) {
+      sim_->At(delivered, std::move(cb));
+    }
+    return delivered;
+  }
+
+  SimTime TransferControl(LinkDir dir, Simulator::Callback cb = nullptr) {
+    return TransferControlAt(sim_->now(), dir, std::move(cb));
+  }
+
+  // Earliest time a new burst in `dir` could start serializing.
+  SimTime NextFree(LinkDir dir) { return Server(dir).next_free(); }
+
+  const LinkCounters& counters(LinkDir dir) const {
+    return dir == LinkDir::kDown ? down_counters_ : up_counters_;
+  }
+  LinkCounters TotalCounters() const {
+    return {down_counters_.tlps + up_counters_.tlps,
+            down_counters_.payload_bytes + up_counters_.payload_bytes,
+            down_counters_.wire_bytes + up_counters_.wire_bytes};
+  }
+
+  SimTime BusyTime(LinkDir dir) { return Server(dir).busy_time(); }
+  Bandwidth bandwidth() const { return bandwidth_; }
+  SimTime propagation() const { return propagation_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  BusyServer& Server(LinkDir dir) { return dir == LinkDir::kDown ? down_ : up_; }
+  void Account(LinkDir dir, uint64_t tlps, uint64_t payload, uint64_t wire) {
+    LinkCounters& c = dir == LinkDir::kDown ? down_counters_ : up_counters_;
+    c.tlps += tlps;
+    c.payload_bytes += payload;
+    c.wire_bytes += wire;
+  }
+
+  Simulator* sim_;
+  std::string name_;
+  Bandwidth bandwidth_;
+  SimTime propagation_;
+  BusyServer down_;
+  BusyServer up_;
+  LinkCounters down_counters_;
+  LinkCounters up_counters_;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_PCIE_LINK_H_

@@ -1,0 +1,172 @@
+// Multi-hop PCIe routes.
+//
+// A PciePath is an ordered list of (link, direction) hops joined by switch
+// traversals. Bursts are forwarded cut-through at TLP granularity: the head
+// TLP advances hop by hop while the tail is still serializing behind it, so
+// end-to-end latency ≈ bottleneck serialization + the sum of propagation and
+// switch-forwarding delays. Every hop's per-direction byte/TLP counters are
+// charged for the full burst — that per-link accounting is exactly what
+// exposes the "path ③ crosses PCIe1 twice" bottleneck (paper §3.3).
+#ifndef SRC_PCIE_PATH_H_
+#define SRC_PCIE_PATH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/common/units.h"
+#include "src/pcie/link.h"
+#include "src/sim/simulator.h"
+
+namespace snicsim {
+
+// A PCIe switch: a named forwarding element with a fixed per-traversal
+// delay (150–200 ns on BlueField-2 per the paper, citing [36]).
+class PcieSwitch {
+ public:
+  PcieSwitch(std::string name, SimTime forward_delay)
+      : name_(std::move(name)), forward_delay_(forward_delay) {}
+
+  SimTime forward_delay() const { return forward_delay_; }
+  const std::string& name() const { return name_; }
+  uint64_t forwards() const { return forwards_; }
+  void CountForward(uint64_t n = 1) { forwards_ += n; }
+
+ private:
+  std::string name_;
+  SimTime forward_delay_;
+  uint64_t forwards_ = 0;
+};
+
+class PciePath {
+ public:
+  struct Hop {
+    PcieLink* link = nullptr;
+    LinkDir dir = LinkDir::kDown;
+    // Switch traversed before entering this link (nullptr for the first hop
+    // out of an endpoint or when links join without a switch).
+    PcieSwitch* via = nullptr;
+  };
+
+  PciePath() = default;
+  explicit PciePath(std::vector<Hop> hops) : hops_(std::move(hops)) {}
+
+  PciePath& Add(PcieLink* link, LinkDir dir, PcieSwitch* via = nullptr) {
+    hops_.push_back(Hop{link, dir, via});
+    return *this;
+  }
+
+  bool empty() const { return hops_.empty(); }
+  const std::vector<Hop>& hops() const { return hops_; }
+
+  // Pure latency of the route (propagation + switch forwarding), excluding
+  // serialization and queueing.
+  SimTime BaseLatency() const {
+    SimTime t = 0;
+    for (const Hop& h : hops_) {
+      if (h.via != nullptr) {
+        t += h.via->forward_delay();
+      }
+      t += h.link->propagation();
+    }
+    return t;
+  }
+
+  // Pushes a data burst along the path; `cb` fires when the last TLP reaches
+  // the far end. An empty path models CPU/memory on the same die (zero cost).
+  SimTime TransferAt(Simulator* sim, SimTime ready, uint64_t payload_bytes, uint32_t mtu,
+                     Simulator::Callback cb = nullptr) const {
+    if (hops_.empty()) {
+      if (cb != nullptr) {
+        sim->At(std::max(ready, sim->now()), std::move(cb));
+      }
+      return std::max(ready, sim->now());
+    }
+    SimTime head = std::max(ready, sim->now());
+    // The delivery time is bounded below by every hop's tail-exit time plus
+    // the minimum (head-TLP) traversal of the remaining hops — without this,
+    // a fast hop behind a slow one could "finish" before the tail even left
+    // the slow link.
+    SimTime delivered = head;
+    std::vector<SimTime> tail_exit;    // last TLP leaves hop i (incl. prop)
+    std::vector<SimTime> min_forward;  // min per-hop traversal (first TLP)
+    tail_exit.reserve(hops_.size());
+    min_forward.reserve(hops_.size());
+    for (const Hop& h : hops_) {
+      SimTime via_delay = 0;
+      if (h.via != nullptr) {
+        via_delay = h.via->forward_delay();
+        head += via_delay;
+        h.via->CountForward(NumTlps(payload_bytes, mtu));
+      }
+      const uint64_t wire = WireBytes(payload_bytes, mtu);
+      const uint64_t first_tlp_wire =
+          WireBytes(std::min<uint64_t>(payload_bytes, mtu), mtu);
+      const SimTime full = h.link->bandwidth().TransferTime(wire);
+      const SimTime first = h.link->bandwidth().TransferTime(first_tlp_wire);
+      // Charge the link for the full burst; the head TLP exits after `first`.
+      const SimTime delivered_full = h.link->TransferAt(head, h.dir, payload_bytes, mtu);
+      head = delivered_full - (full - first);  // first TLP out
+      tail_exit.push_back(delivered_full);
+      min_forward.push_back(via_delay + first + h.link->propagation());
+      delivered = delivered_full;
+    }
+    // Tail lower bounds: after leaving hop i, the tail still needs at least
+    // the head-TLP traversal time of every later hop.
+    SimTime suffix = 0;
+    for (size_t i = hops_.size(); i-- > 0;) {
+      delivered = std::max(delivered, tail_exit[i] + suffix);
+      suffix += min_forward[i];
+    }
+    if (cb != nullptr) {
+      sim->At(delivered, std::move(cb));
+    }
+    return delivered;
+  }
+
+  // Pushes a single header-only control TLP along the path.
+  SimTime TransferControlAt(Simulator* sim, SimTime ready,
+                            Simulator::Callback cb = nullptr) const {
+    if (hops_.empty()) {
+      if (cb != nullptr) {
+        sim->At(std::max(ready, sim->now()), std::move(cb));
+      }
+      return std::max(ready, sim->now());
+    }
+    SimTime t = std::max(ready, sim->now());
+    for (const Hop& h : hops_) {
+      if (h.via != nullptr) {
+        t += h.via->forward_delay();
+        h.via->CountForward(1);
+      }
+      t = h.link->TransferControlAt(t, h.dir);
+    }
+    if (cb != nullptr) {
+      sim->At(t, std::move(cb));
+    }
+    return t;
+  }
+
+  // The route in the opposite direction (e.g. completion data flowing back).
+  // A switch recorded between forward links i and i+1 (as hop i+1's `via`)
+  // lies between the same two links in reverse, i.e. becomes the `via` of
+  // the reversed hop that enters link i.
+  PciePath Reversed() const {
+    PciePath r;
+    const size_t n = hops_.size();
+    for (size_t j = 0; j < n; ++j) {
+      const Hop& fwd = hops_[n - 1 - j];
+      PcieSwitch* via = (j == 0) ? nullptr : hops_[n - j].via;
+      r.Add(fwd.link, Opposite(fwd.dir), via);
+    }
+    return r;
+  }
+
+ private:
+  std::vector<Hop> hops_;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_PCIE_PATH_H_

@@ -1,0 +1,215 @@
+// A small ibverbs-flavored API over the simulator.
+//
+// This is the surface downstream code programs against (examples/, the KV
+// store): remote memory regions, queue pairs bound to a client thread, and
+// completion queues. Underneath, posts travel the full simulated path —
+// doorbell MMIO, client NIC, fabric, responder NIC front end, PU, DMA — so
+// application-level experiments inherit every anomaly the paper documents.
+#ifndef SRC_RDMA_VERBS_H_
+#define SRC_RDMA_VERBS_H_
+
+#include <cstdint>
+#include <deque>
+#include <iterator>
+#include <functional>
+#include <string>
+
+#include "src/common/log.h"
+#include "src/nic/engine.h"
+#include "src/nic/verb.h"
+#include "src/rdma/recv_queue.h"
+#include "src/sim/simulator.h"
+#include "src/workload/client.h"
+
+namespace snicsim {
+namespace rdma {
+
+// A remote registration: which engine/endpoint serves it, where the server's
+// network port is, and the address window the requester may touch.
+struct RemoteMemoryRegion {
+  NicEngine* engine = nullptr;
+  NicEndpoint* endpoint = nullptr;
+  PcieLink* server_port = nullptr;
+  uint64_t addr = 0;
+  uint64_t length = 0;
+  uint32_t rkey = 0;
+  // Responder receive ring consumed by SENDs (nullptr = unlimited ring).
+  ReceiveQueue* recv = nullptr;
+
+  bool Contains(uint64_t a, uint64_t len) const {
+    return a >= addr && a + len <= addr + length;
+  }
+};
+
+struct WorkCompletion {
+  Verb verb = Verb::kRead;
+  uint64_t wr_id = 0;
+  uint32_t byte_len = 0;
+  SimTime completed_at = 0;
+};
+
+// Completions are pushed by the QP and drained by the application, like
+// ibv_poll_cq.
+class CompletionQueue {
+ public:
+  void Push(WorkCompletion wc) { ready_.push_back(wc); }
+
+  // Drains up to `max` completions into `out`; returns the count.
+  int Poll(WorkCompletion* out, int max) {
+    int n = 0;
+    while (n < max && !ready_.empty()) {
+      out[n++] = ready_.front();
+      ready_.pop_front();
+    }
+    return n;
+  }
+
+  size_t pending() const { return ready_.size(); }
+
+ private:
+  std::deque<WorkCompletion> ready_;
+};
+
+// Transport types (paper §3 setup: RC for one-sided, UD for two-sided).
+enum class QpType {
+  kRc,  // reliable connection: READ/WRITE/SEND
+  kUd,  // unreliable datagram: SEND only, cheaper state
+};
+
+// The usual verbs state ladder; posting requires kRts.
+enum class QpState {
+  kReset,
+  kInit,
+  kRtr,  // ready to receive
+  kRts,  // ready to send
+  kError,
+};
+
+struct QpConfig {
+  QpType type = QpType::kRc;
+  // Send-queue depth: posts beyond this many outstanding WRs are rejected
+  // (ENOMEM in real verbs; callers must poll the CQ and retry).
+  int max_send_wr = 256;
+  // Generate a CQE for every WR even when posted unsignaled.
+  bool signal_all = false;
+  // Backoff before retrying a SEND that hit receiver-not-ready.
+  SimTime rnr_backoff = FromMicros(10);
+};
+
+// A verbs queue pair bound to one client thread and one remote region.
+// Completion callbacks run when the CQE is visible to the polling thread.
+class QueuePair {
+ public:
+  QueuePair(ClientMachine* machine, int thread, RemoteMemoryRegion mr,
+            CompletionQueue* cq = nullptr, QpConfig config = QpConfig())
+      : machine_(machine), thread_(thread), mr_(mr), cq_(cq), config_(config) {
+    SNIC_CHECK(machine != nullptr);
+  }
+
+  using OpCallback = std::function<void(SimTime completed)>;
+
+  // State management (ibv_modify_qp): the ladder must be walked in order.
+  // Freshly-constructed QPs start in kRts for convenience (the common case
+  // in tests and benches); call Reset() to exercise the ladder.
+  QpState state() const { return state_; }
+  void Reset() { state_ = QpState::kReset; }
+  bool Modify(QpState next) {
+    static constexpr QpState kLadder[] = {QpState::kReset, QpState::kInit, QpState::kRtr,
+                                          QpState::kRts};
+    for (size_t i = 0; i + 1 < std::size(kLadder); ++i) {
+      if (state_ == kLadder[i] && next == kLadder[i + 1]) {
+        state_ = next;
+        return true;
+      }
+    }
+    if (next == QpState::kError) {
+      state_ = next;
+      return true;
+    }
+    return false;
+  }
+
+  // Posts return false when the QP is not ready or the send queue is full.
+  bool PostRead(uint64_t remote_addr, uint32_t len, uint64_t wr_id = 0,
+                OpCallback cb = nullptr, bool signaled = true) {
+    SNIC_CHECK(config_.type == QpType::kRc);  // one-sided needs RC
+    return PostOp(Verb::kRead, remote_addr, len, wr_id, std::move(cb), signaled);
+  }
+  bool PostWrite(uint64_t remote_addr, uint32_t len, uint64_t wr_id = 0,
+                 OpCallback cb = nullptr, bool signaled = true) {
+    SNIC_CHECK(config_.type == QpType::kRc);
+    return PostOp(Verb::kWrite, remote_addr, len, wr_id, std::move(cb), signaled);
+  }
+  // Two-sided send into the responder's receive ring; the responder's
+  // registered handler produces the reply. Works on RC and UD.
+  bool PostSend(uint32_t len, uint64_t wr_id = 0, OpCallback cb = nullptr,
+                bool signaled = true) {
+    return PostOp(Verb::kSend, mr_.addr, len, wr_id, std::move(cb), signaled);
+  }
+
+  const RemoteMemoryRegion& remote() const { return mr_; }
+  const QpConfig& config() const { return config_; }
+  int thread() const { return thread_; }
+  uint64_t posted() const { return posted_; }
+  int outstanding() const { return outstanding_; }
+  uint64_t rnr_retries() const { return rnr_retries_; }
+
+ private:
+  bool PostOp(Verb verb, uint64_t remote_addr, uint32_t len, uint64_t wr_id,
+              OpCallback cb, bool signaled) {
+    if (state_ != QpState::kRts) {
+      return false;
+    }
+    if (outstanding_ >= config_.max_send_wr) {
+      return false;  // send queue full: poll the CQ and retry
+    }
+    SNIC_CHECK(mr_.Contains(remote_addr, len == 0 ? 1 : len));
+    // Receiver-not-ready: the responder ring is dry; retry after backoff.
+    if (verb == Verb::kSend && mr_.recv != nullptr && !mr_.recv->Consume()) {
+      ++rnr_retries_;
+      Simulator* sim = machine_->sim();
+      ++outstanding_;
+      sim->In(config_.rnr_backoff, [this, verb, remote_addr, len, wr_id,
+                                    cb = std::move(cb), signaled]() mutable {
+        --outstanding_;
+        PostOp(verb, remote_addr, len, wr_id, std::move(cb), signaled);
+      });
+      return true;
+    }
+    ++posted_;
+    ++outstanding_;
+    TargetSpec target;
+    target.engine = mr_.engine;
+    target.endpoint = mr_.endpoint;
+    target.server_port = mr_.server_port;
+    target.verb = verb;
+    target.payload = len;
+    machine_->Post(thread_, target, remote_addr,
+                   [this, verb, len, wr_id, signaled,
+                    cb = std::move(cb)](SimTime completed) {
+                     --outstanding_;
+                     if (cq_ != nullptr && (signaled || config_.signal_all)) {
+                       cq_->Push(WorkCompletion{verb, wr_id, len, completed});
+                     }
+                     if (cb) {
+                       cb(completed);
+                     }
+                   });
+    return true;
+  }
+
+  ClientMachine* machine_;
+  int thread_;
+  RemoteMemoryRegion mr_;
+  CompletionQueue* cq_;
+  QpConfig config_;
+  QpState state_ = QpState::kRts;
+  uint64_t posted_ = 0;
+  int outstanding_ = 0;
+  uint64_t rnr_retries_ = 0;
+};
+
+}  // namespace rdma
+}  // namespace snicsim
+
+#endif  // SRC_RDMA_VERBS_H_

@@ -1,0 +1,83 @@
+// Measurement window accounting.
+//
+// Benchmarks warm the system up, then measure a steady-state window. A Meter
+// counts operations/bytes and records latencies only inside its window, then
+// converts them to reqs/s and Gbps, mirroring how the paper's harness
+// reports peak throughput.
+#ifndef SRC_SIM_METER_H_
+#define SRC_SIM_METER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/log.h"
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace snicsim {
+
+class Meter {
+ public:
+  explicit Meter(Simulator* sim) : sim_(sim) {}
+
+  // Measures [start, end). end == 0 means "until asked".
+  void SetWindow(SimTime start, SimTime end) {
+    SNIC_CHECK_GE(end == 0 ? start : end, start);
+    start_ = start;
+    end_ = end;
+  }
+
+  bool InWindow() const {
+    const SimTime t = sim_->now();
+    return t >= start_ && (end_ == 0 || t < end_);
+  }
+
+  void RecordOp(uint64_t bytes, SimTime latency = -1) {
+    if (!InWindow()) {
+      return;
+    }
+    ++ops_;
+    bytes_ += bytes;
+    if (latency >= 0) {
+      latency_.Record(latency);
+    }
+  }
+
+  uint64_t ops() const { return ops_; }
+  uint64_t bytes() const { return bytes_; }
+  const Histogram& latency() const { return latency_; }
+
+  SimTime WindowLength() const {
+    const SimTime end = end_ == 0 ? sim_->now() : end_;
+    return end > start_ ? end - start_ : 0;
+  }
+
+  double OpsPerSec() const {
+    const SimTime w = WindowLength();
+    return w <= 0 ? 0.0 : static_cast<double>(ops_) / ToSeconds(w);
+  }
+  double MReqsPerSec() const { return OpsPerSec() / 1e6; }
+  double Gbps() const {
+    const SimTime w = WindowLength();
+    return w <= 0 ? 0.0 : static_cast<double>(bytes_) * 8.0 / 1e9 / ToSeconds(w);
+  }
+
+  void Reset() {
+    ops_ = 0;
+    bytes_ = 0;
+    latency_.Reset();
+  }
+
+ private:
+  Simulator* sim_;
+  SimTime start_ = 0;
+  SimTime end_ = 0;
+  uint64_t ops_ = 0;
+  uint64_t bytes_ = 0;
+  Histogram latency_;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_SIM_METER_H_

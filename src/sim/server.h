@@ -1,0 +1,175 @@
+// Deterministic queueing primitives.
+//
+// Nearly every hardware resource in the simulator — a PCIe link direction, a
+// NIC pipeline stage, a DRAM bank, a CPU core — is a serial server with a
+// deterministic service time. Instead of simulating queue entries as events,
+// a server tracks its next-free time: enqueueing work of duration S that may
+// start no earlier than E completes at max(next_free, E, now) + S. This is
+// exact for FIFO servers and keeps event counts proportional to *jobs*, not
+// queue state transitions.
+#ifndef SRC_SIM_SERVER_H_
+#define SRC_SIM_SERVER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace snicsim {
+
+// A single FIFO server.
+class BusyServer {
+ public:
+  BusyServer(Simulator* sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+
+  // Enqueues a job of duration `service` that may not start before
+  // `earliest`. Returns the completion time; `cb` (optional) fires then.
+  SimTime EnqueueAt(SimTime earliest, SimTime service, Simulator::Callback cb = nullptr) {
+    SNIC_CHECK_GE(service, 0);
+    const SimTime start = std::max({next_free_, earliest, sim_->now()});
+    next_free_ = start + service;
+    busy_time_ += service;
+    ++jobs_;
+    if (cb != nullptr) {
+      sim_->At(next_free_, std::move(cb));
+    }
+    return next_free_;
+  }
+
+  SimTime Enqueue(SimTime service, Simulator::Callback cb = nullptr) {
+    return EnqueueAt(sim_->now(), service, std::move(cb));
+  }
+
+  SimTime next_free() const { return std::max(next_free_, sim_->now()); }
+  // Queueing delay a job arriving now would see before starting service.
+  SimTime Backlog() const { return std::max<SimTime>(0, next_free_ - sim_->now()); }
+
+  SimTime busy_time() const { return busy_time_; }
+  uint64_t jobs() const { return jobs_; }
+  const std::string& name() const { return name_; }
+
+  double Utilization(SimTime window) const {
+    return window <= 0 ? 0.0 : static_cast<double>(busy_time_) / static_cast<double>(window);
+  }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  SimTime next_free_ = 0;
+  SimTime busy_time_ = 0;
+  uint64_t jobs_ = 0;
+};
+
+// K identical parallel servers fed from one FIFO queue (e.g., a CPU core
+// pool or the banks of a DRAM channel when accesses are unconstrained).
+// Jobs are dispatched to the earliest-free server.
+class MultiServer {
+ public:
+  MultiServer(Simulator* sim, std::string name, int servers)
+      : sim_(sim), name_(std::move(name)), next_free_(static_cast<size_t>(servers), 0) {
+    SNIC_CHECK_GT(servers, 0);
+  }
+
+  SimTime EnqueueAt(SimTime earliest, SimTime service, Simulator::Callback cb = nullptr) {
+    SNIC_CHECK_GE(service, 0);
+    // Pick the server that frees first.
+    size_t best = 0;
+    for (size_t i = 1; i < next_free_.size(); ++i) {
+      if (next_free_[i] < next_free_[best]) {
+        best = i;
+      }
+    }
+    const SimTime start = std::max({next_free_[best], earliest, sim_->now()});
+    next_free_[best] = start + service;
+    busy_time_ += service;
+    ++jobs_;
+    if (cb != nullptr) {
+      sim_->At(next_free_[best], std::move(cb));
+    }
+    return next_free_[best];
+  }
+
+  SimTime Enqueue(SimTime service, Simulator::Callback cb = nullptr) {
+    return EnqueueAt(sim_->now(), service, std::move(cb));
+  }
+
+  int size() const { return static_cast<int>(next_free_.size()); }
+  SimTime busy_time() const { return busy_time_; }
+  uint64_t jobs() const { return jobs_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  std::vector<SimTime> next_free_;
+  SimTime busy_time_ = 0;
+  uint64_t jobs_ = 0;
+};
+
+// A counted resource with FIFO waiters (e.g., NIC processing-unit slots or
+// DMA-engine outstanding-read credits). Unlike BusyServer, hold times are
+// not known at acquire time: the holder calls Release explicitly.
+class TokenPool {
+ public:
+  TokenPool(Simulator* sim, std::string name, int tokens)
+      : sim_(sim), name_(std::move(name)), available_(tokens), capacity_(tokens) {
+    SNIC_CHECK_GT(tokens, 0);
+  }
+
+  // Runs `cb` once a token is held (immediately if one is free).
+  void Acquire(Simulator::Callback cb) {
+    if (available_ > 0) {
+      --available_;
+      // Defer through the event queue so acquire order == FIFO order even
+      // when tokens are free, and callers never reenter synchronously.
+      sim_->In(0, std::move(cb));
+    } else {
+      waiters_.push_back(std::move(cb));
+      max_waiters_ = std::max(max_waiters_, waiters_.size());
+    }
+  }
+
+  // Non-blocking acquire: returns true and consumes a token if one is free.
+  bool TryAcquire() {
+    if (available_ == 0) {
+      return false;
+    }
+    --available_;
+    return true;
+  }
+
+  void Release() {
+    SNIC_CHECK_LT(available_, capacity_);
+    if (!waiters_.empty()) {
+      auto cb = std::move(waiters_.front());
+      waiters_.pop_front();
+      sim_->In(0, std::move(cb));
+    } else {
+      ++available_;
+    }
+  }
+
+  int available() const { return available_; }
+  int capacity() const { return capacity_; }
+  size_t waiting() const { return waiters_.size(); }
+  size_t max_waiters() const { return max_waiters_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  int available_;
+  int capacity_;
+  std::deque<Simulator::Callback> waiters_;
+  size_t max_waiters_ = 0;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_SIM_SERVER_H_

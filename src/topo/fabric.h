@@ -1,0 +1,60 @@
+// The rack-scale InfiniBand fabric of the paper's testbed (Table 2): every
+// machine connects to one SB7890-class switch. At this abstraction level a
+// network cable behaves like a PCIe link — a bidirectional pair of serial
+// resources with per-frame header overhead — so the fabric reuses PcieLink /
+// PciePath, giving the benches identical counter semantics on wires and
+// PCIe channels.
+#ifndef SRC_TOPO_FABRIC_H_
+#define SRC_TOPO_FABRIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/pcie/link.h"
+#include "src/pcie/path.h"
+#include "src/sim/simulator.h"
+
+namespace snicsim {
+
+class Fabric {
+ public:
+  Fabric(Simulator* sim, SimTime link_propagation = FromNanos(150),
+         SimTime switch_forward = FromNanos(150))
+      : sim_(sim),
+        link_propagation_(link_propagation),
+        ib_switch_("ibsw", switch_forward) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Attaches a machine port of the given bandwidth; kUp is toward the
+  // switch, kDown toward the machine.
+  PcieLink* AddPort(const std::string& name, Bandwidth bandwidth) {
+    ports_.push_back(
+        std::make_unique<PcieLink>(sim_, name, bandwidth, link_propagation_));
+    return ports_.back().get();
+  }
+
+  // Route from machine A to machine B through the switch.
+  PciePath Route(PcieLink* from, PcieLink* to) {
+    PciePath p;
+    p.Add(from, LinkDir::kUp);
+    p.Add(to, LinkDir::kDown, &ib_switch_);
+    return p;
+  }
+
+  PcieSwitch& ib_switch() { return ib_switch_; }
+  Simulator* sim() const { return sim_; }
+
+ private:
+  Simulator* sim_;
+  SimTime link_propagation_;
+  PcieSwitch ib_switch_;
+  std::vector<std::unique_ptr<PcieLink>> ports_;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_TOPO_FABRIC_H_

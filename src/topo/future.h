@@ -1,0 +1,103 @@
+// Forward-looking configurations from the paper's §5 Discussion:
+//
+//  * BlueField-3: same off-path architecture with a faster RNIC
+//    (400 Gbps ConnectX-7), PCIe 5.0, and stronger ARMv8.2+ A78 SoC cores.
+//    The paper argues its methodology and models transfer directly; this
+//    configuration lets the benches test that claim.
+//  * CCI-style SoC cache coherence (ARM CoreLink CCI-550): gives the SoC an
+//    LLC that inbound I/O can allocate into, mitigating the Advice-#1 write
+//    skew anomaly.
+//  * CXL-style host<->SoC window: a load/store path through the switch that
+//    bypasses the RNIC entirely, eliminating path ③'s double PCIe1 crossing
+//    (DirectCXL-style; no SmartNIC ships this yet).
+#ifndef SRC_TOPO_FUTURE_H_
+#define SRC_TOPO_FUTURE_H_
+
+#include <functional>
+
+#include "src/topo/server.h"
+#include "src/topo/testbed_params.h"
+
+namespace snicsim {
+
+// BlueField-3-class testbed: 400 Gbps CX-7 NIC cores, PCIe 5.0 (512 Gbps)
+// internal fabric, 16 A78 SoC cores with dual-channel DDR5-class memory.
+inline TestbedParams Bluefield3Testbed() {
+  TestbedParams tp = TestbedParams::Default();
+  tp.bluefield_nic.name = "bf3";
+  tp.bluefield_nic.network_bandwidth = Bandwidth::Gbps(400);
+  tp.bluefield_nic.shared_pipeline = Rate::Mpps(312);
+  tp.bluefield_nic.dedicated_pipeline = Rate::Mpps(40);
+  tp.bluefield_nic.pu_count = 92;
+  tp.bluefield_nic.pu_dedicated = 26;
+  tp.rnic.name = "cx7";
+  tp.rnic.network_bandwidth = Bandwidth::Gbps(400);
+  tp.rnic.shared_pipeline = Rate::Mpps(390);
+  tp.pcie_bandwidth = Bandwidth::Gbps(512);  // PCIe 5.0 x16
+  // Host completers scale with the PCIe generation.
+  tp.host_read_completer = Rate::Mpps(137);
+  tp.host_write_completer = Rate::Mpps(170);
+  // A78 cores: roughly twice the A72's per-message capability, 16 of them.
+  tp.soc_cores = 16;
+  tp.soc_msg_service = FromNanos(200);
+  tp.soc_notify_delay = FromNanos(500);
+  tp.soc_memory.channels = 2;
+  tp.soc_memory.channel_bandwidth = Bandwidth::GBps(38.4);
+  tp.soc_memory.cmd_read_service = FromNanos(6);
+  tp.soc_memory.cmd_write_service = FromNanos(6.5);
+  return tp;
+}
+
+// CCI-style coherent SoC: inbound I/O allocates into an SoC-side LLC, like
+// DDIO on the host (the paper's suggested mitigation for Advice #1).
+inline TestbedParams WithSocCci(TestbedParams tp) {
+  tp.soc_memory.has_llc = true;
+  tp.soc_memory.ddio = true;
+  tp.soc_memory.llc_bytes = 8 * kMiB;  // BlueField L3-class
+  tp.soc_memory.llc_slices = 4;
+  tp.soc_memory.llc_service = FromNanos(6);
+  tp.soc_memory.llc_latency = FromNanos(40);
+  return tp;
+}
+
+// A CXL-style direct host<->SoC data window: one load/store transfer through
+// PCIe0 + switch + SoC port, no RNIC involvement (so PCIe1 is never
+// crossed). Models the paper's "supporting CXL can significantly improve
+// PCIe utilization between the host and SoC".
+class CxlWindow {
+ public:
+  explicit CxlWindow(Simulator* sim, BluefieldServer* server)
+      : sim_(sim), server_(server) {}
+
+  // Copies `len` bytes host->SoC (or SoC->host when `to_host`): reads the
+  // source memory, pushes one burst across the switch at the destination's
+  // MTU, commits into the destination memory. `cb` fires at commit.
+  void Copy(bool to_host, uint64_t addr, uint32_t len, std::function<void(SimTime)> cb) {
+    MemorySubsystem& src = to_host ? server_->soc_memory() : server_->host_memory();
+    MemorySubsystem& dst = to_host ? server_->host_memory() : server_->soc_memory();
+    const uint32_t dst_mtu =
+        to_host ? kHostPcieMtu : kSocPcieMtu;
+    PciePath path;
+    if (to_host) {
+      path.Add(&server_->soc_port_link(), LinkDir::kUp);
+      path.Add(&server_->pcie0(), LinkDir::kDown, &server_->pcie_switch());
+    } else {
+      path.Add(&server_->pcie0(), LinkDir::kUp);
+      path.Add(&server_->soc_port_link(), LinkDir::kDown, &server_->pcie_switch());
+    }
+    const SimTime data_ready = src.Access(sim_->now(), addr, len, /*is_write=*/false);
+    path.TransferAt(sim_, data_ready, len, dst_mtu, [this, &dst, addr, len,
+                                                     cb = std::move(cb)]() mutable {
+      dst.Access(sim_->now(), addr, len, /*is_write=*/true,
+                 [this, cb = std::move(cb)] { cb(sim_->now()); });
+    });
+  }
+
+ private:
+  Simulator* sim_;
+  BluefieldServer* server_;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_TOPO_FUTURE_H_

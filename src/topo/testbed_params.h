@@ -1,0 +1,62 @@
+// Calibrated parameters of the paper's testbed (Table 1, Table 2).
+//
+// One TestbedParams value describes the whole rack: the BlueField-2
+// internals, the RNIC baseline, host/SoC memory and CPUs, and the client
+// machines. The defaults are calibrated so that the simulated figures land
+// in the paper's bands (DESIGN.md §4); tests/topo/calibration_test.cc pins
+// them.
+#ifndef SRC_TOPO_TESTBED_PARAMS_H_
+#define SRC_TOPO_TESTBED_PARAMS_H_
+
+#include "src/common/units.h"
+#include "src/mem/memory.h"
+#include "src/nic/params.h"
+#include "src/pcie/tlp.h"
+
+namespace snicsim {
+
+struct TestbedParams {
+  // NIC ASICs.
+  NicParams bluefield_nic = NicParams::Bluefield2NicCores();
+  NicParams rnic = NicParams::ConnectX6();
+
+  // Internal PCIe fabric of BlueField-2 (all PCIe 4.0 ×16 class).
+  Bandwidth pcie_bandwidth = Bandwidth::Gbps(256);
+  SimTime pcie0_propagation = FromNanos(200);  // switch <-> host root port
+  SimTime pcie1_propagation = FromNanos(60);   // NIC cores <-> switch
+  SimTime soc_port_propagation = FromNanos(20);  // switch <-> SoC (direct)
+  SimTime switch_forward = FromNanos(150);       // per traversal (paper: 150–200)
+
+  // PCIe MTUs (paper Table 3).
+  uint32_t host_pcie_mtu = kHostPcieMtu;  // 512 B
+  uint32_t soc_pcie_mtu = kSocPcieMtu;    // 128 B
+
+  // Host root-port completer service rates (inbound DMA).
+  Rate host_read_completer = Rate::Mpps(68.5);
+  Rate host_write_completer = Rate::Mpps(85);
+
+  // Memory systems.
+  MemoryParams host_memory = MemoryParams::Host();
+  MemoryParams soc_memory = MemoryParams::Soc();
+
+  // Two-sided echo service (per-message CPU cost includes poll + handle +
+  // posting the reply; posting is pricier through the SmartNIC switch).
+  int host_cores = 24;
+  SimTime host_msg_service_rnic = FromNanos(276);  // 24 cores -> ~87 M msg/s
+  SimTime host_msg_service_snic = FromNanos(326);  // extra MMIO through switch
+  int soc_cores = 8;
+  SimTime soc_msg_service = FromNanos(350);        // wimpy ARM cores
+  SimTime host_notify_delay = FromNanos(0);        // busy-polling host
+  SimTime soc_notify_delay = FromNanos(900);       // slow ARM dispatch
+
+  // Fabric.
+  SimTime network_link_propagation = FromNanos(150);
+  SimTime network_switch_forward = FromNanos(150);
+  Bandwidth client_port_bandwidth = Bandwidth::Gbps(100);  // ConnectX-4
+
+  static TestbedParams Default() { return TestbedParams{}; }
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_TOPO_TESTBED_PARAMS_H_

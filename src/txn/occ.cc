@@ -1,0 +1,140 @@
+#include "src/txn/occ.h"
+
+#include <algorithm>
+
+namespace snicsim {
+namespace txn {
+
+void OccCoordinator::Execute(std::vector<uint64_t> read_set, std::vector<uint64_t> write_set,
+                             std::function<void(TxnResult)> done) {
+  auto t = std::make_shared<Txn>();
+  t->read_set = std::move(read_set);
+  t->write_set = std::move(write_set);
+  t->done = std::move(done);
+  t->started = sim_->now();
+  ReadPhase(t);
+}
+
+void OccCoordinator::ReadPhase(const std::shared_ptr<Txn>& t) {
+  // READ every record we will touch; snapshot versions as the data arrives.
+  std::vector<uint64_t> all = t->read_set;
+  all.insert(all.end(), t->write_set.begin(), t->write_set.end());
+  SNIC_CHECK(!all.empty());
+  t->pending = static_cast<int>(all.size());
+  for (uint64_t id : all) {
+    qp_->PostRead(store_->AddrOf(id), config_.value_read_bytes, id,
+                  [this, t, id](SimTime) {
+                    t->snapshot[id] = store_->version(id);
+                    if (--t->pending == 0) {
+                      sim_->In(config_.compute, [this, t] { LockPhase(t); });
+                    }
+                  });
+  }
+}
+
+void OccCoordinator::LockPhase(const std::shared_ptr<Txn>& t) {
+  if (t->write_set.empty()) {
+    ValidatePhase(t);
+    return;
+  }
+  t->pending = static_cast<int>(t->write_set.size());
+  t->failed = false;
+  for (uint64_t id : t->write_set) {
+    // A locking CAS is an 8 B one-sided op; its outcome materializes when
+    // the op completes at the responder.
+    qp_->PostWrite(store_->LockAddrOf(id), 8, id, [this, t, id](SimTime) {
+      if (store_->TryLock(id, id_)) {
+        t->held_locks.push_back(id);
+      } else {
+        t->failed = true;
+        ++t->lock_failures;
+      }
+      if (--t->pending == 0) {
+        if (t->failed) {
+          Abort(t);
+        } else {
+          ValidatePhase(t);
+        }
+      }
+    });
+  }
+}
+
+void OccCoordinator::ValidatePhase(const std::shared_ptr<Txn>& t) {
+  if (t->read_set.empty()) {
+    CommitPhase(t);
+    return;
+  }
+  t->pending = static_cast<int>(t->read_set.size());
+  t->failed = false;
+  for (uint64_t id : t->read_set) {
+    qp_->PostRead(store_->VersionAddrOf(id), 8, id, [this, t, id](SimTime) {
+      if (store_->version(id) != t->snapshot[id]) {
+        t->failed = true;
+        ++t->validation_failures;
+      }
+      if (--t->pending == 0) {
+        if (t->failed) {
+          Abort(t);
+        } else {
+          CommitPhase(t);
+        }
+      }
+    });
+  }
+}
+
+void OccCoordinator::CommitPhase(const std::shared_ptr<Txn>& t) {
+  if (t->write_set.empty()) {
+    Finish(t, true);
+    return;
+  }
+  // Install every write, then release every lock; the transaction is
+  // durable once all installs have landed.
+  t->pending = static_cast<int>(t->write_set.size());
+  for (uint64_t id : t->write_set) {
+    qp_->PostWrite(store_->AddrOf(id), config_.value_read_bytes, id,
+                   [this, t, id](SimTime) {
+                     store_->Install(id, id_);
+                     store_->Unlock(id, id_);
+                     // The unlock WRITE is posted unsignaled, fire-and-forget.
+                     qp_->PostWrite(store_->LockAddrOf(id), 8, id, nullptr,
+                                    /*signaled=*/false);
+                     if (--t->pending == 0) {
+                       Finish(t, true);
+                     }
+                   });
+  }
+}
+
+void OccCoordinator::Abort(const std::shared_ptr<Txn>& t) {
+  if (t->held_locks.empty()) {
+    Finish(t, false);
+    return;
+  }
+  t->pending = static_cast<int>(t->held_locks.size());
+  for (uint64_t id : t->held_locks) {
+    qp_->PostWrite(store_->LockAddrOf(id), 8, id, [this, t, id](SimTime) {
+      store_->Unlock(id, id_);
+      if (--t->pending == 0) {
+        Finish(t, false);
+      }
+    });
+  }
+  t->held_locks.clear();
+}
+
+void OccCoordinator::Finish(const std::shared_ptr<Txn>& t, bool committed) {
+  (committed ? commits_ : aborts_) += 1;
+  TxnResult result;
+  result.committed = committed;
+  result.latency = sim_->now() - t->started;
+  result.lock_failures = t->lock_failures;
+  result.validation_failures = t->validation_failures;
+  if (t->done) {
+    t->done(result);
+  }
+}
+
+}  // namespace txn
+}  // namespace snicsim

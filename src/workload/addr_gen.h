@@ -1,0 +1,117 @@
+// Responder-address generation.
+//
+// The paper's one-sided workloads pick random addresses from a 10 GB region
+// by default (§3 evaluation setup); the skew study (Fig. 7) shrinks the
+// range so accesses concentrate on fewer DRAM rows/banks.
+#ifndef SRC_WORKLOAD_ADDR_GEN_H_
+#define SRC_WORKLOAD_ADDR_GEN_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/log.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace snicsim {
+
+class AddressGenerator {
+ public:
+  // Uniform over [base, base + range), aligned to `align`.
+  AddressGenerator(uint64_t base, uint64_t range, uint64_t align = 64,
+                   uint64_t seed = 42)
+      : base_(base), range_(std::max<uint64_t>(range, align)), align_(align), rng_(seed) {}
+
+  static AddressGenerator Default10G(uint64_t seed = 42) {
+    return AddressGenerator(0, 10ull * 1024 * kMiB, 64, seed);
+  }
+
+  uint64_t Next() {
+    const uint64_t slots = range_ / align_;
+    return base_ + rng_.NextBelow(slots) * align_;
+  }
+
+  uint64_t base() const { return base_; }
+  uint64_t range() const { return range_; }
+  uint64_t align() const { return align_; }
+
+  // A copy of this generator's region with a different seed (so concurrent
+  // threads draw independent streams over the same range).
+  AddressGenerator WithSeed(uint64_t seed) const {
+    return AddressGenerator(base_, range_, align_, seed);
+  }
+
+ private:
+  uint64_t base_;
+  uint64_t range_;
+  uint64_t align_;
+  Rng rng_;
+};
+
+// Zipfian item selection (YCSB-style), for workloads where a few keys are
+// hot — the realistic version of Fig. 7's shrunken-range skew. Uses the
+// Gray et al. quick-zipf transform: O(1) per draw after O(1) setup.
+class ZipfGenerator {
+ public:
+  // `items` in [1, 2^40], `theta` in (0, 1): 0.99 is the YCSB default.
+  ZipfGenerator(uint64_t items, double theta = 0.99, uint64_t seed = 42)
+      : items_(items), theta_(theta), rng_(seed) {
+    SNIC_CHECK_GT(items, 0u);
+    SNIC_CHECK(theta > 0.0 && theta < 1.0);
+    zetan_ = Zeta(items);
+    zeta2_ = Zeta(2);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  // Returns a rank in [0, items): rank 0 is the hottest item.
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const double n = static_cast<double>(items_);
+    const uint64_t rank =
+        static_cast<uint64_t>(n * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= items_ ? items_ - 1 : rank;
+  }
+
+  uint64_t items() const { return items_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n) const {
+    // Exact for small n; the standard integral approximation beyond that
+    // (the generator only needs zetan_ to ~1% for a faithful tail).
+    double sum = 0.0;
+    const uint64_t exact = n < 10000 ? n : 10000;
+    for (uint64_t i = 1; i <= exact; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    if (n > exact) {
+      const double a = 1.0 - theta_;
+      sum += (std::pow(static_cast<double>(n), a) -
+              std::pow(static_cast<double>(exact), a)) /
+             a;
+    }
+    return sum;
+  }
+
+  uint64_t items_;
+  double theta_;
+  Rng rng_;
+  double zetan_ = 0.0;
+  double zeta2_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_WORKLOAD_ADDR_GEN_H_

@@ -1,0 +1,145 @@
+#include "src/workload/client.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace snicsim {
+
+ClientMachine::ClientMachine(Simulator* sim, Fabric* fabric, const ClientParams& params,
+                             const std::string& name)
+    : sim_(sim),
+      fabric_(fabric),
+      params_(params),
+      name_(name),
+      port_(fabric->AddPort(name + ".port", params.nic.network_bandwidth)),
+      nic_fe_(sim, name + ".fe") {
+  for (int t = 0; t < params_.threads; ++t) {
+    thread_cpu_.push_back(std::make_unique<BusyServer>(sim, name + ".cpu" + std::to_string(t)));
+  }
+}
+
+void ClientMachine::Start(const TargetSpec& target, AddressGenerator addr, Meter* meter) {
+  SNIC_CHECK(target.engine != nullptr);
+  SNIC_CHECK(target.endpoint != nullptr);
+  SNIC_CHECK(target.server_port != nullptr);
+  // Stagger thread start times (FNV hash of the machine name spreads
+  // machines too): a synchronized thundering herd at t=0 floods responder
+  // queues with a transient that pollutes short measurement windows.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name_) {
+    h = (h ^ static_cast<uint64_t>(c)) * 1099511628211ULL;
+  }
+  const SimTime machine_offset = static_cast<SimTime>(h % 40) * FromNanos(200);
+  for (int t = 0; t < params_.threads; ++t) {
+    auto loop = std::make_shared<Loop>();
+    loop->target = target;
+    // Per-thread copy of the region with an independent random stream.
+    loop->addr = addr.WithSeed(0x9e37'79b9'7f4aULL * static_cast<uint64_t>(t + 1) + 13);
+    loop->meter = meter;
+    loop->thread = t;
+    sim_->In(machine_offset + FromNanos(120) * t, [this, loop] { Pump(loop); });
+  }
+}
+
+void ClientMachine::Pump(const std::shared_ptr<Loop>& loop) {
+  while (loop->in_flight < params_.window) {
+    loop->in_flight += 1;
+    if (params_.doorbell_batch) {
+      IssueBatch(loop);
+    } else {
+      IssueOne(loop);
+    }
+  }
+}
+
+void ClientMachine::IssueOne(const std::shared_ptr<Loop>& loop) {
+  const SimTime issue_start = sim_->now();
+  Post(loop->thread, loop->target, loop->addr.Next(),
+       [this, loop, issue_start](SimTime completed) {
+         loop->meter->RecordOp(loop->target.payload, completed - issue_start);
+         loop->in_flight -= 1;
+         Pump(loop);
+       });
+}
+
+void ClientMachine::IssueBatch(const std::shared_ptr<Loop>& loop) {
+  const int batch = params_.batch;
+  SNIC_CHECK_GT(batch, 0);
+  issued_ += static_cast<uint64_t>(batch);
+  const SimTime issue_start = sim_->now();
+  BusyServer& cpu = *thread_cpu_[static_cast<size_t>(loop->thread)];
+  // Build the linked WQE chain, then one doorbell for the whole batch.
+  const SimTime posted = cpu.Enqueue(params_.wr_build * batch + params_.mmio_block);
+  sim_->At(posted + params_.mmio_flight + params_.wqe_fetch, [this, loop, batch,
+                                                              issue_start] {
+    auto remaining = std::make_shared<int>(batch);
+    for (int i = 0; i < batch; ++i) {
+      LaunchFromNic(loop->target, loop->addr.Next(),
+                    [this, loop, remaining, issue_start](SimTime completed) {
+                      loop->meter->RecordOp(loop->target.payload,
+                                            completed - issue_start);
+                      if (--*remaining == 0) {
+                        loop->in_flight -= 1;
+                        Pump(loop);
+                      }
+                    });
+    }
+  });
+}
+
+void ClientMachine::Post(int thread, const TargetSpec& target, uint64_t addr,
+                         std::function<void(SimTime)> cb) {
+  SNIC_CHECK_GE(thread, 0);
+  SNIC_CHECK_LT(static_cast<size_t>(thread), thread_cpu_.size());
+  ++issued_;
+  BusyServer& cpu = *thread_cpu_[static_cast<size_t>(thread)];
+  // Build the WQE and ring the doorbell (CPU is blocked for both).
+  const SimTime posted = cpu.Enqueue(params_.wr_build + params_.mmio_block);
+  sim_->At(posted + params_.mmio_flight, [this, target, addr, cb = std::move(cb)]() mutable {
+    LaunchFromNic(target, addr, std::move(cb));
+  });
+}
+
+void ClientMachine::LaunchFromNic(const TargetSpec& target, uint64_t addr,
+                                  std::function<void(SimTime)> cb) {
+  // Client NIC pipeline + WQE handling.
+  const SimTime fe_done =
+      nic_fe_.EnqueueAt(sim_->now(), params_.nic.shared_pipeline.ServiceTime());
+  const SimTime tx_ready = fe_done + params_.nic_tx_fixed;
+  PciePath to_server = fabric_->Route(port_, target.server_port);
+  auto on_arrival = [this, target, addr, cb = std::move(cb)]() mutable {
+    PciePath back = fabric_->Route(target.server_port, port_);
+    const double fe_units =
+        (target.verb == Verb::kRead || target.payload == 0)
+            ? 1.0
+            : static_cast<double>(
+                  CeilDiv(target.payload, target.engine->params().network_mtu));
+    target.engine->HandleRequest(
+        target.endpoint, target.verb, addr, target.payload, fe_units, std::move(back),
+        [this, cb = std::move(cb)](SimTime delivered) {
+          sim_->At(delivered + params_.nic_rx_fixed + params_.poll,
+                   [this, cb = std::move(cb)] { cb(sim_->now()); });
+        });
+  };
+  if (target.verb == Verb::kRead || target.payload == 0) {
+    to_server.TransferControlAt(sim_, tx_ready, std::move(on_arrival));
+  } else {
+    to_server.TransferAt(sim_, tx_ready, target.payload, params_.nic.network_mtu,
+                         std::move(on_arrival));
+  }
+}
+
+std::vector<std::unique_ptr<ClientMachine>> MakeClients(Simulator* sim, Fabric* fabric,
+                                                        const ClientParams& params, int count,
+                                                        const std::string& prefix) {
+  std::vector<std::unique_ptr<ClientMachine>> clients;
+  clients.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    clients.push_back(std::make_unique<ClientMachine>(sim, fabric, params,
+                                                      prefix + std::to_string(i)));
+  }
+  return clients;
+}
+
+}  // namespace snicsim

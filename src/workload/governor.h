@@ -1,0 +1,96 @@
+// The §4 budget rule as a mechanism: an adaptive governor for host<->SoC
+// (path ③) traffic.
+//
+// The paper's take-away: intra-machine traffic must be capped at the spare
+// PCIe headroom (P − N) whenever inter-machine traffic saturates the NIC,
+// or it throttles the network path through PCIe1 and the shared NIC
+// pipelines. The governor samples the NIC port's hardware counters each
+// epoch, estimates the network's current demand, and retunes the paced
+// path-③ requester's rate to exactly the measured headroom:
+//
+//   budget(t) = max(floor, P_effective − max(port.tx, port.rx) over epoch)
+//
+// A floor keeps path ③ from starving entirely (the SoC still needs some
+// control traffic).
+#ifndef SRC_WORKLOAD_GOVERNOR_H_
+#define SRC_WORKLOAD_GOVERNOR_H_
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/pcie/link.h"
+#include "src/sim/simulator.h"
+#include "src/workload/local_requester.h"
+
+namespace snicsim {
+
+struct GovernorParams {
+  SimTime epoch = FromMicros(20);
+  double pcie_gbps = 242.0;  // effective uni-directional PCIe payload limit
+  double floor_gbps = 2.0;   // never throttle below this
+  // Fraction of measured headroom actually granted (control slack).
+  double headroom_fraction = 1.0;
+};
+
+class Path3Governor {
+ public:
+  // Watches `port` (the server's network link) and retunes `requester`
+  // (which must run in paced/open-loop mode).
+  Path3Governor(Simulator* sim, PcieLink* port, LocalRequester* requester,
+                const GovernorParams& params = GovernorParams())
+      : sim_(sim), port_(port), requester_(requester), params_(params) {}
+
+  Path3Governor(const Path3Governor&) = delete;
+  Path3Governor& operator=(const Path3Governor&) = delete;
+
+  void Start() {
+    up_ = port_->counters(LinkDir::kUp);
+    down_ = port_->counters(LinkDir::kDown);
+    Arm();
+  }
+
+  double last_budget_gbps() const { return last_budget_; }
+  double last_network_gbps() const { return last_network_; }
+  uint64_t epochs() const { return epochs_; }
+
+ private:
+  void Arm() {
+    sim_->In(params_.epoch, [this] {
+      Tick();
+      Arm();
+    });
+  }
+
+  void Tick() {
+    ++epochs_;
+    const LinkCounters up_now = port_->counters(LinkDir::kUp);
+    const LinkCounters down_now = port_->counters(LinkDir::kDown);
+    const double secs = ToSeconds(params_.epoch);
+    const double tx =
+        static_cast<double>(up_now.payload_bytes - up_.payload_bytes) * 8 / 1e9 / secs;
+    const double rx =
+        static_cast<double>(down_now.payload_bytes - down_.payload_bytes) * 8 / 1e9 /
+        secs;
+    up_ = up_now;
+    down_ = down_now;
+    last_network_ = std::max(tx, rx);
+    last_budget_ = std::max(params_.floor_gbps,
+                            (params_.pcie_gbps - last_network_) * params_.headroom_fraction);
+    requester_->SetPacedRate(last_budget_);
+  }
+
+  Simulator* sim_;
+  PcieLink* port_;
+  LocalRequester* requester_;
+  GovernorParams params_;
+  LinkCounters up_;
+  LinkCounters down_;
+  double last_budget_ = 0.0;
+  double last_network_ = 0.0;
+  uint64_t epochs_ = 0;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_WORKLOAD_GOVERNOR_H_

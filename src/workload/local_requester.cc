@@ -1,0 +1,126 @@
+#include "src/workload/local_requester.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace snicsim {
+
+LocalRequester::LocalRequester(Simulator* sim, NicEngine* engine, NicEndpoint* src,
+                               NicEndpoint* dst, const LocalRequesterParams& params,
+                               const std::string& name)
+    : sim_(sim),
+      engine_(engine),
+      src_(src),
+      dst_(dst),
+      params_(params),
+      // Doorbell flight time: the MMIO store travels the reverse of the
+      // NIC->requester-memory route.
+      mmio_flight_(src->to_mem().BaseLatency()) {
+  for (int t = 0; t < params_.threads; ++t) {
+    thread_cpu_.push_back(
+        std::make_unique<BusyServer>(sim, name + ".cpu" + std::to_string(t)));
+  }
+}
+
+void LocalRequester::Start(Verb verb, uint32_t payload, AddressGenerator addr,
+                           Meter* meter) {
+  for (int t = 0; t < params_.threads; ++t) {
+    auto loop = std::make_shared<Loop>();
+    loop->verb = verb;
+    loop->payload = payload;
+    loop->addr = addr.WithSeed(0xabcd'ef01'2345ULL * static_cast<uint64_t>(t + 1) + 7);
+    loop->meter = meter;
+    loop->thread = t;
+    loop->paced = params_.paced_gbps > 0.0;
+    sim_->In(0, [this, loop] { Pump(loop); });
+  }
+}
+
+void LocalRequester::Pump(const std::shared_ptr<Loop>& loop) {
+  if (loop->paced) {
+    // Open loop: one thread-share of the aggregate rate, issued on a timer.
+    // The interval is recomputed every tick, so SetPacedRate takes effect
+    // within one period (the governor's control knob).
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [this, loop, tick] {
+      const double rate = params_.paced_gbps;
+      if (rate <= 0.0) {
+        sim_->In(FromMicros(5), *tick);  // paused; poll for reactivation
+        return;
+      }
+      const double per_thread = rate * 1e9 / 8.0 / params_.threads;
+      const SimTime interval = static_cast<SimTime>(
+          static_cast<double>(std::max<uint32_t>(loop->payload, 1)) / per_thread * 1e12);
+      IssueSingle(loop);
+      sim_->In(std::max<SimTime>(interval, FromNanos(20)), *tick);
+    };
+    sim_->In(FromNanos(100), *tick);
+    return;
+  }
+  while (loop->in_flight < params_.window) {
+    loop->in_flight += 1;
+    if (params_.doorbell_batch) {
+      IssueBatch(loop);
+    } else {
+      IssueSingle(loop);
+    }
+  }
+}
+
+void LocalRequester::IssueSingle(const std::shared_ptr<Loop>& loop) {
+  ++issued_;
+  const SimTime issue_start = sim_->now();
+  BusyServer& cpu = *thread_cpu_[static_cast<size_t>(loop->thread)];
+  // BlueFlame-style post: the WQE is pushed inline through the (blocking)
+  // MMIO write, so no WQE-fetch DMA is needed.
+  const SimTime posted = cpu.Enqueue(params_.wr_build + params_.mmio_block);
+  sim_->At(posted + mmio_flight_, [this, loop, issue_start] {
+    engine_->ExecuteLocalOp(src_, dst_, loop->verb, loop->addr.Next(), loop->payload,
+                            [this, loop, issue_start](SimTime cqe_posted) {
+                              sim_->At(cqe_posted + params_.poll, [this, loop, issue_start] {
+                                loop->meter->RecordOp(loop->payload,
+                                                      sim_->now() - issue_start);
+                                if (!loop->paced) {
+                                  loop->in_flight -= 1;
+                                  Pump(loop);
+                                }
+                              });
+                            });
+  });
+}
+
+void LocalRequester::IssueBatch(const std::shared_ptr<Loop>& loop) {
+  const int batch = params_.batch;
+  SNIC_CHECK_GT(batch, 0);
+  issued_ += static_cast<uint64_t>(batch);
+  const SimTime issue_start = sim_->now();
+  BusyServer& cpu = *thread_cpu_[static_cast<size_t>(loop->thread)];
+  // Build the whole linked batch, then ring one doorbell.
+  const SimTime posted =
+      cpu.Enqueue(params_.wr_build * batch + params_.mmio_block);
+  sim_->At(posted + mmio_flight_, [this, loop, batch, issue_start] {
+    // The NIC fetches the WQE chain from the requester's memory before
+    // executing — the CPU-bypass step of doorbell batching.
+    engine_->FetchWqes(src_, /*addr=*/0x7f80'0000, batch, [this, loop, batch,
+                                                           issue_start](SimTime) {
+      auto remaining = std::make_shared<int>(batch);
+      for (int i = 0; i < batch; ++i) {
+        engine_->ExecuteLocalOp(
+            src_, dst_, loop->verb, loop->addr.Next(), loop->payload,
+            [this, loop, remaining, issue_start](SimTime cqe_posted) {
+              loop->meter->RecordOp(loop->payload, sim_->now() - issue_start);
+              *remaining -= 1;
+              if (*remaining == 0) {
+                sim_->At(cqe_posted + params_.poll, [this, loop] {
+                  loop->in_flight -= 1;
+                  Pump(loop);
+                });
+              }
+            });
+      }
+    });
+  });
+}
+
+}  // namespace snicsim

@@ -1,0 +1,62 @@
+#include "src/common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace snicsim {
+namespace {
+
+Flags Make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(const_cast<const char**>(args.data())));
+}
+
+TEST(Flags, Defaults) {
+  Flags f = Make({});
+  EXPECT_EQ(f.GetInt("n", 7), 7);
+  EXPECT_EQ(f.GetString("s", "x"), "x");
+  EXPECT_TRUE(f.GetBool("b", true));
+  EXPECT_DOUBLE_EQ(f.GetDouble("d", 2.5), 2.5);
+  EXPECT_FALSE(f.csv());
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = Make({"--n=42", "--s=hello", "--d=1.5"});
+  EXPECT_EQ(f.GetInt("n", 0), 42);
+  EXPECT_EQ(f.GetString("s", ""), "hello");
+  EXPECT_DOUBLE_EQ(f.GetDouble("d", 0), 1.5);
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f = Make({"--n", "13"});
+  EXPECT_EQ(f.GetInt("n", 0), 13);
+}
+
+TEST(Flags, BoolForms) {
+  Flags t = Make({"--verbose"});
+  EXPECT_TRUE(t.GetBool("verbose", false));
+  Flags nf = Make({"--no-verbose"});
+  EXPECT_FALSE(nf.GetBool("verbose", true));
+  Flags explicit_false = Make({"--verbose=false"});
+  EXPECT_FALSE(explicit_false.GetBool("verbose", true));
+}
+
+TEST(Flags, CsvToggle) {
+  Flags f = Make({"--csv"});
+  EXPECT_TRUE(f.csv());
+}
+
+TEST(Flags, LastOccurrenceWins) {
+  Flags f = Make({"--n=1", "--n=2"});
+  EXPECT_EQ(f.GetInt("n", 0), 2);
+}
+
+TEST(Flags, HexIntegers) {
+  Flags f = Make({"--addr=0x100"});
+  EXPECT_EQ(f.GetInt("addr", 0), 256);
+}
+
+}  // namespace
+}  // namespace snicsim

@@ -1,0 +1,62 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace snicsim {
+namespace {
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t({"name", "value"});
+  t.Row().Add("alpha").Add(uint64_t{42});
+  t.Row().Add("beta").Add(3.14159, 2);
+  std::ostringstream os;
+  t.PrintAligned(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.Row().Add(1).Add(2);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.Row().Add("1");
+  t.Row().Add("2");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, PrintHonorsCsvFlag) {
+  Table t({"a"});
+  t.Row().Add("v");
+  std::ostringstream aligned;
+  std::ostringstream csv;
+  t.Print(aligned, false);
+  t.Print(csv, true);
+  EXPECT_NE(aligned.str(), csv.str());
+  EXPECT_EQ(csv.str(), "a\nv\n");
+}
+
+TEST(TableDeathTest, AddWithoutRowAborts) {
+  Table t({"a"});
+  EXPECT_DEATH(t.Add("x"), "CHECK failed");
+}
+
+TEST(TableDeathTest, TooManyCellsAborts) {
+  Table t({"a"});
+  t.Row().Add("1");
+  EXPECT_DEATH(t.Add("2"), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace snicsim

@@ -1,0 +1,134 @@
+// Pins the simulator to the paper's published bands (DESIGN.md §4). These
+// are the reproduction's headline claims: if a refactor moves a number out
+// of its band, this suite fails.
+#include <gtest/gtest.h>
+
+#include "src/workload/harness.h"
+
+namespace snicsim {
+namespace {
+
+HarnessConfig Peak() {
+  HarnessConfig c;
+  c.client_machines = 11;
+  c.warmup = FromMicros(30);
+  c.window = FromMicros(150);
+  return c;
+}
+
+class Calibration : public ::testing::Test {
+ protected:
+  static Measurement Read(ServerKind k) { return MeasureInboundPath(k, Verb::kRead, 64, Peak()); }
+  static Measurement Write(ServerKind k) {
+    return MeasureInboundPath(k, Verb::kWrite, 64, Peak());
+  }
+};
+
+TEST_F(Calibration, ReadThroughputOrdering) {
+  const double rnic = Read(ServerKind::kRnicHost).mreqs;
+  const double snic1 = Read(ServerKind::kBluefieldHost).mreqs;
+  const double snic2 = Read(ServerKind::kBluefieldSoc).mreqs;
+  // Paper §3.1/§3.2: SNIC① is 19-26% below RNIC①; SNIC② beats RNIC①.
+  EXPECT_LT(snic1, rnic);
+  const double drop = 1.0 - snic1 / rnic;
+  EXPECT_GT(drop, 0.12) << "snic1=" << snic1 << " rnic=" << rnic;
+  EXPECT_LT(drop, 0.33);
+  EXPECT_GT(snic2, rnic) << "SoC READs should beat the RNIC baseline";
+  const double ratio = snic2 / snic1;
+  EXPECT_GT(ratio, 1.08);
+  EXPECT_LT(ratio, 1.60);
+}
+
+TEST_F(Calibration, WriteThroughputOrdering) {
+  const double rnic = Write(ServerKind::kRnicHost).mreqs;
+  const double snic1 = Write(ServerKind::kBluefieldHost).mreqs;
+  const double snic2 = Write(ServerKind::kBluefieldSoc).mreqs;
+  // Paper: SNIC① 15-22% below RNIC①; SNIC② above SNIC① but below RNIC①.
+  const double drop = 1.0 - snic1 / rnic;
+  EXPECT_GT(drop, 0.10) << "snic1=" << snic1 << " rnic=" << rnic;
+  EXPECT_LT(drop, 0.30);
+  EXPECT_GT(snic2, snic1);
+  EXPECT_LT(snic2, rnic);
+  // Fig. 7 peak: SoC WRITE ~78 M reqs/s.
+  EXPECT_NEAR(snic2, 78.0, 12.0);
+}
+
+TEST_F(Calibration, ReadLatencyOrdering) {
+  const HarnessConfig lat = HarnessConfig::Latency();
+  const double rnic = MeasureInboundPath(ServerKind::kRnicHost, Verb::kRead, 64, lat).p50_us;
+  const double snic1 =
+      MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, 64, lat).p50_us;
+  const double snic2 =
+      MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 64, lat).p50_us;
+  // RNIC READ ~2 us; SNIC① ~+0.4-0.7 us; SNIC② between them.
+  EXPECT_NEAR(rnic, 2.0, 0.5);
+  EXPECT_GT(snic1 - rnic, 0.30);
+  EXPECT_LT(snic1 - rnic, 0.80);
+  EXPECT_LT(snic2, snic1);
+  EXPECT_GE(snic2, rnic * 0.98);
+}
+
+TEST_F(Calibration, WriteLatencyTax) {
+  const HarnessConfig lat = HarnessConfig::Latency();
+  const double rnic =
+      MeasureInboundPath(ServerKind::kRnicHost, Verb::kWrite, 64, lat).p50_us;
+  const double snic1 =
+      MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kWrite, 64, lat).p50_us;
+  // WRITE pays a smaller tax than READ (one crossing, no completion wait).
+  EXPECT_GT(snic1, rnic);
+  EXPECT_LT(snic1 - rnic, 0.60);
+}
+
+TEST_F(Calibration, SendThroughputCpuBound) {
+  const double rnic = MeasureInboundPath(ServerKind::kRnicHost, Verb::kSend, 64, Peak()).mreqs;
+  const double snic1 =
+      MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kSend, 64, Peak()).mreqs;
+  const double snic2 =
+      MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kSend, 64, Peak()).mreqs;
+  // §2.1: 24 host cores ≈ 87 M msgs/s on RNIC.
+  EXPECT_NEAR(rnic, 87.0, 10.0);
+  EXPECT_LT(snic1, rnic);
+  // §3.2: SoC SEND drops by up to ~64% versus SNIC①.
+  const double drop = 1.0 - snic2 / snic1;
+  EXPECT_GT(drop, 0.45) << "snic2=" << snic2 << " snic1=" << snic1;
+  EXPECT_LT(drop, 0.75);
+}
+
+TEST_F(Calibration, Path3SmallReadRates) {
+  const Measurement h2s =
+      MeasureLocalPath(false, Verb::kRead, 64, LocalRequesterParams::Host(), Peak());
+  LocalRequesterParams soc = LocalRequesterParams::Soc();
+  soc.doorbell_batch = true;
+  soc.batch = 32;
+  const Measurement s2h = MeasureLocalPath(true, Verb::kRead, 64, soc, Peak());
+  // Paper §3.3: ~51.2 M (H2S) and ~29 M (S2H) reqs/s.
+  EXPECT_NEAR(h2s.mreqs, 51.2, 12.0);
+  EXPECT_NEAR(s2h.mreqs, 29.0, 9.0);
+  EXPECT_LT(s2h.mreqs, h2s.mreqs);
+}
+
+TEST_F(Calibration, LargeReadBandwidthNetworkBound) {
+  HarnessConfig cfg = Peak();
+  const Measurement m =
+      MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, 256 * 1024, cfg);
+  // Fig. 8: ~191 Gbps, network-bound.
+  EXPECT_NEAR(m.gbps, 191.0, 10.0);
+}
+
+TEST_F(Calibration, ConcurrentPathsBeatSinglePath) {
+  const double alone = Read(ServerKind::kBluefieldHost).mreqs;
+  const double both = MeasureConcurrentInbound(Verb::kRead, 64, Peak()).mreqs;
+  EXPECT_GT(both, alone);
+}
+
+TEST_F(Calibration, Path3InterferesWithPath1) {
+  const double clean = MeasureInterference(Verb::kRead, 64, false, Peak()).mreqs;
+  const double loaded = MeasureInterference(Verb::kRead, 64, true, Peak()).mreqs;
+  // §4: enabling H2S drops small-request path-① throughput by ~4-27%.
+  const double drop = 1.0 - loaded / clean;
+  EXPECT_GT(drop, 0.02) << "clean=" << clean << " loaded=" << loaded;
+  EXPECT_LT(drop, 0.35);
+}
+
+}  // namespace
+}  // namespace snicsim

@@ -1,0 +1,87 @@
+// End-to-end sanity of all five communication paths via the shared harness.
+#include <gtest/gtest.h>
+
+#include "src/workload/harness.h"
+
+namespace snicsim {
+namespace {
+
+HarnessConfig Quick() {
+  HarnessConfig c;
+  c.client_machines = 4;
+  c.warmup = FromMicros(20);
+  c.window = FromMicros(80);
+  return c;
+}
+
+TEST(Paths, AllInboundPathsServeReads) {
+  for (ServerKind k :
+       {ServerKind::kRnicHost, ServerKind::kBluefieldHost, ServerKind::kBluefieldSoc}) {
+    const Measurement m = MeasureInboundPath(k, Verb::kRead, 64, Quick());
+    EXPECT_GT(m.ops, 100u) << ServerKindName(k);
+    EXPECT_GT(m.mreqs, 1.0) << ServerKindName(k);
+  }
+}
+
+TEST(Paths, AllInboundPathsServeWritesAndSends) {
+  for (Verb v : {Verb::kWrite, Verb::kSend}) {
+    for (ServerKind k :
+         {ServerKind::kRnicHost, ServerKind::kBluefieldHost, ServerKind::kBluefieldSoc}) {
+      const Measurement m = MeasureInboundPath(k, v, 64, Quick());
+      EXPECT_GT(m.ops, 100u) << ServerKindName(k) << " " << VerbName(v);
+    }
+  }
+}
+
+TEST(Paths, LargePayloadsApproachNetworkBandwidth) {
+  const Measurement m = MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead,
+                                           64 * 1024, Quick());
+  EXPECT_GT(m.gbps, 150.0);
+  EXPECT_LT(m.gbps, 200.0);
+}
+
+TEST(Paths, LocalPathsServeBothDirections) {
+  const Measurement h2s = MeasureLocalPath(false, Verb::kRead, 64,
+                                           LocalRequesterParams::Host(), Quick());
+  EXPECT_GT(h2s.ops, 100u);
+  const Measurement s2h = MeasureLocalPath(true, Verb::kRead, 64,
+                                           LocalRequesterParams::Soc(), Quick());
+  EXPECT_GT(s2h.ops, 100u);
+}
+
+TEST(Paths, ConcurrentInboundUsesBothEndpoints) {
+  const Measurement m = MeasureConcurrentInbound(Verb::kRead, 64, Quick());
+  EXPECT_GT(m.ops, 100u);
+}
+
+TEST(Paths, CountersTrackPcieActivity) {
+  const Measurement m =
+      MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 64, Quick());
+  EXPECT_GT(m.pcie1_mpps, 0.0);   // ② crosses PCIe1
+  EXPECT_EQ(m.pcie0_mpps, 0.0);   // ...but never PCIe0
+  const Measurement m1 =
+      MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, 64, Quick());
+  EXPECT_GT(m1.pcie0_mpps, 0.0);
+  EXPECT_GT(m1.pcie1_mpps, 0.0);
+}
+
+TEST(Paths, DeterministicAcrossRuns) {
+  const Measurement a =
+      MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 128, Quick());
+  const Measurement b =
+      MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 128, Quick());
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_DOUBLE_EQ(a.mreqs, b.mreqs);
+}
+
+TEST(Paths, LatencyConfigUsesOneOutstandingOp) {
+  const Measurement m =
+      MeasureInboundPath(ServerKind::kRnicHost, Verb::kRead, 64, HarnessConfig::Latency());
+  EXPECT_GT(m.ops, 10u);
+  // Closed loop with one op in flight: ops * latency ~= window.
+  EXPECT_GT(m.p50_us, 1.0);
+  EXPECT_LT(m.p50_us, 5.0);
+}
+
+}  // namespace
+}  // namespace snicsim

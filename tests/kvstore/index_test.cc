@@ -1,0 +1,122 @@
+#include "src/kvstore/index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace snicsim {
+namespace kv {
+namespace {
+
+IndexConfig SmallConfig() {
+  IndexConfig c;
+  c.buckets = 1u << 10;
+  c.slots_per_bucket = 4;
+  c.value_base = 1 * kMiB;
+  c.value_bytes = 128;
+  return c;
+}
+
+TEST(KvIndex, PutThenGet) {
+  KvIndex idx(SmallConfig());
+  EXPECT_TRUE(idx.Put(42));
+  const Lookup l = idx.Get(42);
+  EXPECT_TRUE(l.found);
+  EXPECT_EQ(l.bucket_addrs.size(), 1u);
+  EXPECT_GE(l.value_addr, SmallConfig().value_base);
+  EXPECT_EQ(l.value_bytes, 128u);
+}
+
+TEST(KvIndex, MissingKeyNotFound) {
+  KvIndex idx(SmallConfig());
+  idx.Put(1);
+  const Lookup l = idx.Get(2);
+  EXPECT_FALSE(l.found);
+  EXPECT_GE(l.bucket_addrs.size(), 1u);
+}
+
+TEST(KvIndex, PutIsIdempotent) {
+  KvIndex idx(SmallConfig());
+  EXPECT_TRUE(idx.Put(7));
+  EXPECT_TRUE(idx.Put(7));
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(KvIndex, ManyKeysAllRetrievable) {
+  KvIndex idx(SmallConfig());
+  const uint64_t n = 2000;  // ~49% load factor
+  for (uint64_t k = 1; k <= n; ++k) {
+    ASSERT_TRUE(idx.Put(k)) << k;
+  }
+  EXPECT_EQ(idx.size(), n);
+  for (uint64_t k = 1; k <= n; ++k) {
+    ASSERT_TRUE(idx.Get(k).found) << k;
+  }
+  EXPECT_NEAR(idx.LoadFactor(), 0.49, 0.01);
+}
+
+TEST(KvIndex, ProbeSequenceAddressesAreBucketAligned) {
+  const IndexConfig c = SmallConfig();
+  KvIndex idx(c);
+  for (uint64_t k = 1; k <= 500; ++k) {
+    idx.Put(k);
+  }
+  for (uint64_t k = 1; k <= 500; ++k) {
+    for (uint64_t a : idx.Get(k).bucket_addrs) {
+      EXPECT_EQ((a - c.index_base) % c.bucket_bytes(), 0u);
+      EXPECT_LT(a, c.index_base + static_cast<uint64_t>(c.buckets) * c.bucket_bytes());
+    }
+  }
+}
+
+TEST(KvIndex, ValueAddressesAreDistinct) {
+  KvIndex idx(SmallConfig());
+  for (uint64_t k = 1; k <= 100; ++k) {
+    idx.Put(k);
+  }
+  std::set<uint64_t> addrs;
+  for (uint64_t k = 1; k <= 100; ++k) {
+    addrs.insert(idx.Get(k).value_addr);
+  }
+  EXPECT_EQ(addrs.size(), 100u);
+}
+
+TEST(KvIndex, ProbeChainsStayShortAtModerateLoad) {
+  KvIndex idx(SmallConfig());
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    idx.Put(rng.Next() | 1);
+  }
+  Rng rng2(1);
+  double total_probes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    total_probes += static_cast<double>(idx.Get(rng2.Next() | 1).bucket_addrs.size());
+  }
+  EXPECT_LT(total_probes / 2000.0, 1.3);  // mostly single-READ lookups
+}
+
+TEST(KvIndex, RoundTripsCountBucketsPlusValue) {
+  KvIndex idx(SmallConfig());
+  idx.Put(5);
+  EXPECT_EQ(idx.Get(5).round_trips(), 2);   // 1 bucket + 1 value
+  EXPECT_EQ(idx.Get(6).round_trips(), idx.Get(6).found ? 2 : 1);
+}
+
+TEST(KvIndex, FullNeighborhoodRejectsPut) {
+  IndexConfig c = SmallConfig();
+  c.buckets = 2;
+  c.slots_per_bucket = 1;
+  c.max_probes = 2;
+  KvIndex idx(c);
+  int inserted = 0;
+  for (uint64_t k = 1; k <= 10; ++k) {
+    if (idx.Put(k)) {
+      ++inserted;
+    }
+  }
+  EXPECT_EQ(inserted, 2);  // table holds exactly 2 keys
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace snicsim

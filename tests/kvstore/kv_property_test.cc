@@ -1,0 +1,92 @@
+// Randomized consistency properties of the KV index and end-to-end store.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/kvstore/index.h"
+
+namespace snicsim {
+namespace kv {
+namespace {
+
+class KvSeedProperty : public ::testing::TestWithParam<uint64_t> {};
+
+IndexConfig Config() {
+  IndexConfig c;
+  c.buckets = 1u << 12;
+  c.value_bytes = 64;
+  c.value_base = 1 * kMiB;
+  return c;
+}
+
+TEST_P(KvSeedProperty, InsertedKeysAlwaysFound) {
+  KvIndex idx(Config());
+  Rng rng(GetParam());
+  std::set<uint64_t> inserted;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.Next() | 1;
+    if (idx.Put(key)) {
+      inserted.insert(key);
+    }
+  }
+  for (uint64_t key : inserted) {
+    EXPECT_TRUE(idx.Get(key).found) << key;
+  }
+  EXPECT_EQ(idx.size(), inserted.size());
+}
+
+TEST_P(KvSeedProperty, AbsentKeysNeverFound) {
+  KvIndex idx(Config());
+  Rng rng(GetParam() + 7);
+  for (int i = 0; i < 3000; ++i) {
+    idx.Put((rng.Next() << 1) | 1);  // odd keys only
+  }
+  Rng rng2(GetParam() + 8);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t even = (rng2.Next() | 1) << 1;  // even keys never inserted
+    EXPECT_FALSE(idx.Get(even).found) << even;
+  }
+}
+
+TEST_P(KvSeedProperty, ValueAddressesDisjointAndInRegion) {
+  const IndexConfig c = Config();
+  KvIndex idx(c);
+  Rng rng(GetParam() + 13);
+  std::set<uint64_t> keys;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t key = rng.Next() | 1;
+    if (idx.Put(key)) {
+      keys.insert(key);
+    }
+  }
+  std::set<uint64_t> addrs;
+  for (uint64_t key : keys) {
+    const Lookup l = idx.Get(key);
+    ASSERT_TRUE(l.found);
+    EXPECT_GE(l.value_addr, c.value_base);
+    EXPECT_EQ((l.value_addr - c.value_base) % c.value_bytes, 0u);
+    EXPECT_TRUE(addrs.insert(l.value_addr).second) << "duplicate value slot";
+  }
+}
+
+TEST_P(KvSeedProperty, ProbeSequencesBounded) {
+  const IndexConfig c = Config();
+  KvIndex idx(c);
+  Rng rng(GetParam() + 21);
+  for (int i = 0; i < 8000; ++i) {
+    idx.Put(rng.Next() | 1);
+  }
+  Rng rng2(GetParam() + 21);
+  for (int i = 0; i < 8000; ++i) {
+    const Lookup l = idx.Get(rng2.Next() | 1);
+    EXPECT_LE(static_cast<int>(l.bucket_addrs.size()), c.max_probes);
+    EXPECT_GE(l.bucket_addrs.size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvSeedProperty, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace kv
+}  // namespace snicsim

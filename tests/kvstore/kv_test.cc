@@ -1,0 +1,149 @@
+#include "src/kvstore/kv.h"
+
+#include <gtest/gtest.h>
+
+namespace snicsim {
+namespace kv {
+namespace {
+
+class KvTest : public ::testing::Test {
+ protected:
+  KvTest()
+      : fabric_(&sim_),
+        server_(&sim_, &fabric_, TestbedParams::Default()),
+        client_(&sim_, &fabric_, ClientParams{}, "cli"),
+        index_(MakeConfig()) {
+    for (uint64_t k = 1; k <= kKeys; ++k) {
+      index_.Put(k);
+    }
+  }
+
+  static IndexConfig MakeConfig() {
+    IndexConfig c;
+    c.buckets = 1u << 12;
+    c.value_bytes = 256;
+    c.value_base = 1ull * kGiB;
+    return c;
+  }
+
+  rdma::RemoteMemoryRegion HostRegion() {
+    rdma::RemoteMemoryRegion mr;
+    mr.engine = &server_.nic();
+    mr.endpoint = server_.host_ep();
+    mr.server_port = server_.port();
+    mr.addr = 0;
+    mr.length = 8ull * kGiB;
+    return mr;
+  }
+
+  static constexpr uint64_t kKeys = 4000;
+
+  Simulator sim_;
+  Fabric fabric_;
+  BluefieldServer server_;
+  ClientMachine client_;
+  KvIndex index_;
+};
+
+TEST_F(KvTest, DirectGetFindsKey) {
+  rdma::QueuePair qp(&client_, 0, HostRegion());
+  DirectKvClient kv(&index_, &qp);
+  GetResult result;
+  bool done = false;
+  kv.Get(17, [&](GetResult r) {
+    result = r;
+    done = true;
+  });
+  sim_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.found);
+  EXPECT_GE(result.round_trips, 2);  // the paper's network amplification
+}
+
+TEST_F(KvTest, DirectGetMissesAbsentKey) {
+  rdma::QueuePair qp(&client_, 0, HostRegion());
+  DirectKvClient kv(&index_, &qp);
+  bool found = true;
+  kv.Get(999999, [&](GetResult r) { found = r.found; });
+  sim_.Run();
+  EXPECT_FALSE(found);
+}
+
+TEST_F(KvTest, SocOffloadServesGets) {
+  SocOffloadKvServer::Config cfg;
+  SocOffloadKvServer offload(&sim_, &server_, &index_, cfg);
+  offload.SeedKeys(kKeys);
+  rdma::RemoteMemoryRegion soc_mr;
+  soc_mr.engine = &server_.nic();
+  soc_mr.endpoint = server_.soc_ep();
+  soc_mr.server_port = server_.port();
+  soc_mr.addr = 0;
+  soc_mr.length = 1ull * kGiB;
+  rdma::QueuePair qp(&client_, 0, soc_mr);
+  bool done = false;
+  qp.PostSend(16, 1, [&](SimTime) { done = true; });
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(offload.gets_served(), 1u);
+}
+
+TEST_F(KvTest, OffloadSavesRoundTripsLatency) {
+  // Fig. 1: offloaded get (1 network RT) beats client-direct (2+ RTs).
+  rdma::QueuePair qp(&client_, 0, HostRegion());
+  DirectKvClient kv(&index_, &qp);
+  SimTime direct_start = sim_.now();
+  SimTime direct_latency = 0;
+  kv.Get(33, [&](GetResult) { direct_latency = sim_.now() - direct_start; });
+  sim_.Run();
+
+  Simulator sim2;
+  Fabric fabric2(&sim2);
+  BluefieldServer server2(&sim2, &fabric2, TestbedParams::Default());
+  ClientMachine client2(&sim2, &fabric2, ClientParams{}, "cli2");
+  KvIndex index2(MakeConfig());
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    index2.Put(k);
+  }
+  SocOffloadKvServer offload(&sim2, &server2, &index2, SocOffloadKvServer::Config{});
+  offload.SeedKeys(kKeys);
+  rdma::RemoteMemoryRegion soc_mr;
+  soc_mr.engine = &server2.nic();
+  soc_mr.endpoint = server2.soc_ep();
+  soc_mr.server_port = server2.port();
+  soc_mr.addr = 0;
+  soc_mr.length = 1ull * kGiB;
+  rdma::QueuePair qp2(&client2, 0, soc_mr);
+  SimTime offload_latency = 0;
+  const SimTime start2 = sim2.now();
+  qp2.PostSend(16, 1, [&](SimTime) { offload_latency = sim2.now() - start2; });
+  sim2.Run();
+
+  EXPECT_GT(direct_latency, 0);
+  EXPECT_GT(offload_latency, 0);
+  EXPECT_LT(offload_latency, direct_latency);
+}
+
+TEST_F(KvTest, OffloadWithValuesOnHostUsesPath3) {
+  SocOffloadKvServer::Config cfg;
+  cfg.values_on_host = true;
+  SocOffloadKvServer offload(&sim_, &server_, &index_, cfg);
+  offload.SeedKeys(kKeys);
+  rdma::RemoteMemoryRegion soc_mr;
+  soc_mr.engine = &server_.nic();
+  soc_mr.endpoint = server_.soc_ep();
+  soc_mr.server_port = server_.port();
+  soc_mr.addr = 0;
+  soc_mr.length = 1ull * kGiB;
+  rdma::QueuePair qp(&client_, 0, soc_mr);
+  bool done = false;
+  const auto host_tlps_before = server_.pcie0().TotalCounters().tlps;
+  qp.PostSend(16, 1, [&](SimTime) { done = true; });
+  sim_.Run();
+  EXPECT_TRUE(done);
+  // The S2H value fetch must have crossed PCIe0.
+  EXPECT_GT(server_.pcie0().TotalCounters().tlps, host_tlps_before);
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace snicsim

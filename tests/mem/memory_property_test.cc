@@ -1,0 +1,108 @@
+// Property sweeps over address ranges and configurations: throughput must
+// be monotone in available parallelism and reads must never lose to writes.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/mem/memory.h"
+#include "src/sim/meter.h"
+
+namespace snicsim {
+namespace {
+
+double Drive(const MemoryParams& params, uint64_t range, bool is_write) {
+  Simulator sim;
+  MemorySubsystem mem(&sim, "m", params);
+  Meter meter(&sim);
+  meter.SetWindow(FromMicros(20), FromMicros(100));
+  for (int c = 0; c < 48; ++c) {
+    auto issue = std::make_shared<std::function<void()>>();
+    auto rng = std::make_shared<Rng>(100 + static_cast<uint64_t>(c));
+    *issue = [&sim, &mem, &meter, issue, rng, range, is_write] {
+      mem.Access(sim.now(), rng->NextBelow(range / 64) * 64, 64, is_write,
+                 [&meter, issue] {
+                   meter.RecordOp(64);
+                   (*issue)();
+                 });
+    };
+    sim.In(0, *issue);
+  }
+  sim.RunUntil(FromMicros(100));
+  return meter.MReqsPerSec();
+}
+
+class MemoryRangeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemoryRangeProperty, ReadsAtLeastAsFastAsWritesOnSoc) {
+  const uint64_t range = GetParam();
+  EXPECT_GE(Drive(MemoryParams::Soc(), range, false) * 1.01,
+            Drive(MemoryParams::Soc(), range, true));
+}
+
+TEST_P(MemoryRangeProperty, HostAtLeastAsFastAsSoc) {
+  const uint64_t range = GetParam();
+  for (bool is_write : {false, true}) {
+    EXPECT_GE(Drive(MemoryParams::Host(), range, is_write) * 1.05,
+              Drive(MemoryParams::Soc(), range, is_write))
+        << "range=" << range << " write=" << is_write;
+  }
+}
+
+TEST_P(MemoryRangeProperty, DdioNeverSlowerThanNoDdioForWrites) {
+  const uint64_t range = GetParam();
+  EXPECT_GE(Drive(MemoryParams::Host(), range, true) * 1.05,
+            Drive(MemoryParams::HostNoDdio(), range, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, MemoryRangeProperty,
+                         ::testing::Values(1536, 3 * kKiB, 12 * kKiB, 48 * kKiB,
+                                           1 * kMiB, 64 * kMiB));
+
+TEST(MemoryMonotonicity, SocWriteThroughputNonDecreasingInRange) {
+  double prev = 0.0;
+  for (uint64_t range : {uint64_t{1536}, 3 * kKiB, 6 * kKiB, 12 * kKiB, 48 * kKiB,
+                         1 * kMiB}) {
+    const double v = Drive(MemoryParams::Soc(), range, true);
+    EXPECT_GE(v * 1.02, prev) << "range=" << range;
+    prev = v;
+  }
+}
+
+TEST(MemoryMonotonicity, SocReadThroughputNonDecreasingInRange) {
+  double prev = 0.0;
+  for (uint64_t range : {uint64_t{1536}, 3 * kKiB, 6 * kKiB, 12 * kKiB, 48 * kKiB}) {
+    const double v = Drive(MemoryParams::Soc(), range, false);
+    EXPECT_GE(v * 1.02, prev) << "range=" << range;
+    prev = v;
+  }
+}
+
+class BulkProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BulkProperty, BulkCompletionMonotoneInLength) {
+  Simulator sim;
+  MemorySubsystem mem(&sim, "m", MemoryParams::Soc());
+  const SimTime small = mem.Access(0, 0, GetParam(), false);
+  Simulator sim2;
+  MemorySubsystem mem2(&sim2, "m", MemoryParams::Soc());
+  const SimTime large = mem2.Access(0, 0, GetParam() * 2, false);
+  EXPECT_GE(large, small);  // equal when both fit one small access
+}
+
+TEST_P(BulkProperty, WriteCommitSlowerOrEqualToRead) {
+  Simulator sim;
+  MemorySubsystem mem(&sim, "m", MemoryParams::Soc());
+  const SimTime r = mem.Access(0, 0, GetParam(), false);
+  Simulator sim2;
+  MemorySubsystem mem2(&sim2, "m", MemoryParams::Soc());
+  const SimTime w = mem2.Access(0, 0, GetParam(), true);
+  EXPECT_GE(w + FromNanos(1), r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BulkProperty,
+                         ::testing::Values(64u, 4096u, 65536u, 1048576u));
+
+}  // namespace
+}  // namespace snicsim

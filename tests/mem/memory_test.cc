@@ -1,0 +1,131 @@
+#include "src/mem/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sim/meter.h"
+
+namespace snicsim {
+namespace {
+
+// Drives `n` closed random accesses over `range` and returns achieved Mreq/s.
+double DriveRandomAccesses(const MemoryParams& params, uint64_t range, bool is_write,
+                           int concurrency = 64) {
+  Simulator sim;
+  MemorySubsystem mem(&sim, "m", params);
+  Rng rng(7);
+  Meter meter(&sim);
+  meter.SetWindow(FromMicros(20), FromMicros(120));
+  // `concurrency` independent streams, each issuing the next access when the
+  // previous completes.
+  for (int c = 0; c < concurrency; ++c) {
+    auto issue = std::make_shared<std::function<void()>>();
+    auto stream_rng = std::make_shared<Rng>(1000 + static_cast<uint64_t>(c));
+    *issue = [&sim, &mem, &meter, issue, stream_rng, range, is_write] {
+      const uint64_t addr = stream_rng->NextBelow(range / 64) * 64;
+      mem.Access(sim.now(), addr, 64, is_write, [&meter, issue] {
+        meter.RecordOp(64);
+        (*issue)();
+      });
+    };
+    sim.In(0, *issue);
+  }
+  sim.RunUntil(FromMicros(120));
+  return meter.MReqsPerSec();
+}
+
+TEST(Memory, ReadsFasterThanWritesOnDram) {
+  const MemoryParams soc = MemoryParams::Soc();
+  const double reads = DriveRandomAccesses(soc, 64 * kKiB, false);
+  const double writes = DriveRandomAccesses(soc, 64 * kKiB, true);
+  EXPECT_GT(reads, writes);
+}
+
+TEST(Memory, SocSkewCollapsesWrites) {
+  // Paper Fig. 7: SoC WRITE drops from ~78 to ~23 M reqs/s when the range
+  // shrinks from 48 KB to 1.5 KB.
+  const MemoryParams soc = MemoryParams::Soc();
+  const double wide = DriveRandomAccesses(soc, 48 * kKiB, true);
+  const double narrow = DriveRandomAccesses(soc, 1536, true);
+  EXPECT_GT(wide, 2.5 * narrow);
+  EXPECT_NEAR(narrow, 22.7, 8.0);
+}
+
+TEST(Memory, SocSkewDegradesReadsLess) {
+  const MemoryParams soc = MemoryParams::Soc();
+  const double wide = DriveRandomAccesses(soc, 48 * kKiB, false);
+  const double narrow = DriveRandomAccesses(soc, 1536, false);
+  const double read_drop = narrow / wide;
+  const double write_drop = DriveRandomAccesses(soc, 1536, true) /
+                            DriveRandomAccesses(soc, 48 * kKiB, true);
+  EXPECT_GT(read_drop, write_drop);  // reads tolerate skew better
+  EXPECT_NEAR(narrow, 50.0, 18.0);
+}
+
+TEST(Memory, DdioHostWritesFlatUnderSkew) {
+  const MemoryParams host = MemoryParams::Host();
+  const double wide = DriveRandomAccesses(host, 1 * kMiB, true);
+  const double narrow = DriveRandomAccesses(host, 1536, true);
+  // DDIO write-allocate absorbs narrow-range writes entirely in the LLC.
+  EXPECT_GT(narrow, 0.9 * wide);
+}
+
+TEST(Memory, NoDdioHostWritesDegrade) {
+  const MemoryParams host = MemoryParams::HostNoDdio();
+  const double wide = DriveRandomAccesses(host, 4 * kMiB, true);
+  const double narrow = DriveRandomAccesses(host, 1536, true);
+  EXPECT_LT(narrow, 0.7 * wide);
+}
+
+TEST(Memory, LlcHitsTrackedForResidentRows) {
+  Simulator sim;
+  MemorySubsystem mem(&sim, "m", MemoryParams::Host());
+  // Write twice to the same row: first installs (DDIO hit by allocation),
+  // second hits.
+  mem.Access(0, 0, 64, true);
+  mem.Access(0, 64, 64, true);
+  sim.Run();
+  EXPECT_EQ(mem.llc_hits() + mem.llc_misses(), 2u);
+  EXPECT_GE(mem.llc_hits(), 1u);
+  EXPECT_EQ(mem.dram_accesses(), 0u);  // DDIO absorbed both
+}
+
+TEST(Memory, SocAccessesGoToDram) {
+  Simulator sim;
+  MemorySubsystem mem(&sim, "m", MemoryParams::Soc());
+  mem.Access(0, 0, 64, true);
+  mem.Access(0, 0, 64, false);
+  sim.Run();
+  EXPECT_EQ(mem.dram_accesses(), 2u);
+  EXPECT_EQ(mem.llc_hits(), 0u);
+}
+
+TEST(Memory, BulkStreamingBandwidthBounded) {
+  Simulator sim;
+  MemorySubsystem mem(&sim, "m", MemoryParams::Soc());
+  const uint64_t len = 8 * kMiB;
+  const SimTime done = mem.Access(0, 0, static_cast<uint32_t>(len), false);
+  // One channel at 25.6 GB/s: 8 MiB takes ~327 us; allow activation slack.
+  const double expected_us = static_cast<double>(len) / 25.6e9 * 1e6;
+  EXPECT_NEAR(ToMicros(done), expected_us, expected_us * 0.2);
+}
+
+TEST(Memory, HostBulkUsesAllChannels) {
+  Simulator sim;
+  MemorySubsystem mem(&sim, "m", MemoryParams::HostNoDdio());
+  const uint64_t len = 8 * kMiB;
+  const SimTime done = mem.Access(0, 0, static_cast<uint32_t>(len), false);
+  // 8 channels: ~8x faster than the SoC.
+  const double expected_us = static_cast<double>(len) / (8 * 23.46e9) * 1e6;
+  EXPECT_NEAR(ToMicros(done), expected_us, expected_us * 0.5);
+}
+
+TEST(Memory, CompletionTimeRespectsReady) {
+  Simulator sim;
+  MemorySubsystem mem(&sim, "m", MemoryParams::Soc());
+  const SimTime done = mem.Access(FromMicros(5), 0, 64, false);
+  EXPECT_GT(done, FromMicros(5));
+}
+
+}  // namespace
+}  // namespace snicsim

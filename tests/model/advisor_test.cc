@@ -1,0 +1,119 @@
+#include "src/model/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/model/bounds.h"
+
+namespace snicsim {
+namespace {
+
+OffloadPlan BasePlan() {
+  OffloadPlan p;
+  p.path = CommPath::kSnic2;
+  p.verb = Verb::kWrite;
+  p.payload = 64;
+  p.address_range = 10ull * 1024 * kMiB;
+  return p;
+}
+
+TEST(Advisor, WideRangeSocWriteIsClean) {
+  OffloadAdvisor adv;
+  EXPECT_TRUE(adv.Review(BasePlan()).empty());
+}
+
+TEST(Advisor, Advice1SkewOnSoc) {
+  OffloadAdvisor adv;
+  OffloadPlan p = BasePlan();
+  p.address_range = 1536;
+  EXPECT_TRUE(adv.TriggersSkewAnomaly(p));
+  const auto advices = adv.Review(p);
+  ASSERT_EQ(advices.size(), 1u);
+  EXPECT_EQ(advices[0].number, 1);
+}
+
+TEST(Advisor, NoSkewAnomalyOnHost) {
+  OffloadAdvisor adv;
+  OffloadPlan p = BasePlan();
+  p.path = CommPath::kSnic1;
+  p.address_range = 1536;
+  EXPECT_FALSE(adv.TriggersSkewAnomaly(p));  // DDIO absorbs it
+}
+
+TEST(Advisor, Advice2LargeReadToSoc) {
+  OffloadAdvisor adv;
+  OffloadPlan p = BasePlan();
+  p.verb = Verb::kRead;
+  p.payload = 16 * kMiB;
+  EXPECT_TRUE(adv.TriggersLargeReadAnomaly(p));
+  p.payload = 8 * kMiB;
+  EXPECT_FALSE(adv.TriggersLargeReadAnomaly(p));
+  p.payload = 16 * kMiB;
+  p.path = CommPath::kSnic1;  // host MTU is large enough
+  EXPECT_FALSE(adv.TriggersLargeReadAnomaly(p));
+}
+
+TEST(Advisor, Advice3LargePath3Transfers) {
+  OffloadAdvisor adv;
+  OffloadPlan p = BasePlan();
+  p.path = CommPath::kSnic3H2S;
+  p.verb = Verb::kWrite;  // WRITEs collapse too on path ③
+  p.payload = 16 * kMiB;
+  EXPECT_TRUE(adv.TriggersPath3LargeTransferAnomaly(p));
+  p.path = CommPath::kSnic2;
+  EXPECT_FALSE(adv.TriggersPath3LargeTransferAnomaly(p));
+}
+
+TEST(Advisor, Advice4DoorbellBatching) {
+  OffloadAdvisor adv;
+  OffloadPlan p = BasePlan();
+  p.path = CommPath::kSnic3S2H;
+  p.host_side_requester = false;
+  EXPECT_TRUE(adv.DoorbellBatchingHelps(p));
+
+  p.path = CommPath::kSnic3H2S;
+  p.host_side_requester = true;
+  p.batch_size = 16;
+  EXPECT_FALSE(adv.DoorbellBatchingHelps(p));
+  p.batch_size = 64;
+  EXPECT_TRUE(adv.DoorbellBatchingHelps(p));
+}
+
+TEST(Advisor, Path3BudgetIsPcieMinusNetwork) {
+  OffloadAdvisor adv;
+  // Testbed: 256 Gbps PCIe - 200 Gbps network = 56 Gbps (paper §4).
+  EXPECT_DOUBLE_EQ(adv.Path3BudgetGbps(), 56.0);
+}
+
+TEST(Advisor, BudgetRuleFlagsOverDemand) {
+  OffloadAdvisor adv;
+  OffloadPlan p = BasePlan();
+  p.path = CommPath::kSnic3H2S;
+  p.network_saturated = true;
+  p.demand_gbps = 100.0;
+  bool budget_flagged = false;
+  for (const auto& a : adv.Review(p)) {
+    if (a.number == 0) {
+      budget_flagged = true;
+    }
+  }
+  EXPECT_TRUE(budget_flagged);
+}
+
+TEST(Bounds, SameVsOppositeDirection) {
+  const TestbedParams tp;
+  const PathBounds p1 = ComputePathBounds(CommPath::kSnic1, tp);
+  EXPECT_NEAR(p1.same_direction_gbps, 195.0, 3.0);
+  EXPECT_NEAR(p1.opposite_direction_gbps, 2 * p1.same_direction_gbps, 1e-9);
+  const PathBounds p3 = ComputePathBounds(CommPath::kSnic3S2H, tp);
+  // Path ③: no doubling, and slightly above the network-bound paths.
+  EXPECT_DOUBLE_EQ(p3.same_direction_gbps, p3.opposite_direction_gbps);
+  EXPECT_GT(p3.same_direction_gbps, p1.same_direction_gbps);
+}
+
+TEST(Advisor, MaxSafeSocRead) {
+  OffloadAdvisor adv;
+  EXPECT_EQ(adv.MaxSafeSocReadBytes(), 9 * kMiB);
+}
+
+}  // namespace
+}  // namespace snicsim

@@ -1,0 +1,95 @@
+// The closed-form latency model must track the simulator: per-target,
+// per-verb, per-payload predictions within a tolerance, and the same
+// qualitative orderings the paper reports.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/model/latency_model.h"
+#include "src/workload/harness.h"
+
+namespace snicsim {
+namespace {
+
+ServerKind ToKind(LatencyTarget t) {
+  switch (t) {
+    case LatencyTarget::kRnicHost:
+      return ServerKind::kRnicHost;
+    case LatencyTarget::kBluefieldHost:
+      return ServerKind::kBluefieldHost;
+    case LatencyTarget::kBluefieldSoc:
+      return ServerKind::kBluefieldSoc;
+  }
+  return ServerKind::kRnicHost;
+}
+
+class LatencyModelProperty
+    : public ::testing::TestWithParam<std::tuple<LatencyTarget, Verb, uint32_t>> {};
+
+TEST_P(LatencyModelProperty, ModelTracksSimulatorWithin25Percent) {
+  const auto [target, verb, payload] = GetParam();
+  const double predicted = PredictLatency(target, verb, payload).total_us();
+  const double simulated =
+      MeasureInboundPath(ToKind(target), verb, payload, HarnessConfig::Latency()).p50_us;
+  EXPECT_NEAR(predicted, simulated, simulated * 0.25)
+      << "target=" << static_cast<int>(target) << " verb=" << VerbName(verb)
+      << " payload=" << payload;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LatencyModelProperty,
+    ::testing::Combine(::testing::Values(LatencyTarget::kRnicHost,
+                                         LatencyTarget::kBluefieldHost,
+                                         LatencyTarget::kBluefieldSoc),
+                       ::testing::Values(Verb::kRead, Verb::kWrite),
+                       ::testing::Values(64u, 1024u, 4096u)));
+
+TEST(LatencyModel, ReadSmartnicTaxMatchesPaperStory) {
+  const double rnic = PredictLatency(LatencyTarget::kRnicHost, Verb::kRead, 64).total_us();
+  const double snic1 =
+      PredictLatency(LatencyTarget::kBluefieldHost, Verb::kRead, 64).total_us();
+  const double snic2 =
+      PredictLatency(LatencyTarget::kBluefieldSoc, Verb::kRead, 64).total_us();
+  EXPECT_GT(snic1, rnic);          // the tax exists
+  EXPECT_LT(snic2, snic1);         // SoC is closer
+  EXPECT_GE(snic2, rnic * 0.97);   // but not faster than the plain RNIC
+}
+
+TEST(LatencyModel, WriteTaxSmallerThanReadTax) {
+  const double read_tax =
+      PredictLatency(LatencyTarget::kBluefieldHost, Verb::kRead, 64).total_us() -
+      PredictLatency(LatencyTarget::kRnicHost, Verb::kRead, 64).total_us();
+  const double write_tax =
+      PredictLatency(LatencyTarget::kBluefieldHost, Verb::kWrite, 64).total_us() -
+      PredictLatency(LatencyTarget::kRnicHost, Verb::kWrite, 64).total_us();
+  EXPECT_GT(read_tax, write_tax);  // READ crosses the extra hops twice
+  EXPECT_GT(write_tax, 0.0);
+}
+
+TEST(LatencyModel, PhasesArePositiveAndSumToTotal) {
+  const LatencyBreakdown b =
+      PredictLatency(LatencyTarget::kBluefieldHost, Verb::kRead, 1024);
+  EXPECT_GT(b.post_us, 0.0);
+  EXPECT_GT(b.request_wire_us, 0.0);
+  EXPECT_GT(b.pcie_round_trip_us, 0.0);
+  EXPECT_GT(b.memory_us, 0.0);
+  EXPECT_GT(b.response_wire_us, 0.0);
+  EXPECT_GT(b.completion_us, 0.0);
+  EXPECT_NEAR(b.total_us(),
+              b.post_us + b.request_wire_us + b.pcie_round_trip_us + b.memory_us +
+                  b.response_wire_us + b.completion_us,
+              1e-12);
+}
+
+TEST(LatencyModel, PayloadGrowsWireTimeOnly) {
+  const LatencyBreakdown small =
+      PredictLatency(LatencyTarget::kRnicHost, Verb::kRead, 64);
+  const LatencyBreakdown big =
+      PredictLatency(LatencyTarget::kRnicHost, Verb::kRead, 16384);
+  EXPECT_GT(big.response_wire_us, small.response_wire_us);
+  EXPECT_DOUBLE_EQ(big.post_us, small.post_us);
+  EXPECT_DOUBLE_EQ(big.completion_us, small.completion_us);
+}
+
+}  // namespace
+}  // namespace snicsim

@@ -1,0 +1,109 @@
+#include "src/offload/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace snicsim {
+namespace offload {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : fabric_(&sim_), server_(&sim_, &fabric_, TestbedParams::Default()) {}
+
+  Simulator sim_;
+  Fabric fabric_;
+  BluefieldServer server_;
+};
+
+std::vector<StageSpec> ThreeStages(Placement middle) {
+  return {
+      {"parse", FromNanos(400), 4, Placement::kHost},
+      {"digest", FromNanos(900), 4, middle},
+      {"publish", FromNanos(300), 2, Placement::kHost},
+  };
+}
+
+TEST_F(PipelineTest, AllHostPipelineCompletesItems) {
+  OffloadPipeline p(&sim_, &server_, ThreeStages(Placement::kHost), 4096);
+  int done = 0;
+  for (int i = 0; i < 50; ++i) {
+    p.Submit([&](SimTime) { ++done; });
+  }
+  sim_.Run();
+  EXPECT_EQ(done, 50);
+  EXPECT_EQ(p.stats().items_completed, 50u);
+  EXPECT_EQ(p.stats().boundary_crossings, 0u);
+  EXPECT_EQ(p.stats().soc_cpu_time, 0);
+}
+
+TEST_F(PipelineTest, OffloadedStageCrossesTwiceAndFreesHostCpu) {
+  OffloadPipeline host_only(&sim_, &server_, ThreeStages(Placement::kHost), 4096);
+  OffloadPipeline offloaded(&sim_, &server_, ThreeStages(Placement::kSoc), 4096);
+  int done = 0;
+  for (int i = 0; i < 40; ++i) {
+    host_only.Submit([&](SimTime) { ++done; });
+    offloaded.Submit([&](SimTime) { ++done; });
+  }
+  sim_.Run();
+  EXPECT_EQ(done, 80);
+  // The offloaded variant crosses host->SoC and SoC->host per item.
+  EXPECT_EQ(offloaded.stats().boundary_crossings, 80u);
+  // The 900 ns digest stage moved off the host.
+  EXPECT_LT(offloaded.stats().host_cpu_time, host_only.stats().host_cpu_time);
+  EXPECT_GT(offloaded.stats().soc_cpu_time, 0);
+  EXPECT_EQ(offloaded.stats().host_cpu_time + offloaded.stats().soc_cpu_time,
+            host_only.stats().host_cpu_time);
+}
+
+TEST_F(PipelineTest, OffloadAddsLatencyPerItem) {
+  auto run = [&](Placement middle) {
+    Simulator sim;
+    Fabric fabric(&sim);
+    BluefieldServer server(&sim, &fabric, TestbedParams::Default());
+    OffloadPipeline p(&sim, &server, ThreeStages(middle), 4096);
+    SimTime finished = 0;
+    p.Submit([&](SimTime t) { finished = t; });
+    sim.Run();
+    return finished;
+  };
+  const SimTime host = run(Placement::kHost);
+  const SimTime soc = run(Placement::kSoc);
+  EXPECT_GT(soc, host);                        // two path-③ hops per item
+  EXPECT_LT(soc, host + FromMicros(10));       // but bounded
+}
+
+TEST_F(PipelineTest, ThroughputBoundedBySlowestStage) {
+  // One worker on a 1 us stage: ~1 M items/s ceiling.
+  std::vector<StageSpec> stages = {
+      {"fast", FromNanos(100), 8, Placement::kHost},
+      {"slow", FromMicros(1), 1, Placement::kHost},
+  };
+  OffloadPipeline p(&sim_, &server_, stages, 512);
+  SimTime last = 0;
+  const int kItems = 200;
+  int done = 0;
+  for (int i = 0; i < kItems; ++i) {
+    p.Submit([&](SimTime t) {
+      last = std::max(last, t);
+      ++done;
+    });
+  }
+  sim_.Run();
+  EXPECT_EQ(done, kItems);
+  // 200 items through a 1 us serial stage: at least 200 us of makespan.
+  EXPECT_GE(last, FromMicros(200));
+}
+
+TEST_F(PipelineTest, SingleStagePipeline) {
+  std::vector<StageSpec> one = {{"only", FromNanos(200), 2, Placement::kSoc}};
+  OffloadPipeline p(&sim_, &server_, one, 1024);
+  int done = 0;
+  p.Submit([&](SimTime) { ++done; });
+  sim_.Run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(p.stats().boundary_crossings, 0u);
+}
+
+}  // namespace
+}  // namespace offload
+}  // namespace snicsim

@@ -1,0 +1,83 @@
+// Property sweep over (payload, MTU): the link model must obey exact
+// serialization arithmetic and counter conservation for every combination.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/pcie/path.h"
+
+namespace snicsim {
+namespace {
+
+class LinkProperty : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {
+ protected:
+  uint64_t payload() const { return std::get<0>(GetParam()); }
+  uint32_t mtu() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(LinkProperty, SerializationMatchesClosedForm) {
+  Simulator sim;
+  PcieLink link(&sim, "l", Bandwidth::Gbps(256), FromNanos(100));
+  const SimTime done = link.Transfer(LinkDir::kDown, payload(), mtu());
+  const SimTime expected =
+      Bandwidth::Gbps(256).TransferTime(WireBytes(payload(), mtu())) + FromNanos(100);
+  EXPECT_EQ(done, expected);
+}
+
+TEST_P(LinkProperty, CountersExact) {
+  Simulator sim;
+  PcieLink link(&sim, "l", Bandwidth::Gbps(256), FromNanos(100));
+  link.Transfer(LinkDir::kDown, payload(), mtu());
+  const LinkCounters& c = link.counters(LinkDir::kDown);
+  EXPECT_EQ(c.tlps, NumTlps(payload(), mtu()));
+  EXPECT_EQ(c.payload_bytes, payload());
+  EXPECT_EQ(c.wire_bytes, WireBytes(payload(), mtu()));
+}
+
+TEST_P(LinkProperty, BackToBackNeverOverlaps) {
+  Simulator sim;
+  PcieLink link(&sim, "l", Bandwidth::Gbps(256), FromNanos(100));
+  const SimTime serialization = Bandwidth::Gbps(256).TransferTime(WireBytes(payload(), mtu()));
+  SimTime prev = 0;
+  for (int i = 0; i < 5; ++i) {
+    const SimTime done = link.Transfer(LinkDir::kDown, payload(), mtu());
+    if (i > 0 && serialization > 0) {
+      EXPECT_GE(done - prev, serialization);
+    }
+    prev = done;
+  }
+}
+
+TEST_P(LinkProperty, PathChargesEveryHopEqually) {
+  Simulator sim;
+  PcieLink a(&sim, "a", Bandwidth::Gbps(256), FromNanos(50));
+  PcieLink b(&sim, "b", Bandwidth::Gbps(256), FromNanos(50));
+  PcieSwitch sw("sw", FromNanos(150));
+  PciePath p;
+  p.Add(&a, LinkDir::kUp);
+  p.Add(&b, LinkDir::kDown, &sw);
+  p.TransferAt(&sim, 0, payload(), mtu());
+  EXPECT_EQ(a.counters(LinkDir::kUp).tlps, b.counters(LinkDir::kDown).tlps);
+  EXPECT_EQ(a.counters(LinkDir::kUp).wire_bytes, b.counters(LinkDir::kDown).wire_bytes);
+  EXPECT_EQ(sw.forwards(), NumTlps(payload(), mtu()));
+}
+
+TEST_P(LinkProperty, ReversedPathSameLatency) {
+  Simulator sim;
+  PcieLink a(&sim, "a", Bandwidth::Gbps(256), FromNanos(60));
+  PcieLink b(&sim, "b", Bandwidth::Gbps(256), FromNanos(200));
+  PcieSwitch sw("sw", FromNanos(150));
+  PciePath p;
+  p.Add(&a, LinkDir::kUp);
+  p.Add(&b, LinkDir::kDown, &sw);
+  EXPECT_EQ(p.BaseLatency(), p.Reversed().BaseLatency());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PayloadMtuGrid, LinkProperty,
+    ::testing::Combine(::testing::Values(0, 1, 63, 64, 128, 129, 512, 513, 4096, 65536,
+                                         1048576),
+                       ::testing::Values(128u, 256u, 512u, 1024u)));
+
+}  // namespace
+}  // namespace snicsim

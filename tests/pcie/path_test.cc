@@ -1,0 +1,109 @@
+#include "src/pcie/path.h"
+
+#include <gtest/gtest.h>
+
+namespace snicsim {
+namespace {
+
+class PathTest : public ::testing::Test {
+ protected:
+  PathTest()
+      : a_(&sim_, "a", Bandwidth::GBps(1), FromNanos(100)),
+        b_(&sim_, "b", Bandwidth::GBps(1), FromNanos(100)),
+        sw_("sw", FromNanos(150)) {}
+
+  PciePath TwoHop() {
+    PciePath p;
+    p.Add(&a_, LinkDir::kUp);
+    p.Add(&b_, LinkDir::kDown, &sw_);
+    return p;
+  }
+
+  Simulator sim_;
+  PcieLink a_;
+  PcieLink b_;
+  PcieSwitch sw_;
+};
+
+TEST_F(PathTest, BaseLatencySumsPropAndSwitch) {
+  EXPECT_EQ(TwoHop().BaseLatency(), FromNanos(100 + 150 + 100));
+}
+
+TEST_F(PathTest, EmptyPathIsFree) {
+  PciePath p;
+  EXPECT_EQ(p.BaseLatency(), 0);
+  SimTime fired = -1;
+  p.TransferAt(&sim_, FromNanos(5), 4096, 512, [&] { fired = sim_.now(); });
+  sim_.Run();
+  EXPECT_EQ(fired, FromNanos(5));
+}
+
+TEST_F(PathTest, ControlTraversesAllHops) {
+  PciePath p = TwoHop();
+  const SimTime done = p.TransferControlAt(&sim_, 0);
+  // 38 B control TLP serialized on each 1 B/ns link + props + switch.
+  EXPECT_EQ(done, FromNanos(38 + 100 + 150 + 38 + 100));
+  EXPECT_EQ(a_.counters(LinkDir::kUp).tlps, 1u);
+  EXPECT_EQ(b_.counters(LinkDir::kDown).tlps, 1u);
+}
+
+TEST_F(PathTest, CutThroughFasterThanStoreAndForward) {
+  PciePath p = TwoHop();
+  const SimTime done = p.TransferAt(&sim_, 0, 64 * 1024, 512);
+  const SimTime serialization = Bandwidth::GBps(1).TransferTime(WireBytes(64 * 1024, 512));
+  // Store-and-forward would pay serialization twice; cut-through pays it
+  // roughly once plus one TLP time per extra hop.
+  EXPECT_LT(done, 2 * serialization);
+  EXPECT_GT(done, serialization);
+}
+
+TEST_F(PathTest, ChargesEveryLink) {
+  PciePath p = TwoHop();
+  p.TransferAt(&sim_, 0, 4096, 512);
+  EXPECT_EQ(a_.counters(LinkDir::kUp).tlps, 8u);
+  EXPECT_EQ(b_.counters(LinkDir::kDown).tlps, 8u);
+  EXPECT_EQ(sw_.forwards(), 8u);
+}
+
+TEST_F(PathTest, ReversedFlipsDirectionsAndKeepsSwitch) {
+  PciePath p = TwoHop();
+  PciePath r = p.Reversed();
+  ASSERT_EQ(r.hops().size(), 2u);
+  EXPECT_EQ(r.hops()[0].link, &b_);
+  EXPECT_EQ(r.hops()[0].dir, LinkDir::kUp);
+  EXPECT_EQ(r.hops()[0].via, nullptr);
+  EXPECT_EQ(r.hops()[1].link, &a_);
+  EXPECT_EQ(r.hops()[1].dir, LinkDir::kDown);
+  EXPECT_EQ(r.hops()[1].via, &sw_);
+  EXPECT_EQ(r.BaseLatency(), p.BaseLatency());
+}
+
+TEST_F(PathTest, ThreeHopReversedSwitchPlacement) {
+  PcieLink c(&sim_, "c", Bandwidth::GBps(1), FromNanos(10));
+  PcieSwitch sw2("sw2", FromNanos(20));
+  PciePath p;
+  p.Add(&a_, LinkDir::kUp);
+  p.Add(&b_, LinkDir::kDown, &sw_);
+  p.Add(&c, LinkDir::kDown, &sw2);
+  PciePath r = p.Reversed();
+  ASSERT_EQ(r.hops().size(), 3u);
+  EXPECT_EQ(r.hops()[0].link, &c);
+  EXPECT_EQ(r.hops()[0].via, nullptr);
+  EXPECT_EQ(r.hops()[1].link, &b_);
+  EXPECT_EQ(r.hops()[1].via, &sw2);
+  EXPECT_EQ(r.hops()[2].link, &a_);
+  EXPECT_EQ(r.hops()[2].via, &sw_);
+  EXPECT_EQ(r.BaseLatency(), p.BaseLatency());
+}
+
+TEST_F(PathTest, QueueingDelaysTransfer) {
+  PciePath p = TwoHop();
+  // Saturate link a's up direction first.
+  a_.Transfer(LinkDir::kUp, 100000, 512);
+  const SimTime busy_until = a_.NextFree(LinkDir::kUp);
+  const SimTime done = p.TransferAt(&sim_, 0, 512, 512);
+  EXPECT_GT(done, busy_until);
+}
+
+}  // namespace
+}  // namespace snicsim

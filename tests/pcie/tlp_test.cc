@@ -1,0 +1,40 @@
+#include "src/pcie/tlp.h"
+
+#include <gtest/gtest.h>
+
+namespace snicsim {
+namespace {
+
+TEST(Tlp, SegmentationCounts) {
+  EXPECT_EQ(NumTlps(0, 512), 1u);  // header-only transaction
+  EXPECT_EQ(NumTlps(1, 512), 1u);
+  EXPECT_EQ(NumTlps(512, 512), 1u);
+  EXPECT_EQ(NumTlps(513, 512), 2u);
+  EXPECT_EQ(NumTlps(4096, 512), 8u);
+  EXPECT_EQ(NumTlps(4096, 128), 32u);
+}
+
+TEST(Tlp, PaperTable3Example) {
+  // §3.3: moving 200 Gbps S2H = 25 GB/s means 195 Mpps at the SoC's 128 B
+  // MTU and ~49 Mpps at the host's 512 B MTU.
+  const uint64_t bytes_per_sec = 25ull * 1000 * 1000 * 1000;
+  EXPECT_NEAR(static_cast<double>(NumTlps(bytes_per_sec, kSocPcieMtu)) / 1e6, 195.3, 0.5);
+  EXPECT_NEAR(static_cast<double>(NumTlps(bytes_per_sec, kHostPcieMtu)) / 1e6, 48.8, 0.5);
+}
+
+TEST(Tlp, WireBytesIncludeOverhead) {
+  EXPECT_EQ(WireBytes(512, 512), 512u + kTlpOverheadBytes);
+  EXPECT_EQ(WireBytes(1024, 512), 1024u + 2 * kTlpOverheadBytes);
+  EXPECT_EQ(WireBytes(0, 512), kTlpOverheadBytes);
+  EXPECT_EQ(ControlWireBytes(), kTlpHeaderBytes + kTlpOverheadBytes);
+}
+
+TEST(Tlp, SmallMtuCostsMoreWire) {
+  const uint64_t n = 1 * kMiB;
+  EXPECT_GT(WireBytes(n, kSocPcieMtu), WireBytes(n, kHostPcieMtu));
+  // 128 B MTU pays 4x the per-TLP overheads of 512 B.
+  EXPECT_EQ(WireBytes(n, kSocPcieMtu) - n, 4 * (WireBytes(n, kHostPcieMtu) - n));
+}
+
+}  // namespace
+}  // namespace snicsim

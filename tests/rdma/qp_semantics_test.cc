@@ -1,0 +1,171 @@
+// Verbs semantics beyond the data path: QP state ladder, transport-type
+// restrictions, send-queue depth, signaled/unsignaled WRs, and RNR.
+#include <gtest/gtest.h>
+
+#include "src/rdma/recv_queue.h"
+#include "src/rdma/verbs.h"
+#include "src/topo/server.h"
+
+namespace snicsim {
+namespace rdma {
+namespace {
+
+class QpSemanticsTest : public ::testing::Test {
+ protected:
+  QpSemanticsTest()
+      : fabric_(&sim_),
+        server_(&sim_, &fabric_, TestbedParams::Default()),
+        client_(&sim_, &fabric_, ClientParams{}, "cli") {}
+
+  RemoteMemoryRegion Mr() {
+    RemoteMemoryRegion mr;
+    mr.engine = &server_.nic();
+    mr.endpoint = server_.host_ep();
+    mr.server_port = server_.port();
+    mr.addr = 0;
+    mr.length = 1ull * kGiB;
+    return mr;
+  }
+
+  Simulator sim_;
+  Fabric fabric_;
+  BluefieldServer server_;
+  ClientMachine client_;
+};
+
+TEST_F(QpSemanticsTest, StateLadderMustBeWalkedInOrder) {
+  QueuePair qp(&client_, 0, Mr());
+  qp.Reset();
+  EXPECT_EQ(qp.state(), QpState::kReset);
+  EXPECT_FALSE(qp.Modify(QpState::kRtr));   // skipping kInit
+  EXPECT_FALSE(qp.Modify(QpState::kRts));
+  EXPECT_TRUE(qp.Modify(QpState::kInit));
+  EXPECT_TRUE(qp.Modify(QpState::kRtr));
+  EXPECT_TRUE(qp.Modify(QpState::kRts));
+  EXPECT_EQ(qp.state(), QpState::kRts);
+}
+
+TEST_F(QpSemanticsTest, PostRejectedUnlessRts) {
+  QueuePair qp(&client_, 0, Mr());
+  qp.Reset();
+  EXPECT_FALSE(qp.PostRead(0, 64));
+  qp.Modify(QpState::kInit);
+  qp.Modify(QpState::kRtr);
+  EXPECT_FALSE(qp.PostRead(0, 64));
+  qp.Modify(QpState::kRts);
+  EXPECT_TRUE(qp.PostRead(0, 64));
+}
+
+TEST_F(QpSemanticsTest, ErrorStateReachableFromAnywhere) {
+  QueuePair qp(&client_, 0, Mr());
+  EXPECT_TRUE(qp.Modify(QpState::kError));
+  EXPECT_FALSE(qp.PostWrite(0, 64));
+}
+
+TEST_F(QpSemanticsTest, UdAllowsOnlySends) {
+  QpConfig cfg;
+  cfg.type = QpType::kUd;
+  QueuePair qp(&client_, 0, Mr(), nullptr, cfg);
+  EXPECT_TRUE(qp.PostSend(64));
+  EXPECT_DEATH(qp.PostRead(0, 64), "CHECK failed");
+  EXPECT_DEATH(qp.PostWrite(0, 64), "CHECK failed");
+}
+
+TEST_F(QpSemanticsTest, SendQueueDepthBoundsOutstanding) {
+  QpConfig cfg;
+  cfg.max_send_wr = 4;
+  QueuePair qp(&client_, 0, Mr(), nullptr, cfg);
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (qp.PostRead(0, 64)) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(qp.outstanding(), 4);
+  sim_.Run();
+  EXPECT_EQ(qp.outstanding(), 0);
+  // After the queue drains, posting works again.
+  EXPECT_TRUE(qp.PostRead(0, 64));
+}
+
+TEST_F(QpSemanticsTest, UnsignaledWrsProduceNoCqe) {
+  CompletionQueue cq;
+  QueuePair qp(&client_, 0, Mr(), &cq);
+  qp.PostRead(0, 64, 1, nullptr, /*signaled=*/false);
+  qp.PostRead(0, 64, 2, nullptr, /*signaled=*/true);
+  sim_.Run();
+  EXPECT_EQ(cq.pending(), 1u);
+  WorkCompletion wc;
+  cq.Poll(&wc, 1);
+  EXPECT_EQ(wc.wr_id, 2u);
+}
+
+TEST_F(QpSemanticsTest, SignalAllOverridesUnsignaled) {
+  QpConfig cfg;
+  cfg.signal_all = true;
+  CompletionQueue cq;
+  QueuePair qp(&client_, 0, Mr(), &cq, cfg);
+  qp.PostWrite(0, 64, 1, nullptr, /*signaled=*/false);
+  sim_.Run();
+  EXPECT_EQ(cq.pending(), 1u);
+}
+
+TEST_F(QpSemanticsTest, RnrRetriesWhenRingDry) {
+  ReceiveQueue ring(2, /*auto_replenish=*/false);
+  RemoteMemoryRegion mr = Mr();
+  mr.recv = &ring;
+  QpConfig cfg;
+  cfg.rnr_backoff = FromMicros(5);
+  QueuePair qp(&client_, 0, mr, nullptr, cfg);
+  int completed = 0;
+  for (int i = 0; i < 3; ++i) {
+    qp.PostSend(64, 0, [&](SimTime) { ++completed; });
+  }
+  // Two WQEs posted: the third send hits RNR and retries until the app
+  // reposts a receive.
+  sim_.RunFor(FromMicros(8));
+  EXPECT_GE(qp.rnr_retries(), 1u);  // retried at least once (each dry retry counts)
+  ring.PostRecv(1);
+  sim_.Run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_GE(qp.rnr_retries(), 1u);
+}
+
+TEST_F(QpSemanticsTest, AutoReplenishRingNeverRnrs) {
+  ReceiveQueue ring(4, /*auto_replenish=*/true);
+  RemoteMemoryRegion mr = Mr();
+  mr.recv = &ring;
+  QueuePair qp(&client_, 0, mr);
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    qp.PostSend(64, 0, [&](SimTime) { ++completed; });
+  }
+  sim_.Run();
+  EXPECT_EQ(completed, 20);
+  EXPECT_EQ(qp.rnr_retries(), 0u);
+  EXPECT_EQ(ring.consumed(), 20u);
+}
+
+TEST(ReceiveQueue, PostRecvCapsAtCapacity) {
+  ReceiveQueue ring(4, false);
+  EXPECT_EQ(ring.posted(), 4);
+  EXPECT_TRUE(ring.Consume());
+  EXPECT_TRUE(ring.Consume());
+  EXPECT_EQ(ring.posted(), 2);
+  EXPECT_EQ(ring.PostRecv(10), 2);  // only space for 2
+  EXPECT_EQ(ring.posted(), 4);
+}
+
+TEST(ReceiveQueue, RnrCountsDryConsumes) {
+  ReceiveQueue ring(1, false);
+  EXPECT_TRUE(ring.Consume());
+  EXPECT_FALSE(ring.Consume());
+  EXPECT_FALSE(ring.Consume());
+  EXPECT_EQ(ring.rnr_events(), 2u);
+  EXPECT_EQ(ring.consumed(), 1u);
+}
+
+}  // namespace
+}  // namespace rdma
+}  // namespace snicsim

@@ -1,0 +1,76 @@
+#include "src/sim/meter.h"
+
+#include <gtest/gtest.h>
+
+namespace snicsim {
+namespace {
+
+TEST(Meter, CountsOnlyInsideWindow) {
+  Simulator sim;
+  Meter m(&sim);
+  m.SetWindow(FromMicros(10), FromMicros(20));
+  sim.At(FromMicros(5), [&] { m.RecordOp(64); });    // before window
+  sim.At(FromMicros(15), [&] { m.RecordOp(64); });   // inside
+  sim.At(FromMicros(25), [&] { m.RecordOp(64); });   // after
+  sim.Run();
+  EXPECT_EQ(m.ops(), 1u);
+  EXPECT_EQ(m.bytes(), 64u);
+}
+
+TEST(Meter, RatesUseWindowLength) {
+  Simulator sim;
+  Meter m(&sim);
+  m.SetWindow(0, FromMicros(1));
+  for (int i = 0; i < 100; ++i) {
+    sim.At(FromNanos(i * 10), [&] { m.RecordOp(125); });
+  }
+  sim.Run();
+  EXPECT_EQ(m.ops(), 100u);
+  EXPECT_DOUBLE_EQ(m.OpsPerSec(), 1e8);
+  EXPECT_DOUBLE_EQ(m.MReqsPerSec(), 100.0);
+  // 100 ops * 125 B * 8 bits over 1 us = 100 Gbps.
+  EXPECT_DOUBLE_EQ(m.Gbps(), 100.0);
+}
+
+TEST(Meter, OpenEndedWindowUsesNow) {
+  Simulator sim;
+  Meter m(&sim);
+  m.SetWindow(0, 0);
+  sim.At(FromMicros(1), [&] { m.RecordOp(64); });
+  sim.Run();
+  sim.RunUntil(FromMicros(2));
+  EXPECT_DOUBLE_EQ(m.OpsPerSec(), 0.5e6);
+}
+
+TEST(Meter, LatencyRecorded) {
+  Simulator sim;
+  Meter m(&sim);
+  m.SetWindow(0, 0);
+  sim.At(FromNanos(5), [&] { m.RecordOp(1, FromMicros(2)); });
+  sim.Run();
+  EXPECT_EQ(m.latency().count(), 1u);
+  EXPECT_NEAR(static_cast<double>(m.latency().Percentile(50)),
+              static_cast<double>(FromMicros(2)), static_cast<double>(FromNanos(100)));
+}
+
+TEST(Meter, ResetClearsCounts) {
+  Simulator sim;
+  Meter m(&sim);
+  m.SetWindow(0, 0);
+  m.RecordOp(10, 5);
+  m.Reset();
+  EXPECT_EQ(m.ops(), 0u);
+  EXPECT_EQ(m.bytes(), 0u);
+  EXPECT_EQ(m.latency().count(), 0u);
+}
+
+TEST(Meter, ZeroLengthWindowYieldsZeroRates) {
+  Simulator sim;
+  Meter m(&sim);
+  m.SetWindow(FromMicros(5), FromMicros(5));
+  EXPECT_DOUBLE_EQ(m.OpsPerSec(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Gbps(), 0.0);
+}
+
+}  // namespace
+}  // namespace snicsim

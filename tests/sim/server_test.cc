@@ -1,0 +1,124 @@
+#include "src/sim/server.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace snicsim {
+namespace {
+
+TEST(BusyServer, SerializesJobs) {
+  Simulator sim;
+  BusyServer s(&sim, "s");
+  EXPECT_EQ(s.Enqueue(FromNanos(10)), FromNanos(10));
+  EXPECT_EQ(s.Enqueue(FromNanos(10)), FromNanos(20));
+  EXPECT_EQ(s.Enqueue(FromNanos(5)), FromNanos(25));
+  EXPECT_EQ(s.jobs(), 3u);
+  EXPECT_EQ(s.busy_time(), FromNanos(25));
+}
+
+TEST(BusyServer, HonorsEarliestStart) {
+  Simulator sim;
+  BusyServer s(&sim, "s");
+  EXPECT_EQ(s.EnqueueAt(FromNanos(100), FromNanos(10)), FromNanos(110));
+  // Queued behind the first job even though it is "ready" earlier.
+  EXPECT_EQ(s.EnqueueAt(FromNanos(0), FromNanos(10)), FromNanos(120));
+}
+
+TEST(BusyServer, CallbackFiresAtCompletion) {
+  Simulator sim;
+  BusyServer s(&sim, "s");
+  SimTime fired_at = -1;
+  s.Enqueue(FromNanos(42), [&] { fired_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(fired_at, FromNanos(42));
+}
+
+TEST(BusyServer, BacklogReflectsQueue) {
+  Simulator sim;
+  BusyServer s(&sim, "s");
+  EXPECT_EQ(s.Backlog(), 0);
+  s.Enqueue(FromNanos(100));
+  EXPECT_EQ(s.Backlog(), FromNanos(100));
+  sim.RunUntil(FromNanos(40));
+  EXPECT_EQ(s.Backlog(), FromNanos(60));
+  sim.RunUntil(FromNanos(200));
+  EXPECT_EQ(s.Backlog(), 0);
+}
+
+TEST(BusyServer, UtilizationOverWindow) {
+  Simulator sim;
+  BusyServer s(&sim, "s");
+  s.Enqueue(FromNanos(30));
+  sim.RunUntil(FromNanos(100));
+  EXPECT_DOUBLE_EQ(s.Utilization(FromNanos(100)), 0.3);
+}
+
+TEST(MultiServer, ParallelServiceUpToK) {
+  Simulator sim;
+  MultiServer m(&sim, "m", 3);
+  // Three jobs run in parallel; the fourth queues behind the earliest.
+  EXPECT_EQ(m.Enqueue(FromNanos(10)), FromNanos(10));
+  EXPECT_EQ(m.Enqueue(FromNanos(10)), FromNanos(10));
+  EXPECT_EQ(m.Enqueue(FromNanos(10)), FromNanos(10));
+  EXPECT_EQ(m.Enqueue(FromNanos(10)), FromNanos(20));
+  EXPECT_EQ(m.jobs(), 4u);
+}
+
+TEST(MultiServer, PicksEarliestFreeServer) {
+  Simulator sim;
+  MultiServer m(&sim, "m", 2);
+  m.Enqueue(FromNanos(100));
+  m.Enqueue(FromNanos(10));
+  // Second server frees at 10, so this lands there.
+  EXPECT_EQ(m.Enqueue(FromNanos(10)), FromNanos(20));
+}
+
+TEST(TokenPool, GrantsUpToCapacityImmediately) {
+  Simulator sim;
+  TokenPool pool(&sim, "p", 2);
+  int granted = 0;
+  pool.Acquire([&] { ++granted; });
+  pool.Acquire([&] { ++granted; });
+  pool.Acquire([&] { ++granted; });  // must wait
+  sim.Run();
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(pool.waiting(), 1u);
+  pool.Release();
+  sim.Run();
+  EXPECT_EQ(granted, 3);
+}
+
+TEST(TokenPool, FifoGrantOrder) {
+  Simulator sim;
+  TokenPool pool(&sim, "p", 1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    pool.Acquire([&order, &pool, i] {
+      order.push_back(i);
+      pool.Release();
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(pool.available(), 1);
+}
+
+TEST(TokenPool, MaxWaitersHighWatermark) {
+  Simulator sim;
+  TokenPool pool(&sim, "p", 1);
+  pool.Acquire([] {});
+  pool.Acquire([] {});
+  pool.Acquire([] {});
+  sim.Run();
+  EXPECT_EQ(pool.max_waiters(), 2u);
+}
+
+TEST(TokenPoolDeathTest, OverReleaseAborts) {
+  Simulator sim;
+  TokenPool pool(&sim, "p", 1);
+  EXPECT_DEATH(pool.Release(), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace snicsim

@@ -1,0 +1,100 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace snicsim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(FromNanos(30), [&] { order.push_back(3); });
+  sim.At(FromNanos(10), [&] { order.push_back(1); });
+  sim.At(FromNanos(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), FromNanos(30));
+}
+
+TEST(Simulator, SameTimeEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.At(FromNanos(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, CallbacksMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.In(FromNanos(1), [&] {
+    ++fired;
+    sim.In(FromNanos(1), [&] {
+      ++fired;
+      sim.In(FromNanos(1), [&] { ++fired; });
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), FromNanos(3));
+}
+
+TEST(Simulator, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(FromNanos(100), [&] { ++fired; });
+  sim.At(FromNanos(300), [&] { ++fired; });
+  sim.RunUntil(FromNanos(200));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), FromNanos(200));
+  sim.RunUntil(FromNanos(400));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), FromNanos(400));
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.RunFor(FromNanos(50));
+  sim.RunFor(FromNanos(50));
+  EXPECT_EQ(sim.now(), FromNanos(100));
+}
+
+TEST(Simulator, EventAtBoundaryIncludedByRunUntil) {
+  Simulator sim;
+  bool fired = false;
+  sim.At(FromNanos(10), [&] { fired = true; });
+  sim.RunUntil(FromNanos(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, ProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 17; ++i) {
+    sim.In(i, [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.processed(), 17u);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.At(FromNanos(10), [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.At(FromNanos(5), [] {}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace snicsim

@@ -1,0 +1,109 @@
+#include "src/topo/future.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/harness.h"
+
+namespace snicsim {
+namespace {
+
+TEST(Bluefield3, FasterEverything) {
+  const TestbedParams bf2 = TestbedParams::Default();
+  const TestbedParams bf3 = Bluefield3Testbed();
+  EXPECT_GT(bf3.bluefield_nic.network_bandwidth.gbps(),
+            bf2.bluefield_nic.network_bandwidth.gbps());
+  EXPECT_GT(bf3.pcie_bandwidth.gbps(), bf2.pcie_bandwidth.gbps());
+  EXPECT_GT(bf3.soc_cores, bf2.soc_cores);
+  EXPECT_LT(bf3.soc_msg_service, bf2.soc_msg_service);
+}
+
+TEST(Bluefield3, AnomaliesPersist) {
+  HarnessConfig cfg;
+  cfg.testbed = Bluefield3Testbed();
+  cfg.client_machines = 4;
+  // SoC READ path still beats the host path.
+  const double host = MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, 64,
+                                         cfg).mreqs;
+  const double soc =
+      MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 64, cfg).mreqs;
+  EXPECT_GT(soc, host);
+}
+
+TEST(Bluefield3, HigherNetworkCeiling) {
+  HarnessConfig cfg;
+  cfg.testbed = Bluefield3Testbed();
+  cfg.client_machines = 8;
+  const Measurement m =
+      MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, 64 * 1024, cfg);
+  EXPECT_GT(m.gbps, 250.0);  // beyond the BF-2's 200 Gbps port
+}
+
+TEST(SocCci, FlattensWriteSkew) {
+  HarnessConfig narrow;
+  narrow.client_machines = 6;
+  narrow.address_range = 1536;
+  HarnessConfig wide = narrow;
+  wide.address_range = 1 * kMiB;
+
+  const double stock_narrow =
+      MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 64, narrow).mreqs;
+  const double stock_wide =
+      MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 64, wide).mreqs;
+  EXPECT_LT(stock_narrow, 0.6 * stock_wide);  // Advice #1 anomaly present
+
+  HarnessConfig cci_narrow = narrow;
+  cci_narrow.testbed = WithSocCci(cci_narrow.testbed);
+  HarnessConfig cci_wide = wide;
+  cci_wide.testbed = WithSocCci(cci_wide.testbed);
+  const double cci_n =
+      MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 64, cci_narrow).mreqs;
+  const double cci_w =
+      MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 64, cci_wide).mreqs;
+  EXPECT_GT(cci_n, 0.9 * cci_w);  // mitigated: flat like DDIO
+}
+
+TEST(CxlWindow, CopiesCompleteInBothDirections) {
+  Simulator sim;
+  Fabric fabric(&sim);
+  BluefieldServer server(&sim, &fabric, TestbedParams::Default());
+  CxlWindow cxl(&sim, &server);
+  SimTime to_soc = -1;
+  SimTime to_host = -1;
+  cxl.Copy(false, 0, 4096, [&](SimTime t) { to_soc = t; });
+  cxl.Copy(true, 1 * kMiB, 4096, [&](SimTime t) { to_host = t; });
+  sim.Run();
+  EXPECT_GT(to_soc, 0);
+  EXPECT_GT(to_host, 0);
+}
+
+TEST(CxlWindow, BypassesPcie1) {
+  Simulator sim;
+  Fabric fabric(&sim);
+  BluefieldServer server(&sim, &fabric, TestbedParams::Default());
+  CxlWindow cxl(&sim, &server);
+  cxl.Copy(false, 0, 64 * 1024, [](SimTime) {});
+  sim.Run();
+  EXPECT_EQ(server.pcie1().TotalCounters().tlps, 0u);
+  EXPECT_GT(server.pcie0().TotalCounters().tlps, 0u);
+  EXPECT_GT(server.soc_port_link().TotalCounters().tlps, 0u);
+}
+
+TEST(CxlWindow, NoLargeTransferCliff) {
+  // Unlike path ③, a 16 MB CXL copy is not slower per byte than an 8 MB one.
+  auto run = [](uint32_t len) {
+    Simulator sim;
+    Fabric fabric(&sim);
+    BluefieldServer server(&sim, &fabric, TestbedParams::Default());
+    CxlWindow cxl(&sim, &server);
+    SimTime done = 0;
+    cxl.Copy(false, 0, len, [&](SimTime t) { done = t; });
+    sim.Run();
+    return static_cast<double>(len) * 8 / ToNanos(done);  // Gbps
+  };
+  const double below = run(8 * kMiB);
+  const double above = run(16 * kMiB);
+  EXPECT_GT(above, 0.85 * below);
+}
+
+}  // namespace
+}  // namespace snicsim

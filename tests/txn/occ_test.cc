@@ -1,0 +1,175 @@
+#include "src/txn/occ.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/topo/server.h"
+
+namespace snicsim {
+namespace txn {
+namespace {
+
+class OccTest : public ::testing::Test {
+ protected:
+  OccTest()
+      : fabric_(&sim_),
+        server_(&sim_, &fabric_, TestbedParams::Default()),
+        client_(&sim_, &fabric_, ClientParams{}, "cli"),
+        store_(MakeStoreConfig()) {}
+
+  static TxnStoreConfig MakeStoreConfig() {
+    TxnStoreConfig c;
+    c.base_addr = 0;
+    c.record_bytes = 128;
+    c.records = 4096;
+    return c;
+  }
+
+  rdma::RemoteMemoryRegion Mr() {
+    rdma::RemoteMemoryRegion mr;
+    mr.engine = &server_.nic();
+    mr.endpoint = server_.host_ep();
+    mr.server_port = server_.port();
+    mr.addr = 0;
+    mr.length = store_.config().records * store_.config().record_bytes;
+    return mr;
+  }
+
+  Simulator sim_;
+  Fabric fabric_;
+  BluefieldServer server_;
+  ClientMachine client_;
+  TxnStore store_;
+};
+
+TEST_F(OccTest, SingleTransactionCommits) {
+  rdma::QueuePair qp(&client_, 0, Mr());
+  OccCoordinator coord(&sim_, &store_, &qp, 1);
+  TxnResult result;
+  coord.Execute({1, 2, 3}, {10, 11}, [&](TxnResult r) { result = r; });
+  sim_.Run();
+  EXPECT_TRUE(result.committed);
+  EXPECT_GT(result.latency, FromMicros(5));  // several one-sided round trips
+  EXPECT_EQ(store_.version(10), 1u);
+  EXPECT_EQ(store_.version(11), 1u);
+  EXPECT_EQ(store_.version(1), 0u);  // read-only records untouched
+  EXPECT_EQ(store_.LockedCount(), 0u);
+  EXPECT_EQ(coord.commits(), 1u);
+}
+
+TEST_F(OccTest, ReadOnlyTransactionCommitsWithoutLocks) {
+  rdma::QueuePair qp(&client_, 0, Mr());
+  OccCoordinator coord(&sim_, &store_, &qp, 1);
+  TxnResult result;
+  coord.Execute({5, 6}, {}, [&](TxnResult r) { result = r; });
+  sim_.Run();
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(store_.locks_taken(), 0u);
+  EXPECT_EQ(store_.VersionSum(), 0u);
+}
+
+TEST_F(OccTest, WriteConflictAbortsOneSide) {
+  rdma::QueuePair qp0(&client_, 0, Mr());
+  rdma::QueuePair qp1(&client_, 1, Mr());
+  OccCoordinator a(&sim_, &store_, &qp0, 1);
+  OccCoordinator b(&sim_, &store_, &qp1, 2);
+  int commits = 0;
+  int aborts = 0;
+  auto tally = [&](TxnResult r) { (r.committed ? commits : aborts)++; };
+  // Same write set, launched simultaneously: lock or validation conflict.
+  a.Execute({}, {100, 101}, tally);
+  b.Execute({}, {100, 101}, tally);
+  sim_.Run();
+  EXPECT_EQ(commits + aborts, 2);
+  EXPECT_GE(commits, 1);
+  EXPECT_EQ(store_.LockedCount(), 0u);
+  // Versions advanced exactly once per committed writer per record.
+  EXPECT_EQ(store_.VersionSum(), static_cast<uint64_t>(commits) * 2);
+}
+
+TEST_F(OccTest, ValidationCatchesConcurrentWriter) {
+  rdma::QueuePair qp0(&client_, 0, Mr());
+  rdma::QueuePair qp1(&client_, 1, Mr());
+  OccCoordinator reader(&sim_, &store_, &qp0, 1);
+  OccCoordinator writer(&sim_, &store_, &qp1, 2);
+  TxnResult reader_result;
+  // Reader reads record 50 with a long compute phase; writer updates 50
+  // meanwhile; reader must fail validation.
+  OccConfig slow;
+  slow.compute = FromMicros(50);
+  OccCoordinator slow_reader(&sim_, &store_, &qp0, 3, slow);
+  slow_reader.Execute({50}, {51}, [&](TxnResult r) { reader_result = r; });
+  sim_.In(FromMicros(5), [&] {
+    writer.Execute({}, {50}, [](TxnResult) {});
+  });
+  sim_.Run();
+  EXPECT_FALSE(reader_result.committed);
+  EXPECT_GE(reader_result.validation_failures, 1);
+  EXPECT_EQ(store_.LockedCount(), 0u);  // rollback released everything
+  (void)reader;
+}
+
+TEST_F(OccTest, RandomWorkloadInvariantsHold) {
+  const int kCoordinators = 8;
+  const int kTxnsEach = 30;
+  std::vector<std::unique_ptr<rdma::QueuePair>> qps;
+  std::vector<std::unique_ptr<OccCoordinator>> coords;
+  for (int i = 0; i < kCoordinators; ++i) {
+    qps.push_back(std::make_unique<rdma::QueuePair>(&client_, i % 12, Mr()));
+    coords.push_back(std::make_unique<OccCoordinator>(&sim_, &store_, qps.back().get(),
+                                                      static_cast<uint64_t>(i + 1)));
+  }
+  uint64_t committed_writes = 0;
+  int finished = 0;
+  for (int i = 0; i < kCoordinators; ++i) {
+    auto rng = std::make_shared<Rng>(1000 + static_cast<uint64_t>(i));
+    auto run = std::make_shared<std::function<void(int)>>();
+    OccCoordinator* coord = coords[static_cast<size_t>(i)].get();
+    *run = [&, coord, rng, run](int remaining) {
+      if (remaining == 0) {
+        ++finished;
+        return;
+      }
+      // Hot set of 64 records: heavy conflicts.
+      std::vector<uint64_t> reads = {rng->NextBelow(64), 64 + rng->NextBelow(64)};
+      uint64_t w1 = rng->NextBelow(64);
+      uint64_t w2 = 64 + rng->NextBelow(64);
+      coord->Execute(reads, {w1, w2}, [&, run, remaining](TxnResult r) {
+        if (r.committed) {
+          committed_writes += 2;
+        }
+        (*run)(remaining - 1);
+      });
+    };
+    sim_.In(0, [run] { (*run)(kTxnsEach); });
+  }
+  sim_.Run();
+  EXPECT_EQ(finished, kCoordinators);
+  // Conservation: every committed write installed exactly one version bump;
+  // nothing remains locked; commits+aborts covers all transactions.
+  EXPECT_EQ(store_.VersionSum(), committed_writes);
+  EXPECT_EQ(store_.installs(), committed_writes);
+  EXPECT_EQ(store_.LockedCount(), 0u);
+  uint64_t total = 0;
+  for (auto& c : coords) {
+    total += c->commits() + c->aborts();
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kCoordinators) * kTxnsEach);
+  EXPECT_GT(store_.lock_conflicts(), 0u);  // the hot set really contended
+}
+
+TEST_F(OccTest, DisjointWriteSetsAllCommit) {
+  rdma::QueuePair qp0(&client_, 0, Mr());
+  rdma::QueuePair qp1(&client_, 1, Mr());
+  OccCoordinator a(&sim_, &store_, &qp0, 1);
+  OccCoordinator b(&sim_, &store_, &qp1, 2);
+  int commits = 0;
+  a.Execute({}, {200}, [&](TxnResult r) { commits += r.committed; });
+  b.Execute({}, {300}, [&](TxnResult r) { commits += r.committed; });
+  sim_.Run();
+  EXPECT_EQ(commits, 2);
+}
+
+}  // namespace
+}  // namespace txn
+}  // namespace snicsim

@@ -1,0 +1,78 @@
+#include "src/txn/store.h"
+
+#include <gtest/gtest.h>
+
+namespace snicsim {
+namespace txn {
+namespace {
+
+TxnStoreConfig SmallConfig() {
+  TxnStoreConfig c;
+  c.base_addr = 0x1000;
+  c.record_bytes = 128;
+  c.records = 1024;
+  return c;
+}
+
+TEST(TxnStore, AddressLayout) {
+  TxnStore s(SmallConfig());
+  EXPECT_EQ(s.AddrOf(0), 0x1000u);
+  EXPECT_EQ(s.AddrOf(1), 0x1080u);
+  EXPECT_EQ(s.LockAddrOf(5), s.AddrOf(5));
+  EXPECT_EQ(s.VersionAddrOf(5), s.AddrOf(5) + 8);
+}
+
+TEST(TxnStore, LockLifecycle) {
+  TxnStore s(SmallConfig());
+  EXPECT_FALSE(s.locked(7));
+  EXPECT_TRUE(s.TryLock(7, 42));
+  EXPECT_TRUE(s.locked(7));
+  EXPECT_EQ(s.owner(7), 42u);
+  EXPECT_FALSE(s.TryLock(7, 43));  // held
+  EXPECT_EQ(s.lock_conflicts(), 1u);
+  s.Unlock(7, 42);
+  EXPECT_FALSE(s.locked(7));
+  EXPECT_TRUE(s.TryLock(7, 43));
+}
+
+TEST(TxnStore, InstallBumpsVersion) {
+  TxnStore s(SmallConfig());
+  EXPECT_EQ(s.version(3), 0u);
+  ASSERT_TRUE(s.TryLock(3, 9));
+  s.Install(3, 9);
+  EXPECT_EQ(s.version(3), 1u);
+  s.Install(3, 9);
+  EXPECT_EQ(s.version(3), 2u);
+  s.Unlock(3, 9);
+  EXPECT_EQ(s.VersionSum(), 2u);
+}
+
+TEST(TxnStoreDeathTest, InstallWithoutLockAborts) {
+  TxnStore s(SmallConfig());
+  EXPECT_DEATH(s.Install(1, 9), "CHECK failed");
+}
+
+TEST(TxnStoreDeathTest, UnlockByNonOwnerAborts) {
+  TxnStore s(SmallConfig());
+  ASSERT_TRUE(s.TryLock(1, 9));
+  EXPECT_DEATH(s.Unlock(1, 10), "CHECK failed");
+}
+
+TEST(TxnStoreDeathTest, OutOfRangeIdAborts) {
+  TxnStore s(SmallConfig());
+  EXPECT_DEATH(s.AddrOf(4096), "CHECK failed");
+}
+
+TEST(TxnStore, LockedCountTracksState) {
+  TxnStore s(SmallConfig());
+  EXPECT_EQ(s.LockedCount(), 0u);
+  s.TryLock(1, 9);
+  s.TryLock(2, 9);
+  EXPECT_EQ(s.LockedCount(), 2u);
+  s.Unlock(1, 9);
+  EXPECT_EQ(s.LockedCount(), 1u);
+}
+
+}  // namespace
+}  // namespace txn
+}  // namespace snicsim

@@ -1,0 +1,117 @@
+#include "src/workload/governor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/meter.h"
+#include "src/topo/server.h"
+#include "src/workload/client.h"
+
+namespace snicsim {
+namespace {
+
+class GovernorTest : public ::testing::Test {
+ protected:
+  GovernorTest() : fabric_(&sim_), bf_(&sim_, &fabric_, TestbedParams::Default()) {}
+
+  Simulator sim_;
+  Fabric fabric_;
+  BluefieldServer bf_;
+};
+
+TEST_F(GovernorTest, GrantsFullBudgetOnIdleNetwork) {
+  LocalRequesterParams lp = LocalRequesterParams::Host();
+  lp.paced_gbps = 1.0;
+  LocalRequester h2s(&sim_, &bf_.nic(), bf_.host_ep(), bf_.soc_ep(), lp, "h2s");
+  Meter m(&sim_);
+  m.SetWindow(0, 0);
+  h2s.Start(Verb::kWrite, 4096, AddressGenerator::Default10G(), &m);
+  GovernorParams gp;
+  gp.pcie_gbps = 242.0;
+  Path3Governor gov(&sim_, bf_.port(), &h2s, gp);
+  gov.Start();
+  sim_.RunUntil(FromMicros(200));
+  // No network traffic: the whole PCIe budget is granted.
+  EXPECT_NEAR(gov.last_budget_gbps(), 242.0, 1.0);
+  EXPECT_NEAR(gov.last_network_gbps(), 0.0, 1.0);
+  EXPECT_GT(gov.epochs(), 5u);
+  EXPECT_NEAR(h2s.paced_rate(), gov.last_budget_gbps(), 1e-9);
+}
+
+TEST_F(GovernorTest, ThrottlesUnderNetworkLoad) {
+  ClientParams cp;
+  auto clients = MakeClients(&sim_, &fabric_, cp, 6);
+  Meter net(&sim_);
+  net.SetWindow(0, 0);
+  TargetSpec t;
+  t.engine = &bf_.nic();
+  t.endpoint = bf_.host_ep();
+  t.server_port = bf_.port();
+  t.verb = Verb::kRead;
+  t.payload = 4096;
+  uint64_t seed = 1;
+  for (auto& c : clients) {
+    c->Start(t, AddressGenerator(0, 1 * kGiB, 64, seed++), &net);
+  }
+  LocalRequesterParams lp = LocalRequesterParams::Host();
+  lp.paced_gbps = 200.0;
+  LocalRequester h2s(&sim_, &bf_.nic(), bf_.host_ep(), bf_.soc_ep(), lp, "h2s");
+  Meter m(&sim_);
+  m.SetWindow(0, 0);
+  h2s.Start(Verb::kWrite, 4096, AddressGenerator::Default10G(), &m);
+  Path3Governor gov(&sim_, bf_.port(), &h2s);
+  gov.Start();
+  sim_.RunUntil(FromMicros(300));
+  // Network near 190 Gbps: the budget collapses toward P - N.
+  EXPECT_GT(gov.last_network_gbps(), 150.0);
+  EXPECT_LT(gov.last_budget_gbps(), 100.0);
+  EXPECT_LT(h2s.paced_rate(), 100.0);
+}
+
+TEST_F(GovernorTest, FloorIsRespected) {
+  LocalRequesterParams lp = LocalRequesterParams::Host();
+  lp.paced_gbps = 50.0;
+  LocalRequester h2s(&sim_, &bf_.nic(), bf_.host_ep(), bf_.soc_ep(), lp, "h2s");
+  Meter m(&sim_);
+  m.SetWindow(0, 0);
+  h2s.Start(Verb::kWrite, 4096, AddressGenerator::Default10G(), &m);
+  GovernorParams gp;
+  gp.pcie_gbps = 0.0;  // pathological: no headroom ever
+  gp.floor_gbps = 3.0;
+  Path3Governor gov(&sim_, bf_.port(), &h2s, gp);
+  gov.Start();
+  sim_.RunUntil(FromMicros(100));
+  EXPECT_NEAR(gov.last_budget_gbps(), 3.0, 1e-9);
+}
+
+TEST_F(GovernorTest, PacedRequesterDeliversNearTargetWhenUncontended) {
+  LocalRequesterParams lp = LocalRequesterParams::Host();
+  lp.paced_gbps = 40.0;
+  LocalRequester h2s(&sim_, &bf_.nic(), bf_.host_ep(), bf_.soc_ep(), lp, "h2s");
+  Meter m(&sim_);
+  m.SetWindow(FromMicros(50), FromMicros(450));
+  h2s.Start(Verb::kWrite, 4096, AddressGenerator::Default10G(), &m);
+  sim_.RunUntil(FromMicros(450));
+  EXPECT_NEAR(m.Gbps(), 40.0, 6.0);
+}
+
+TEST_F(GovernorTest, DynamicRateChangeTakesEffect) {
+  LocalRequesterParams lp = LocalRequesterParams::Host();
+  lp.paced_gbps = 10.0;
+  LocalRequester h2s(&sim_, &bf_.nic(), bf_.host_ep(), bf_.soc_ep(), lp, "h2s");
+  Meter all(&sim_);
+  all.SetWindow(0, 0);
+  h2s.Start(Verb::kWrite, 4096, AddressGenerator::Default10G(), &all);
+  uint64_t at250 = 0;
+  sim_.At(FromMicros(250), [&] {
+    at250 = all.ops();
+    h2s.SetPacedRate(80.0);
+  });
+  sim_.RunUntil(FromMicros(500));
+  const double first = static_cast<double>(at250) * 4096 * 8 / 1e9 / 250e-6;
+  const double second =
+      static_cast<double>(all.ops() - at250) * 4096 * 8 / 1e9 / 250e-6;
+  EXPECT_GT(second, 3.0 * first);  // the rate change really applied
+}
+
+}  // namespace
+}  // namespace snicsim

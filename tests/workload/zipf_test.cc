@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/workload/addr_gen.h"
+
+namespace snicsim {
+namespace {
+
+TEST(Zipf, RanksInRange) {
+  ZipfGenerator z(1000, 0.99, 7);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(z.Next(), 1000u);
+  }
+}
+
+TEST(Zipf, Deterministic) {
+  ZipfGenerator a(5000, 0.9, 3);
+  ZipfGenerator b(5000, 0.9, 3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Zipf, HeadIsHot) {
+  ZipfGenerator z(100000, 0.99, 11);
+  const int n = 200000;
+  int head = 0;
+  for (int i = 0; i < n; ++i) {
+    head += z.Next() < 1000 ? 1 : 0;  // hottest 1%
+  }
+  // Under zipf(0.99), the top 1% of items draw a large share of accesses;
+  // under uniform they would draw ~1%.
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(Zipf, RankFrequencyMonotone) {
+  ZipfGenerator z(64, 0.99, 5);
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < 300000; ++i) {
+    counts[z.Next()]++;
+  }
+  EXPECT_GT(counts[0], counts[8]);
+  EXPECT_GT(counts[8], counts[32]);
+  EXPECT_GT(counts[32], 0);
+}
+
+TEST(Zipf, LowerThetaIsFlatter) {
+  auto head_share = [](double theta) {
+    ZipfGenerator z(10000, theta, 9);
+    int head = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+      head += z.Next() < 100 ? 1 : 0;
+    }
+    return head;
+  };
+  EXPECT_GT(head_share(0.95), head_share(0.5));
+}
+
+TEST(Zipf, SingleItemAlwaysZero) {
+  ZipfGenerator z(1, 0.9, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(z.Next(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace snicsim
