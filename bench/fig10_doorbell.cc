@@ -56,7 +56,8 @@ double ClientDbThroughput(ServerKind kind, bool batch, int batch_size) {
   return MeasureInboundPath(kind, Verb::kRead, 64, cfg).mreqs;
 }
 
-double LocalDbThroughput(bool s2h, bool batch, int batch_size) {
+double LocalDbThroughput(bool s2h, bool batch, int batch_size,
+                         const std::string& trace = "", const std::string& metrics = "") {
   LocalRequesterParams p = s2h ? LocalRequesterParams::Soc() : LocalRequesterParams::Host();
   p.doorbell_batch = batch;
   p.batch = batch_size;
@@ -64,6 +65,8 @@ double LocalDbThroughput(bool s2h, bool batch, int batch_size) {
   cfg.client_machines = 1;
   cfg.warmup = FromMicros(80);   // several batch cycles
   cfg.window = FromMicros(600);
+  cfg.trace_path = trace;
+  cfg.metrics_path = metrics;
   return MeasureLocalPath(s2h, Verb::kRead, 64, p, cfg).mreqs;
 }
 
@@ -71,6 +74,10 @@ double LocalDbThroughput(bool s2h, bool batch, int batch_size) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  const std::string trace = flags.GetString(
+      "trace", "", "trace JSON output (S2H doorbell-batch B=32 run)");
+  const std::string metrics = flags.GetString(
+      "metrics", "", "metrics JSON output (S2H doorbell-batch B=32 run)");
   flags.Finish();
 
   PrintPostingLatency(flags.csv());
@@ -90,7 +97,13 @@ int main(int argc, char** argv) {
       {"SNIC(1) client", [](bool b, int n) {
          return ClientDbThroughput(ServerKind::kBluefieldHost, b, n);
        }},
-      {"SNIC(3) SoC-side (S2H)", [](bool b, int n) { return LocalDbThroughput(true, b, n); }},
+      {"SNIC(3) SoC-side (S2H)",
+       [&](bool b, int n) {
+         // Trace the batched run: post_batch + wqe_fetch spans only show up
+         // with doorbell batching on.
+         const bool sink = b && n == 32;
+         return LocalDbThroughput(true, b, n, sink ? trace : "", sink ? metrics : "");
+       }},
       {"SNIC(3) host-side (H2S)", [](bool b, int n) {
          return LocalDbThroughput(false, b, n);
        }},

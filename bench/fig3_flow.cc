@@ -45,6 +45,10 @@ const char* Name(LatencyTarget t) {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int64_t payload = flags.GetInt("payload", 64, "payload bytes");
+  const std::string trace =
+      flags.GetString("trace", "", "Chrome trace_event JSON output (SNIC(1) READ run)");
+  const std::string metrics =
+      flags.GetString("metrics", "", "metrics JSON output (SNIC(1) READ run)");
   flags.Finish();
   const uint32_t p = static_cast<uint32_t>(payload);
 
@@ -56,8 +60,14 @@ int main(int argc, char** argv) {
     for (LatencyTarget target : {LatencyTarget::kRnicHost, LatencyTarget::kBluefieldHost,
                                  LatencyTarget::kBluefieldSoc}) {
       const LatencyBreakdown b = PredictLatency(target, verb, p);
-      const double sim =
-          MeasureInboundPath(ToKind(target), verb, p, HarnessConfig::Latency()).p50_us;
+      HarnessConfig cfg = HarnessConfig::Latency();
+      if (verb == Verb::kRead && target == LatencyTarget::kBluefieldHost) {
+        // The SNIC(1) READ run is the one the paper's Fig. 3 narrates, so
+        // that's the run the observability sinks attach to.
+        cfg.trace_path = trace;
+        cfg.metrics_path = metrics;
+      }
+      const double sim = MeasureInboundPath(ToKind(target), verb, p, cfg).p50_us;
       t.Row().Add(Name(target));
       t.Add(b.post_us, 2).Add(b.request_wire_us, 2).Add(b.pcie_round_trip_us, 2);
       t.Add(b.memory_us, 2).Add(b.response_wire_us, 2).Add(b.completion_us, 2);

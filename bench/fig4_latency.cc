@@ -29,6 +29,10 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int64_t max_payload =
       flags.GetInt("max-payload", 16384, "largest payload in the sweep");
+  const std::string trace =
+      flags.GetString("trace", "", "trace JSON output (SNIC(1) READ 64B run)");
+  const std::string metrics =
+      flags.GetString("metrics", "", "metrics JSON output (SNIC(1) READ 64B run)");
   flags.Finish();
 
   const std::vector<uint32_t> payloads = {8, 16, 64, 256, 512, 1024, 4096, 16384};
@@ -41,9 +45,14 @@ int main(int argc, char** argv) {
       if (p > static_cast<uint64_t>(max_payload)) {
         continue;
       }
+      HarnessConfig snic1 = lat;
+      if (verb == Verb::kRead && p == 64) {
+        snic1.trace_path = trace;
+        snic1.metrics_path = metrics;
+      }
       t.Row().Add(FormatBytes(p));
       t.Add(MeasureInboundPath(ServerKind::kRnicHost, verb, p, lat).p50_us, 2);
-      t.Add(MeasureInboundPath(ServerKind::kBluefieldHost, verb, p, lat).p50_us, 2);
+      t.Add(MeasureInboundPath(ServerKind::kBluefieldHost, verb, p, snic1).p50_us, 2);
       t.Add(MeasureInboundPath(ServerKind::kBluefieldSoc, verb, p, lat).p50_us, 2);
       t.Add(LocalLatency(/*s2h=*/true, verb, p), 2);
       t.Add(LocalLatency(/*s2h=*/false, verb, p), 2);

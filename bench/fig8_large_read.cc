@@ -18,6 +18,10 @@ using namespace snicsim;  // NOLINT: bench brevity
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const bool quick = flags.GetBool("quick", false, "skip the >16MB points");
+  const std::string trace =
+      flags.GetString("trace", "", "trace JSON output (first READ SNIC(2) point)");
+  const std::string metrics =
+      flags.GetString("metrics", "", "metrics JSON output (first READ SNIC(2) point)");
   flags.Finish();
 
   std::vector<uint32_t> payloads = {64 * 1024,       256 * 1024,      1024 * 1024,
@@ -35,8 +39,15 @@ int main(int argc, char** argv) {
   std::printf("== collecting... ==\n");
   std::vector<Measurement> r1s, r2s, w2s;
   for (uint32_t p : payloads) {
+    // The sinks attach to the first SNIC(2) READ point: the path whose
+    // sub-read pipeline (128 B MTU, HoL stalls) Fig. 8 is about.
+    HarnessConfig r2cfg = cfg;
+    if (p == payloads.front()) {
+      r2cfg.trace_path = trace;
+      r2cfg.metrics_path = metrics;
+    }
     r1s.push_back(MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, p, cfg));
-    r2s.push_back(MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, p, cfg));
+    r2s.push_back(MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, p, r2cfg));
     w2s.push_back(MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, p, cfg));
   }
   for (size_t i = 0; i < payloads.size(); ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/log.h"
+#include "src/obs/trace.h"
 
 namespace snicsim {
 
@@ -141,15 +142,35 @@ SimTime MemorySubsystem::AccessBulk(SimTime ready, uint64_t addr, uint32_t len,
 }
 
 SimTime MemorySubsystem::Access(SimTime ready, uint64_t addr, uint32_t len, bool is_write,
-                                Simulator::Callback cb) {
+                                Simulator::Callback cb, uint64_t req_id) {
   ready = std::max(ready, sim_->now());
   const SimTime done = (len <= params_.bulk_threshold)
                            ? AccessSmall(ready, addr, is_write)
                            : AccessBulk(ready, addr, len, is_write);
+  if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+    tr->Span(name_, is_write ? "write" : "read", ready, done, req_id,
+             is_write ? TraceCat::kAsync : TraceCat::kPhase);
+  }
   if (cb != nullptr) {
     sim_->At(done, std::move(cb));
   }
   return done;
+}
+
+void MemorySubsystem::RegisterMetrics(MetricsRegistry* reg) {
+  reg->Register(name_, "llc_hits", "count", "accesses absorbed by the LLC",
+                [this] { return static_cast<double>(llc_hits_); });
+  reg->Register(name_, "llc_misses", "count", "accesses that missed the LLC",
+                [this] { return static_cast<double>(llc_misses_); });
+  reg->Register(name_, "llc_hit_ratio", "fraction",
+                "llc_hits / (llc_hits + llc_misses); 0 when the LLC is absent", [this] {
+                  const uint64_t total = llc_hits_ + llc_misses_;
+                  return total > 0 ? static_cast<double>(llc_hits_) /
+                                         static_cast<double>(total)
+                                   : 0.0;
+                });
+  reg->Register(name_, "dram_accesses", "count", "accesses served by DRAM",
+                [this] { return static_cast<double>(dram_accesses_); });
 }
 
 }  // namespace snicsim

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
 #include "src/sim/server.h"
 #include "src/sim/simulator.h"
 
@@ -72,8 +73,13 @@ class MemorySubsystem {
   // Serves one access whose data arrives (write) or whose request arrives
   // (read) at `ready`. Returns the completion time: data available for
   // reads, globally visible for writes. `cb`, if given, fires then.
+  // `req_id` threads the originating request through to trace spans: reads
+  // trace as critical-path phases, writes as async (posted, off the
+  // completion path).
   SimTime Access(SimTime ready, uint64_t addr, uint32_t len, bool is_write,
-                 Simulator::Callback cb = nullptr);
+                 Simulator::Callback cb = nullptr, uint64_t req_id = 0);
+
+  void RegisterMetrics(MetricsRegistry* reg);
 
   const MemoryParams& params() const { return params_; }
   uint64_t llc_hits() const { return llc_hits_; }

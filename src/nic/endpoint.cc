@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/obs/trace.h"
 
 namespace snicsim {
 
@@ -28,10 +29,11 @@ NicEndpoint::NicEndpoint(Simulator* sim, const NicParams& nic, const EndpointPar
 
 SimTime NicEndpoint::ControlRtt() const { return 2 * to_mem_.BaseLatency(); }
 
-void NicEndpoint::DmaRead(uint64_t addr, uint64_t len, DmaCallback cb) {
+void NicEndpoint::DmaRead(uint64_t addr, uint64_t len, DmaCallback cb, uint64_t req_id) {
   auto op = std::make_shared<ReadOp>();
   op->addr = addr;
   op->len = std::max<uint64_t>(len, 1);
+  op->rid = req_id;
   op->cb = std::move(cb);
   op->window = nic_.read_credits;
   // Head-of-line degradation: a single oversized read against a small-MTU
@@ -69,15 +71,18 @@ void NicEndpoint::IssueOneSubRead(const std::shared_ptr<ReadOp>& op) {
   ++reads_issued_;
   read_credits_.Acquire([this, op, chunk, chunk_addr] {
     // Non-posted read request travels to the endpoint ...
-    const SimTime req_at = to_mem_.TransferControlAt(sim_, sim_->now());
+    const SimTime req_at = to_mem_.TransferControlAt(sim_, sim_->now(), nullptr, op->rid);
     // ... is serviced by the completer and the memory ...
     SimTime served = req_at;
     if (read_completer_ != nullptr) {
       served = read_completer_->EnqueueAt(req_at, params_.read_completer.ServiceTime());
+      if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+        tr->Span(params_.name, "read_completer", req_at, served, op->rid);
+      }
     }
     const SimTime data_ready = memory_->Access(served, chunk_addr,
                                                static_cast<uint32_t>(chunk),
-                                               /*is_write=*/false);
+                                               /*is_write=*/false, nullptr, op->rid);
     // ... and the completion burst streams back, segmented at the
     // endpoint's PCIe MTU.
     from_mem_.TransferAt(sim_, data_ready, chunk, params_.pcie_mtu, [this, op, chunk] {
@@ -89,15 +94,16 @@ void NicEndpoint::IssueOneSubRead(const std::shared_ptr<ReadOp>& op) {
         op->cb(op->last_done);
       }
       PumpReads();
-    });
+    }, op->rid);
   });
 }
 
 void NicEndpoint::DmaWrite(uint64_t addr, uint64_t len, DmaCallback posted_cb,
-                           bool single_descriptor) {
+                           bool single_descriptor, uint64_t req_id) {
   auto op = std::make_shared<WriteOp>();
   op->addr = addr;
   op->len = std::max<uint64_t>(len, 1);
+  op->rid = req_id;
   op->cb = std::move(posted_cb);
   op->window = nic_.write_credits;
   // Oversized bursts against a small-MTU endpoint starve the endpoint's
@@ -147,6 +153,10 @@ void NicEndpoint::IssueOneSubWrite(const std::shared_ptr<WriteOp>& op) {
       SimTime served = sim_->now();
       if (write_completer_ != nullptr) {
         served = write_completer_->EnqueueAt(served, params_.write_completer.ServiceTime());
+        if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+          tr->Span(params_.name, "write_completer", op->last_posted, served, op->rid,
+                   TraceCat::kAsync);
+        }
       }
       memory_->Access(served, chunk_addr, static_cast<uint32_t>(chunk),
                       /*is_write=*/true, [this, op] {
@@ -155,7 +165,7 @@ void NicEndpoint::IssueOneSubWrite(const std::shared_ptr<WriteOp>& op) {
           op->in_flight -= 1;
           PumpWrites();
         }
-      });
+      }, op->rid);
       if (!op->gate_on_commit) {
         op->in_flight -= 1;
         PumpWrites();
@@ -163,8 +173,24 @@ void NicEndpoint::IssueOneSubWrite(const std::shared_ptr<WriteOp>& op) {
       if (op->delivered >= op->len && op->cb) {
         op->cb(op->last_posted);
       }
-    });
+    }, op->rid);
   });
+}
+
+void NicEndpoint::RegisterMetrics(MetricsRegistry* reg) {
+  reg->Register(params_.name, "dma_reads", "count", "sub-read requests issued",
+                [this] { return static_cast<double>(reads_issued_); });
+  reg->Register(params_.name, "dma_writes", "count", "DMA write ops issued",
+                [this] { return static_cast<double>(writes_issued_); });
+  reg->Register(params_.name, "hol_stalls", "count",
+                "ops that hit head-of-line window degradation",
+                [this] { return static_cast<double>(hol_events_); });
+  reg->Register(params_.name, "read_credit_peak_waiters", "count",
+                "max sub-reads ever queued for a DMA read credit",
+                [this] { return static_cast<double>(read_credits_.max_waiters()); });
+  reg->Register(params_.name, "write_credit_peak_waiters", "count",
+                "max bursts ever queued for a DMA write credit",
+                [this] { return static_cast<double>(write_credits_.max_waiters()); });
 }
 
 }  // namespace snicsim

@@ -55,7 +55,8 @@ class NicEndpoint {
   // sub-requests with bounded outstanding credits; a request larger than
   // the head-of-line threshold against a small-MTU endpoint degrades to
   // hol_degraded_credits outstanding (paper Fig. 8).
-  void DmaRead(uint64_t addr, uint64_t len, DmaCallback cb);
+  // `req_id` threads the originating request through to trace spans.
+  void DmaRead(uint64_t addr, uint64_t len, DmaCallback cb, uint64_t req_id = 0);
 
   // Posted DMA write. `posted_cb` fires when the burst has been delivered
   // into the endpoint (the NIC may then ack); the write additionally holds a
@@ -67,7 +68,7 @@ class NicEndpoint {
   // endpoints: remote WRITEs arrive pre-segmented at the network MTU and are
   // unaffected (paper §3.2 vs. §3.3).
   void DmaWrite(uint64_t addr, uint64_t len, DmaCallback posted_cb,
-                bool single_descriptor = false);
+                bool single_descriptor = false, uint64_t req_id = 0);
 
   // One header-only TLP to the endpoint and back (for model probes).
   SimTime ControlRtt() const;
@@ -84,6 +85,10 @@ class NicEndpoint {
   uint64_t writes_issued() const { return writes_issued_; }
   uint64_t hol_events() const { return hol_events_; }
 
+  // Exposes DMA/credit counters under "<name>"; paths and memory register
+  // separately (they are shared between endpoints).
+  void RegisterMetrics(MetricsRegistry* reg);
+
  private:
   struct ReadOp {
     uint64_t addr = 0;
@@ -93,6 +98,7 @@ class NicEndpoint {
     int window = 0;          // outstanding sub-read budget for this op
     int in_flight = 0;
     SimTime last_done = 0;
+    uint64_t rid = 0;
     DmaCallback cb;
   };
 
@@ -105,6 +111,7 @@ class NicEndpoint {
     int in_flight = 0;
     bool gate_on_commit = false;  // HoL mode: next chunk waits for absorb
     SimTime last_posted = 0;
+    uint64_t rid = 0;
     DmaCallback cb;
   };
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/obs/trace.h"
 #include "src/pcie/tlp.h"
 
 namespace snicsim {
@@ -49,101 +50,118 @@ void NicEngine::AcquirePu(NicEndpoint* ep, std::function<void(Simulator::Callbac
 }
 
 void NicEngine::SendResponse(NicEndpoint* ep, uint64_t bytes, SimTime ready, PciePath path,
-                             ResponseCallback done) {
+                             ResponseCallback done, uint64_t req_id) {
   // The first response frame's pipeline slot is accounted in the request's
   // fe_units; only additional frames of a multi-frame response cost extra.
   const uint64_t frames = bytes == 0 ? 1 : CeilDiv(bytes, params_.network_mtu);
   SimTime t = ready;
   if (frames > 1) {
     t = frontend_.Process(ready, ep->fe_id, static_cast<double>(frames - 1));
+    if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+      tr->Span(params_.name + ".fe", "respond", ready, t, req_id);
+    }
   }
   if (bytes == 0) {
-    path.TransferControlAt(sim_, t, [this, done] { done(sim_->now()); });
+    path.TransferControlAt(sim_, t, [this, done] { done(sim_->now()); }, req_id);
   } else {
     path.TransferAt(sim_, t, bytes, params_.network_mtu,
-                    [this, done] { done(sim_->now()); });
+                    [this, done] { done(sim_->now()); }, req_id);
   }
 }
 
 void NicEngine::HandleRequest(NicEndpoint* ep, Verb verb, uint64_t addr, uint32_t len,
                               double fe_units, PciePath response_path,
-                              ResponseCallback done) {
+                              ResponseCallback done, uint64_t req_id) {
   ++requests_served_;
   const SimTime parsed = frontend_.Process(sim_->now(), ep->fe_id, fe_units);
-  sim_->At(parsed, [this, ep, verb, addr, len, response_path = std::move(response_path),
+  if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+    tr->Span(params_.name + ".fe", "parse", sim_->now(), parsed, req_id);
+  }
+  sim_->At(parsed, [this, ep, verb, addr, len, req_id,
+                    response_path = std::move(response_path),
                     done = std::move(done)]() mutable {
-    AcquirePu(ep, [this, ep, verb, addr, len, response_path = std::move(response_path),
+    AcquirePu(ep, [this, ep, verb, addr, len, req_id,
+                   response_path = std::move(response_path),
                    done = std::move(done)](Simulator::Callback release) mutable {
       switch (verb) {
         case Verb::kRead: {
           if (len == 0) {
             // Zero-byte ops never reach PCIe (paper §4's microbenchmark).
-            SendResponse(ep, 0, sim_->now(), std::move(response_path), std::move(done));
+            SendResponse(ep, 0, sim_->now(), std::move(response_path), std::move(done),
+                         req_id);
             release();
             return;
           }
-          ep->DmaRead(addr, len, [this, ep, len, release = std::move(release),
+          ep->DmaRead(addr, len, [this, ep, len, req_id, release = std::move(release),
                                   response_path = std::move(response_path),
                                   done = std::move(done)](SimTime data_at_nic) mutable {
-            SendResponse(ep, len, data_at_nic, std::move(response_path), std::move(done));
+            SendResponse(ep, len, data_at_nic, std::move(response_path), std::move(done),
+                         req_id);
             sim_->At(data_at_nic + params_.read_pipeline_overhead, std::move(release));
-          });
+          }, req_id);
           return;
         }
         case Verb::kWrite: {
           if (len == 0) {
-            SendResponse(ep, 0, sim_->now(), std::move(response_path), std::move(done));
+            SendResponse(ep, 0, sim_->now(), std::move(response_path), std::move(done),
+                         req_id);
             release();
             return;
           }
-          ep->DmaWrite(addr, len, [this, ep, release = std::move(release),
+          ep->DmaWrite(addr, len, [this, ep, req_id, release = std::move(release),
                                    response_path = std::move(response_path),
                                    done = std::move(done)](SimTime posted) mutable {
             // The ack departs as soon as the burst is accepted; the write
             // commits to memory asynchronously (Fig. 3).
-            SendResponse(ep, 0, posted, std::move(response_path), std::move(done));
+            SendResponse(ep, 0, posted, std::move(response_path), std::move(done), req_id);
             sim_->At(posted + params_.write_pipeline_overhead, std::move(release));
-          });
+          }, /*single_descriptor=*/false, req_id);
           return;
         }
         case Verb::kSend: {
           // Deliver payload + CQE into the receive ring, then hand off to
           // the endpoint CPU.
           const uint64_t ring_bytes = static_cast<uint64_t>(len) + params_.cqe_bytes;
-          ep->DmaWrite(addr, ring_bytes, [this, ep, len, release = std::move(release),
+          ep->DmaWrite(addr, ring_bytes, [this, ep, len, req_id,
+                                          release = std::move(release),
                                           response_path = std::move(response_path),
                                           done = std::move(done)](SimTime posted) mutable {
             sim_->At(posted + params_.write_pipeline_overhead, std::move(release));
             SendHandler& handler = send_handlers_[static_cast<size_t>(ep->fe_id)];
             SNIC_CHECK(handler != nullptr);
-            handler(len, [this, ep, response_path = std::move(response_path),
+            handler(len, [this, ep, req_id, response_path = std::move(response_path),
                           done = std::move(done)](SimTime ready, uint32_t reply_len) mutable {
               const SimTime t = frontend_.Process(ready, ep->fe_id, 1.0);
+              if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+                tr->Span(params_.name + ".fe", "reply_post", ready, t, req_id);
+              }
               if (reply_len <= params_.max_inline_bytes) {
                 // Small replies are posted inline: the CPU pushed WQE + data
                 // through the doorbell MMIO (cost already in the handler's
                 // per-message service), so no gather DMA is needed.
-                sim_->At(t, [this, ep, reply_len,
+                sim_->At(t, [this, ep, reply_len, req_id,
                              response_path = std::move(response_path),
                              done = std::move(done)]() mutable {
                   SendResponse(ep, std::max<uint32_t>(reply_len, 1), sim_->now(),
-                               std::move(response_path), std::move(done));
+                               std::move(response_path), std::move(done), req_id);
                 });
                 return;
               }
               // Larger replies fetch their payload from the endpoint memory
               // (WQE + data gather) before hitting the wire.
-              sim_->At(t, [this, ep, reply_len, response_path = std::move(response_path),
+              sim_->At(t, [this, ep, reply_len, req_id,
+                           response_path = std::move(response_path),
                            done = std::move(done)]() mutable {
                 ep->DmaRead(0x7ef0'0000 + params_.wqe_bytes, reply_len + params_.wqe_bytes,
-                            [this, ep, reply_len, response_path = std::move(response_path),
+                            [this, ep, reply_len, req_id,
+                             response_path = std::move(response_path),
                              done = std::move(done)](SimTime data) mutable {
                   SendResponse(ep, std::max<uint32_t>(reply_len, 1), data,
-                               std::move(response_path), std::move(done));
-                });
+                               std::move(response_path), std::move(done), req_id);
+                }, req_id);
               });
             });
-          });
+          }, /*single_descriptor=*/false, req_id);
           return;
         }
       }
@@ -151,36 +169,41 @@ void NicEngine::HandleRequest(NicEndpoint* ep, Verb verb, uint64_t addr, uint32_
   });
 }
 
-void NicEngine::FetchWqes(NicEndpoint* src, uint64_t addr, int count, DmaCallback cb) {
+void NicEngine::FetchWqes(NicEndpoint* src, uint64_t addr, int count, DmaCallback cb,
+                          uint64_t req_id) {
   SNIC_CHECK_GT(count, 0);
   // The chain fetch is a real engine job: it occupies a processing-unit
   // context for the DMA round trip against the requester's memory. On the
   // host side of path ③ this is what makes small-batch doorbell batching a
   // net loss (paper Fig. 10(b)): the fetch steals PU time that BlueFlame
   // posts (WQE pushed with the doorbell) do not.
-  AcquirePu(src, [this, src, addr, count, cb = std::move(cb)](
+  AcquirePu(src, [this, src, addr, count, req_id, cb = std::move(cb)](
                      Simulator::Callback release) mutable {
     src->DmaRead(addr, static_cast<uint64_t>(count) * params_.wqe_bytes,
                  [this, release = std::move(release), cb = std::move(cb)](SimTime done) mutable {
                    cb(done);
                    sim_->At(done + params_.read_pipeline_overhead, std::move(release));
-                 });
+                 }, req_id);
   });
 }
 
 void NicEngine::ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, uint64_t addr,
-                               uint32_t len, std::function<void(SimTime)> done) {
+                               uint32_t len, std::function<void(SimTime)> done,
+                               uint64_t req_id) {
   ++requests_served_;
   const double units =
       static_cast<double>(std::max<uint64_t>(1, CeilDiv(len, params_.max_read_request)));
   const SimTime parsed = frontend_.Process(sim_->now(), dst->fe_id, units);
+  if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+    tr->Span(params_.name + ".fe", "parse", sim_->now(), parsed, req_id);
+  }
   // Completions land in the requester's CQ ring: successive CQEs stride
   // through a 512 KB ring, so they spread over DRAM rows instead of
   // hammering one bank.
   const uint64_t cqe_addr = 0x7f00'0000 + (cqe_seq_++ % 4096) * 128;
-  sim_->At(parsed, [this, src, dst, verb, addr, len, cqe_addr,
+  sim_->At(parsed, [this, src, dst, verb, addr, len, cqe_addr, req_id,
                     done = std::move(done)]() mutable {
-    AcquirePu(dst, [this, src, dst, verb, addr, len, cqe_addr,
+    AcquirePu(dst, [this, src, dst, verb, addr, len, cqe_addr, req_id,
                     done = std::move(done)](Simulator::Callback release) mutable {
       switch (verb) {
         case Verb::kRead: {
@@ -188,7 +211,7 @@ void NicEngine::ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, ui
           // into src's memory. The context is held until the delivery is
           // posted — a local op spans both DMA phases.
           dst->DmaRead(addr, std::max<uint32_t>(len, 1),
-                       [this, src, len, cqe_addr, release = std::move(release),
+                       [this, src, len, cqe_addr, req_id, release = std::move(release),
                         done = std::move(done)](SimTime) mutable {
             src->DmaWrite(cqe_addr, static_cast<uint64_t>(len) + params_.cqe_bytes,
                           [this, release = std::move(release),
@@ -197,8 +220,8 @@ void NicEngine::ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, ui
                                      std::move(release));
                             done(posted);
                           },
-                          /*single_descriptor=*/true);
-          });
+                          /*single_descriptor=*/true, req_id);
+          }, req_id);
           return;
         }
         case Verb::kWrite:
@@ -206,7 +229,7 @@ void NicEngine::ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, ui
           // Gather payload from src, write it into dst, then post the CQE
           // back into src. This is the double PCIe1 crossing of path ③.
           src->DmaRead(addr, std::max<uint32_t>(len, 1),
-                       [this, src, dst, verb, addr, len, cqe_addr,
+                       [this, src, dst, verb, addr, len, cqe_addr, req_id,
                         release = std::move(release),
                         done = std::move(done)](SimTime) mutable {
             const uint64_t dst_bytes =
@@ -214,7 +237,7 @@ void NicEngine::ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, ui
                                     : std::max<uint32_t>(len, 1);
             dst->DmaWrite(
                 addr, dst_bytes,
-                [this, src, dst, verb, len, cqe_addr, release = std::move(release),
+                [this, src, dst, verb, len, cqe_addr, req_id, release = std::move(release),
                  done = std::move(done)](SimTime posted) mutable {
               sim_->At(posted + params_.write_pipeline_overhead, std::move(release));
               if (verb == Verb::kSend) {
@@ -224,15 +247,34 @@ void NicEngine::ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, ui
                 }
               }
               src->DmaWrite(cqe_addr, params_.cqe_bytes,
-                            [done = std::move(done)](SimTime posted) { done(posted); });
+                            [done = std::move(done)](SimTime posted) { done(posted); },
+                            /*single_descriptor=*/false, req_id);
             },
-                /*single_descriptor=*/true);
-          });
+                /*single_descriptor=*/true, req_id);
+          }, req_id);
           return;
         }
       }
     });
   });
+}
+
+void NicEngine::RegisterMetrics(MetricsRegistry* reg) {
+  reg->Register(params_.name, "requests_served", "count",
+                "requests entering the engine (remote + local)",
+                [this] { return static_cast<double>(requests_served_); });
+  reg->Register(params_.name + ".fe", "shared_jobs", "count",
+                "work items through the shared front-end pipeline",
+                [this] { return static_cast<double>(frontend_.shared_jobs()); });
+  reg->Register(params_.name + ".fe", "shared_busy_us", "us",
+                "busy time of the shared front-end pipeline",
+                [this] { return ToMicros(frontend_.shared_busy()); });
+  reg->Register(params_.name + ".pu", "peak_waiters", "count",
+                "max jobs ever queued for a shared processing-unit context",
+                [this] { return static_cast<double>(pus_.max_waiters()); });
+  for (const auto& ep : endpoints_) {
+    ep->RegisterMetrics(reg);
+  }
 }
 
 }  // namespace snicsim

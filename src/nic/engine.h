@@ -59,19 +59,23 @@ class NicEngine {
   // inbound pipeline work (≈ number of frames). The response (READ data, or
   // a small ack/CQE-generating packet for WRITE/SEND) is pushed along
   // `response_path` segmented at the network MTU.
+  // `req_id` threads the originating request through to trace spans.
   void HandleRequest(NicEndpoint* ep, Verb verb, uint64_t addr, uint32_t len,
-                     double fe_units, PciePath response_path, ResponseCallback done);
+                     double fe_units, PciePath response_path, ResponseCallback done,
+                     uint64_t req_id = 0);
 
   // Path ③: an op posted by the CPU of `src` targeting the memory of `dst`
   // on the same SmartNIC. Assumes doorbell/WQE-fetch costs were already paid
   // by the requester model; `done` fires when the CQE write has been posted
   // into `src`'s memory.
   void ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, uint64_t addr,
-                      uint32_t len, std::function<void(SimTime)> done);
+                      uint32_t len, std::function<void(SimTime)> done,
+                      uint64_t req_id = 0);
 
   // Fetches `count` WQEs (doorbell-batching DMA) from `src` memory; `cb`
   // fires when they are inside the NIC.
-  void FetchWqes(NicEndpoint* src, uint64_t addr, int count, DmaCallback cb);
+  void FetchWqes(NicEndpoint* src, uint64_t addr, int count, DmaCallback cb,
+                 uint64_t req_id = 0);
 
   const NicParams& params() const { return params_; }
   FrontEnd& frontend() { return frontend_; }
@@ -86,9 +90,12 @@ class NicEngine {
 
   uint64_t requests_served() const { return requests_served_; }
 
+  // Exposes engine + per-endpoint counters under "<name>" / endpoint names.
+  void RegisterMetrics(MetricsRegistry* reg);
+
  private:
   void SendResponse(NicEndpoint* ep, uint64_t bytes, SimTime ready, PciePath path,
-                    ResponseCallback done);
+                    ResponseCallback done, uint64_t req_id);
 
   Simulator* sim_;
   NicParams params_;

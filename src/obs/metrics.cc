@@ -1,0 +1,72 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "src/obs/trace.h"
+
+namespace snicsim {
+
+namespace {
+
+// Deterministic number formatting: exact integers stay integers, everything
+// else goes through a fixed %.6g so two runs print identical bytes.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  return buf;
+}
+
+}  // namespace
+
+bool MetricsRegistry::Register(std::string_view instance, std::string_view leaf,
+                               std::string_view unit, std::string_view help,
+                               Sample sample) {
+  std::string full;
+  full.reserve(instance.size() + leaf.size() + 1);
+  full.append(instance);
+  full.push_back('.');
+  full.append(leaf);
+  if (!taken_.insert(full).second) {
+    return false;
+  }
+  Entry e;
+  e.instance = std::string(instance);
+  e.leaf = std::string(leaf);
+  e.unit = std::string(unit);
+  e.help = std::string(help);
+  e.sample = std::move(sample);
+  entries_.push_back(std::move(e));
+  return true;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  os << "{";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  \"" << Tracer::JsonEscape(e.instance) << '.' << Tracer::JsonEscape(e.leaf)
+       << "\": {\"value\": " << FormatValue(e.sample ? e.sample() : 0.0)
+       << ", \"unit\": \"" << Tracer::JsonEscape(e.unit) << "\"}";
+  }
+  os << "\n}\n";
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f) {
+    return false;
+  }
+  WriteJson(f);
+  return f.good();
+}
+
+}  // namespace snicsim

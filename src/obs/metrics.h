@@ -1,0 +1,62 @@
+// Named counters/gauges dumped as JSON alongside bench tables.
+//
+// Components expose their internal state (per-link bytes & utilization,
+// queue depths, HoL stalls, DDIO hit ratio, doorbell MMIO count) by
+// registering sampling callbacks under "<instance>.<leaf>" names. The
+// registry samples every callback at dump time, so a single WriteJson at
+// the end of a run captures the final state of the whole component graph.
+//
+// Names have two parts: `instance` identifies the concrete object
+// ("bf_srv.pcie0.down") and `leaf` the quantity ("wire_bytes"). The set of
+// leaf names is the documented catalog in DESIGN.md §6; a test enumerates
+// the registry of a real topology and fails on any undocumented leaf.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace snicsim {
+
+class MetricsRegistry {
+ public:
+  using Sample = std::function<double()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registers "<instance>.<leaf>". Returns false (and registers nothing)
+  // if that full name is already taken — duplicate names would make the
+  // dump ambiguous, so callers treat false as a wiring bug.
+  bool Register(std::string_view instance, std::string_view leaf, std::string_view unit,
+                std::string_view help, Sample sample);
+
+  struct Entry {
+    std::string instance;
+    std::string leaf;
+    std::string unit;
+    std::string help;
+    Sample sample;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // JSON object keyed by full metric name, in registration order (which is
+  // deterministic because components register in construction order):
+  //   {"bf_srv.pcie0.down.wire_bytes": {"value": 4096, "unit": "bytes"}, ...}
+  // Numbers are integers when integral, else printed with %.6g.
+  void WriteJson(std::ostream& os) const;
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::unordered_set<std::string> taken_;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_OBS_METRICS_H_

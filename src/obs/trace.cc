@@ -1,0 +1,189 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/log.h"
+
+namespace snicsim {
+
+namespace {
+
+// Chrome's ts/dur fields are microseconds. SimTime is integer picoseconds,
+// so ps -> us is an exact division printed with six decimals; no floating
+// point touches the output, keeping files byte-identical across runs.
+std::string FormatMicroseconds(SimTime ps) {
+  SNIC_CHECK_GE(ps, 0);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64, ps / kMicros, ps % kMicros);
+  return buf;
+}
+
+}  // namespace
+
+const char* TraceCatName(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kPhase:
+      return "phase";
+    case TraceCat::kAsync:
+      return "async";
+    case TraceCat::kOp:
+      return "op";
+    case TraceCat::kInstant:
+      return "instant";
+  }
+  return "?";
+}
+
+Tracer::Tracer(size_t capacity) {
+  SNIC_CHECK_GT(capacity, 0u);
+  ring_.resize(capacity);
+}
+
+uint32_t Tracer::InternComponent(std::string_view component) {
+  const auto it = comp_ids_.find(std::string(component));
+  if (it != comp_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<uint32_t>(comps_.size());
+  comps_.emplace_back(component);
+  comp_ids_.emplace(comps_.back(), id);
+  return id;
+}
+
+uint32_t Tracer::InternName(std::string_view component, std::string_view verb) {
+  std::string full;
+  full.reserve(component.size() + verb.size() + 1);
+  full.append(component);
+  full.push_back('/');
+  full.append(verb);
+  const auto it = name_ids_.find(full);
+  if (it != name_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<uint32_t>(names_.size());
+  names_.push_back(std::move(full));
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+void Tracer::Push(const Record& r) {
+  ++emitted_;
+  if (size_ < ring_.size()) {
+    ring_[(head_ + size_) % ring_.size()] = r;
+    ++size_;
+    return;
+  }
+  // Full: overwrite the oldest record (keep the most recent `capacity`).
+  ring_[head_] = r;
+  head_ = (head_ + 1) % ring_.size();
+  ++dropped_;
+}
+
+void Tracer::Span(std::string_view component, std::string_view verb, SimTime start,
+                  SimTime end, uint64_t req_id, TraceCat cat) {
+  SNIC_CHECK_GE(end, start);
+  Record r;
+  r.start = start;
+  r.dur = end - start;
+  r.req_id = req_id;
+  r.comp_id = InternComponent(component);
+  r.name_id = InternName(component, verb);
+  r.cat = cat;
+  Push(r);
+}
+
+void Tracer::Instant(std::string_view component, std::string_view what, SimTime ts,
+                     uint64_t req_id) {
+  Record r;
+  r.start = ts;
+  r.dur = 0;
+  r.req_id = req_id;
+  r.comp_id = InternComponent(component);
+  r.name_id = InternName(component, what);
+  r.cat = TraceCat::kInstant;
+  Push(r);
+}
+
+std::vector<Tracer::Event> Tracer::Events() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    const Record& r = ring_[(head_ + i) % ring_.size()];
+    Event e;
+    e.name = names_[r.name_id];
+    e.component = comps_[r.comp_id];
+    e.cat = r.cat;
+    e.start = r.start;
+    e.dur = r.dur;
+    e.req_id = r.req_id;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string Tracer::JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Tracer::WriteChromeJson(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // One metadata event per component names its lane; components render as
+  // "threads" of a single "process" (the simulated machine graph).
+  for (size_t c = 0; c < comps_.size(); ++c) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << c + 1
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << JsonEscape(comps_[c])
+       << "\"}}";
+  }
+  for (size_t i = 0; i < size_; ++i) {
+    const Record& r = ring_[(head_ + i) % ring_.size()];
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(names_[r.name_id]) << "\",\"cat\":\""
+       << TraceCatName(r.cat) << "\",\"ph\":\""
+       << (r.cat == TraceCat::kInstant ? 'i' : 'X') << "\",\"pid\":0,\"tid\":"
+       << r.comp_id + 1 << ",\"ts\":" << FormatMicroseconds(r.start);
+    if (r.cat != TraceCat::kInstant) {
+      os << ",\"dur\":" << FormatMicroseconds(r.dur);
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    os << ",\"args\":{\"req\":" << r.req_id << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+bool Tracer::WriteChromeJsonFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f) {
+    return false;
+  }
+  WriteChromeJson(f);
+  return f.good();
+}
+
+}  // namespace snicsim

@@ -1,0 +1,123 @@
+// Per-component trace events for latency attribution.
+//
+// The paper's contribution is *explaining* end-to-end numbers by attributing
+// them to individual components (the PCIe switch hop, TLP segmentation at
+// the SoC's 128 B MTU, DDIO misses, doorbell MMIO). The Tracer makes that
+// attribution a first-class output: components emit span/instant events
+// keyed by (component, verb, request id) into a fixed-capacity ring buffer,
+// and an exporter renders Chrome trace_event JSON loadable in Perfetto or
+// chrome://tracing, where a single RDMA READ decomposes visually into
+// NIC-core -> PCIe1 -> switch -> PCIe0 -> host-DRAM spans.
+//
+// Zero overhead when disabled: components reach the tracer through a
+// nullable pointer on the Simulator; every emission site is guarded by one
+// pointer test. All timestamps are SimTime (integer picoseconds) — never
+// wall clock — so traces are bit-reproducible across runs.
+//
+// The event schema and span naming convention ("component/verb") are
+// documented in DESIGN.md §6 (Observability).
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace snicsim {
+
+// Event categories, rendered as the Chrome "cat" field:
+//  * kPhase   — a critical-path phase of a request; for an uncontended
+//               request the phase spans tile [issue, completion] exactly,
+//               so their durations sum to the end-to-end latency.
+//  * kAsync   — real work off the completion critical path (e.g. the memory
+//               commit of a posted write). Excluded from latency sums.
+//  * kOp      — the whole-request wrapper span (issue -> completion seen).
+//  * kInstant — a point event (doorbell ring, HoL degradation).
+enum class TraceCat : uint8_t { kPhase, kAsync, kOp, kInstant };
+
+const char* TraceCatName(TraceCat cat);
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = size_t{1} << 16;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Allocates the next request id (1-based; 0 means "untraced"). Ids are
+  // handed out in deterministic event order, so two runs of the same
+  // experiment assign identical ids.
+  uint64_t NextRequestId() { return ++req_seq_; }
+
+  // Records a duration event named "component/verb" spanning [start, end].
+  void Span(std::string_view component, std::string_view verb, SimTime start, SimTime end,
+            uint64_t req_id, TraceCat cat = TraceCat::kPhase);
+
+  // Records a point event named "component/what" at `ts`.
+  void Instant(std::string_view component, std::string_view what, SimTime ts,
+               uint64_t req_id);
+
+  // A resolved event, oldest-first, for tests and custom exporters.
+  struct Event {
+    std::string name;       // "component/verb"
+    std::string component;  // the lane the event renders on
+    TraceCat cat = TraceCat::kPhase;
+    SimTime start = 0;
+    SimTime dur = 0;  // 0 for instants
+    uint64_t req_id = 0;
+  };
+  std::vector<Event> Events() const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+  // Events overwritten after the ring wrapped (oldest are dropped first).
+  uint64_t dropped() const { return dropped_; }
+  uint64_t emitted() const { return emitted_; }
+
+  // Chrome trace_event JSON (the "JSON Array Format" with a traceEvents
+  // envelope). Deterministic: identical emissions produce identical bytes.
+  void WriteChromeJson(std::ostream& os) const;
+  // Returns false if the file could not be opened.
+  bool WriteChromeJsonFile(const std::string& path) const;
+
+  static std::string JsonEscape(std::string_view s);
+
+ private:
+  struct Record {
+    SimTime start = 0;
+    SimTime dur = 0;
+    uint64_t req_id = 0;
+    uint32_t name_id = 0;
+    uint32_t comp_id = 0;
+    TraceCat cat = TraceCat::kPhase;
+  };
+
+  uint32_t InternName(std::string_view component, std::string_view verb);
+  uint32_t InternComponent(std::string_view component);
+  void Push(const Record& r);
+
+  std::vector<Record> ring_;
+  size_t head_ = 0;  // index of the oldest record once the ring wrapped
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t emitted_ = 0;
+  uint64_t req_seq_ = 0;
+
+  // Interned strings; ids are assigned in first-use order, which is
+  // deterministic because emission order is deterministic.
+  std::unordered_map<std::string, uint32_t> name_ids_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> comp_ids_;
+  std::vector<std::string> comps_;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_OBS_TRACE_H_

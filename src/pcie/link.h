@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
 #include "src/pcie/tlp.h"
 #include "src/sim/server.h"
 #include "src/sim/simulator.h"
@@ -27,6 +28,10 @@ enum class LinkDir {
 
 constexpr LinkDir Opposite(LinkDir d) {
   return d == LinkDir::kDown ? LinkDir::kUp : LinkDir::kDown;
+}
+
+constexpr const char* LinkDirName(LinkDir d) {
+  return d == LinkDir::kDown ? "down" : "up";
 }
 
 struct LinkCounters {
@@ -106,6 +111,28 @@ class PcieLink {
   Bandwidth bandwidth() const { return bandwidth_; }
   SimTime propagation() const { return propagation_; }
   const std::string& name() const { return name_; }
+
+  // Exposes both directions' counters under "<name>.down" / "<name>.up".
+  void RegisterMetrics(MetricsRegistry* reg) {
+    for (const LinkDir dir : {LinkDir::kDown, LinkDir::kUp}) {
+      const std::string inst = name_ + "." + LinkDirName(dir);
+      reg->Register(inst, "tlps", "count", "TLPs serialized in this direction",
+                    [this, dir] { return static_cast<double>(counters(dir).tlps); });
+      reg->Register(inst, "payload_bytes", "bytes", "payload bytes carried",
+                    [this, dir] { return static_cast<double>(counters(dir).payload_bytes); });
+      reg->Register(inst, "wire_bytes", "bytes", "payload + per-TLP header bytes",
+                    [this, dir] { return static_cast<double>(counters(dir).wire_bytes); });
+      reg->Register(inst, "busy_us", "us", "time this direction was serializing",
+                    [this, dir] { return ToMicros(BusyTime(dir)); });
+      reg->Register(inst, "utilization", "fraction",
+                    "busy time / total simulated time at dump", [this, dir] {
+                      const SimTime t = sim_->now();
+                      return t > 0 ? static_cast<double>(BusyTime(dir)) /
+                                         static_cast<double>(t)
+                                   : 0.0;
+                    });
+    }
+  }
 
  private:
   BusyServer& Server(LinkDir dir) { return dir == LinkDir::kDown ? down_ : up_; }

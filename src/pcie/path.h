@@ -16,6 +16,7 @@
 
 #include "src/common/log.h"
 #include "src/common/units.h"
+#include "src/obs/trace.h"
 #include "src/pcie/link.h"
 #include "src/sim/simulator.h"
 
@@ -32,6 +33,11 @@ class PcieSwitch {
   const std::string& name() const { return name_; }
   uint64_t forwards() const { return forwards_; }
   void CountForward(uint64_t n = 1) { forwards_ += n; }
+
+  void RegisterMetrics(MetricsRegistry* reg) {
+    reg->Register(name_, "forwards", "count", "TLPs forwarded through this switch",
+                  [this] { return static_cast<double>(forwards_); });
+  }
 
  private:
   std::string name_;
@@ -75,14 +81,16 @@ class PciePath {
 
   // Pushes a data burst along the path; `cb` fires when the last TLP reaches
   // the far end. An empty path models CPU/memory on the same die (zero cost).
+  // `req_id` threads the originating request through to trace spans.
   SimTime TransferAt(Simulator* sim, SimTime ready, uint64_t payload_bytes, uint32_t mtu,
-                     Simulator::Callback cb = nullptr) const {
+                     Simulator::Callback cb = nullptr, uint64_t req_id = 0) const {
     if (hops_.empty()) {
       if (cb != nullptr) {
         sim->At(std::max(ready, sim->now()), std::move(cb));
       }
       return std::max(ready, sim->now());
     }
+    Tracer* const tr = sim->tracer();
     SimTime head = std::max(ready, sim->now());
     // The delivery time is bounded below by every hop's tail-exit time plus
     // the minimum (head-TLP) traversal of the remaining hops — without this,
@@ -97,6 +105,9 @@ class PciePath {
       SimTime via_delay = 0;
       if (h.via != nullptr) {
         via_delay = h.via->forward_delay();
+        if (tr != nullptr) {
+          tr->Span(h.via->name(), "forward", head, head + via_delay, req_id);
+        }
         head += via_delay;
         h.via->CountForward(NumTlps(payload_bytes, mtu));
       }
@@ -105,9 +116,13 @@ class PciePath {
           WireBytes(std::min<uint64_t>(payload_bytes, mtu), mtu);
       const SimTime full = h.link->bandwidth().TransferTime(wire);
       const SimTime first = h.link->bandwidth().TransferTime(first_tlp_wire);
+      const SimTime entered = head;
       // Charge the link for the full burst; the head TLP exits after `first`.
       const SimTime delivered_full = h.link->TransferAt(head, h.dir, payload_bytes, mtu);
       head = delivered_full - (full - first);  // first TLP out
+      if (tr != nullptr) {
+        tr->Span(h.link->name(), LinkDirName(h.dir), entered, delivered_full, req_id);
+      }
       tail_exit.push_back(delivered_full);
       min_forward.push_back(via_delay + first + h.link->propagation());
       delivered = delivered_full;
@@ -127,20 +142,28 @@ class PciePath {
 
   // Pushes a single header-only control TLP along the path.
   SimTime TransferControlAt(Simulator* sim, SimTime ready,
-                            Simulator::Callback cb = nullptr) const {
+                            Simulator::Callback cb = nullptr, uint64_t req_id = 0) const {
     if (hops_.empty()) {
       if (cb != nullptr) {
         sim->At(std::max(ready, sim->now()), std::move(cb));
       }
       return std::max(ready, sim->now());
     }
+    Tracer* const tr = sim->tracer();
     SimTime t = std::max(ready, sim->now());
     for (const Hop& h : hops_) {
       if (h.via != nullptr) {
+        if (tr != nullptr) {
+          tr->Span(h.via->name(), "forward", t, t + h.via->forward_delay(), req_id);
+        }
         t += h.via->forward_delay();
         h.via->CountForward(1);
       }
+      const SimTime entered = t;
       t = h.link->TransferControlAt(t, h.dir);
+      if (tr != nullptr) {
+        tr->Span(h.link->name(), LinkDirName(h.dir), entered, t, req_id);
+      }
     }
     if (cb != nullptr) {
       sim->At(t, std::move(cb));

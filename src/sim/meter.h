@@ -8,6 +8,7 @@
 #define SRC_SIM_METER_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "src/common/histogram.h"
@@ -33,14 +34,19 @@ class Meter {
     return t >= start_ && (end_ == 0 || t < end_);
   }
 
-  void RecordOp(uint64_t bytes, SimTime latency = -1) {
+  // Records a completed op. Pass a latency to feed the histogram; omit it
+  // (std::nullopt) for throughput-only accounting. The optional replaces the
+  // old `latency = -1` sentinel, which would silently stop working if
+  // SimTime ever became unsigned.
+  void RecordOp(uint64_t bytes, std::optional<SimTime> latency = std::nullopt) {
     if (!InWindow()) {
       return;
     }
     ++ops_;
     bytes_ += bytes;
-    if (latency >= 0) {
-      latency_.Record(latency);
+    if (latency.has_value()) {
+      SNIC_CHECK_GE(*latency, 0);
+      latency_.Record(*latency);
     }
   }
 

@@ -17,6 +17,8 @@
 
 namespace snicsim {
 
+class Tracer;  // src/obs/trace.h — attached by the harness when tracing is on
+
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -57,6 +59,11 @@ class Simulator {
   bool empty() const { return queue_.empty(); }
   uint64_t processed() const { return processed_; }
 
+  // Nullable observability hook. Components emit trace events iff non-null;
+  // the single pointer test is the entire disabled-mode overhead.
+  Tracer* tracer() const { return tracer_; }
+  void set_tracer(Tracer* t) { tracer_ = t; }
+
  private:
   struct Event {
     SimTime time;
@@ -79,6 +86,7 @@ class Simulator {
   }
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Tracer* tracer_ = nullptr;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;

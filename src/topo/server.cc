@@ -63,4 +63,25 @@ BluefieldServer::BluefieldServer(Simulator* sim, Fabric* fabric, const TestbedPa
   port_ = fabric->AddPort(name + ".port", tp.bluefield_nic.network_bandwidth);
 }
 
+void RnicServer::RegisterMetrics(MetricsRegistry* reg) {
+  host_mem_.RegisterMetrics(reg);
+  pcie0_.RegisterMetrics(reg);
+  port_->RegisterMetrics(reg);
+  nic_.RegisterMetrics(reg);
+  host_cpu_.RegisterMetrics(reg);
+}
+
+void BluefieldServer::RegisterMetrics(MetricsRegistry* reg) {
+  host_mem_.RegisterMetrics(reg);
+  soc_mem_.RegisterMetrics(reg);
+  switch_.RegisterMetrics(reg);
+  pcie0_.RegisterMetrics(reg);
+  pcie1_.RegisterMetrics(reg);
+  soc_port_.RegisterMetrics(reg);
+  port_->RegisterMetrics(reg);
+  nic_.RegisterMetrics(reg);
+  host_cpu_.RegisterMetrics(reg);
+  soc_cpu_.RegisterMetrics(reg);
+}
+
 }  // namespace snicsim

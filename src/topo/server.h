@@ -42,6 +42,11 @@ class EchoCpu {
   SendHandler Handler() {
     return [this](uint32_t len, std::function<void(SimTime, uint32_t)> reply) {
       const SimTime done = pool_.EnqueueAt(sim_->now() + notify_delay_, per_message_);
+      if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+        // SendHandler carries no request id, so CPU echo work traces as
+        // req 0 on the pool's lane.
+        tr->Span(pool_.name(), "echo", sim_->now(), done, 0);
+      }
       sim_->At(done, [this, done, len, reply = std::move(reply)] {
         ++replies_;
         reply(done, len);
@@ -51,6 +56,13 @@ class EchoCpu {
 
   MultiServer& pool() { return pool_; }
   uint64_t replies() const { return replies_; }
+
+  void RegisterMetrics(MetricsRegistry* reg) {
+    reg->Register(pool_.name(), "replies", "count", "two-sided messages echoed",
+                  [this] { return static_cast<double>(replies_); });
+    reg->Register(pool_.name(), "busy_us", "us", "total core-busy time of the pool",
+                  [this] { return ToMicros(pool_.busy_time()); });
+  }
 
  private:
   Simulator* sim_;
@@ -75,6 +87,9 @@ class RnicServer {
   MemorySubsystem& host_memory() { return host_mem_; }
   PcieLink& pcie0() { return pcie0_; }
   EchoCpu& host_cpu() { return host_cpu_; }
+
+  // Registers every component's counters (memory, links, NIC, CPU pool).
+  void RegisterMetrics(MetricsRegistry* reg);
 
  private:
   MemorySubsystem host_mem_;
@@ -107,6 +122,10 @@ class BluefieldServer {
   PcieSwitch& pcie_switch() { return switch_; }
   EchoCpu& host_cpu() { return host_cpu_; }
   EchoCpu& soc_cpu() { return soc_cpu_; }
+
+  // Registers every component's counters (memories, links, switch, NIC,
+  // CPU pools).
+  void RegisterMetrics(MetricsRegistry* reg);
 
  private:
   MemorySubsystem host_mem_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/obs/trace.h"
 
 namespace snicsim {
 
@@ -67,23 +68,38 @@ void ClientMachine::IssueBatch(const std::shared_ptr<Loop>& loop) {
   const int batch = params_.batch;
   SNIC_CHECK_GT(batch, 0);
   issued_ += static_cast<uint64_t>(batch);
+  ++doorbells_;
   const SimTime issue_start = sim_->now();
   BusyServer& cpu = *thread_cpu_[static_cast<size_t>(loop->thread)];
   // Build the linked WQE chain, then one doorbell for the whole batch.
   const SimTime posted = cpu.Enqueue(params_.wr_build * batch + params_.mmio_block);
+  if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+    // Batch plumbing is shared by all ops in the chain: req 0 marks it as
+    // belonging to no single request.
+    tr->Span(cpu.name(), "post_batch", issue_start, posted, 0);
+    tr->Span(cpu.name(), "doorbell", posted, posted + params_.mmio_flight, 0);
+    tr->Span(name_ + ".nic", "wqe_fetch", posted + params_.mmio_flight,
+             posted + params_.mmio_flight + params_.wqe_fetch, 0);
+  }
   sim_->At(posted + params_.mmio_flight + params_.wqe_fetch, [this, loop, batch,
                                                               issue_start] {
     auto remaining = std::make_shared<int>(batch);
+    Tracer* const tr = sim_->tracer();
     for (int i = 0; i < batch; ++i) {
+      const uint64_t rid = tr != nullptr ? tr->NextRequestId() : 0;
       LaunchFromNic(loop->target, loop->addr.Next(),
-                    [this, loop, remaining, issue_start](SimTime completed) {
+                    [this, loop, remaining, issue_start, rid](SimTime completed) {
+                      if (Tracer* const t = sim_->tracer(); t != nullptr) {
+                        t->Span(name_, VerbName(loop->target.verb), issue_start,
+                                completed, rid, TraceCat::kOp);
+                      }
                       loop->meter->RecordOp(loop->target.payload,
                                             completed - issue_start);
                       if (--*remaining == 0) {
                         loop->in_flight -= 1;
                         Pump(loop);
                       }
-                    });
+                    }, rid);
     }
   });
 }
@@ -93,22 +109,43 @@ void ClientMachine::Post(int thread, const TargetSpec& target, uint64_t addr,
   SNIC_CHECK_GE(thread, 0);
   SNIC_CHECK_LT(static_cast<size_t>(thread), thread_cpu_.size());
   ++issued_;
+  ++doorbells_;
   BusyServer& cpu = *thread_cpu_[static_cast<size_t>(thread)];
+  Tracer* const tr = sim_->tracer();
+  const uint64_t rid = tr != nullptr ? tr->NextRequestId() : 0;
+  const SimTime issue_start = sim_->now();
   // Build the WQE and ring the doorbell (CPU is blocked for both).
   const SimTime posted = cpu.Enqueue(params_.wr_build + params_.mmio_block);
-  sim_->At(posted + params_.mmio_flight, [this, target, addr, cb = std::move(cb)]() mutable {
-    LaunchFromNic(target, addr, std::move(cb));
+  if (tr != nullptr) {
+    tr->Span(cpu.name(), "post", issue_start, posted, rid);
+    tr->Span(cpu.name(), "doorbell", posted, posted + params_.mmio_flight, rid);
+    // Wrap the completion with the whole-request span so the trace shows
+    // [post .. completion polled] as one op on the machine's lane.
+    cb = [this, target, issue_start, rid, cb = std::move(cb)](SimTime completed) {
+      if (Tracer* const t = sim_->tracer(); t != nullptr) {
+        t->Span(name_, VerbName(target.verb), issue_start, completed, rid,
+                TraceCat::kOp);
+      }
+      cb(completed);
+    };
+  }
+  sim_->At(posted + params_.mmio_flight,
+           [this, target, addr, rid, cb = std::move(cb)]() mutable {
+    LaunchFromNic(target, addr, std::move(cb), rid);
   });
 }
 
 void ClientMachine::LaunchFromNic(const TargetSpec& target, uint64_t addr,
-                                  std::function<void(SimTime)> cb) {
+                                  std::function<void(SimTime)> cb, uint64_t req_id) {
   // Client NIC pipeline + WQE handling.
   const SimTime fe_done =
       nic_fe_.EnqueueAt(sim_->now(), params_.nic.shared_pipeline.ServiceTime());
   const SimTime tx_ready = fe_done + params_.nic_tx_fixed;
+  if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+    tr->Span(name_ + ".nic", "tx", sim_->now(), tx_ready, req_id);
+  }
   PciePath to_server = fabric_->Route(port_, target.server_port);
-  auto on_arrival = [this, target, addr, cb = std::move(cb)]() mutable {
+  auto on_arrival = [this, target, addr, req_id, cb = std::move(cb)]() mutable {
     PciePath back = fabric_->Route(target.server_port, port_);
     const double fe_units =
         (target.verb == Verb::kRead || target.payload == 0)
@@ -117,17 +154,29 @@ void ClientMachine::LaunchFromNic(const TargetSpec& target, uint64_t addr,
                   CeilDiv(target.payload, target.engine->params().network_mtu));
     target.engine->HandleRequest(
         target.endpoint, target.verb, addr, target.payload, fe_units, std::move(back),
-        [this, cb = std::move(cb)](SimTime delivered) {
+        [this, req_id, cb = std::move(cb)](SimTime delivered) {
+          if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+            tr->Span(name_ + ".nic", "rx", delivered,
+                     delivered + params_.nic_rx_fixed + params_.poll, req_id);
+          }
           sim_->At(delivered + params_.nic_rx_fixed + params_.poll,
                    [this, cb = std::move(cb)] { cb(sim_->now()); });
-        });
+        }, req_id);
   };
   if (target.verb == Verb::kRead || target.payload == 0) {
-    to_server.TransferControlAt(sim_, tx_ready, std::move(on_arrival));
+    to_server.TransferControlAt(sim_, tx_ready, std::move(on_arrival), req_id);
   } else {
     to_server.TransferAt(sim_, tx_ready, target.payload, params_.nic.network_mtu,
-                         std::move(on_arrival));
+                         std::move(on_arrival), req_id);
   }
+}
+
+void ClientMachine::RegisterMetrics(MetricsRegistry* reg) {
+  reg->Register(name_, "issued", "count", "operations posted by this machine",
+                [this] { return static_cast<double>(issued_); });
+  reg->Register(name_, "doorbells", "count",
+                "MMIO doorbell rings (one per batch when batching)",
+                [this] { return static_cast<double>(doorbells_); });
 }
 
 std::vector<std::unique_ptr<ClientMachine>> MakeClients(Simulator* sim, Fabric* fabric,

@@ -72,6 +72,10 @@ class ClientMachine {
   Simulator* sim() const { return sim_; }
   int threads() const { return params_.threads; }
   uint64_t issued() const { return issued_; }
+  uint64_t doorbells() const { return doorbells_; }
+
+  // Exposes issue-side counters under "<name>".
+  void RegisterMetrics(MetricsRegistry* reg);
 
  private:
   struct Loop {
@@ -87,7 +91,7 @@ class ClientMachine {
   void IssueBatch(const std::shared_ptr<Loop>& loop);
   // The NIC-side half of a post: pipeline, fabric, responder, completion.
   void LaunchFromNic(const TargetSpec& target, uint64_t addr,
-                     std::function<void(SimTime)> cb);
+                     std::function<void(SimTime)> cb, uint64_t req_id = 0);
 
   Simulator* sim_;
   Fabric* fabric_;
@@ -97,6 +101,7 @@ class ClientMachine {
   BusyServer nic_fe_;
   std::vector<std::unique_ptr<BusyServer>> thread_cpu_;
   uint64_t issued_ = 0;
+  uint64_t doorbells_ = 0;  // MMIO doorbell rings (one per batch when batching)
 };
 
 // Convenience: builds `count` identical client machines.

@@ -1,5 +1,6 @@
 #include "src/workload/harness.h"
 
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -58,6 +59,31 @@ HarnessConfig ScaleForPayload(HarnessConfig config, uint32_t payload) {
   return config;
 }
 
+// Attaches a Tracer to `sim` when the config asks for one. The returned
+// object owns the tracer; keep it alive until the trace is written.
+std::unique_ptr<Tracer> MakeTracer(Simulator* sim, const HarnessConfig& config) {
+  if (config.trace_path.empty()) {
+    return nullptr;
+  }
+  auto tracer = std::make_unique<Tracer>(config.trace_capacity);
+  sim->set_tracer(tracer.get());
+  return tracer;
+}
+
+// Writes the configured trace/metrics files. Must run before the topology is
+// torn down: metric gauges sample live component state.
+void DumpObservability(const HarnessConfig& config, const Tracer* tracer,
+                       const std::function<void(MetricsRegistry*)>& register_all) {
+  if (tracer != nullptr) {
+    SNIC_CHECK(tracer->WriteChromeJsonFile(config.trace_path));
+  }
+  if (!config.metrics_path.empty()) {
+    MetricsRegistry registry;
+    register_all(&registry);
+    SNIC_CHECK(registry.WriteJsonFile(config.metrics_path));
+  }
+}
+
 TargetSpec MakeTarget(NicEngine* engine, NicEndpoint* ep, PcieLink* port, Verb verb,
                       uint32_t payload) {
   TargetSpec t;
@@ -94,6 +120,7 @@ Measurement MeasureInboundPath(ServerKind kind, Verb verb, uint32_t payload,
     port = bf->port();
   }
   auto clients = MakeClients(&sim, &fabric, config.client, config.client_machines);
+  const auto tracer = MakeTracer(&sim, config);
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
   const TargetSpec target = MakeTarget(engine, ep, port, verb, payload);
@@ -108,6 +135,17 @@ Measurement MeasureInboundPath(ServerKind kind, Verb verb, uint32_t payload,
     });
   }
   sim.RunUntil(config.warmup + config.window);
+  DumpObservability(config, tracer.get(), [&](MetricsRegistry* reg) {
+    if (rnic != nullptr) {
+      rnic->RegisterMetrics(reg);
+    }
+    if (bf != nullptr) {
+      bf->RegisterMetrics(reg);
+    }
+    for (auto& c : clients) {
+      c->RegisterMetrics(reg);
+    }
+  });
   return Finish(meter, config.window, bf.get(), watch);
 }
 
@@ -156,6 +194,7 @@ Measurement MeasureLocalPath(bool s2h, Verb verb, uint32_t payload,
   NicEndpoint* src = s2h ? bf.soc_ep() : bf.host_ep();
   NicEndpoint* dst = s2h ? bf.host_ep() : bf.soc_ep();
   LocalRequester req(&sim, &bf.nic(), src, dst, req_params, s2h ? "s2h" : "h2s");
+  const auto tracer = MakeTracer(&sim, config);
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
   req.Start(verb, payload, AddressGenerator(0, config.address_range, 64, 17), &meter);
@@ -164,6 +203,10 @@ Measurement MeasureLocalPath(bool s2h, Verb verb, uint32_t payload,
     watch = CounterWatch{bf.pcie0().TotalCounters(), bf.pcie1().TotalCounters()};
   });
   sim.RunUntil(config.warmup + config.window);
+  DumpObservability(config, tracer.get(), [&](MetricsRegistry* reg) {
+    bf.RegisterMetrics(reg);
+    req.RegisterMetrics(reg);
+  });
   return Finish(meter, config.window, &bf, watch);
 }
 

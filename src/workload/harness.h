@@ -12,6 +12,8 @@
 
 #include "src/common/units.h"
 #include "src/nic/verb.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/topo/testbed_params.h"
 #include "src/workload/client.h"
 #include "src/workload/local_requester.h"
@@ -44,6 +46,14 @@ struct HarnessConfig {
   SimTime warmup = FromMicros(60);
   SimTime window = FromMicros(150);
   uint64_t address_range = 10ull * 1024 * kMiB;  // paper default: 10 GB
+
+  // Observability sinks. When `trace_path` is non-empty, the experiment runs
+  // with a Tracer attached and exports Chrome trace_event JSON there; when
+  // `metrics_path` is non-empty, the final counter state of every component
+  // is dumped there as JSON. Both files are byte-identical across runs.
+  std::string trace_path;
+  std::string metrics_path;
+  size_t trace_capacity = Tracer::kDefaultCapacity;
 
   static HarnessConfig Latency() {
     // One requester, one thread, one outstanding op: unloaded latency.

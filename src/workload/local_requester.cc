@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/obs/trace.h"
 
 namespace snicsim {
 
@@ -14,6 +15,7 @@ LocalRequester::LocalRequester(Simulator* sim, NicEngine* engine, NicEndpoint* s
       src_(src),
       dst_(dst),
       params_(params),
+      name_(name),
       // Doorbell flight time: the MMIO store travels the reverse of the
       // NIC->requester-memory route.
       mmio_flight_(src->to_mem().BaseLatency()) {
@@ -70,15 +72,31 @@ void LocalRequester::Pump(const std::shared_ptr<Loop>& loop) {
 
 void LocalRequester::IssueSingle(const std::shared_ptr<Loop>& loop) {
   ++issued_;
+  ++doorbells_;
   const SimTime issue_start = sim_->now();
   BusyServer& cpu = *thread_cpu_[static_cast<size_t>(loop->thread)];
+  Tracer* const tr = sim_->tracer();
+  const uint64_t rid = tr != nullptr ? tr->NextRequestId() : 0;
   // BlueFlame-style post: the WQE is pushed inline through the (blocking)
   // MMIO write, so no WQE-fetch DMA is needed.
   const SimTime posted = cpu.Enqueue(params_.wr_build + params_.mmio_block);
-  sim_->At(posted + mmio_flight_, [this, loop, issue_start] {
+  if (tr != nullptr) {
+    tr->Span(cpu.name(), "post", issue_start, posted, rid);
+    tr->Span(cpu.name(), "doorbell", posted, posted + mmio_flight_, rid);
+  }
+  sim_->At(posted + mmio_flight_, [this, loop, issue_start, rid] {
     engine_->ExecuteLocalOp(src_, dst_, loop->verb, loop->addr.Next(), loop->payload,
-                            [this, loop, issue_start](SimTime cqe_posted) {
-                              sim_->At(cqe_posted + params_.poll, [this, loop, issue_start] {
+                            [this, loop, issue_start, rid](SimTime cqe_posted) {
+                              if (Tracer* const t = sim_->tracer(); t != nullptr) {
+                                t->Span(name_, "poll", cqe_posted,
+                                        cqe_posted + params_.poll, rid);
+                              }
+                              sim_->At(cqe_posted + params_.poll, [this, loop, issue_start,
+                                                                   rid] {
+                                if (Tracer* const t = sim_->tracer(); t != nullptr) {
+                                  t->Span(name_, VerbName(loop->verb), issue_start,
+                                          sim_->now(), rid, TraceCat::kOp);
+                                }
                                 loop->meter->RecordOp(loop->payload,
                                                       sim_->now() - issue_start);
                                 if (!loop->paced) {
@@ -86,7 +104,7 @@ void LocalRequester::IssueSingle(const std::shared_ptr<Loop>& loop) {
                                   Pump(loop);
                                 }
                               });
-                            });
+                            }, rid);
   });
 }
 
@@ -94,21 +112,32 @@ void LocalRequester::IssueBatch(const std::shared_ptr<Loop>& loop) {
   const int batch = params_.batch;
   SNIC_CHECK_GT(batch, 0);
   issued_ += static_cast<uint64_t>(batch);
+  ++doorbells_;
   const SimTime issue_start = sim_->now();
   BusyServer& cpu = *thread_cpu_[static_cast<size_t>(loop->thread)];
   // Build the whole linked batch, then ring one doorbell.
   const SimTime posted =
       cpu.Enqueue(params_.wr_build * batch + params_.mmio_block);
+  if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+    tr->Span(cpu.name(), "post_batch", issue_start, posted, 0);
+    tr->Span(cpu.name(), "doorbell", posted, posted + mmio_flight_, 0);
+  }
   sim_->At(posted + mmio_flight_, [this, loop, batch, issue_start] {
     // The NIC fetches the WQE chain from the requester's memory before
     // executing — the CPU-bypass step of doorbell batching.
     engine_->FetchWqes(src_, /*addr=*/0x7f80'0000, batch, [this, loop, batch,
                                                            issue_start](SimTime) {
       auto remaining = std::make_shared<int>(batch);
+      Tracer* const tr = sim_->tracer();
       for (int i = 0; i < batch; ++i) {
+        const uint64_t rid = tr != nullptr ? tr->NextRequestId() : 0;
         engine_->ExecuteLocalOp(
             src_, dst_, loop->verb, loop->addr.Next(), loop->payload,
-            [this, loop, remaining, issue_start](SimTime cqe_posted) {
+            [this, loop, remaining, issue_start, rid](SimTime cqe_posted) {
+              if (Tracer* const t = sim_->tracer(); t != nullptr) {
+                t->Span(name_, VerbName(loop->verb), issue_start, sim_->now(), rid,
+                        TraceCat::kOp);
+              }
               loop->meter->RecordOp(loop->payload, sim_->now() - issue_start);
               *remaining -= 1;
               if (*remaining == 0) {
@@ -117,10 +146,18 @@ void LocalRequester::IssueBatch(const std::shared_ptr<Loop>& loop) {
                   Pump(loop);
                 });
               }
-            });
+            }, rid);
       }
     });
   });
+}
+
+void LocalRequester::RegisterMetrics(MetricsRegistry* reg) {
+  reg->Register(name_, "issued", "count", "operations posted by this requester",
+                [this] { return static_cast<double>(issued_); });
+  reg->Register(name_, "doorbells", "count",
+                "MMIO doorbell rings (one per batch when batching)",
+                [this] { return static_cast<double>(doorbells_); });
 }
 
 }  // namespace snicsim

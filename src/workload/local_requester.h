@@ -73,6 +73,10 @@ class LocalRequester {
   double paced_rate() const { return params_.paced_gbps; }
 
   uint64_t issued() const { return issued_; }
+  uint64_t doorbells() const { return doorbells_; }
+
+  // Exposes issue-side counters under "<name>".
+  void RegisterMetrics(MetricsRegistry* reg);
 
  private:
   struct Loop {
@@ -94,9 +98,11 @@ class LocalRequester {
   NicEndpoint* src_;
   NicEndpoint* dst_;
   LocalRequesterParams params_;
+  std::string name_;
   SimTime mmio_flight_;
   std::vector<std::unique_ptr<BusyServer>> thread_cpu_;
   uint64_t issued_ = 0;
+  uint64_t doorbells_ = 0;  // MMIO doorbell rings (one per batch when batching)
 };
 
 }  // namespace snicsim

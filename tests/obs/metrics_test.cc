@@ -1,0 +1,109 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/topo/fabric.h"
+#include "src/topo/server.h"
+#include "src/topo/testbed_params.h"
+#include "src/workload/client.h"
+#include "src/workload/local_requester.h"
+
+namespace snicsim {
+namespace {
+
+TEST(MetricsRegistry, RegistersAndSamplesAtDumpTime) {
+  MetricsRegistry reg;
+  double v = 1.0;
+  ASSERT_TRUE(reg.Register("nic", "ops", "count", "ops served", [&] { return v; }));
+  v = 42.0;  // gauges sample live state: the dump must see the update
+  std::ostringstream os;
+  reg.WriteJson(os);
+  EXPECT_NE(os.str().find("\"nic.ops\": {\"value\": 42, \"unit\": \"count\"}"),
+            std::string::npos)
+      << os.str();
+}
+
+TEST(MetricsRegistry, RejectsDuplicateFullNames) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.Register("a.b", "c", "count", "", [] { return 0.0; }));
+  EXPECT_FALSE(reg.Register("a.b", "c", "count", "", [] { return 0.0; }));
+  // Same leaf under a different instance is fine.
+  EXPECT_TRUE(reg.Register("a.d", "c", "count", "", [] { return 0.0; }));
+  EXPECT_EQ(reg.entries().size(), 2u);
+}
+
+TEST(MetricsRegistry, NonIntegralValuesUseCompactFloat) {
+  MetricsRegistry reg;
+  ASSERT_TRUE(reg.Register("link", "utilization", "fraction", "", [] { return 0.25; }));
+  std::ostringstream os;
+  reg.WriteJson(os);
+  EXPECT_NE(os.str().find("\"value\": 0.25"), std::string::npos) << os.str();
+}
+
+TEST(MetricsRegistry, JsonIsDeterministicAndParsesAsObject) {
+  auto build = [](MetricsRegistry* reg) {
+    reg->Register("a", "x", "count", "h1", [] { return 1.0; });
+    reg->Register("b", "y\"z", "us", "h2", [] { return 2.5; });
+  };
+  MetricsRegistry r1, r2;
+  build(&r1);
+  build(&r2);
+  std::ostringstream o1, o2;
+  r1.WriteJson(o1);
+  r2.WriteJson(o2);
+  EXPECT_EQ(o1.str(), o2.str());
+  // Escaped quote must survive in the key.
+  EXPECT_NE(o1.str().find("b.y\\\"z"), std::string::npos);
+}
+
+// The full metric catalog of a real topology must be documented: every leaf
+// name registered by any component has to appear in DESIGN.md's
+// Observability chapter. Adding a metric without documenting it fails here.
+TEST(MetricsCatalog, EveryRegisteredLeafIsDocumented) {
+  Simulator sim;
+  Fabric fabric(&sim);
+  const TestbedParams tp;
+  RnicServer rnic(&sim, &fabric, tp);
+  BluefieldServer bf(&sim, &fabric, tp);
+  ClientMachine cli(&sim, &fabric, ClientParams(), "cli0");
+  LocalRequester req(&sim, &bf.nic(), bf.host_ep(), bf.soc_ep(),
+                     LocalRequesterParams::Host(), "h2s");
+
+  MetricsRegistry reg;
+  rnic.RegisterMetrics(&reg);
+  bf.RegisterMetrics(&reg);
+  cli.RegisterMetrics(&reg);
+  req.RegisterMetrics(&reg);
+  ASSERT_GT(reg.entries().size(), 30u);  // the graph is fully instrumented
+
+  std::ifstream design(std::string(SNICSIM_SOURCE_DIR) + "/DESIGN.md");
+  ASSERT_TRUE(design.good()) << "DESIGN.md not found under " << SNICSIM_SOURCE_DIR;
+  std::stringstream buf;
+  buf << design.rdbuf();
+  const std::string doc = buf.str();
+
+  std::set<std::string> undocumented;
+  for (const auto& e : reg.entries()) {
+    // Leaves are documented as `leaf` in the catalog table.
+    if (doc.find("`" + e.leaf + "`") == std::string::npos) {
+      undocumented.insert(e.leaf);
+    }
+    EXPECT_FALSE(e.unit.empty()) << e.instance << "." << e.leaf << " has no unit";
+  }
+  EXPECT_TRUE(undocumented.empty())
+      << "undocumented metric leaves (add them to DESIGN.md's Observability "
+         "catalog): "
+      << [&] {
+           std::string s;
+           for (const auto& l : undocumented) s += l + " ";
+           return s;
+         }();
+}
+
+}  // namespace
+}  // namespace snicsim

@@ -1,0 +1,115 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace snicsim {
+namespace {
+
+TEST(Tracer, RecordsSpansAndInstants) {
+  Tracer tr(16);
+  tr.Span("nic", "tx", FromNanos(10), FromNanos(30), 1);
+  tr.Instant("cpu", "doorbell", FromNanos(15), 1);
+  const auto events = tr.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "nic/tx");
+  EXPECT_EQ(events[0].component, "nic");
+  EXPECT_EQ(events[0].start, FromNanos(10));
+  EXPECT_EQ(events[0].dur, FromNanos(20));
+  EXPECT_EQ(events[0].req_id, 1u);
+  EXPECT_EQ(events[1].name, "cpu/doorbell");
+  EXPECT_EQ(events[1].dur, 0);
+  EXPECT_EQ(events[1].cat, TraceCat::kInstant);
+}
+
+TEST(Tracer, RequestIdsAreSequentialFromOne) {
+  Tracer tr(16);
+  EXPECT_EQ(tr.NextRequestId(), 1u);
+  EXPECT_EQ(tr.NextRequestId(), 2u);
+  EXPECT_EQ(tr.NextRequestId(), 3u);
+}
+
+TEST(Tracer, RingWrapsOldestFirst) {
+  Tracer tr(4);
+  for (int i = 0; i < 7; ++i) {
+    tr.Span("c", "v", FromNanos(i), FromNanos(i + 1), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(tr.emitted(), 7u);
+  EXPECT_EQ(tr.dropped(), 3u);
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.capacity(), 4u);
+  const auto events = tr.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest three (req 0..2) were overwritten; survivors are 3..6 in order.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].req_id, i + 3) << "index " << i;
+    EXPECT_EQ(events[i].start, FromNanos(static_cast<int64_t>(i) + 3));
+  }
+}
+
+TEST(Tracer, JsonEscape) {
+  EXPECT_EQ(Tracer::JsonEscape("plain"), "plain");
+  EXPECT_EQ(Tracer::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Tracer::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(Tracer::JsonEscape("a\nb"), "a\\u000ab");
+  EXPECT_EQ(Tracer::JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(Tracer, EscapedNamesSurviveExport) {
+  Tracer tr(8);
+  tr.Span("comp\"x", "v\\w", 0, FromNanos(1), 1);
+  std::ostringstream os;
+  tr.WriteChromeJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("comp\\\"x"), std::string::npos);
+  EXPECT_NE(json.find("v\\\\w"), std::string::npos);
+  // The raw unescaped quote must not appear inside any string value.
+  EXPECT_EQ(json.find("comp\"x"), std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonIsDeterministic) {
+  auto emit = [](Tracer* tr) {
+    const uint64_t rid = tr->NextRequestId();
+    tr->Span("cli0.cpu0", "post", FromNanos(100), FromNanos(400), rid);
+    tr->Span("bf_srv.pcie1", "up", FromNanos(400), FromNanos(460), rid);
+    tr->Instant("bf_srv.host", "hol", FromNanos(500), rid);
+    tr->Span("cli0", "READ", FromNanos(100), FromNanos(900), rid, TraceCat::kOp);
+  };
+  Tracer a(32), b(32);
+  emit(&a);
+  emit(&b);
+  std::ostringstream oa, ob;
+  a.WriteChromeJson(oa);
+  b.WriteChromeJson(ob);
+  EXPECT_EQ(oa.str(), ob.str());
+}
+
+TEST(Tracer, ChromeJsonShape) {
+  Tracer tr(8);
+  const uint64_t rid = tr.NextRequestId();
+  // 1.5 us start, 250 ns duration: fractional microseconds must render with
+  // exact integer math, not floating point.
+  tr.Span("nic", "tx", FromNanos(1500), FromNanos(1750), rid);
+  std::ostringstream os;
+  tr.WriteChromeJson(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.find("\"traceEvents\""), 1u);  // envelope key right after '{'
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);         // lane metadata
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"nic/tx\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":0.250000"), std::string::npos);
+  EXPECT_NE(json.find("\"req\":1"), std::string::npos);
+}
+
+TEST(TraceCatNames, Stable) {
+  EXPECT_STREQ(TraceCatName(TraceCat::kPhase), "phase");
+  EXPECT_STREQ(TraceCatName(TraceCat::kAsync), "async");
+  EXPECT_STREQ(TraceCatName(TraceCat::kOp), "op");
+  EXPECT_STREQ(TraceCatName(TraceCat::kInstant), "instant");
+}
+
+}  // namespace
+}  // namespace snicsim

@@ -53,6 +53,33 @@ TEST(Meter, LatencyRecorded) {
               static_cast<double>(FromMicros(2)), static_cast<double>(FromNanos(100)));
 }
 
+TEST(Meter, OmittedLatencyLeavesHistogramEmpty) {
+  Simulator sim;
+  Meter m(&sim);
+  m.SetWindow(0, 0);
+  sim.At(FromNanos(5), [&] { m.RecordOp(64); });  // throughput-only
+  sim.Run();
+  EXPECT_EQ(m.ops(), 1u);
+  EXPECT_EQ(m.latency().count(), 0u);
+}
+
+TEST(Meter, ZeroLatencyIsRecordedNotDropped) {
+  // The old `latency = -1` sentinel was easy to confuse with "no latency";
+  // with std::optional an explicit 0 is a legitimate observation.
+  Simulator sim;
+  Meter m(&sim);
+  m.SetWindow(0, 0);
+  m.RecordOp(1, SimTime{0});
+  EXPECT_EQ(m.latency().count(), 1u);
+}
+
+TEST(MeterDeathTest, NegativeLatencyAborts) {
+  Simulator sim;
+  Meter m(&sim);
+  m.SetWindow(0, 0);
+  EXPECT_DEATH(m.RecordOp(1, SimTime{-5}), "latency");
+}
+
 TEST(Meter, ResetClearsCounts) {
   Simulator sim;
   Meter m(&sim);
