@@ -6,9 +6,11 @@
 // experiments on a BF-3 configuration and checks each qualitative result.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/topo/future.h"
 #include "src/workload/harness.h"
 
@@ -16,24 +18,66 @@ using namespace snicsim;  // NOLINT: bench brevity
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
 
   HarnessConfig bf2;
   HarnessConfig bf3;
   bf3.testbed = Bluefield3Testbed();
+  HarnessConfig skew2 = bf2;
+  skew2.address_range = 1536;
+  HarnessConfig skew3 = bf3;
+  skew3.address_range = 1536;
+
+  // Pass 1: submit every cell in consumption order (see fig4_latency.cc).
+  runtime::SweepQueue<double> sweep(jobs);
+  sweep.Add([bf2] {
+    return MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, 64, bf2).mreqs;
+  });
+  sweep.Add([bf2] {
+    return MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 64, bf2).mreqs;
+  });
+  sweep.Add([bf3] {
+    return MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, 64, bf3).mreqs;
+  });
+  sweep.Add([bf3] {
+    return MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 64, bf3).mreqs;
+  });
+  sweep.Add([bf2] {
+    return MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 64, bf2).mreqs;
+  });
+  sweep.Add([skew2] {
+    return MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 64, skew2).mreqs;
+  });
+  sweep.Add([bf3] {
+    return MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 64, bf3).mreqs;
+  });
+  sweep.Add([skew3] {
+    return MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 64, skew3).mreqs;
+  });
+  sweep.Add([bf2] {
+    return MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 8 * kMiB, bf2).gbps;
+  });
+  sweep.Add([bf2] {
+    return MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 16 * kMiB, bf2).gbps;
+  });
+  sweep.Add([bf3] {
+    return MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 8 * kMiB, bf3).gbps;
+  });
+  sweep.Add([bf3] {
+    return MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 16 * kMiB, bf3).gbps;
+  });
+  const std::vector<double> results = sweep.Run();
 
   std::printf("== BlueField-2 vs BlueField-3: do the anomalies persist? ==\n\n");
   Table t({"experiment", "BF-2", "BF-3", "anomaly persists?"});
+  size_t k = 0;
 
   {
-    const double r1_bf2 =
-        MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, 64, bf2).mreqs;
-    const double r2_bf2 =
-        MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 64, bf2).mreqs;
-    const double r1_bf3 =
-        MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, 64, bf3).mreqs;
-    const double r2_bf3 =
-        MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 64, bf3).mreqs;
+    const double r1_bf2 = results[k++];
+    const double r2_bf2 = results[k++];
+    const double r1_bf3 = results[k++];
+    const double r2_bf3 = results[k++];
     char b2[64];
     char b3[64];
     std::snprintf(b2, sizeof(b2), "(2)/(1) = %.2f", r2_bf2 / r1_bf2);
@@ -42,18 +86,10 @@ int main(int argc, char** argv) {
         r2_bf3 > r1_bf3 ? "yes" : "no");
   }
   {
-    HarnessConfig skew2 = bf2;
-    skew2.address_range = 1536;
-    HarnessConfig skew3 = bf3;
-    skew3.address_range = 1536;
-    const double wide2 =
-        MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 64, bf2).mreqs;
-    const double narrow2 =
-        MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 64, skew2).mreqs;
-    const double wide3 =
-        MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 64, bf3).mreqs;
-    const double narrow3 =
-        MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, 64, skew3).mreqs;
+    const double wide2 = results[k++];
+    const double narrow2 = results[k++];
+    const double wide3 = results[k++];
+    const double narrow3 = results[k++];
     char b2[64];
     char b3[64];
     std::snprintf(b2, sizeof(b2), "%.0f -> %.0f M/s", wide2, narrow2);
@@ -62,14 +98,10 @@ int main(int argc, char** argv) {
         narrow3 < 0.7 * wide3 ? "yes" : "softened");
   }
   {
-    const double ok2 =
-        MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 8 * kMiB, bf2).gbps;
-    const double bad2 =
-        MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 16 * kMiB, bf2).gbps;
-    const double ok3 =
-        MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 8 * kMiB, bf3).gbps;
-    const double bad3 =
-        MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, 16 * kMiB, bf3).gbps;
+    const double ok2 = results[k++];
+    const double bad2 = results[k++];
+    const double ok3 = results[k++];
+    const double bad3 = results[k++];
     char b2[64];
     char b3[64];
     std::snprintf(b2, sizeof(b2), "%.0f -> %.0f Gbps", ok2, bad2);

@@ -7,9 +7,11 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/sim/meter.h"
 #include "src/topo/server.h"
 #include "src/workload/client.h"
@@ -82,11 +84,18 @@ PhaseResult Run(bool governed, double greedy_demand_gbps) {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const double demand = flags.GetDouble("demand", 140.0, "greedy path-3 demand Gbps");
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
 
+  // Pass 1: submit every cell in consumption order (see fig4_latency.cc).
+  runtime::SweepQueue<PhaseResult> sweep(jobs);
+  sweep.Add([demand] { return Run(false, demand); });
+  sweep.Add([demand] { return Run(true, demand); });
+  const std::vector<PhaseResult> results = sweep.Run();
+
   Table t({"path-3 policy", "net Gbps (busy)", "p3 Gbps (busy)", "total (busy)"});
-  const PhaseResult greedy = Run(false, demand);
-  const PhaseResult governed = Run(true, demand);
+  const PhaseResult greedy = results[0];
+  const PhaseResult governed = results[1];
   t.Row().Add("greedy (fixed demand)");
   t.Add(greedy.net_busy, 1).Add(greedy.p3_busy, 1).Add(greedy.net_busy + greedy.p3_busy, 1);
   t.Row().Add("governed (P - N budget)");

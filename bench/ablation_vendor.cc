@@ -8,9 +8,11 @@
 //    bottleneck and its large-transfer collapse.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/sim/meter.h"
 #include "src/topo/future.h"
 #include "src/workload/harness.h"
@@ -63,26 +65,43 @@ double Path3Stream(uint32_t chunk) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
+
+  const TestbedParams stock;
+  const TestbedParams with_cci = WithSocCci(stock);
+  const std::vector<uint64_t> ranges = {1536, 6 * kKiB, 48 * kKiB, 1 * kMiB};
+  const std::vector<uint32_t> chunks = {64u * 1024, 1024u * 1024, 16u * 1024 * 1024};
+
+  // Pass 1: submit every cell in consumption order (see fig4_latency.cc).
+  runtime::SweepQueue<double> sweep(jobs);
+  for (uint64_t range : ranges) {
+    sweep.Add([stock, range] { return SkewedSocWrite(stock, range); });
+    sweep.Add([with_cci, range] { return SkewedSocWrite(with_cci, range); });
+  }
+  for (uint32_t chunk : chunks) {
+    sweep.Add([chunk] { return Path3Stream(chunk); });
+    sweep.Add([chunk] { return CxlStream(chunk, 256 * kMiB); });
+  }
+  const std::vector<double> results = sweep.Run();
+  size_t k = 0;
 
   std::printf("== Mitigation 1: CCI-style SoC coherence vs Advice #1 ==\n");
   Table cci({"range", "stock BF-2 (M/s)", "with CCI LLC (M/s)"});
-  const TestbedParams stock;
-  const TestbedParams with_cci = WithSocCci(stock);
-  for (uint64_t range : {uint64_t{1536}, 6 * kKiB, 48 * kKiB, 1 * kMiB}) {
+  for (uint64_t range : ranges) {
     cci.Row().Add(FormatBytes(range));
-    cci.Add(SkewedSocWrite(stock, range), 1);
-    cci.Add(SkewedSocWrite(with_cci, range), 1);
+    cci.Add(results[k++], 1);
+    cci.Add(results[k++], 1);
   }
   cci.Print(std::cout, flags.csv());
   std::printf("expected: the CCI column stays flat, like the host's DDIO.\n\n");
 
   std::printf("== Mitigation 2: CXL-style window vs path 3 (H2S transfers) ==\n");
   Table cxl({"chunk", "RDMA path 3 (Gbps)", "CXL window (Gbps)"});
-  for (uint32_t chunk : {64u * 1024, 1024u * 1024, 16u * 1024 * 1024}) {
+  for (uint32_t chunk : chunks) {
     cxl.Row().Add(FormatBytes(chunk));
-    cxl.Add(Path3Stream(chunk), 1);
-    cxl.Add(CxlStream(chunk, 256 * kMiB), 1);
+    cxl.Add(results[k++], 1);
+    cxl.Add(results[k++], 1);
   }
   cxl.Print(std::cout, flags.csv());
   std::printf("expected: the CXL column is immune to the >9MB collapse and does not\n"

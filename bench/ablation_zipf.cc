@@ -6,10 +6,12 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/rdma/verbs.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/sim/meter.h"
 #include "src/topo/server.h"
 #include "src/workload/addr_gen.h"
@@ -73,19 +75,34 @@ double Run(bool soc, double theta, bool uniform = false) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
 
-  std::printf("== Advice #1 under Zipfian skew: 64B WRITE peak (M reqs/s) ==\n");
-  Table t({"distribution", "SoC (SNIC 2)", "host DDIO (SNIC 1)", "SoC/host"});
   struct Row {
     const char* name;
     double theta;
     bool uniform;
   };
-  for (const Row& row : {Row{"uniform", 0.5, true}, Row{"zipf 0.70", 0.70, false},
-                         Row{"zipf 0.90", 0.90, false}, Row{"zipf 0.99", 0.99, false}}) {
-    const double soc = Run(true, row.theta, row.uniform);
-    const double host = Run(false, row.theta, row.uniform);
+  const std::vector<Row> rows = {Row{"uniform", 0.5, true}, Row{"zipf 0.70", 0.70, false},
+                                 Row{"zipf 0.90", 0.90, false},
+                                 Row{"zipf 0.99", 0.99, false}};
+
+  // Pass 1: submit every cell in consumption order (see fig4_latency.cc).
+  runtime::SweepQueue<double> sweep(jobs);
+  for (const Row& row : rows) {
+    const double theta = row.theta;
+    const bool uniform = row.uniform;
+    sweep.Add([theta, uniform] { return Run(true, theta, uniform); });
+    sweep.Add([theta, uniform] { return Run(false, theta, uniform); });
+  }
+  const std::vector<double> results = sweep.Run();
+
+  std::printf("== Advice #1 under Zipfian skew: 64B WRITE peak (M reqs/s) ==\n");
+  Table t({"distribution", "SoC (SNIC 2)", "host DDIO (SNIC 1)", "SoC/host"});
+  size_t k = 0;
+  for (const Row& row : rows) {
+    const double soc = results[k++];
+    const double host = results[k++];
     t.Row().Add(row.name).Add(soc, 1).Add(host, 1).Add(soc / host, 2);
   }
   t.Print(std::cout, flags.csv());

@@ -8,9 +8,11 @@
 // showing most NIC cores are shared (paper §4).
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/sim/meter.h"
 #include "src/topo/server.h"
 #include "src/workload/client.h"
@@ -53,24 +55,38 @@ double Run(int machines_host, int machines_soc) {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int64_t max_machines = flags.GetInt("max-machines", 11, "requesters to sweep");
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
 
-  std::printf("== Figure 11: 0B READ throughput vs requester machines (M reqs/s) ==\n");
-  Table t({"machines", "SNIC(1) only", "SNIC(2) only", "SNIC(1+2)", "SNIC(2+1)"});
+  // Pass 1: submit every cell in consumption order (see fig4_latency.cc).
+  runtime::SweepQueue<double> sweep(jobs);
   for (int m = 1; m <= max_machines; ++m) {
-    t.Row().Add(m);
-    t.Add(Run(m, 0), 1);
-    t.Add(Run(0, m), 1);
     // Concurrent: five machines pinned on one endpoint (enough to saturate
     // it alone), the rest added on the other — the paper's methodology.
     const int pinned = std::min(5, m);
-    t.Add(Run(pinned, m - pinned), 1);
-    t.Add(Run(m - pinned, pinned), 1);
+    sweep.Add([m] { return Run(m, 0); });
+    sweep.Add([m] { return Run(0, m); });
+    sweep.Add([pinned, m] { return Run(pinned, m - pinned); });
+    sweep.Add([pinned, m] { return Run(m - pinned, pinned); });
+  }
+  sweep.Add([] { return Run(11, 0); });
+  sweep.Add([] { return Run(6, 5); });
+  const std::vector<double> results = sweep.Run();
+
+  std::printf("== Figure 11: 0B READ throughput vs requester machines (M reqs/s) ==\n");
+  Table t({"machines", "SNIC(1) only", "SNIC(2) only", "SNIC(1+2)", "SNIC(2+1)"});
+  size_t k = 0;
+  for (int m = 1; m <= max_machines; ++m) {
+    t.Row().Add(m);
+    t.Add(results[k++], 1);
+    t.Add(results[k++], 1);
+    t.Add(results[k++], 1);
+    t.Add(results[k++], 1);
   }
   t.Print(std::cout, flags.csv());
 
-  const double alone = Run(11, 0);
-  const double both = Run(6, 5);
+  const double alone = results[k++];
+  const double both = results[k++];
   std::printf("\nsingle path peak: %.1f M; concurrent peak: %.1f M (+%.0f%%); "
               "separate-aggregate: %.1f M\n",
               alone, both, (both / alone - 1.0) * 100.0, 2 * alone);

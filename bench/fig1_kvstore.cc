@@ -10,6 +10,7 @@
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/kvstore/kv.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/sim/meter.h"
 
 using namespace snicsim;     // NOLINT: bench brevity
@@ -139,12 +140,19 @@ KvResult RunOffload(int concurrent_gets, bool values_on_host) {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int64_t conc = flags.GetInt("concurrency", 24, "concurrent gets");
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
   const int c = static_cast<int>(conc);
 
-  const KvResult direct = RunDirect(c);
-  const KvResult soc_local = RunOffload(c, /*values_on_host=*/false);
-  const KvResult soc_host = RunOffload(c, /*values_on_host=*/true);
+  // The three designs are independent experiments: run them as a sweep.
+  runtime::SweepQueue<KvResult> sweep(jobs);
+  sweep.Add([c] { return RunDirect(c); });
+  sweep.Add([c] { return RunOffload(c, /*values_on_host=*/false); });
+  sweep.Add([c] { return RunOffload(c, /*values_on_host=*/true); });
+  const std::vector<KvResult> results = sweep.Run();
+  const KvResult& direct = results[0];
+  const KvResult& soc_local = results[1];
+  const KvResult& soc_host = results[2];
 
   std::printf("== Figure 1: KV get, %llu keys, %d concurrent gets ==\n",
               static_cast<unsigned long long>(kKeys), c);

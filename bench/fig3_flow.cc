@@ -6,10 +6,12 @@
 // and acks; the SmartNIC adds the PCIe1 + switch crossing to both.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/model/latency_model.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
 
 using namespace snicsim;  // NOLINT: bench brevity
@@ -49,9 +51,30 @@ int main(int argc, char** argv) {
       flags.GetString("trace", "", "Chrome trace_event JSON output (SNIC(1) READ run)");
   const std::string metrics =
       flags.GetString("metrics", "", "metrics JSON output (SNIC(1) READ run)");
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
   const uint32_t p = static_cast<uint32_t>(payload);
 
+  // Pass 1: submit the sim cross-check runs in consumption order.
+  runtime::SweepQueue<double> sweep(jobs);
+  for (Verb verb : {Verb::kRead, Verb::kWrite}) {
+    for (LatencyTarget target : {LatencyTarget::kRnicHost, LatencyTarget::kBluefieldHost,
+                                 LatencyTarget::kBluefieldSoc}) {
+      HarnessConfig cfg = HarnessConfig::Latency();
+      if (verb == Verb::kRead && target == LatencyTarget::kBluefieldHost) {
+        // The SNIC(1) READ run is the one the paper's Fig. 3 narrates, so
+        // that's the run the observability sinks attach to.
+        cfg.trace_path = trace;
+        cfg.metrics_path = metrics;
+      }
+      sweep.Add([target, verb, p, cfg] {
+        return MeasureInboundPath(ToKind(target), verb, p, cfg).p50_us;
+      });
+    }
+  }
+  const std::vector<double> results = sweep.Run();
+
+  size_t k = 0;
   for (Verb verb : {Verb::kRead, Verb::kWrite}) {
     std::printf("== Figure 3: %s execution flow, %s payload (us per phase) ==\n",
                 VerbName(verb), FormatBytes(p).c_str());
@@ -60,14 +83,7 @@ int main(int argc, char** argv) {
     for (LatencyTarget target : {LatencyTarget::kRnicHost, LatencyTarget::kBluefieldHost,
                                  LatencyTarget::kBluefieldSoc}) {
       const LatencyBreakdown b = PredictLatency(target, verb, p);
-      HarnessConfig cfg = HarnessConfig::Latency();
-      if (verb == Verb::kRead && target == LatencyTarget::kBluefieldHost) {
-        // The SNIC(1) READ run is the one the paper's Fig. 3 narrates, so
-        // that's the run the observability sinks attach to.
-        cfg.trace_path = trace;
-        cfg.metrics_path = metrics;
-      }
-      const double sim = MeasureInboundPath(ToKind(target), verb, p, cfg).p50_us;
+      const double sim = results[k++];
       t.Row().Add(Name(target));
       t.Add(b.post_us, 2).Add(b.request_wire_us, 2).Add(b.pcie_round_trip_us, 2);
       t.Add(b.memory_us, 2).Add(b.response_wire_us, 2).Add(b.completion_us, 2);

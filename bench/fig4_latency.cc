@@ -9,6 +9,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
 
 using namespace snicsim;  // NOLINT: bench brevity
@@ -33,14 +34,16 @@ int main(int argc, char** argv) {
       flags.GetString("trace", "", "trace JSON output (SNIC(1) READ 64B run)");
   const std::string metrics =
       flags.GetString("metrics", "", "metrics JSON output (SNIC(1) READ 64B run)");
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
 
   const std::vector<uint32_t> payloads = {8, 16, 64, 256, 512, 1024, 4096, 16384};
   const HarnessConfig lat = HarnessConfig::Latency();
 
+  // Pass 1: enqueue every cell's experiment in exactly the order the table
+  // pass below consumes them, so --jobs=N output is byte-identical.
+  runtime::SweepQueue<double> sweep(jobs);
   for (Verb verb : {Verb::kRead, Verb::kWrite, Verb::kSend}) {
-    std::printf("== Figure 4 (upper): %s latency (us, p50) ==\n", VerbName(verb));
-    Table t({"payload", "RNIC(1)", "SNIC(1)", "SNIC(2)", "SNIC(3)S2H", "SNIC(3)H2S"});
     for (uint32_t p : payloads) {
       if (p > static_cast<uint64_t>(max_payload)) {
         continue;
@@ -50,12 +53,34 @@ int main(int argc, char** argv) {
         snic1.trace_path = trace;
         snic1.metrics_path = metrics;
       }
+      sweep.Add([verb, p, lat] {
+        return MeasureInboundPath(ServerKind::kRnicHost, verb, p, lat).p50_us;
+      });
+      sweep.Add([verb, p, snic1] {
+        return MeasureInboundPath(ServerKind::kBluefieldHost, verb, p, snic1).p50_us;
+      });
+      sweep.Add([verb, p, lat] {
+        return MeasureInboundPath(ServerKind::kBluefieldSoc, verb, p, lat).p50_us;
+      });
+      sweep.Add([verb, p] { return LocalLatency(/*s2h=*/true, verb, p); });
+      sweep.Add([verb, p] { return LocalLatency(/*s2h=*/false, verb, p); });
+    }
+  }
+  const std::vector<double> results = sweep.Run();
+
+  // Pass 2: consume in the same order.
+  size_t k = 0;
+  for (Verb verb : {Verb::kRead, Verb::kWrite, Verb::kSend}) {
+    std::printf("== Figure 4 (upper): %s latency (us, p50) ==\n", VerbName(verb));
+    Table t({"payload", "RNIC(1)", "SNIC(1)", "SNIC(2)", "SNIC(3)S2H", "SNIC(3)H2S"});
+    for (uint32_t p : payloads) {
+      if (p > static_cast<uint64_t>(max_payload)) {
+        continue;
+      }
       t.Row().Add(FormatBytes(p));
-      t.Add(MeasureInboundPath(ServerKind::kRnicHost, verb, p, lat).p50_us, 2);
-      t.Add(MeasureInboundPath(ServerKind::kBluefieldHost, verb, p, snic1).p50_us, 2);
-      t.Add(MeasureInboundPath(ServerKind::kBluefieldSoc, verb, p, lat).p50_us, 2);
-      t.Add(LocalLatency(/*s2h=*/true, verb, p), 2);
-      t.Add(LocalLatency(/*s2h=*/false, verb, p), 2);
+      for (int col = 0; col < 5; ++col) {
+        t.Add(results[k++], 2);
+      }
     }
     t.Print(std::cout, flags.csv());
     std::printf("\n");

@@ -8,6 +8,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
 
 using namespace snicsim;  // NOLINT: bench brevity
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int64_t clients = flags.GetInt("clients", 11, "requester machines");
   const bool small_only = flags.GetBool("small-only", false, "only payloads < 1 KB");
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
 
   HarnessConfig cfg;
@@ -39,17 +41,38 @@ int main(int argc, char** argv) {
     payloads = {8, 16, 64, 256, 512};
   }
 
+  // Pass 1: submit every cell in consumption order (see fig4_latency.cc).
+  runtime::SweepQueue<Measurement> sweep(jobs);
+  for (Verb verb : {Verb::kRead, Verb::kWrite, Verb::kSend}) {
+    for (uint32_t p : payloads) {
+      sweep.Add([verb, p, cfg] {
+        return MeasureInboundPath(ServerKind::kRnicHost, verb, p, cfg);
+      });
+      sweep.Add([verb, p, cfg] {
+        return MeasureInboundPath(ServerKind::kBluefieldHost, verb, p, cfg);
+      });
+      sweep.Add([verb, p, cfg] {
+        return MeasureInboundPath(ServerKind::kBluefieldSoc, verb, p, cfg);
+      });
+      sweep.Add([verb, p, cfg] { return MeasureConcurrentInbound(verb, p, cfg); });
+      sweep.Add([verb, p, cfg] { return Local(true, verb, p, cfg); });
+      sweep.Add([verb, p, cfg] { return Local(false, verb, p, cfg); });
+    }
+  }
+  const std::vector<Measurement> results = sweep.Run();
+
+  size_t k = 0;
   for (Verb verb : {Verb::kRead, Verb::kWrite, Verb::kSend}) {
     std::printf("== Figure 4 (lower): %s peak throughput (M reqs/s) ==\n", VerbName(verb));
     Table t({"payload", "RNIC(1)", "SNIC(1)", "SNIC(2)", "SNIC(1+2)", "SNIC(3)S2H",
              "SNIC(3)H2S", "SNIC(1)gbps"});
     for (uint32_t p : payloads) {
-      const Measurement rnic = MeasureInboundPath(ServerKind::kRnicHost, verb, p, cfg);
-      const Measurement snic1 = MeasureInboundPath(ServerKind::kBluefieldHost, verb, p, cfg);
-      const Measurement snic2 = MeasureInboundPath(ServerKind::kBluefieldSoc, verb, p, cfg);
-      const Measurement both = MeasureConcurrentInbound(verb, p, cfg);
-      const Measurement s2h = Local(true, verb, p, cfg);
-      const Measurement h2s = Local(false, verb, p, cfg);
+      const Measurement& rnic = results[k++];
+      const Measurement& snic1 = results[k++];
+      const Measurement& snic2 = results[k++];
+      const Measurement& both = results[k++];
+      const Measurement& s2h = results[k++];
+      const Measurement& h2s = results[k++];
       t.Row().Add(FormatBytes(p));
       t.Add(rnic.mreqs, 1).Add(snic1.mreqs, 1).Add(snic2.mreqs, 1).Add(both.mreqs, 1);
       t.Add(s2h.mreqs, 1).Add(h2s.mreqs, 1);

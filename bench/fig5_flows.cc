@@ -6,9 +6,11 @@
 // and cannot double up (paper §3.1/§3.3, Fig. 5(b)).
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
 
 using namespace snicsim;  // NOLINT: bench brevity
@@ -17,6 +19,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int64_t payload = flags.GetInt("payload", 4096, "payload bytes (paper: 4KB)");
   const int64_t clients = flags.GetInt("clients", 8, "requester machines");
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
 
   HarnessConfig cfg;
@@ -25,27 +28,49 @@ int main(int argc, char** argv) {
   cfg.window = FromMicros(400);
   const uint32_t p = static_cast<uint32_t>(payload);
 
-  Table t({"path", "READ+READ", "WRITE+WRITE", "READ+WRITE", "paper"});
   struct Row {
     const char* name;
     ServerKind kind;
     const char* paper;
   };
-  for (const Row& row : {Row{"RNIC(1)", ServerKind::kRnicHost, "~190 / ~190 / ~364"},
-                         Row{"SNIC(1)", ServerKind::kBluefieldHost, "~190 / ~190 / ~364"},
-                         Row{"SNIC(2)", ServerKind::kBluefieldSoc, "~190 / ~190 / ~364"}}) {
+  const std::vector<Row> rows = {
+      Row{"RNIC(1)", ServerKind::kRnicHost, "~190 / ~190 / ~364"},
+      Row{"SNIC(1)", ServerKind::kBluefieldHost, "~190 / ~190 / ~364"},
+      Row{"SNIC(2)", ServerKind::kBluefieldSoc, "~190 / ~190 / ~364"}};
+
+  // Pass 1: submit every cell in consumption order (see fig4_latency.cc).
+  runtime::SweepQueue<double> sweep(jobs);
+  for (const Row& row : rows) {
+    const ServerKind kind = row.kind;
+    sweep.Add([kind, p, cfg] {
+      return MeasureFlowCombination(kind, Verb::kRead, Verb::kRead, p, cfg);
+    });
+    sweep.Add([kind, p, cfg] {
+      return MeasureFlowCombination(kind, Verb::kWrite, Verb::kWrite, p, cfg);
+    });
+    sweep.Add([kind, p, cfg] {
+      return MeasureFlowCombination(kind, Verb::kRead, Verb::kWrite, p, cfg);
+    });
+  }
+  sweep.Add([p, cfg] { return MeasureLocalFlowCombination(/*opposite=*/false, p, cfg); });
+  sweep.Add([p, cfg] { return MeasureLocalFlowCombination(/*opposite=*/true, p, cfg); });
+  const std::vector<double> results = sweep.Run();
+
+  Table t({"path", "READ+READ", "WRITE+WRITE", "READ+WRITE", "paper"});
+  size_t k = 0;
+  for (const Row& row : rows) {
     t.Row().Add(row.name);
-    t.Add(MeasureFlowCombination(row.kind, Verb::kRead, Verb::kRead, p, cfg), 1);
-    t.Add(MeasureFlowCombination(row.kind, Verb::kWrite, Verb::kWrite, p, cfg), 1);
-    t.Add(MeasureFlowCombination(row.kind, Verb::kRead, Verb::kWrite, p, cfg), 1);
+    t.Add(results[k++], 1);
+    t.Add(results[k++], 1);
+    t.Add(results[k++], 1);
     t.Add(row.paper);
   }
   // Path ③: same-direction pair vs. opposite-direction pair of host<->SoC
   // streams (both verbs are WRITE-shaped pushes at this payload).
   t.Row().Add("SNIC(3)");
-  t.Add(MeasureLocalFlowCombination(/*opposite=*/false, p, cfg), 1);
+  t.Add(results[k++], 1);
   t.Add("-");
-  t.Add(MeasureLocalFlowCombination(/*opposite=*/true, p, cfg), 1);
+  t.Add(results[k++], 1);
   t.Add("~204 both: no doubling");
   t.Print(std::cout, flags.csv());
 

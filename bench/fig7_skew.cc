@@ -10,6 +10,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
 
 using namespace snicsim;  // NOLINT: bench brevity
@@ -30,20 +31,39 @@ Measurement MeasureWithRange(ServerKind kind, Verb verb, uint64_t range, bool dd
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
 
   const std::vector<uint64_t> ranges = {1536,        3 * kKiB,   6 * kKiB,  12 * kKiB,
                                         24 * kKiB,   48 * kKiB,  96 * kKiB, 1 * kMiB,
                                         64 * kMiB};
+  // Pass 1: submit every cell in consumption order (see fig4_latency.cc).
+  runtime::SweepQueue<double> sweep(jobs);
+  for (Verb verb : {Verb::kWrite, Verb::kRead}) {
+    for (uint64_t r : ranges) {
+      sweep.Add([verb, r] {
+        return MeasureWithRange(ServerKind::kBluefieldSoc, verb, r, true).mreqs;
+      });
+      sweep.Add([verb, r] {
+        return MeasureWithRange(ServerKind::kBluefieldHost, verb, r, true).mreqs;
+      });
+      sweep.Add([verb, r] {
+        return MeasureWithRange(ServerKind::kBluefieldHost, verb, r, false).mreqs;
+      });
+    }
+  }
+  const std::vector<double> results = sweep.Run();
+
+  size_t k = 0;
   for (Verb verb : {Verb::kWrite, Verb::kRead}) {
     std::printf("== Figure 7: 64B %s throughput vs address range (M reqs/s) ==\n",
                 VerbName(verb));
     Table t({"range", "SoC (SNIC 2)", "host DDIO (SNIC 1)", "host no-DDIO (SNIC 1)"});
     for (uint64_t r : ranges) {
       t.Row().Add(FormatBytes(r));
-      t.Add(MeasureWithRange(ServerKind::kBluefieldSoc, verb, r, true).mreqs, 1);
-      t.Add(MeasureWithRange(ServerKind::kBluefieldHost, verb, r, true).mreqs, 1);
-      t.Add(MeasureWithRange(ServerKind::kBluefieldHost, verb, r, false).mreqs, 1);
+      t.Add(results[k++], 1);
+      t.Add(results[k++], 1);
+      t.Add(results[k++], 1);
     }
     t.Print(std::cout, flags.csv());
     std::printf("\n");

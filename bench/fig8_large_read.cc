@@ -11,6 +11,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
 
 using namespace snicsim;  // NOLINT: bench brevity
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
       flags.GetString("trace", "", "trace JSON output (first READ SNIC(2) point)");
   const std::string metrics =
       flags.GetString("metrics", "", "metrics JSON output (first READ SNIC(2) point)");
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
 
   std::vector<uint32_t> payloads = {64 * 1024,       256 * 1024,      1024 * 1024,
@@ -37,7 +39,7 @@ int main(int argc, char** argv) {
   std::printf("== Figure 8(a): bandwidth (Gbps) ==\n");
   Table a({"payload", "READ SNIC(1)", "READ SNIC(2)", "WRITE SNIC(2)"});
   std::printf("== collecting... ==\n");
-  std::vector<Measurement> r1s, r2s, w2s;
+  runtime::SweepQueue<Measurement> sweep(jobs);
   for (uint32_t p : payloads) {
     // The sinks attach to the first SNIC(2) READ point: the path whose
     // sub-read pipeline (128 B MTU, HoL stalls) Fig. 8 is about.
@@ -46,9 +48,22 @@ int main(int argc, char** argv) {
       r2cfg.trace_path = trace;
       r2cfg.metrics_path = metrics;
     }
-    r1s.push_back(MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, p, cfg));
-    r2s.push_back(MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, p, r2cfg));
-    w2s.push_back(MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, p, cfg));
+    sweep.Add([p, cfg] {
+      return MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, p, cfg);
+    });
+    sweep.Add([p, r2cfg] {
+      return MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kRead, p, r2cfg);
+    });
+    sweep.Add([p, cfg] {
+      return MeasureInboundPath(ServerKind::kBluefieldSoc, Verb::kWrite, p, cfg);
+    });
+  }
+  const std::vector<Measurement> results = sweep.Run();
+  std::vector<Measurement> r1s, r2s, w2s;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    r1s.push_back(results[3 * i]);
+    r2s.push_back(results[3 * i + 1]);
+    w2s.push_back(results[3 * i + 2]);
   }
   for (size_t i = 0; i < payloads.size(); ++i) {
     a.Row().Add(FormatBytes(payloads[i]));

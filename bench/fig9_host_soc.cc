@@ -11,6 +11,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
 
 using namespace snicsim;  // NOLINT: bench brevity
@@ -34,6 +35,7 @@ Measurement Run(bool s2h, Verb verb, uint32_t payload) {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const bool quick = flags.GetBool("quick", false, "skip the >16MB points");
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
 
   std::vector<uint32_t> payloads = {16 * 1024,       64 * 1024,        256 * 1024,
@@ -43,14 +45,25 @@ int main(int argc, char** argv) {
     payloads.push_back(32 * 1024 * 1024);
   }
 
+  // Pass 1: submit every cell in consumption order (see fig4_latency.cc).
+  runtime::SweepQueue<Measurement> sweep(jobs);
+  for (uint32_t p : payloads) {
+    sweep.Add([p] { return Run(true, Verb::kRead, p); });
+    sweep.Add([p] { return Run(false, Verb::kRead, p); });
+    sweep.Add([p] { return Run(true, Verb::kWrite, p); });
+    sweep.Add([p] { return Run(false, Verb::kWrite, p); });
+  }
+  const std::vector<Measurement> results = sweep.Run();
+
   std::printf("== Figure 9(a): host<->SoC bandwidth (Gbps) ==\n");
   Table a({"payload", "R S2H", "R H2S", "W S2H", "W H2S"});
   std::vector<Measurement> rs2h, rh2s;
+  size_t k = 0;
   for (uint32_t p : payloads) {
-    const Measurement r_s2h = Run(true, Verb::kRead, p);
-    const Measurement r_h2s = Run(false, Verb::kRead, p);
-    const Measurement w_s2h = Run(true, Verb::kWrite, p);
-    const Measurement w_h2s = Run(false, Verb::kWrite, p);
+    const Measurement& r_s2h = results[k++];
+    const Measurement& r_h2s = results[k++];
+    const Measurement& w_s2h = results[k++];
+    const Measurement& w_h2s = results[k++];
     rs2h.push_back(r_s2h);
     rh2s.push_back(r_h2s);
     a.Row().Add(FormatBytes(p));

@@ -3,15 +3,18 @@
 // process ~195 M packets/s — the motivation for offloading.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
 
 using namespace snicsim;  // NOLINT: bench brevity
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
 
   HarnessConfig cfg;
@@ -20,10 +23,19 @@ int main(int argc, char** argv) {
   cfg.warmup = FromMicros(120);
   cfg.window = FromMicros(400);
 
+  // Pass 1: submit every cell in consumption order (see fig4_latency.cc).
+  runtime::SweepQueue<Measurement> sweep(jobs);
   // Two-sided: limited by the echo server's 24 cores.
-  const Measurement send = MeasureInboundPath(ServerKind::kRnicHost, Verb::kSend, 32, cfg);
+  sweep.Add([cfg] {
+    return MeasureInboundPath(ServerKind::kRnicHost, Verb::kSend, 32, cfg);
+  });
   // NIC packet processing: 0B one-sided READs never leave the NIC cores.
-  const Measurement nic = MeasureInboundPath(ServerKind::kRnicHost, Verb::kRead, 0, cfg);
+  sweep.Add([cfg] {
+    return MeasureInboundPath(ServerKind::kRnicHost, Verb::kRead, 0, cfg);
+  });
+  const std::vector<Measurement> results = sweep.Run();
+  const Measurement& send = results[0];
+  const Measurement& nic = results[1];
 
   Table t({"workload", "measured", "paper"});
   t.Row().Add("two-sided echo, 24 host cores").Add(FormatMpps(send.mreqs)).Add("87 Mpps");

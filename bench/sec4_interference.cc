@@ -8,10 +8,13 @@
 // network flows.
 #include <cstdio>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/model/bounds.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/sim/meter.h"
 #include "src/topo/server.h"
 #include "src/workload/client.h"
@@ -67,21 +70,35 @@ std::pair<double, double> BudgetRun(double path3_gbps) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
 
   HarnessConfig cfg;
   cfg.client_machines = 11;
 
-  std::printf("== §4(a): small-request interference of (3)H2S on (1) ==\n");
-  Table t({"verb", "(1) alone Mreq/s", "(1)+(3)H2S Mreq/s", "drop %", "paper drop %"});
   struct VerbRow {
     Verb verb;
     const char* paper;
   };
-  for (const VerbRow& v : {VerbRow{Verb::kRead, "7-15"}, VerbRow{Verb::kWrite, "4-27"},
-                           VerbRow{Verb::kSend, "9-14"}}) {
-    const double clean = MeasureInterference(v.verb, 64, false, cfg).mreqs;
-    const double loaded = MeasureInterference(v.verb, 64, true, cfg).mreqs;
+  const std::vector<VerbRow> verbs = {VerbRow{Verb::kRead, "7-15"},
+                                      VerbRow{Verb::kWrite, "4-27"},
+                                      VerbRow{Verb::kSend, "9-14"}};
+
+  // Pass 1: submit every cell in consumption order (see fig4_latency.cc).
+  runtime::SweepQueue<double> sweep_a(jobs);
+  for (const VerbRow& v : verbs) {
+    const Verb verb = v.verb;
+    sweep_a.Add([verb, cfg] { return MeasureInterference(verb, 64, false, cfg).mreqs; });
+    sweep_a.Add([verb, cfg] { return MeasureInterference(verb, 64, true, cfg).mreqs; });
+  }
+  const std::vector<double> part_a = sweep_a.Run();
+
+  std::printf("== §4(a): small-request interference of (3)H2S on (1) ==\n");
+  Table t({"verb", "(1) alone Mreq/s", "(1)+(3)H2S Mreq/s", "drop %", "paper drop %"});
+  size_t k = 0;
+  for (const VerbRow& v : verbs) {
+    const double clean = part_a[k++];
+    const double loaded = part_a[k++];
     t.Row().Add(VerbName(v.verb)).Add(clean, 1).Add(loaded, 1);
     t.Add((1.0 - loaded / clean) * 100.0, 1).Add(v.paper);
   }
@@ -89,10 +106,17 @@ int main(int argc, char** argv) {
 
   std::printf("\n== §4(b): the P - N budget (opposite-direction (1) + paced (3)) ==\n");
   const double budget = SafePath3BudgetGbps(TestbedParams());
+  const std::vector<double> demands = {0.0, budget, 2.5 * budget};
+  runtime::SweepQueue<std::pair<double, double>> sweep_b(jobs);
+  for (double demand : demands) {
+    sweep_b.Add([demand] { return BudgetRun(demand); });
+  }
+  const std::vector<std::pair<double, double>> part_b = sweep_b.Run();
+
   Table b({"path3 demand", "net Gbps", "path3 Gbps", "total Gbps"});
-  for (double demand : {0.0, budget, 2.5 * budget}) {
-    const auto [net, p3] = BudgetRun(demand);
-    b.Row().Add(demand, 0).Add(net, 1).Add(p3, 1).Add(net + p3, 1);
+  for (size_t i = 0; i < demands.size(); ++i) {
+    const auto [net, p3] = part_b[i];
+    b.Row().Add(demands[i], 0).Add(net, 1).Add(p3, 1).Add(net + p3, 1);
   }
   b.Print(std::cout, flags.csv());
   std::printf("\npaper: with (3) restricted to P - N = %.0f Gbps, the aggregate can\n"

@@ -8,10 +8,12 @@
 // model omits control path packets" caveat.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/model/pcie_model.h"
+#include "src/runtime/sweep_runner.h"
 #include "src/topo/server.h"
 
 using namespace snicsim;  // NOLINT: bench brevity
@@ -61,8 +63,18 @@ SimCounts SimulateTransfer(CommPath path, uint32_t bytes) {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int64_t bytes = flags.GetInt("bytes", 1 * kMiB, "transfer size N");
+  const int jobs = runtime::JobsFlag(flags);
   flags.Finish();
   const uint32_t n = static_cast<uint32_t>(bytes);
+
+  const std::vector<CommPath> paths = {CommPath::kSnic1, CommPath::kSnic2,
+                                       CommPath::kSnic3S2H, CommPath::kSnic3H2S};
+  // Pass 1: submit every cell in consumption order (see fig4_latency.cc).
+  runtime::SweepQueue<SimCounts> sweep(jobs);
+  for (CommPath path : paths) {
+    sweep.Add([path, n] { return SimulateTransfer(path, n); });
+  }
+  const std::vector<SimCounts> sims = sweep.Run();
 
   std::printf("== Table 3: PCIe MTUs ==\n");
   Table mtus({"endpoint", "PCIe MTU"});
@@ -73,11 +85,10 @@ int main(int argc, char** argv) {
   std::printf("\n== Table 3: data packets to transfer N = %s ==\n",
               FormatBytes(n).c_str());
   Table t({"path", "PCIe1 model", "PCIe1 sim", "PCIe0 model", "PCIe0 sim"});
-  for (CommPath path : {CommPath::kSnic1, CommPath::kSnic2, CommPath::kSnic3S2H,
-                        CommPath::kSnic3H2S}) {
-    const PciePacketCounts model = DataPacketsForTransfer(path, n);
-    const SimCounts sim = SimulateTransfer(path, n);
-    t.Row().Add(CommPathName(path));
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const PciePacketCounts model = DataPacketsForTransfer(paths[i], n);
+    const SimCounts& sim = sims[i];
+    t.Row().Add(CommPathName(paths[i]));
     t.Add(model.pcie1).Add(sim.pcie1).Add(model.pcie0).Add(sim.pcie0);
   }
   t.Print(std::cout, flags.csv());

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""CI perf gate for the DES event core.
+
+Compares a fresh google-benchmark JSON export of bench/micro_simcore against
+the committed baseline in BENCH_simcore.json and fails when any gated
+counter's items_per_second regresses by more than the tolerance (default:
+the baseline's gate_tolerance, 25%).
+
+Usage:
+  build/bench/micro_simcore --benchmark_out=fresh.json \
+      --benchmark_out_format=json --benchmark_repetitions=3 \
+      --benchmark_report_aggregates_only=true
+  scripts/check_bench.py --baseline BENCH_simcore.json --fresh fresh.json
+
+Only BM_EventQueueThroughput/* is gated by default: the other counters in
+the baseline are informational (BusyServerEnqueue is a sub-2ns loop whose
+variance on shared CI runners exceeds any honest gate).
+"""
+import argparse
+import json
+import sys
+
+GATED_PREFIX = "BM_EventQueueThroughput"
+
+
+def load_fresh_items_per_second(path):
+    """Returns {benchmark_name: items_per_second} from a google-benchmark
+    JSON export, preferring the _median aggregate when repetitions were
+    requested."""
+    with open(path) as f:
+        doc = json.load(f)
+    plain = {}
+    median = {}
+    for run in doc.get("benchmarks", []):
+        ips = run.get("items_per_second")
+        if ips is None:
+            continue
+        name = run["name"]
+        if name.endswith("_median"):
+            median[name[: -len("_median")]] = ips
+        elif run.get("run_type", "iteration") == "iteration":
+            plain[name] = ips
+    return {**plain, **median}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_simcore.json")
+    parser.add_argument("--fresh", required=True,
+                        help="google-benchmark JSON from a fresh run")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="max allowed fractional regression "
+                             "(default: baseline gate_tolerance)")
+    parser.add_argument("--all", action="store_true",
+                        help="gate every recorded counter, not just "
+                             f"{GATED_PREFIX}/*")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(baseline.get("gate_tolerance", 0.25))
+
+    fresh = load_fresh_items_per_second(args.fresh)
+    failures = []
+    checked = 0
+    for name, record in baseline["recorded"].items():
+        gated = args.all or name.startswith(GATED_PREFIX)
+        if name not in fresh:
+            if gated:
+                failures.append(f"{name}: missing from fresh run")
+            continue
+        ref = float(record["after"])
+        got = fresh[name]
+        ratio = got / ref
+        status = "ok"
+        if gated and ratio < 1.0 - tolerance:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {got:,.0f} items/s vs baseline {ref:,.0f} "
+                f"({(1.0 - ratio) * 100.0:.1f}% slower, limit "
+                f"{tolerance * 100.0:.0f}%)")
+        checked += 1
+        tag = "gated" if gated else "info "
+        print(f"[{tag}] {name}: fresh {got:,.0f} / baseline {ref:,.0f} "
+              f"items/s ({ratio:.2f}x) {status}")
+
+    if checked == 0:
+        print("error: no comparable benchmarks found", file=sys.stderr)
+        return 2
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

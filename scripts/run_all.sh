@@ -1,13 +1,37 @@
 #!/usr/bin/env bash
 # Builds everything, runs the test suite, then regenerates every paper
-# figure/table. Usage: scripts/run_all.sh [--csv]
+# figure/table. Usage: scripts/run_all.sh [--csv] [--jobs=N]
+#
+# --jobs=N fans the independent sweep points of each bench across N worker
+# threads (default: all cores). Output is byte-identical at any job count:
+# results are merged in submission order before anything is printed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+jobs="$(nproc)"
+args=()
+for a in "$@"; do
+  case "$a" in
+    --jobs=*) jobs="${a#--jobs=}" ;;
+    *) args+=("$a") ;;
+  esac
+done
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
 for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
   echo "===== $b ====="
-  "$b" "$@"
+  case "$(basename "$b")" in
+    micro_simcore)
+      # google-benchmark binary: takes no sweep flags.
+      "$b"
+      ;;
+    *)
+      "$b" --jobs="$jobs" ${args[@]+"${args[@]}"}
+      ;;
+  esac
   echo
 done

@@ -24,6 +24,7 @@
 #include "src/mem/memory.h"
 #include "src/nic/params.h"
 #include "src/pcie/path.h"
+#include "src/sim/callback.h"
 #include "src/sim/server.h"
 #include "src/sim/simulator.h"
 
@@ -39,8 +40,9 @@ struct EndpointParams {
 
 // Completion handed to the NIC when a DMA finishes. `done` is the simulated
 // completion time (data at the NIC for reads; delivered at the endpoint for
-// posted writes).
-using DmaCallback = std::function<void(SimTime done)>;
+// posted writes). Per-request closure: move-only with a small-buffer fast
+// path (see src/sim/callback.h).
+using DmaCallback = SmallFunction<void(SimTime done)>;
 
 class NicEndpoint {
  public:

@@ -36,7 +36,7 @@ void NicEngine::SetSendHandler(NicEndpoint* ep, SendHandler handler) {
   send_handlers_[static_cast<size_t>(ep->fe_id)] = std::move(handler);
 }
 
-void NicEngine::AcquirePu(NicEndpoint* ep, std::function<void(Simulator::Callback)> cb) {
+void NicEngine::AcquirePu(NicEndpoint* ep, SmallFunction<void(Simulator::Callback)> cb) {
   TokenPool* dedicated = dedicated_pus_[static_cast<size_t>(ep->fe_id)].get();
   if (dedicated != nullptr && dedicated->TryAcquire()) {
     sim_->In(0, [dedicated, cb = std::move(cb)] {
@@ -62,10 +62,11 @@ void NicEngine::SendResponse(NicEndpoint* ep, uint64_t bytes, SimTime ready, Pci
     }
   }
   if (bytes == 0) {
-    path.TransferControlAt(sim_, t, [this, done] { done(sim_->now()); }, req_id);
+    path.TransferControlAt(sim_, t, [this, done = std::move(done)] { done(sim_->now()); },
+                           req_id);
   } else {
     path.TransferAt(sim_, t, bytes, params_.network_mtu,
-                    [this, done] { done(sim_->now()); }, req_id);
+                    [this, done = std::move(done)] { done(sim_->now()); }, req_id);
   }
 }
 
@@ -188,7 +189,7 @@ void NicEngine::FetchWqes(NicEndpoint* src, uint64_t addr, int count, DmaCallbac
 }
 
 void NicEngine::ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, uint64_t addr,
-                               uint32_t len, std::function<void(SimTime)> done,
+                               uint32_t len, SmallFunction<void(SimTime)> done,
                                uint64_t req_id) {
   ++requests_served_;
   const double units =
@@ -247,7 +248,7 @@ void NicEngine::ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, ui
                 }
               }
               src->DmaWrite(cqe_addr, params_.cqe_bytes,
-                            [done = std::move(done)](SimTime posted) { done(posted); },
+                            [done = std::move(done)](SimTime cqe_done) { done(cqe_done); },
                             /*single_descriptor=*/false, req_id);
             },
                 /*single_descriptor=*/true, req_id);

@@ -27,19 +27,26 @@
 #include "src/nic/params.h"
 #include "src/nic/verb.h"
 #include "src/pcie/path.h"
+#include "src/sim/callback.h"
 #include "src/sim/server.h"
 #include "src/sim/simulator.h"
 
 namespace snicsim {
 
 // Invoked when the last response frame reaches the far end of the response
-// path (i.e. the requester's NIC).
-using ResponseCallback = std::function<void(SimTime delivered)>;
+// path (i.e. the requester's NIC). Per-request closure: move-only with a
+// small-buffer fast path (see src/sim/callback.h).
+using ResponseCallback = SmallFunction<void(SimTime delivered)>;
+
+// The per-request reply closure handed to a SendHandler: call
+// `reply(ready_time, reply_len)` to emit the response. Carries the request's
+// response path and completion chain, so it is move-only.
+using ReplyCallback = SmallFunction<void(SimTime ready, uint32_t reply_len)>;
 
 // Two-sided delivery: the endpoint CPU receives `len` bytes and must
-// eventually call `reply(ready_time, reply_len)` to emit the response.
-using SendHandler =
-    std::function<void(uint32_t len, std::function<void(SimTime, uint32_t)> reply)>;
+// eventually invoke the reply closure. The handler itself is registered once
+// and invoked many times, so plain std::function is fine here.
+using SendHandler = std::function<void(uint32_t len, ReplyCallback reply)>;
 
 class NicEngine {
  public:
@@ -69,7 +76,7 @@ class NicEngine {
   // by the requester model; `done` fires when the CQE write has been posted
   // into `src`'s memory.
   void ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, uint64_t addr,
-                      uint32_t len, std::function<void(SimTime)> done,
+                      uint32_t len, SmallFunction<void(SimTime)> done,
                       uint64_t req_id = 0);
 
   // Fetches `count` WQEs (doorbell-batching DMA) from `src` memory; `cb`
@@ -84,7 +91,7 @@ class NicEngine {
   // Grants a processing-unit context for work on `ep` — a dedicated
   // per-endpoint context when one is free, else a shared one (queueing if
   // exhausted). `cb` receives the matching release callback.
-  void AcquirePu(NicEndpoint* ep, std::function<void(Simulator::Callback release)> cb);
+  void AcquirePu(NicEndpoint* ep, SmallFunction<void(Simulator::Callback release)> cb);
   Simulator* sim() const { return sim_; }
   const std::vector<std::unique_ptr<NicEndpoint>>& endpoints() const { return endpoints_; }
 

@@ -106,7 +106,8 @@ class QueuePair {
     SNIC_CHECK(machine != nullptr);
   }
 
-  using OpCallback = std::function<void(SimTime completed)>;
+  // Per-op completion closure: move-only with a small-buffer fast path.
+  using OpCallback = SmallFunction<void(SimTime completed)>;
 
   // State management (ibv_modify_qp): the ladder must be walked in order.
   // Freshly-constructed QPs start in kRts for convenience (the common case

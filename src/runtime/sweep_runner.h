@@ -1,0 +1,126 @@
+// Parallel execution of independent sweep points.
+//
+// Every figure bench runs a grid of fully independent experiments — one
+// fresh Simulator per (payload, path, verb) point — strictly serially. The
+// grid is embarrassingly parallel, so SweepRunner farms the points out to a
+// work-stealing thread pool while the caller consumes the results in
+// submission order. Determinism is preserved by construction: each point
+// owns its Simulator and RNGs, results land in a slot fixed at submission
+// time, and all printing happens after Wait() — so `--jobs=N` output is
+// byte-identical to the serial run for any N.
+#ifndef SRC_RUNTIME_SWEEP_RUNNER_H_
+#define SRC_RUNTIME_SWEEP_RUNNER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/flags.h"
+
+namespace snicsim::runtime {
+
+// Number of workers used when --jobs is not given: hardware concurrency,
+// with a floor of 1.
+int DefaultJobs();
+
+// Registers the shared --jobs flag every bench binary accepts. Call before
+// flags.Finish().
+int JobsFlag(Flags& flags);
+
+// A work-stealing pool for coarse-grained tasks (whole experiments).
+//
+// Submissions are dealt round-robin onto per-worker deques; a worker pops
+// its own deque from the front and, when empty, steals from the back of its
+// peers. Tasks must be independent of one another: a task may block on work
+// done by another task only if jobs() tasks can make progress concurrently.
+class SweepRunner {
+ public:
+  using Task = std::function<void()>;
+
+  // jobs <= 0 selects DefaultJobs().
+  explicit SweepRunner(int jobs = 0);
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+  // Joins the workers; pending tasks are drained first.
+  ~SweepRunner();
+
+  int jobs() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Thread-safe; `task` must be non-empty.
+  void Submit(Task task);
+
+  // Blocks until every submitted task has finished. If any task threw, the
+  // first exception observed is rethrown here (the remaining tasks still
+  // run to completion).
+  void Wait();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  void RunOne(size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  // guards the counters below and error_
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  size_t next_queue_ = 0;  // round-robin submission cursor
+  size_t unclaimed_ = 0;   // tasks pushed but not yet picked up by a worker
+  size_t pending_ = 0;     // tasks submitted but not yet finished
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+// Runs `points` on a SweepRunner and returns their results in submission
+// order — the parallel drop-in for a serial `for (p : points) out.push_back
+// (p())` loop.
+template <typename R>
+std::vector<R> RunSweep(int jobs, std::vector<std::function<R()>> points) {
+  static_assert(!std::is_same_v<R, bool>,
+                "std::vector<bool> elements alias; use int results instead");
+  std::vector<R> results(points.size());
+  SweepRunner runner(jobs);
+  for (size_t i = 0; i < points.size(); ++i) {
+    runner.Submit([&results, &points, i] { results[i] = points[i](); });
+  }
+  runner.Wait();
+  return results;
+}
+
+// Order-preserving sweep builder for the bench mains: Add() every
+// experiment in the exact order the table-building code will consume it,
+// Run() once, then read the results sequentially (or via the index Add
+// returned). Keeping submission order == consumption order is what makes
+// the parallel table byte-identical to the serial one.
+template <typename R>
+class SweepQueue {
+ public:
+  explicit SweepQueue(int jobs) : jobs_(jobs) {}
+
+  size_t Add(std::function<R()> point) {
+    points_.push_back(std::move(point));
+    return points_.size() - 1;
+  }
+
+  std::vector<R> Run() { return RunSweep<R>(jobs_, std::move(points_)); }
+
+ private:
+  int jobs_;
+  std::vector<std::function<R()>> points_;
+};
+
+}  // namespace snicsim::runtime
+
+#endif  // SRC_RUNTIME_SWEEP_RUNNER_H_

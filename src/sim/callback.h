@@ -1,0 +1,189 @@
+// Move-only type-erased closures with a small-buffer fast path.
+//
+// The DES kernel schedules millions of short-lived closures per experiment.
+// std::function is the wrong vehicle for that hot path: its copyability
+// requirement forbids move-only captures, and its small-buffer window (16
+// bytes on libstdc++) forces a heap allocation for nearly every capture
+// list in this codebase. SmallFunction stores closures up to kInlineBytes
+// directly inline — the common case allocates nothing — and falls back to a
+// single heap cell only for oversized captures. SimCallback, the event
+// type, is SmallFunction<void()>; the per-request completion chains
+// (DmaCallback, ResponseCallback, ...) reuse the template with their own
+// signatures so one request's closure chain can thread a move-only release
+// token end to end.
+#ifndef SRC_SIM_CALLBACK_H_
+#define SRC_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace snicsim {
+
+template <typename Sig>
+class SmallFunction;  // only the R(Args...) specialization exists
+
+template <typename R, typename... Args>
+class SmallFunction<R(Args...)> {
+ public:
+  // Covers every capture list on the event hot path (a handful of pointers
+  // plus a few values); bigger closures still work via the heap fallback.
+  static constexpr size_t kInlineBytes = 64;
+
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT: drop-in for std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT: implicit, drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vtable_ = &Inline<Fn>::kVTable;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = &Boxed<Fn>::kVTable;
+    }
+  }
+
+  SmallFunction(SmallFunction&& o) noexcept { MoveFrom(std::move(o)); }
+  SmallFunction& operator=(SmallFunction&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      MoveFrom(std::move(o));
+    }
+    return *this;
+  }
+  SmallFunction& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+  ~SmallFunction() { Reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+  friend bool operator==(const SmallFunction& f, std::nullptr_t) {
+    return f.vtable_ == nullptr;
+  }
+
+  // Const like std::function's operator(): closures are routinely invoked
+  // through const captures. The target lives in mutable storage.
+  R operator()(Args... args) const {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  // Invokes the target and leaves *this empty. The dispatch fast path: one
+  // indirect call does the work of move-out + invoke + destroy.
+  R CallOnce(Args... args) {
+    const VTable* vt = vtable_;
+    vtable_ = nullptr;
+    return vt->invoke_destroy(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* self, Args&&... args);
+    // Invokes the target, then destroys it (see CallOnce).
+    R (*invoke_destroy)(void* self, Args&&... args);
+    // Move-constructs *dst from *src and destroys *src. nullptr marks a
+    // trivially relocatable representation: a plain memcpy of the storage
+    // suffices, no indirect call needed.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  struct Inline {
+    static Fn* Get(void* p) { return std::launder(reinterpret_cast<Fn*>(p)); }
+    static R Invoke(void* self, Args&&... args) {
+      return (*Get(self))(std::forward<Args>(args)...);
+    }
+    static R InvokeDestroy(void* self, Args&&... args) {
+      Fn* fn = Get(self);
+      if constexpr (std::is_void_v<R>) {
+        (*fn)(std::forward<Args>(args)...);
+        fn->~Fn();
+      } else {
+        R r = (*fn)(std::forward<Args>(args)...);
+        fn->~Fn();
+        return r;
+      }
+    }
+    static void Relocate(void* dst, void* src) {
+      ::new (dst) Fn(std::move(*Get(src)));
+      Get(src)->~Fn();
+    }
+    static void Destroy(void* self) { Get(self)->~Fn(); }
+    static constexpr VTable kVTable{
+        &Invoke, &InvokeDestroy,
+        std::is_trivially_copyable_v<Fn> ? nullptr : &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct Boxed {
+    static Fn* Get(void* p) { return *std::launder(reinterpret_cast<Fn**>(p)); }
+    static R Invoke(void* self, Args&&... args) {
+      return (*Get(self))(std::forward<Args>(args)...);
+    }
+    static R InvokeDestroy(void* self, Args&&... args) {
+      Fn* fn = Get(self);
+      if constexpr (std::is_void_v<R>) {
+        (*fn)(std::forward<Args>(args)...);
+        delete fn;
+      } else {
+        R r = (*fn)(std::forward<Args>(args)...);
+        delete fn;
+        return r;
+      }
+    }
+    static void Destroy(void* self) { delete Get(self); }
+    // Relocating a box is copying one pointer — always trivial.
+    static constexpr VTable kVTable{&Invoke, &InvokeDestroy, nullptr, &Destroy};
+  };
+
+  void MoveFrom(SmallFunction&& o) noexcept {
+    vtable_ = o.vtable_;
+    if (vtable_ != nullptr) {
+      if (vtable_->relocate == nullptr) {
+        // Fixed-size copy: compiles to a few vector moves, no indirect call.
+        // Bytes past the capture are indeterminate and copied on purpose.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+        std::memcpy(storage_, o.storage_, kInlineBytes);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+      } else {
+        vtable_->relocate(storage_, o.storage_);
+      }
+      o.vtable_ = nullptr;
+    }
+  }
+  void Reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) mutable unsigned char storage_[kInlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+// The simulator's event closure type.
+using SimCallback = SmallFunction<void()>;
+
+}  // namespace snicsim
+
+#endif  // SRC_SIM_CALLBACK_H_

@@ -40,7 +40,7 @@ class EchoCpu {
   // Returns a SendHandler that serves each message on the earliest-free
   // core and echoes a same-size reply.
   SendHandler Handler() {
-    return [this](uint32_t len, std::function<void(SimTime, uint32_t)> reply) {
+    return [this](uint32_t len, ReplyCallback reply) {
       const SimTime done = pool_.EnqueueAt(sim_->now() + notify_delay_, per_message_);
       if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
         // SendHandler carries no request id, so CPU echo work traces as

@@ -105,7 +105,7 @@ void ClientMachine::IssueBatch(const std::shared_ptr<Loop>& loop) {
 }
 
 void ClientMachine::Post(int thread, const TargetSpec& target, uint64_t addr,
-                         std::function<void(SimTime)> cb) {
+                         SmallFunction<void(SimTime)> cb) {
   SNIC_CHECK_GE(thread, 0);
   SNIC_CHECK_LT(static_cast<size_t>(thread), thread_cpu_.size());
   ++issued_;
@@ -136,7 +136,7 @@ void ClientMachine::Post(int thread, const TargetSpec& target, uint64_t addr,
 }
 
 void ClientMachine::LaunchFromNic(const TargetSpec& target, uint64_t addr,
-                                  std::function<void(SimTime)> cb, uint64_t req_id) {
+                                  SmallFunction<void(SimTime)> cb, uint64_t req_id) {
   // Client NIC pipeline + WQE handling.
   const SimTime fe_done =
       nic_fe_.EnqueueAt(sim_->now(), params_.nic.shared_pipeline.ServiceTime());
@@ -154,7 +154,7 @@ void ClientMachine::LaunchFromNic(const TargetSpec& target, uint64_t addr,
                   CeilDiv(target.payload, target.engine->params().network_mtu));
     target.engine->HandleRequest(
         target.endpoint, target.verb, addr, target.payload, fe_units, std::move(back),
-        [this, req_id, cb = std::move(cb)](SimTime delivered) {
+        [this, req_id, cb = std::move(cb)](SimTime delivered) mutable {
           if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
             tr->Span(name_ + ".nic", "rx", delivered,
                      delivered + params_.nic_rx_fixed + params_.poll, req_id);

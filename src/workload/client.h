@@ -66,7 +66,7 @@ class ClientMachine {
   // completion is visible to the polling thread. This is the primitive the
   // verbs layer (src/rdma) builds on.
   void Post(int thread, const TargetSpec& target, uint64_t addr,
-            std::function<void(SimTime completed)> cb);
+            SmallFunction<void(SimTime completed)> cb);
 
   PcieLink* port() { return port_; }
   Simulator* sim() const { return sim_; }
@@ -91,7 +91,7 @@ class ClientMachine {
   void IssueBatch(const std::shared_ptr<Loop>& loop);
   // The NIC-side half of a post: pipeline, fabric, responder, completion.
   void LaunchFromNic(const TargetSpec& target, uint64_t addr,
-                     std::function<void(SimTime)> cb, uint64_t req_id = 0);
+                     SmallFunction<void(SimTime)> cb, uint64_t req_id = 0);
 
   Simulator* sim_;
   Fabric* fabric_;

@@ -43,8 +43,11 @@ void LocalRequester::Pump(const std::shared_ptr<Loop>& loop) {
   if (loop->paced) {
     // Open loop: one thread-share of the aggregate rate, issued on a timer.
     // The interval is recomputed every tick, so SetPacedRate takes effect
-    // within one period (the governor's control knob).
-    auto tick = std::make_shared<std::function<void()>>();
+    // within one period (the governor's control knob). The requester owns
+    // the tick closure; capturing the shared_ptr instead would make the
+    // function own itself and leak the cycle.
+    std::function<void()>* tick =
+        pacers_.emplace_back(std::make_unique<std::function<void()>>()).get();
     *tick = [this, loop, tick] {
       const double rate = params_.paced_gbps;
       if (rate <= 0.0) {

@@ -10,6 +10,7 @@
 #ifndef SRC_WORKLOAD_LOCAL_REQUESTER_H_
 #define SRC_WORKLOAD_LOCAL_REQUESTER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -101,6 +102,9 @@ class LocalRequester {
   std::string name_;
   SimTime mmio_flight_;
   std::vector<std::unique_ptr<BusyServer>> thread_cpu_;
+  // Paced-mode tick closures, one per thread (see Pump); owned here so the
+  // scheduled copies can reference them without a shared_ptr cycle.
+  std::vector<std::unique_ptr<std::function<void()>>> pacers_;
   uint64_t issued_ = 0;
   uint64_t doorbells_ = 0;  // MMIO doorbell rings (one per batch when batching)
 };

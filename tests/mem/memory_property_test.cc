@@ -4,6 +4,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/mem/memory.h"
@@ -17,9 +18,15 @@ double Drive(const MemoryParams& params, uint64_t range, bool is_write) {
   MemorySubsystem mem(&sim, "m", params);
   Meter meter(&sim);
   meter.SetWindow(FromMicros(20), FromMicros(100));
+  // The closures are owned by `issues` (alive across the run); capturing the
+  // owning pointer inside would leak a cycle.
+  std::vector<std::unique_ptr<std::function<void()>>> issues;
+  std::vector<std::unique_ptr<Rng>> rngs;
   for (int c = 0; c < 48; ++c) {
-    auto issue = std::make_shared<std::function<void()>>();
-    auto rng = std::make_shared<Rng>(100 + static_cast<uint64_t>(c));
+    std::function<void()>* issue =
+        issues.emplace_back(std::make_unique<std::function<void()>>()).get();
+    Rng* rng =
+        rngs.emplace_back(std::make_unique<Rng>(100 + static_cast<uint64_t>(c))).get();
     *issue = [&sim, &mem, &meter, issue, rng, range, is_write] {
       mem.Access(sim.now(), rng->NextBelow(range / 64) * 64, 64, is_write,
                  [&meter, issue] {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "src/common/rng.h"
 #include "src/sim/meter.h"
 
@@ -17,10 +21,16 @@ double DriveRandomAccesses(const MemoryParams& params, uint64_t range, bool is_w
   Meter meter(&sim);
   meter.SetWindow(FromMicros(20), FromMicros(120));
   // `concurrency` independent streams, each issuing the next access when the
-  // previous completes.
+  // previous completes. The closures are owned by `issues` (alive across the
+  // run); capturing the owning pointer inside would leak a cycle.
+  std::vector<std::unique_ptr<std::function<void()>>> issues;
+  std::vector<std::unique_ptr<Rng>> stream_rngs;
   for (int c = 0; c < concurrency; ++c) {
-    auto issue = std::make_shared<std::function<void()>>();
-    auto stream_rng = std::make_shared<Rng>(1000 + static_cast<uint64_t>(c));
+    std::function<void()>* issue =
+        issues.emplace_back(std::make_unique<std::function<void()>>()).get();
+    Rng* stream_rng =
+        stream_rngs.emplace_back(std::make_unique<Rng>(1000 + static_cast<uint64_t>(c)))
+            .get();
     *issue = [&sim, &mem, &meter, issue, stream_rng, range, is_write] {
       const uint64_t addr = stream_rng->NextBelow(range / 64) * 64;
       mem.Access(sim.now(), addr, 64, is_write, [&meter, issue] {

@@ -1,0 +1,117 @@
+// The tentpole guarantee: a sweep run with --jobs=N produces byte-identical
+// CSV, trace, and metrics output to the serial run, for any N. This test
+// runs the same miniature figure-bench sweep at jobs=1 and jobs=8 and
+// compares every byte of every artifact.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/runtime/sweep_runner.h"
+#include "src/workload/harness.h"
+
+namespace snicsim {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct SweepArtifacts {
+  std::string csv;
+  std::vector<std::string> traces;
+  std::vector<std::string> metrics;
+};
+
+// A miniature fig4-style sweep: kinds x payloads, each point a fresh
+// experiment with its own trace + metrics sinks. Mirrors the two-pass
+// pattern the bench mains use: submit in table order, run, then consume
+// results in the same order.
+SweepArtifacts RunMiniSweep(int jobs, const std::string& tag) {
+  const ServerKind kinds[] = {ServerKind::kRnicHost, ServerKind::kBluefieldSoc};
+  const uint32_t payloads[] = {64, 512};
+
+  HarnessConfig base;
+  base.client_machines = 2;
+  base.client.threads = 2;
+  base.warmup = FromMicros(5);
+  base.window = FromMicros(20);
+
+  SweepArtifacts out;
+  runtime::SweepQueue<Measurement> sweep(jobs);
+  for (const ServerKind kind : kinds) {
+    for (const uint32_t payload : payloads) {
+      HarnessConfig cfg = base;
+      cfg.trace_path = testing::TempDir() + "/sweep_" + tag + "_" +
+                       ServerKindName(kind) + "_" + std::to_string(payload) +
+                       ".trace.json";
+      cfg.metrics_path = testing::TempDir() + "/sweep_" + tag + "_" +
+                         ServerKindName(kind) + "_" + std::to_string(payload) +
+                         ".metrics.json";
+      out.traces.push_back(cfg.trace_path);
+      out.metrics.push_back(cfg.metrics_path);
+      sweep.Add([kind, payload, cfg] {
+        return MeasureInboundPath(kind, Verb::kRead, payload, cfg);
+      });
+    }
+  }
+  const std::vector<Measurement> results = sweep.Run();
+
+  Table table({"path", "payload", "mreqs", "gbps", "p50_us", "p99_us"});
+  size_t k = 0;
+  for (const ServerKind kind : kinds) {
+    for (const uint32_t payload : payloads) {
+      const Measurement& m = results[k++];
+      table.Row()
+          .Add(ServerKindName(kind))
+          .Add(static_cast<uint64_t>(payload))
+          .Add(m.mreqs, 3)
+          .Add(m.gbps, 2)
+          .Add(m.p50_us, 2)
+          .Add(m.p99_us, 2);
+    }
+  }
+  std::ostringstream csv;
+  table.PrintCsv(csv);
+  out.csv = csv.str();
+  return out;
+}
+
+TEST(SweepDeterminism, ParallelSweepIsByteIdenticalToSerial) {
+  const SweepArtifacts serial = RunMiniSweep(1, "j1");
+  const SweepArtifacts parallel = RunMiniSweep(8, "j8");
+
+  EXPECT_FALSE(serial.csv.empty());
+  EXPECT_EQ(serial.csv, parallel.csv);
+
+  ASSERT_EQ(serial.traces.size(), parallel.traces.size());
+  for (size_t i = 0; i < serial.traces.size(); ++i) {
+    const std::string a = ReadFile(serial.traces[i]);
+    const std::string b = ReadFile(parallel.traces[i]);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << serial.traces[i] << " vs " << parallel.traces[i];
+  }
+  ASSERT_EQ(serial.metrics.size(), parallel.metrics.size());
+  for (size_t i = 0; i < serial.metrics.size(); ++i) {
+    const std::string a = ReadFile(serial.metrics[i]);
+    const std::string b = ReadFile(parallel.metrics[i]);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << serial.metrics[i] << " vs " << parallel.metrics[i];
+  }
+}
+
+TEST(SweepDeterminism, RepeatedParallelRunsAgree) {
+  const SweepArtifacts a = RunMiniSweep(8, "r1");
+  const SweepArtifacts b = RunMiniSweep(8, "r2");
+  EXPECT_EQ(a.csv, b.csv);
+}
+
+}  // namespace
+}  // namespace snicsim

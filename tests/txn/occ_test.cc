@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "src/common/rng.h"
 #include "src/topo/server.h"
 
@@ -121,9 +125,15 @@ TEST_F(OccTest, RandomWorkloadInvariantsHold) {
   }
   uint64_t committed_writes = 0;
   int finished = 0;
+  // The driver closures are owned by these vectors (alive across sim_.Run());
+  // capturing the owning pointer inside the closure would leak a cycle.
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::vector<std::unique_ptr<std::function<void(int)>>> runners;
   for (int i = 0; i < kCoordinators; ++i) {
-    auto rng = std::make_shared<Rng>(1000 + static_cast<uint64_t>(i));
-    auto run = std::make_shared<std::function<void(int)>>();
+    Rng* rng =
+        rngs.emplace_back(std::make_unique<Rng>(1000 + static_cast<uint64_t>(i))).get();
+    std::function<void(int)>* run =
+        runners.emplace_back(std::make_unique<std::function<void(int)>>()).get();
     OccCoordinator* coord = coords[static_cast<size_t>(i)].get();
     *run = [&, coord, rng, run](int remaining) {
       if (remaining == 0) {
