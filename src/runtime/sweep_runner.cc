@@ -91,26 +91,33 @@ void SweepRunner::WorkerLoop(size_t self) {
 
 void SweepRunner::RunOne(size_t self) {
   // Own deque first (front: submission order), then steal from the back of
-  // the peers. The claim token taken in WorkerLoop guarantees some deque
-  // holds a task.
+  // the peers. The claim token taken in WorkerLoop guarantees a task exists
+  // in some deque for the whole scan, but not that one linear pass sees it:
+  // a concurrent worker can pop the task this token pointed at while a
+  // fresh Submit (with its own token) lands in a deque already scanned. The
+  // token count never exceeds the task count, so rescanning must succeed.
   Task task;
   bool found = false;
   const size_t n = queues_.size();
-  for (size_t i = 0; i < n && !found; ++i) {
-    WorkerQueue& q = *queues_[(self + i) % n];
-    std::lock_guard<std::mutex> lock(q.mu);
-    if (!q.tasks.empty()) {
-      if (i == 0) {
-        task = std::move(q.tasks.front());
-        q.tasks.pop_front();
-      } else {
-        task = std::move(q.tasks.back());
-        q.tasks.pop_back();
+  while (!found) {
+    for (size_t i = 0; i < n && !found; ++i) {
+      WorkerQueue& q = *queues_[(self + i) % n];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (!q.tasks.empty()) {
+        if (i == 0) {
+          task = std::move(q.tasks.front());
+          q.tasks.pop_front();
+        } else {
+          task = std::move(q.tasks.back());
+          q.tasks.pop_back();
+        }
+        found = true;
       }
-      found = true;
+    }
+    if (!found) {
+      std::this_thread::yield();
     }
   }
-  SNIC_CHECK(found);
   try {
     task();
   } catch (...) {

@@ -107,15 +107,14 @@ class SmallFunction<R(Args...)> {
       return (*Get(self))(std::forward<Args>(args)...);
     }
     static R InvokeDestroy(void* self, Args&&... args) {
-      Fn* fn = Get(self);
-      if constexpr (std::is_void_v<R>) {
-        (*fn)(std::forward<Args>(args)...);
-        fn->~Fn();
-      } else {
-        R r = (*fn)(std::forward<Args>(args)...);
-        fn->~Fn();
-        return r;
-      }
+      // Scope guard, not a trailing dtor call: the caller already cleared
+      // its vtable pointer, so if the target throws, this is the only place
+      // left that can release the capture.
+      struct Guard {
+        Fn* fn;
+        ~Guard() { fn->~Fn(); }
+      } guard{Get(self)};
+      return (*guard.fn)(std::forward<Args>(args)...);
     }
     static void Relocate(void* dst, void* src) {
       ::new (dst) Fn(std::move(*Get(src)));
@@ -134,15 +133,13 @@ class SmallFunction<R(Args...)> {
       return (*Get(self))(std::forward<Args>(args)...);
     }
     static R InvokeDestroy(void* self, Args&&... args) {
-      Fn* fn = Get(self);
-      if constexpr (std::is_void_v<R>) {
-        (*fn)(std::forward<Args>(args)...);
-        delete fn;
-      } else {
-        R r = (*fn)(std::forward<Args>(args)...);
-        delete fn;
-        return r;
-      }
+      // Scope guard so a throwing target still frees the heap cell (see the
+      // Inline counterpart).
+      struct Guard {
+        Fn* fn;
+        ~Guard() { delete fn; }
+      } guard{Get(self)};
+      return (*guard.fn)(std::forward<Args>(args)...);
     }
     static void Destroy(void* self) { delete Get(self); }
     // Relocating a box is copying one pointer — always trivial.

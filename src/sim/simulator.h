@@ -39,9 +39,13 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  // Schedules `cb` at absolute time `t` (>= now).
+  // Schedules `cb` at absolute time `t` (>= now). `cb` must be non-empty.
   void At(SimTime t, Callback cb) {
     SNIC_CHECK_GE(t, now_);
+    SNIC_CHECK(cb != nullptr);
+    if (next_seq_ >= kSeqRenumberAt) {
+      RenumberSeqs();
+    }
     const uint32_t slot = AllocSlot();
     SlotAt(slot) = std::move(cb);
     heap_.push_back(EventHandle{t, next_seq_++, slot});
@@ -78,6 +82,9 @@ class Simulator {
   void set_tracer(Tracer* t) { tracer_ = t; }
 
  private:
+  friend class SimulatorTestPeer;  // tests fast-forward next_seq_ to the
+                                   // renumber threshold
+
   // POD handle the heap orders; the closure stays put in its slot. 16 bytes
   // so a 64-byte cache line holds four of them — one 4-ary heap node.
   struct EventHandle {
@@ -86,16 +93,35 @@ class Simulator {
     uint32_t slot;
   };
 
-  // Min-heap order on (time, seq). seq is a wrapping 32-bit counter: the
-  // subtraction compares circular distance, which is exact as long as fewer
-  // than 2^31 events are pending at one simulated time — far beyond any
-  // conceivable experiment.
+  // Min-heap order on (time, seq). seq is a 32-bit counter: the subtraction
+  // compares circular distance, which is exact as long as any two live seqs
+  // are within 2^31 of each other. RenumberSeqs() re-bases every pending
+  // event before the counter can reach 2^31, so the window invariant holds
+  // for any schedule count and any event lifetime (a far-future timer stays
+  // ordered against events scheduled billions of At() calls later).
   static bool Before(const EventHandle& a, const EventHandle& b) {
     if (a.time != b.time) {
       return a.time < b.time;
     }
     return static_cast<int32_t>(a.seq - b.seq) < 0;
   }
+
+  // Compacts pending seqs to [0, heap_.size()). Invoked from At() whenever
+  // next_seq_ reaches 2^31, so between renumbers seqs span at most
+  // [0, 2^31) — within the circular-comparison window. Amortized cost: one
+  // O(n log n) sort per ~2^31 schedules, i.e. effectively free.
+  void RenumberSeqs() {
+    // Within the window, Before is a strict total order, so sorting yields
+    // the exact dispatch order; a sorted array is also a valid d-ary
+    // min-heap, so the heap invariant is restored for free.
+    std::sort(heap_.begin(), heap_.end(), Before);
+    for (size_t i = 0; i < heap_.size(); ++i) {
+      heap_[i].seq = static_cast<uint32_t>(i);
+    }
+    next_seq_ = static_cast<uint32_t>(heap_.size());
+  }
+
+  static constexpr uint32_t kSeqRenumberAt = 1u << 31;
 
   // Hand-rolled 4-ary sift operations: half the levels of a binary heap, so
   // a pop at figure-bench queue depths touches half as many cache lines,

@@ -8,6 +8,7 @@
 #include <future>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace snicsim::runtime {
@@ -94,6 +95,32 @@ TEST(SweepRunner, WaitRethrowsFirstTaskException) {
   EXPECT_EQ(completed.load(), 8);
   // A second Wait() does not rethrow the already-delivered error.
   runner.Wait();
+}
+
+TEST(SweepRunner, SubmitConcurrentWithBusyWorkersStress) {
+  // Regression test for a claim/scan race: a worker's claim token
+  // guarantees a task exists in some deque, but a single linear scan could
+  // come up empty (a peer pops the token's task while a fresh Submit lands
+  // in a deque the scan already passed) and the worker aborted the whole
+  // bench. Hammer Submit from several threads against busy workers; the
+  // scan must retry, never abort, and every task must run exactly once.
+  SweepRunner runner(4);
+  std::atomic<int> done{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 2000;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&runner, &done] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        runner.Submit([&done] { ++done; });
+      }
+    });
+  }
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  runner.Wait();
+  EXPECT_EQ(done.load(), kSubmitters * kPerSubmitter);
 }
 
 TEST(SweepRunner, DestructorDrainsPendingTasks) {

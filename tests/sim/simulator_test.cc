@@ -4,12 +4,23 @@
 
 #include <array>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "src/sim/callback.h"
 
 namespace snicsim {
+
+// Befriended by Simulator: drives next_seq_ to the renumber threshold so
+// tests can cross it without 2^31 real schedules.
+class SimulatorTestPeer {
+ public:
+  static void FastForwardSeqToNearRenumber(Simulator& sim, uint32_t headroom) {
+    sim.next_seq_ = Simulator::kSeqRenumberAt - headroom;
+  }
+};
+
 namespace {
 
 TEST(Simulator, StartsAtZero) {
@@ -92,6 +103,39 @@ TEST(Simulator, ProcessedCounts) {
   }
   sim.Run();
   EXPECT_EQ(sim.processed(), 17u);
+}
+
+TEST(Simulator, SeqRenumberPreservesOrderAcrossWrapThreshold) {
+  // The heap's 32-bit seq comparison is exact only while live seqs span
+  // less than 2^31; Simulator renumbers pending events before the counter
+  // reaches the threshold. Cross the threshold with a long-lived far-future
+  // event plus same-time events scheduled on both sides of the renumber,
+  // and require exact FIFO order throughout.
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(FromNanos(1000), [&] { order.push_back(1000); });
+  for (int i = 0; i < 50; ++i) {
+    sim.At(FromNanos(10), [&order, i] { order.push_back(i); });
+  }
+  // Next 3 schedules still use pre-renumber seqs near 2^31; the 4th
+  // triggers RenumberSeqs() with the heap fully populated.
+  SimulatorTestPeer::FastForwardSeqToNearRenumber(sim, 3);
+  for (int i = 50; i < 100; ++i) {
+    sim.At(FromNanos(10), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), 101u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+  EXPECT_EQ(order.back(), 1000);
+}
+
+TEST(SimulatorDeathTest, SchedulingEmptyCallbackAborts) {
+  // An empty callback used to surface only at dispatch (as UB through a
+  // null vtable); it must abort loudly at schedule time instead.
+  Simulator sim;
+  EXPECT_DEATH(sim.At(FromNanos(1), SimCallback()), "CHECK failed");
 }
 
 TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
@@ -209,6 +253,31 @@ TEST(SmallFunctionTest, CallOnceLeavesEmpty) {
   cb.CallOnce();
   EXPECT_TRUE(cb == nullptr);
   EXPECT_EQ(token.use_count(), 1);  // capture destroyed by the call itself
+}
+
+TEST(SmallFunctionTest, ThrowingCallOnceStillDestroysInlineCapture) {
+  // CallOnce nulls the vtable before invoking, so InvokeDestroy's scope
+  // guard is the only thing left that can release a capture whose target
+  // throws.
+  auto token = std::make_shared<int>(1);
+  SimCallback cb = [token] { throw std::runtime_error("target threw"); };
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_THROW(cb.CallOnce(), std::runtime_error);
+  EXPECT_TRUE(cb == nullptr);
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallFunctionTest, ThrowingCallOnceStillFreesBoxedCapture) {
+  auto token = std::make_shared<int>(1);
+  std::array<uint64_t, 32> big{};  // forces the heap-boxed representation
+  SimCallback cb = [token, big] {
+    (void)big;
+    throw std::runtime_error("target threw");
+  };
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_THROW(cb.CallOnce(), std::runtime_error);
+  EXPECT_TRUE(cb == nullptr);
+  EXPECT_EQ(token.use_count(), 1);  // ASan would flag the leaked box too
 }
 
 }  // namespace
