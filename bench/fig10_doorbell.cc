@@ -12,6 +12,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/fault/plan.h"
 #include "src/runtime/sweep_runner.h"
 #include "src/topo/server.h"
 #include "src/workload/harness.h"
@@ -19,6 +20,10 @@
 using namespace snicsim;  // NOLINT: bench brevity
 
 namespace {
+
+// The --faults plan, applied to every throughput cell (set once in main
+// before the sweep; the helpers below build their configs locally).
+fault::FaultPlan g_faults;
 
 // Posting latency: CPU post start -> doorbell at the NIC (Fig. 10(a)).
 void PrintPostingLatency(bool csv) {
@@ -49,6 +54,7 @@ double ClientDbThroughput(ServerKind kind, bool batch, int batch_size) {
   // requester, not the responder, is the limiter.
   HarnessConfig cfg;
   cfg.client_machines = 1;
+  cfg.faults = g_faults;
   cfg.client.doorbell_batch = batch;
   cfg.client.batch = batch_size;
   if (batch) {
@@ -64,6 +70,7 @@ double LocalDbThroughput(bool s2h, bool batch, int batch_size,
   p.batch = batch_size;
   HarnessConfig cfg;
   cfg.client_machines = 1;
+  cfg.faults = g_faults;
   cfg.warmup = FromMicros(80);   // several batch cycles
   cfg.window = FromMicros(600);
   cfg.trace_path = trace;
@@ -80,6 +87,7 @@ int main(int argc, char** argv) {
   const std::string metrics = flags.GetString(
       "metrics", "", "metrics JSON output (S2H doorbell-batch B=32 run)");
   const int jobs = runtime::JobsFlag(flags);
+  g_faults = fault::FaultsFlag(flags);
   flags.Finish();
 
   PrintPostingLatency(flags.csv());

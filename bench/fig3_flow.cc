@@ -10,6 +10,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/fault/plan.h"
 #include "src/model/latency_model.h"
 #include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
   const std::string metrics =
       flags.GetString("metrics", "", "metrics JSON output (SNIC(1) READ run)");
   const int jobs = runtime::JobsFlag(flags);
+  const fault::FaultPlan faults = fault::FaultsFlag(flags);
   flags.Finish();
   const uint32_t p = static_cast<uint32_t>(payload);
 
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
     for (LatencyTarget target : {LatencyTarget::kRnicHost, LatencyTarget::kBluefieldHost,
                                  LatencyTarget::kBluefieldSoc}) {
       HarnessConfig cfg = HarnessConfig::Latency();
+      cfg.faults = faults;
       if (verb == Verb::kRead && target == LatencyTarget::kBluefieldHost) {
         // The SNIC(1) READ run is the one the paper's Fig. 3 narrates, so
         // that's the run the observability sinks attach to.

@@ -9,6 +9,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/fault/plan.h"
 #include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
 
@@ -16,11 +17,12 @@ using namespace snicsim;  // NOLINT: bench brevity
 
 namespace {
 
-double LocalLatency(bool s2h, Verb verb, uint32_t payload) {
+double LocalLatency(bool s2h, Verb verb, uint32_t payload, const fault::FaultPlan& faults) {
   LocalRequesterParams p = s2h ? LocalRequesterParams::Soc() : LocalRequesterParams::Host();
   p.threads = 1;
   p.window = 1;
   HarnessConfig cfg = HarnessConfig::Latency();
+  cfg.faults = faults;
   return MeasureLocalPath(s2h, verb, payload, p, cfg).p50_us;
 }
 
@@ -35,10 +37,12 @@ int main(int argc, char** argv) {
   const std::string metrics =
       flags.GetString("metrics", "", "metrics JSON output (SNIC(1) READ 64B run)");
   const int jobs = runtime::JobsFlag(flags);
+  const fault::FaultPlan faults = fault::FaultsFlag(flags);
   flags.Finish();
 
   const std::vector<uint32_t> payloads = {8, 16, 64, 256, 512, 1024, 4096, 16384};
-  const HarnessConfig lat = HarnessConfig::Latency();
+  HarnessConfig lat = HarnessConfig::Latency();
+  lat.faults = faults;
 
   // Pass 1: enqueue every cell's experiment in exactly the order the table
   // pass below consumes them, so --jobs=N output is byte-identical.
@@ -62,8 +66,8 @@ int main(int argc, char** argv) {
       sweep.Add([verb, p, lat] {
         return MeasureInboundPath(ServerKind::kBluefieldSoc, verb, p, lat).p50_us;
       });
-      sweep.Add([verb, p] { return LocalLatency(/*s2h=*/true, verb, p); });
-      sweep.Add([verb, p] { return LocalLatency(/*s2h=*/false, verb, p); });
+      sweep.Add([verb, p, faults] { return LocalLatency(/*s2h=*/true, verb, p, faults); });
+      sweep.Add([verb, p, faults] { return LocalLatency(/*s2h=*/false, verb, p, faults); });
     }
   }
   const std::vector<double> results = sweep.Run();

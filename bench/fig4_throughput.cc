@@ -8,6 +8,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/fault/plan.h"
 #include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
 
@@ -31,10 +32,12 @@ int main(int argc, char** argv) {
   const int64_t clients = flags.GetInt("clients", 11, "requester machines");
   const bool small_only = flags.GetBool("small-only", false, "only payloads < 1 KB");
   const int jobs = runtime::JobsFlag(flags);
+  const fault::FaultPlan faults = fault::FaultsFlag(flags);
   flags.Finish();
 
   HarnessConfig cfg;
   cfg.client_machines = static_cast<int>(clients);
+  cfg.faults = faults;
 
   std::vector<uint32_t> payloads = {8, 16, 64, 256, 512, 1024, 4096, 16384, 65536};
   if (small_only) {

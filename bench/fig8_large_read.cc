@@ -11,6 +11,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/fault/plan.h"
 #include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
 
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   const std::string metrics =
       flags.GetString("metrics", "", "metrics JSON output (first READ SNIC(2) point)");
   const int jobs = runtime::JobsFlag(flags);
+  const fault::FaultPlan faults = fault::FaultsFlag(flags);
   flags.Finish();
 
   std::vector<uint32_t> payloads = {64 * 1024,       256 * 1024,      1024 * 1024,
@@ -35,6 +37,7 @@ int main(int argc, char** argv) {
 
   HarnessConfig cfg;
   cfg.client_machines = 8;
+  cfg.faults = faults;
 
   std::printf("== Figure 8(a): bandwidth (Gbps) ==\n");
   Table a({"payload", "READ SNIC(1)", "READ SNIC(2)", "WRITE SNIC(2)"});

@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # Builds everything, runs the test suite, then regenerates every paper
-# figure/table. Usage: scripts/run_all.sh [--csv] [--jobs=N]
+# figure/table. Usage: scripts/run_all.sh [--csv] [--jobs=N] [--faults=SPEC]
 #
 # --jobs=N fans the independent sweep points of each bench across N worker
 # threads (default: all cores). Output is byte-identical at any job count:
 # results are merged in submission order before anything is printed.
+#
+# --faults=SPEC (see DESIGN.md §9 for the grammar) is forwarded only to the
+# benches that accept the flag; the rest run fault-free.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc)"
+faults=""
 args=()
 for a in "$@"; do
   case "$a" in
     --jobs=*) jobs="${a#--jobs=}" ;;
+    --faults=*) faults="$a" ;;
     *) args+=("$a") ;;
   esac
 done
@@ -28,6 +33,10 @@ for b in build/bench/*; do
     micro_simcore)
       # google-benchmark binary: takes no sweep flags.
       "$b"
+      ;;
+    fig3_flow|fig4_latency|fig4_throughput|fig8_large_read|fig10_doorbell)
+      # The fault-aware benches additionally take --faults.
+      "$b" --jobs="$jobs" ${faults:+"$faults"} ${args[@]+"${args[@]}"}
       ;;
     *)
       "$b" --jobs="$jobs" ${args[@]+"${args[@]}"}

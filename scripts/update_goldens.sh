@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates the committed golden files under tests/golden/data/ from the
+# current simulator. Run this ONLY when a numeric change is intentional;
+# review the resulting diff like any other code change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build --target golden_golden_run_test
+mkdir -p tests/golden/data
+UPDATE_GOLDENS=1 ./build/tests/golden_golden_run_test
+echo "goldens regenerated; review with: git diff tests/golden/data"

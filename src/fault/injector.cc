@@ -1,0 +1,105 @@
+#include "src/fault/injector.h"
+
+namespace snicsim {
+namespace fault {
+
+namespace {
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h = (h ^ static_cast<uint64_t>(static_cast<unsigned char>(c))) * 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng& FaultInjector::LinkRng(const std::string& link) {
+  auto it = rngs_.find(link);
+  if (it == rngs_.end()) {
+    it = rngs_.emplace(link, Rng(plan_.seed ^ Fnv1a(link))).first;
+  }
+  return it->second;
+}
+
+bool FaultInjector::ShouldDropBurst(const std::string& link, uint64_t frames,
+                                    SimTime at) {
+  frames_offered_ += frames;
+  for (const FlapWindow& w : plan_.flaps) {
+    if (at >= w.start && at < w.end && w.link == link) {
+      ++flap_drops_;
+      ++bursts_dropped_;
+      frames_dropped_ += frames;
+      return true;
+    }
+  }
+  if (plan_.drop_rate <= 0.0) {
+    return false;
+  }
+  // Draw for every frame even after the burst is already dead: the stream
+  // position then depends only on how many frames this link has carried,
+  // not on loss outcomes, which keeps replay reasoning simple.
+  Rng& rng = LinkRng(link);
+  uint64_t dropped = 0;
+  for (uint64_t i = 0; i < frames; ++i) {
+    if (rng.NextDouble() < plan_.drop_rate) {
+      ++dropped;
+    }
+  }
+  if (dropped == 0) {
+    return false;
+  }
+  frames_dropped_ += dropped;
+  ++bursts_dropped_;
+  return true;
+}
+
+double FaultInjector::ServiceScale(const std::string& link, SimTime at) const {
+  double scale = 1.0;
+  for (const DegradeWindow& w : plan_.degrades) {
+    if (at >= w.start && at < w.end && w.link == link) {
+      scale *= w.factor;
+    }
+  }
+  return scale;
+}
+
+SimTime FaultInjector::StallDelay(const std::string& domain, SimTime at) {
+  SimTime resume = at;
+  for (const StallWindow& w : plan_.stalls) {
+    if (at >= w.start && at < w.end && w.domain == domain) {
+      resume = std::max(resume, w.end);
+    }
+  }
+  if (resume == at) {
+    return 0;
+  }
+  ++stall_hits_;
+  stalled_ += resume - at;
+  return resume - at;
+}
+
+void FaultInjector::RegisterMetrics(MetricsRegistry* reg) {
+  reg->Register("faults", "frames_offered", "count",
+                "MTU frames offered to lossy links",
+                [this] { return static_cast<double>(frames_offered_); });
+  reg->Register("faults", "frames_dropped", "count",
+                "frames lost to Bernoulli drops or flap windows",
+                [this] { return static_cast<double>(frames_dropped_); });
+  reg->Register("faults", "bursts_dropped", "count",
+                "bursts killed (any frame lost kills the burst)",
+                [this] { return static_cast<double>(bursts_dropped_); });
+  reg->Register("faults", "flap_drops", "count",
+                "bursts dropped by link-flap windows",
+                [this] { return static_cast<double>(flap_drops_); });
+  reg->Register("faults", "stall_hits", "count",
+                "work items deferred by a compute stall window",
+                [this] { return static_cast<double>(stall_hits_); });
+  reg->Register("faults", "stalled_us", "us",
+                "total deferral injected by stall windows",
+                [this] { return ToMicros(stalled_); });
+}
+
+}  // namespace fault
+}  // namespace snicsim

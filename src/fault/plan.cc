@@ -1,0 +1,423 @@
+#include "src/fault/plan.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace snicsim {
+namespace fault {
+
+namespace {
+
+// Splits on ',' and ';' (both accepted so window lists read naturally).
+std::vector<std::string> SplitEntries(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',' || c == ';') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+std::vector<std::string> SplitFields(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool ParseNumber(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseWindowTimes(const std::string& start_s, const std::string& end_s,
+                      SimTime* start, SimTime* end, std::string* error) {
+  double start_us = 0.0;
+  double end_us = 0.0;
+  if (!ParseNumber(start_s, &start_us) || !ParseNumber(end_s, &end_us) ||
+      start_us < 0.0 || end_us < start_us) {
+    *error = "bad window times '" + start_s + ":" + end_s + "' (want END >= START >= 0, in us)";
+    return false;
+  }
+  *start = FromMicros(start_us);
+  *end = FromMicros(end_us);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the schedule-file form. Only what the schema needs:
+// one object of scalars plus arrays of flat objects. Unknown keys are errors
+// (a typo'd schedule must not silently run fault-free).
+
+struct JsonScanner {
+  const std::string& text;
+  size_t pos = 0;
+  std::string* error;
+
+  explicit JsonScanner(const std::string& t, std::string* e) : text(t), error(e) {}
+
+  void SkipWs() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool Fail(const std::string& what) {
+    *error = what + " at offset " + std::to_string(pos);
+    return false;
+  }
+  bool Expect(char c) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool ReadString(std::string* out) {
+    if (!Expect('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') {
+        return Fail("escapes not supported in schedule strings");
+      }
+      out->push_back(text[pos++]);
+    }
+    if (pos >= text.size()) {
+      return Fail("unterminated string");
+    }
+    ++pos;
+    return true;
+  }
+  bool ReadNumber(double* out) {
+    SkipWs();
+    const char* start = text.c_str() + pos;
+    char* end = nullptr;
+    *out = std::strtod(start, &end);
+    if (end == start) {
+      return Fail("expected number");
+    }
+    pos += static_cast<size_t>(end - start);
+    return true;
+  }
+  // Reads {"k":v,...} where every value is a string or number; calls
+  // `field(key, string_value, number_value, is_string)`.
+  template <typename F>
+  bool ReadFlatObject(F field) {
+    if (!Expect('{')) {
+      return false;
+    }
+    if (Peek('}')) {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      if (!ReadString(&key) || !Expect(':')) {
+        return false;
+      }
+      SkipWs();
+      if (pos < text.size() && text[pos] == '"') {
+        std::string v;
+        if (!ReadString(&v) || !field(key, v, 0.0, true)) {
+          return false;
+        }
+      } else {
+        double v = 0.0;
+        if (!ReadNumber(&v) || !field(key, std::string(), v, false)) {
+          return false;
+        }
+      }
+      if (Peek(',')) {
+        ++pos;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+  // Reads [obj,obj,...]; calls `element()` positioned at each object.
+  template <typename F>
+  bool ReadArray(F element) {
+    if (!Expect('[')) {
+      return false;
+    }
+    if (Peek(']')) {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      if (!element()) {
+        return false;
+      }
+      if (Peek(',')) {
+        ++pos;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+};
+
+bool ParseJsonPlan(const std::string& text, FaultPlan* out, std::string* error) {
+  JsonScanner s(text, error);
+  if (!s.Expect('{')) {
+    return false;
+  }
+  bool more = !s.Peek('}');
+  if (!more) {
+    ++s.pos;
+  }
+  while (more) {
+    std::string key;
+    if (!s.ReadString(&key) || !s.Expect(':')) {
+      return false;
+    }
+    if (key == "drop") {
+      double v = 0.0;
+      if (!s.ReadNumber(&v)) {
+        return false;
+      }
+      if (v < 0.0 || v > 1.0) {
+        return s.Fail("drop not in [0, 1]");
+      }
+      out->drop_rate = v;
+    } else if (key == "seed") {
+      double v = 0.0;
+      if (!s.ReadNumber(&v)) {
+        return false;
+      }
+      if (v < 0.0) {
+        return s.Fail("bad seed");
+      }
+      out->seed = static_cast<uint64_t>(v);
+    } else if (key == "flaps" || key == "stalls") {
+      const bool is_flap = key == "flaps";
+      const bool ok = s.ReadArray([&] {
+        std::string name;
+        double su = -1.0;
+        double eu = -1.0;
+        const char* name_key = is_flap ? "link" : "domain";
+        if (!s.ReadFlatObject([&](const std::string& k, const std::string& sv,
+                                  double nv, bool is_string) {
+              if (k == name_key && is_string) {
+                name = sv;
+                return true;
+              }
+              if (k == "start_us" && !is_string) {
+                su = nv;
+                return true;
+              }
+              if (k == "end_us" && !is_string) {
+                eu = nv;
+                return true;
+              }
+              return s.Fail("unknown window field '" + k + "'");
+            })) {
+          return false;
+        }
+        if (name.empty() || su < 0.0 || eu < su) {
+          return s.Fail("incomplete window (need " + std::string(name_key) +
+                        ", start_us <= end_us)");
+        }
+        if (is_flap) {
+          out->flaps.push_back(FlapWindow{name, FromMicros(su), FromMicros(eu)});
+        } else {
+          out->stalls.push_back(StallWindow{name, FromMicros(su), FromMicros(eu)});
+        }
+        return true;
+      });
+      if (!ok) {
+        return false;
+      }
+    } else if (key == "degrades") {
+      const bool ok = s.ReadArray([&] {
+        DegradeWindow w;
+        double su = -1.0;
+        double eu = -1.0;
+        double factor = 0.0;
+        if (!s.ReadFlatObject([&](const std::string& k, const std::string& sv,
+                                  double nv, bool is_string) {
+              if (k == "link" && is_string) {
+                w.link = sv;
+                return true;
+              }
+              if (k == "start_us" && !is_string) {
+                su = nv;
+                return true;
+              }
+              if (k == "end_us" && !is_string) {
+                eu = nv;
+                return true;
+              }
+              if (k == "factor" && !is_string) {
+                factor = nv;
+                return true;
+              }
+              return s.Fail("unknown degrade field '" + k + "'");
+            })) {
+          return false;
+        }
+        if (w.link.empty() || su < 0.0 || eu < su || factor < 1.0) {
+          return s.Fail("incomplete degrade (need link, start_us <= end_us, factor >= 1)");
+        }
+        w.start = FromMicros(su);
+        w.end = FromMicros(eu);
+        w.factor = factor;
+        out->degrades.push_back(w);
+        return true;
+      });
+      if (!ok) {
+        return false;
+      }
+    } else {
+      return s.Fail("unknown schedule key '" + key + "'");
+    }
+    if (s.Peek(',')) {
+      ++s.pos;
+      continue;
+    }
+    if (!s.Expect('}')) {
+      return false;
+    }
+    more = false;
+  }
+  s.SkipWs();
+  if (s.pos != text.size()) {
+    return s.Fail("trailing characters after schedule object");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* error) {
+  *out = FaultPlan();
+  error->clear();
+  if (spec.empty()) {
+    return true;
+  }
+  if (spec[0] == '@') {
+    const std::string path = spec.substr(1);
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      *error = "cannot read fault schedule file '" + path + "'";
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return ParseJsonPlan(buf.str(), out, error);
+  }
+  for (const std::string& entry : SplitEntries(spec)) {
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      *error = "fault entry '" + entry + "' is not key=value";
+      return false;
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (key == "drop") {
+      if (!ParseNumber(value, &out->drop_rate) || out->drop_rate < 0.0 ||
+          out->drop_rate > 1.0) {
+        *error = "drop rate '" + value + "' not in [0, 1]";
+        return false;
+      }
+    } else if (key == "seed") {
+      double v = 0.0;
+      if (!ParseNumber(value, &v) || v < 0.0) {
+        *error = "bad seed '" + value + "'";
+        return false;
+      }
+      out->seed = static_cast<uint64_t>(v);
+    } else if (key == "flap") {
+      const auto f = SplitFields(value, ':');
+      FlapWindow w;
+      if (f.size() != 3 || f[0].empty()) {
+        *error = "flap wants LINK:START:END, got '" + value + "'";
+        return false;
+      }
+      w.link = f[0];
+      if (!ParseWindowTimes(f[1], f[2], &w.start, &w.end, error)) {
+        return false;
+      }
+      out->flaps.push_back(w);
+    } else if (key == "degrade") {
+      const auto f = SplitFields(value, ':');
+      DegradeWindow w;
+      if (f.size() != 4 || f[0].empty()) {
+        *error = "degrade wants LINK:START:END:FACTOR, got '" + value + "'";
+        return false;
+      }
+      w.link = f[0];
+      if (!ParseWindowTimes(f[1], f[2], &w.start, &w.end, error)) {
+        return false;
+      }
+      if (!ParseNumber(f[3], &w.factor) || w.factor < 1.0) {
+        *error = "degrade factor '" + f[3] + "' must be >= 1";
+        return false;
+      }
+      out->degrades.push_back(w);
+    } else if (key == "stall") {
+      const auto f = SplitFields(value, ':');
+      StallWindow w;
+      if (f.size() != 3 || f[0].empty()) {
+        *error = "stall wants DOMAIN:START:END, got '" + value + "'";
+        return false;
+      }
+      w.domain = f[0];
+      if (!ParseWindowTimes(f[1], f[2], &w.start, &w.end, error)) {
+        return false;
+      }
+      out->stalls.push_back(w);
+    } else {
+      *error = "unknown fault key '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+FaultPlan FaultsFlag(Flags& flags) {
+  const std::string spec = flags.GetString(
+      "faults", "",
+      "fault schedule: drop=P,seed=S,flap=LINK:START:END,"
+      "degrade=LINK:START:END:FACTOR,stall=DOMAIN:START:END (us) or @file.json");
+  FaultPlan plan;
+  std::string error;
+  if (!ParseFaultPlan(spec, &plan, &error)) {
+    std::fprintf(stderr, "--faults: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return plan;
+}
+
+}  // namespace fault
+}  // namespace snicsim

@@ -1,0 +1,89 @@
+// Declarative fault schedules.
+//
+// A FaultPlan is a pure description of the faults one experiment should see:
+// a Bernoulli frame-drop probability on lossy (network) links, scheduled
+// link flaps (total loss windows) and degradation windows (service-time
+// multipliers), and compute stall windows keyed by fault-domain name
+// ("host", "soc"). Plans are parsed from the `--faults` flag — either an
+// inline `key=value` spec or `@file.json` — and interpreted by the
+// FaultInjector (src/fault/injector.h). Because the plan carries its own
+// seed, a (plan, topology) pair fully determines every fault a run takes:
+// replaying the same plan reproduces the run byte for byte.
+#ifndef SRC_FAULT_PLAN_H_
+#define SRC_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/units.h"
+
+namespace snicsim {
+namespace fault {
+
+// Total loss on one link: every burst entering `link` in [start, end) is
+// dropped, without consuming random draws (so a flap never perturbs the
+// Bernoulli stream of the surviving traffic).
+struct FlapWindow {
+  std::string link;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+// Service-time multiplier on one link: bursts submitted in [start, end)
+// serialize `factor`× slower (a congested or rate-limited cable).
+struct DegradeWindow {
+  std::string link;
+  SimTime start = 0;
+  SimTime end = 0;
+  double factor = 1.0;
+};
+
+// Compute stall on one fault domain ("host", "soc"): work arriving in
+// [start, end) is deferred to the window's end before it can start.
+struct StallWindow {
+  std::string domain;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+struct FaultPlan {
+  // Per-frame drop probability on lossy links (network ports only).
+  double drop_rate = 0.0;
+  // Seeds the per-link Bernoulli streams (each link derives its own stream,
+  // so adding a link never shifts another link's draws).
+  uint64_t seed = 1;
+  std::vector<FlapWindow> flaps;
+  std::vector<DegradeWindow> degrades;
+  std::vector<StallWindow> stalls;
+
+  // An empty plan injects nothing; the harness then skips creating an
+  // injector entirely so the simulation is bit-identical to a fault-free
+  // build.
+  bool empty() const {
+    return drop_rate == 0.0 && flaps.empty() && degrades.empty() && stalls.empty();
+  }
+};
+
+// Parses `spec` into `*out`. Two forms:
+//   inline:  "drop=0.01,seed=7,flap=LINK:START:END,degrade=LINK:START:END:F,
+//             stall=DOMAIN:START:END"   (times in microseconds; keys repeat
+//             for multiple windows; ',' and ';' both separate entries)
+//   file:    "@schedule.json" with
+//             {"drop":0.01,"seed":7,
+//              "flaps":[{"link":"...","start_us":10,"end_us":20}],
+//              "degrades":[{"link":"...","start_us":0,"end_us":50,"factor":4}],
+//              "stalls":[{"domain":"soc","start_us":10,"end_us":60}]}
+// Returns false (and sets `*error`) on malformed input.
+bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* error);
+
+// Registers `--faults` on `flags` and returns the parsed plan (empty when
+// the flag is unset). Aborts with the parse error on a malformed spec, like
+// the rest of the flag layer does for bad values.
+FaultPlan FaultsFlag(Flags& flags);
+
+}  // namespace fault
+}  // namespace snicsim
+
+#endif  // SRC_FAULT_PLAN_H_

@@ -36,6 +36,10 @@ struct EndpointParams {
   // Completer-side TLP service rates; zero means "not a bottleneck".
   Rate read_completer = Rate::PerSec(0);
   Rate write_completer = Rate::PerSec(0);
+  // Which compute fault domain polls this endpoint's completions ("host" or
+  // "soc"); stall windows on that domain defer local-op CQE visibility
+  // (src/fault/plan.h).
+  std::string fault_domain = "host";
 };
 
 // Completion handed to the NIC when a DMA finishes. `done` is the simulated

@@ -1,8 +1,10 @@
 #include "src/nic/engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/fault/injector.h"
 #include "src/obs/trace.h"
 #include "src/pcie/tlp.h"
 
@@ -192,6 +194,26 @@ void NicEngine::ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, ui
                                uint32_t len, SmallFunction<void(SimTime)> done,
                                uint64_t req_id) {
   ++requests_served_;
+  // A stalled requester CPU stops polling its CQ: while a stall window
+  // covers src's fault domain, the completion becomes visible only when the
+  // window ends. Wrapped only with an injector attached, so fault-free runs
+  // schedule no extra events.
+  if (sim_->faults() != nullptr) {
+    done = [this, src, req_id, inner = std::move(done)](SimTime posted) mutable {
+      fault::FaultInjector* const inj = sim_->faults();
+      const SimTime stall =
+          inj != nullptr ? inj->StallDelay(src->params().fault_domain, posted) : 0;
+      if (stall == 0) {
+        inner(posted);
+        return;
+      }
+      const SimTime visible = std::max(sim_->now(), posted + stall);
+      if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+        tr->Span(src->params().name, "stall", posted, visible, req_id);
+      }
+      sim_->At(visible, [visible, inner = std::move(inner)]() mutable { inner(visible); });
+    };
+  }
   const double units =
       static_cast<double>(std::max<uint64_t>(1, CeilDiv(len, params_.max_read_request)));
   const SimTime parsed = frontend_.Process(sim_->now(), dst->fe_id, units);

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/common/units.h"
+#include "src/fault/injector.h"
 #include "src/obs/metrics.h"
 #include "src/pcie/tlp.h"
 #include "src/sim/server.h"
@@ -66,7 +67,7 @@ class PcieLink {
     const uint64_t tlps = NumTlps(payload_bytes, mtu);
     const uint64_t wire = WireBytes(payload_bytes, mtu);
     Account(dir, tlps, payload_bytes, wire);
-    const SimTime done = Server(dir).EnqueueAt(ready, bandwidth_.TransferTime(wire));
+    const SimTime done = Server(dir).EnqueueAt(ready, ServiceTime(wire, ready));
     const SimTime delivered = done + propagation_;
     if (cb != nullptr) {
       sim_->At(delivered, std::move(cb));
@@ -83,7 +84,7 @@ class PcieLink {
   // notification …).
   SimTime TransferControlAt(SimTime ready, LinkDir dir, Simulator::Callback cb = nullptr) {
     Account(dir, 1, 0, ControlWireBytes());
-    const SimTime done = Server(dir).EnqueueAt(ready, bandwidth_.TransferTime(ControlWireBytes()));
+    const SimTime done = Server(dir).EnqueueAt(ready, ServiceTime(ControlWireBytes(), ready));
     const SimTime delivered = done + propagation_;
     if (cb != nullptr) {
       sim_->At(delivered, std::move(cb));
@@ -108,6 +109,28 @@ class PcieLink {
   }
 
   SimTime BusyTime(LinkDir dir) { return Server(dir).busy_time(); }
+
+  // Serialization time of `wire_bytes`, stretched by any fault-degrade
+  // window active at `at`. Reduces to bandwidth().TransferTime() exactly
+  // when no injector is attached — both this link and PciePath's
+  // cut-through head/tail math go through it, so the two always agree on a
+  // burst's service time.
+  SimTime ServiceTime(uint64_t wire_bytes, SimTime at) const {
+    const SimTime base = bandwidth_.TransferTime(wire_bytes);
+    const fault::FaultInjector* const inj = sim_->faults();
+    if (inj == nullptr) {
+      return base;
+    }
+    const double scale = inj->ServiceScale(name_, at);
+    return scale == 1.0 ? base
+                        : static_cast<SimTime>(static_cast<double>(base) * scale);
+  }
+
+  // Only lossy links (network ports) are eligible for Bernoulli frame drops
+  // and flap windows; PCIe channels are assumed loss-free.
+  bool lossy() const { return lossy_; }
+  void set_lossy(bool v) { lossy_ = v; }
+
   Bandwidth bandwidth() const { return bandwidth_; }
   SimTime propagation() const { return propagation_; }
   const std::string& name() const { return name_; }
@@ -151,6 +174,7 @@ class PcieLink {
   BusyServer up_;
   LinkCounters down_counters_;
   LinkCounters up_counters_;
+  bool lossy_ = false;
 };
 
 }  // namespace snicsim

@@ -16,6 +16,7 @@
 
 #include "src/common/log.h"
 #include "src/common/units.h"
+#include "src/fault/injector.h"
 #include "src/obs/trace.h"
 #include "src/pcie/link.h"
 #include "src/sim/simulator.h"
@@ -114,14 +115,29 @@ class PciePath {
       const uint64_t wire = WireBytes(payload_bytes, mtu);
       const uint64_t first_tlp_wire =
           WireBytes(std::min<uint64_t>(payload_bytes, mtu), mtu);
-      const SimTime full = h.link->bandwidth().TransferTime(wire);
-      const SimTime first = h.link->bandwidth().TransferTime(first_tlp_wire);
+      const SimTime full = h.link->ServiceTime(wire, head);
+      const SimTime first = h.link->ServiceTime(first_tlp_wire, head);
       const SimTime entered = head;
       // Charge the link for the full burst; the head TLP exits after `first`.
       const SimTime delivered_full = h.link->TransferAt(head, h.dir, payload_bytes, mtu);
       head = delivered_full - (full - first);  // first TLP out
       if (tr != nullptr) {
         tr->Span(h.link->name(), LinkDirName(h.dir), entered, delivered_full, req_id);
+      }
+      // Fault injection: the burst serialized into this hop (counters and
+      // link busy time are charged), but if any frame is lost the burst
+      // dies here — later hops never see it and `cb` never fires. Only
+      // lossy (network) links are eligible, and with no injector attached
+      // this is a single pointer test.
+      if (h.link->lossy()) {
+        if (fault::FaultInjector* const inj = sim->faults();
+            inj != nullptr &&
+            inj->ShouldDropBurst(h.link->name(), NumTlps(payload_bytes, mtu), entered)) {
+          if (tr != nullptr) {
+            tr->Instant(h.link->name(), "drop", delivered_full, req_id);
+          }
+          return delivered_full;
+        }
       }
       tail_exit.push_back(delivered_full);
       min_forward.push_back(via_delay + first + h.link->propagation());
@@ -163,6 +179,16 @@ class PciePath {
       t = h.link->TransferControlAt(t, h.dir);
       if (tr != nullptr) {
         tr->Span(h.link->name(), LinkDirName(h.dir), entered, t, req_id);
+      }
+      // Control TLPs are single-frame; one lost frame kills the message.
+      if (h.link->lossy()) {
+        if (fault::FaultInjector* const inj = sim->faults();
+            inj != nullptr && inj->ShouldDropBurst(h.link->name(), 1, entered)) {
+          if (tr != nullptr) {
+            tr->Instant(h.link->name(), "drop", t, req_id);
+          }
+          return t;
+        }
       }
     }
     if (cb != nullptr) {

@@ -8,10 +8,12 @@
 #ifndef SRC_RDMA_VERBS_H_
 #define SRC_RDMA_VERBS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <iterator>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "src/common/log.h"
@@ -41,11 +43,36 @@ struct RemoteMemoryRegion {
   }
 };
 
+// Completion status (ibv_wc_status, reduced to what the simulator models).
+// Error completions are always delivered to the CQ, signaled or not, like
+// real verbs.
+enum class WcStatus : uint8_t {
+  kSuccess,
+  kRetryExceeded,     // transport retry_cnt exhausted on this WR
+  kRnrRetryExceeded,  // receiver-not-ready retry budget exhausted
+  kFlushed,           // WR flushed when the QP entered the error state
+};
+
+constexpr const char* WcStatusName(WcStatus s) {
+  switch (s) {
+    case WcStatus::kSuccess:
+      return "success";
+    case WcStatus::kRetryExceeded:
+      return "retry_exceeded";
+    case WcStatus::kRnrRetryExceeded:
+      return "rnr_retry_exceeded";
+    case WcStatus::kFlushed:
+      return "flushed";
+  }
+  return "?";
+}
+
 struct WorkCompletion {
   Verb verb = Verb::kRead;
   uint64_t wr_id = 0;
   uint32_t byte_len = 0;
   SimTime completed_at = 0;
+  WcStatus status = WcStatus::kSuccess;
 };
 
 // Completions are pushed by the QP and drained by the application, like
@@ -94,6 +121,23 @@ struct QpConfig {
   bool signal_all = false;
   // Backoff before retrying a SEND that hit receiver-not-ready.
   SimTime rnr_backoff = FromMicros(10);
+  // RNR retry budget: that many backoff retries, then the QP enters the
+  // error state with a kRnrRetryExceeded completion. Negative = retry
+  // forever (the pre-fault-layer behaviour).
+  int rnr_retry_cnt = -1;
+
+  // --- RC transport reliability (paper-scale go-back-N, §fault model) ---
+  // When a response is outstanding longer than
+  // transport_timeout << min(retries, backoff_shift_cap), the QP assumes
+  // loss and retransmits this WR and everything after it (go-back-N).
+  // 0 disables the reliability layer entirely: no timers are armed and the
+  // QP behaves bit-identically to the pre-fault simulator.
+  SimTime transport_timeout = 0;
+  // Retransmission attempts before the QP gives up: the culprit WR
+  // completes with kRetryExceeded, later WRs flush, state becomes kError.
+  int retry_cnt = 7;
+  // Exponential backoff cap: timeout doubles per retry up to this shift.
+  int backoff_shift_cap = 6;
 };
 
 // A verbs queue pair bound to one client thread and one remote region.
@@ -113,7 +157,29 @@ class QueuePair {
   // Freshly-constructed QPs start in kRts for convenience (the common case
   // in tests and benches); call Reset() to exercise the ladder.
   QpState state() const { return state_; }
-  void Reset() { state_ = QpState::kReset; }
+
+  // To RESET: reliability-layer WRs still outstanding flush with kFlushed
+  // completions (with the layer off there is nothing to recall, exactly as
+  // before the fault model existed).
+  void Reset() {
+    FlushSendQueue(nullptr, WcStatus::kFlushed);
+    state_ = QpState::kReset;
+  }
+
+  // The reconnect path workloads use for graceful degradation: from
+  // kError (or kReset), flush leftovers and walk the ladder back to kRts.
+  bool Recover() {
+    if (state_ != QpState::kError && state_ != QpState::kReset) {
+      return false;
+    }
+    FlushSendQueue(nullptr, WcStatus::kFlushed);
+    state_ = QpState::kReset;
+    Modify(QpState::kInit);
+    Modify(QpState::kRtr);
+    Modify(QpState::kRts);
+    return true;
+  }
+
   bool Modify(QpState next) {
     static constexpr QpState kLadder[] = {QpState::kReset, QpState::kInit, QpState::kRtr,
                                           QpState::kRts};
@@ -154,10 +220,31 @@ class QueuePair {
   uint64_t posted() const { return posted_; }
   int outstanding() const { return outstanding_; }
   uint64_t rnr_retries() const { return rnr_retries_; }
+  uint64_t timeouts() const { return timeouts_; }
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t completions() const { return completions_; }
+  uint64_t completion_errors() const { return completion_errors_; }
 
  private:
+  // One reliability-layer WR: identity plus retry state. `epoch` cancels
+  // superseded timers — every retransmission round and every completion
+  // bumps it, so a stale timer finds a mismatched epoch and dies.
+  struct PendingWr {
+    Verb verb = Verb::kRead;
+    uint64_t addr = 0;
+    uint32_t len = 0;
+    uint64_t wr_id = 0;
+    bool signaled = true;
+    OpCallback cb;
+    int retries = 0;
+    uint64_t epoch = 0;
+    bool done = false;
+  };
+
+  bool reliable() const { return config_.transport_timeout > 0; }
+
   bool PostOp(Verb verb, uint64_t remote_addr, uint32_t len, uint64_t wr_id,
-              OpCallback cb, bool signaled) {
+              OpCallback cb, bool signaled, int rnr_attempts = 0) {
     if (state_ != QpState::kRts) {
       return false;
     }
@@ -165,27 +252,38 @@ class QueuePair {
       return false;  // send queue full: poll the CQ and retry
     }
     SNIC_CHECK(mr_.Contains(remote_addr, len == 0 ? 1 : len));
-    // Receiver-not-ready: the responder ring is dry; retry after backoff.
+    // Receiver-not-ready: the responder ring is dry; retry after backoff
+    // until the configured budget runs out (negative budget = forever).
     if (verb == Verb::kSend && mr_.recv != nullptr && !mr_.recv->Consume()) {
+      if (config_.rnr_retry_cnt >= 0 && rnr_attempts >= config_.rnr_retry_cnt) {
+        RnrExhausted(verb, len, wr_id, std::move(cb));
+        return true;
+      }
       ++rnr_retries_;
       Simulator* sim = machine_->sim();
       ++outstanding_;
       sim->In(config_.rnr_backoff, [this, verb, remote_addr, len, wr_id,
-                                    cb = std::move(cb), signaled]() mutable {
+                                    cb = std::move(cb), signaled, rnr_attempts]() mutable {
         --outstanding_;
-        PostOp(verb, remote_addr, len, wr_id, std::move(cb), signaled);
+        PostOp(verb, remote_addr, len, wr_id, std::move(cb), signaled, rnr_attempts + 1);
       });
       return true;
     }
     ++posted_;
     ++outstanding_;
-    TargetSpec target;
-    target.engine = mr_.engine;
-    target.endpoint = mr_.endpoint;
-    target.server_port = mr_.server_port;
-    target.verb = verb;
-    target.payload = len;
-    machine_->Post(thread_, target, remote_addr,
+    if (reliable()) {
+      auto wr = std::make_shared<PendingWr>();
+      wr->verb = verb;
+      wr->addr = remote_addr;
+      wr->len = len;
+      wr->wr_id = wr_id;
+      wr->signaled = signaled;
+      wr->cb = std::move(cb);
+      sq_.push_back(wr);
+      Transmit(wr, /*first=*/true);
+      return true;
+    }
+    machine_->Post(thread_, Target(verb, len), remote_addr,
                    [this, verb, len, wr_id, signaled,
                     cb = std::move(cb)](SimTime completed) {
                      --outstanding_;
@@ -199,15 +297,144 @@ class QueuePair {
     return true;
   }
 
+  TargetSpec Target(Verb verb, uint32_t len) const {
+    TargetSpec target;
+    target.engine = mr_.engine;
+    target.endpoint = mr_.endpoint;
+    target.server_port = mr_.server_port;
+    target.verb = verb;
+    target.payload = len;
+    return target;
+  }
+
+  // First transmission pays the full post path (WQE build + doorbell);
+  // retransmissions replay the WQE from the NIC without re-involving the
+  // CPU, like hardware RC retransmission. A retransmitted SEND does not
+  // re-consume a receive: the responder replays delivery into the slot the
+  // original consume reserved.
+  void Transmit(const std::shared_ptr<PendingWr>& wr, bool first) {
+    auto on_complete = [this, wr](SimTime completed) { OnResponse(wr, completed); };
+    if (first) {
+      machine_->Post(thread_, Target(wr->verb, wr->len), wr->addr,
+                     std::move(on_complete));
+    } else {
+      ++retransmits_;
+      machine_->Launch(Target(wr->verb, wr->len), wr->addr, std::move(on_complete));
+    }
+    ArmTimer(wr);
+  }
+
+  void ArmTimer(const std::shared_ptr<PendingWr>& wr) {
+    const uint64_t epoch = wr->epoch;
+    const int shift = std::min(wr->retries, config_.backoff_shift_cap);
+    machine_->sim()->In(config_.transport_timeout << shift, [this, wr, epoch] {
+      if (wr->done || wr->epoch != epoch) {
+        return;  // completed, flushed, or superseded by a newer round
+      }
+      OnTimeout(wr);
+    });
+  }
+
+  void OnTimeout(const std::shared_ptr<PendingWr>& wr) {
+    ++timeouts_;
+    Simulator* const sim = machine_->sim();
+    if (Tracer* const tr = sim->tracer(); tr != nullptr) {
+      tr->Instant(machine_->name() + ".qp", "timeout", sim->now(), wr->wr_id);
+    }
+    if (wr->retries >= config_.retry_cnt) {
+      state_ = QpState::kError;
+      FlushSendQueue(wr.get(), WcStatus::kRetryExceeded);
+      return;
+    }
+    // Go-back-N: this WR and every later outstanding WR retransmit. A
+    // response from an earlier transmission that was merely slow (not lost)
+    // still wins through the done flag; the duplicate is then ignored.
+    bool from_here = false;
+    for (const auto& p : sq_) {
+      if (p == wr) {
+        from_here = true;
+      }
+      if (!from_here || p->done) {
+        continue;
+      }
+      ++p->epoch;
+      ++p->retries;
+      Transmit(p, /*first=*/false);
+    }
+  }
+
+  void OnResponse(const std::shared_ptr<PendingWr>& wr, SimTime completed) {
+    if (wr->done) {
+      return;  // duplicate delivery from a superseded transmission, or flushed
+    }
+    wr->done = true;
+    ++wr->epoch;
+    --outstanding_;
+    ++completions_;
+    if (cq_ != nullptr && (wr->signaled || config_.signal_all)) {
+      cq_->Push(WorkCompletion{wr->verb, wr->wr_id, wr->len, completed,
+                               WcStatus::kSuccess});
+    }
+    if (wr->cb) {
+      wr->cb(completed);
+    }
+    while (!sq_.empty() && sq_.front()->done) {
+      sq_.pop_front();
+    }
+  }
+
+  // Completes every outstanding reliability-layer WR in error: `culprit`
+  // (may be null) gets `culprit_status`, the rest flush. Error completions
+  // are always delivered to the CQ, signaled or not, like real verbs.
+  void FlushSendQueue(const PendingWr* culprit, WcStatus culprit_status) {
+    const SimTime now = machine_->sim()->now();
+    std::deque<std::shared_ptr<PendingWr>> sq;
+    sq.swap(sq_);  // swap first: a callback may post on a recovered QP
+    for (const auto& p : sq) {
+      if (p->done) {
+        continue;
+      }
+      p->done = true;
+      ++p->epoch;
+      --outstanding_;
+      ++completion_errors_;
+      const WcStatus st = p.get() == culprit ? culprit_status : WcStatus::kFlushed;
+      if (cq_ != nullptr) {
+        cq_->Push(WorkCompletion{p->verb, p->wr_id, p->len, now, st});
+      }
+      if (p->cb) {
+        p->cb(now);
+      }
+    }
+  }
+
+  void RnrExhausted(Verb verb, uint32_t len, uint64_t wr_id, OpCallback cb) {
+    const SimTime now = machine_->sim()->now();
+    state_ = QpState::kError;
+    ++completion_errors_;
+    if (cq_ != nullptr) {
+      cq_->Push(WorkCompletion{verb, wr_id, len, now, WcStatus::kRnrRetryExceeded});
+    }
+    if (cb) {
+      cb(now);
+    }
+    FlushSendQueue(nullptr, WcStatus::kFlushed);
+  }
+
   ClientMachine* machine_;
   int thread_;
   RemoteMemoryRegion mr_;
   CompletionQueue* cq_;
   QpConfig config_;
   QpState state_ = QpState::kRts;
+  std::deque<std::shared_ptr<PendingWr>> sq_;  // reliability-layer WRs only
   uint64_t posted_ = 0;
   int outstanding_ = 0;
   uint64_t rnr_retries_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t retransmits_ = 0;
+  uint64_t completions_ = 0;
+  uint64_t completion_errors_ = 0;
 };
 
 }  // namespace rdma

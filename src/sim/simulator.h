@@ -28,6 +28,9 @@
 namespace snicsim {
 
 class Tracer;  // src/obs/trace.h — attached by the harness when tracing is on
+namespace fault {
+class FaultInjector;  // src/fault/injector.h — attached when a plan is set
+}
 
 class Simulator {
  public:
@@ -80,6 +83,13 @@ class Simulator {
   // the single pointer test is the entire disabled-mode overhead.
   Tracer* tracer() const { return tracer_; }
   void set_tracer(Tracer* t) { tracer_ = t; }
+
+  // Nullable fault-injection hook, same pattern as the tracer: components
+  // consult the injector iff non-null, and with it unset no fault code path
+  // may schedule events or draw randomness — runs stay bit-identical to a
+  // fault-free build.
+  fault::FaultInjector* faults() const { return faults_; }
+  void set_faults(fault::FaultInjector* f) { faults_ = f; }
 
  private:
   friend class SimulatorTestPeer;  // tests fast-forward next_seq_ to the
@@ -210,6 +220,7 @@ class Simulator {
   std::vector<std::unique_ptr<Callback[]>> chunks_;
   std::vector<uint32_t> free_slots_;
   Tracer* tracer_ = nullptr;
+  fault::FaultInjector* faults_ = nullptr;
   SimTime now_ = 0;
   uint32_t next_seq_ = 0;
   uint64_t processed_ = 0;

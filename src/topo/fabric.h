@@ -34,6 +34,9 @@ class Fabric {
   PcieLink* AddPort(const std::string& name, Bandwidth bandwidth) {
     ports_.push_back(
         std::make_unique<PcieLink>(sim_, name, bandwidth, link_propagation_));
+    // Network cables are the loss domain of the fault model; PCIe channels
+    // stay loss-free (src/fault/plan.h).
+    ports_.back()->set_lossy(true);
     return ports_.back().get();
   }
 

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/common/units.h"
+#include "src/fault/injector.h"
 #include "src/mem/memory.h"
 #include "src/nic/engine.h"
 #include "src/pcie/link.h"
@@ -32,16 +33,28 @@ class EchoCpu {
   // the wimpy ARM SoC (paper §3.2: SoC SEND/RECV latency is 21-30% higher).
   // It delays every message but does not consume core service time, so peak
   // throughput stays cores / per_message.
+  // `fault_domain` names this pool for compute stall windows ("host"/"soc");
+  // a stalled pool defers dispatch without consuming core time.
   EchoCpu(Simulator* sim, const std::string& name, int cores, SimTime per_message,
-          SimTime notify_delay = 0)
+          SimTime notify_delay = 0, std::string fault_domain = "host")
       : sim_(sim), pool_(sim, name, cores), per_message_(per_message),
-        notify_delay_(notify_delay) {}
+        notify_delay_(notify_delay), fault_domain_(std::move(fault_domain)) {}
 
   // Returns a SendHandler that serves each message on the earliest-free
   // core and echoes a same-size reply.
   SendHandler Handler() {
     return [this](uint32_t len, ReplyCallback reply) {
-      const SimTime done = pool_.EnqueueAt(sim_->now() + notify_delay_, per_message_);
+      SimTime dispatch = sim_->now() + notify_delay_;
+      if (fault::FaultInjector* const inj = sim_->faults(); inj != nullptr) {
+        const SimTime stall = inj->StallDelay(fault_domain_, sim_->now());
+        if (stall > 0) {
+          if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+            tr->Span(pool_.name(), "stall", sim_->now(), sim_->now() + stall, 0);
+          }
+          dispatch += stall;
+        }
+      }
+      const SimTime done = pool_.EnqueueAt(dispatch, per_message_);
       if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
         // SendHandler carries no request id, so CPU echo work traces as
         // req 0 on the pool's lane.
@@ -69,6 +82,7 @@ class EchoCpu {
   MultiServer pool_;
   SimTime per_message_;
   SimTime notify_delay_;
+  std::string fault_domain_;
   uint64_t replies_ = 0;
 };
 

@@ -1,8 +1,10 @@
 #include "src/workload/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/fault/injector.h"
 #include "src/obs/trace.h"
 
 namespace snicsim {
@@ -54,8 +56,30 @@ void ClientMachine::Pump(const std::shared_ptr<Loop>& loop) {
   }
 }
 
+bool ClientMachine::Reliable() const {
+  // Only fault-carrying simulations arm the retransmission layer: with it
+  // unset, every issue path below is byte-identical to the pre-fault code
+  // (no extra events, no extra state).
+  return sim_->faults() != nullptr && params_.transport_timeout > 0;
+}
+
 void ClientMachine::IssueOne(const std::shared_ptr<Loop>& loop) {
   const SimTime issue_start = sim_->now();
+  if (Reliable()) {
+    // Failed ops are not recorded (they produced no completion) but still
+    // free their window slot, so the closed loop degrades instead of
+    // starving when the link is lossy.
+    PostReliable(loop->thread, loop->target, loop->addr.Next(),
+                 [this, loop, issue_start](SimTime completed, bool ok) {
+                   if (ok) {
+                     loop->meter->RecordOp(loop->target.payload,
+                                           completed - issue_start);
+                   }
+                   loop->in_flight -= 1;
+                   Pump(loop);
+                 });
+    return;
+  }
   Post(loop->thread, loop->target, loop->addr.Next(),
        [this, loop, issue_start](SimTime completed) {
          loop->meter->RecordOp(loop->target.payload, completed - issue_start);
@@ -87,6 +111,27 @@ void ClientMachine::IssueBatch(const std::shared_ptr<Loop>& loop) {
     Tracer* const tr = sim_->tracer();
     for (int i = 0; i < batch; ++i) {
       const uint64_t rid = tr != nullptr ? tr->NextRequestId() : 0;
+      if (Reliable()) {
+        // Chain ops never ring per-op doorbells, so retransmission
+        // protection attaches at the NIC launch.
+        LaunchReliable(loop->target, loop->addr.Next(),
+                       [this, loop, remaining, issue_start, rid](SimTime completed,
+                                                                 bool ok) {
+                         if (ok) {
+                           if (Tracer* const t = sim_->tracer(); t != nullptr) {
+                             t->Span(name_, VerbName(loop->target.verb), issue_start,
+                                     completed, rid, TraceCat::kOp);
+                           }
+                           loop->meter->RecordOp(loop->target.payload,
+                                                 completed - issue_start);
+                         }
+                         if (--*remaining == 0) {
+                           loop->in_flight -= 1;
+                           Pump(loop);
+                         }
+                       }, rid);
+        continue;
+      }
       LaunchFromNic(loop->target, loop->addr.Next(),
                     [this, loop, remaining, issue_start, rid](SimTime completed) {
                       if (Tracer* const t = sim_->tracer(); t != nullptr) {
@@ -135,6 +180,77 @@ void ClientMachine::Post(int thread, const TargetSpec& target, uint64_t addr,
   });
 }
 
+void ClientMachine::Launch(const TargetSpec& target, uint64_t addr,
+                           SmallFunction<void(SimTime)> cb) {
+  Tracer* const tr = sim_->tracer();
+  const uint64_t rid = tr != nullptr ? tr->NextRequestId() : 0;
+  if (tr != nullptr) {
+    tr->Instant(name_ + ".nic", "retransmit", sim_->now(), rid);
+  }
+  LaunchFromNic(target, addr, std::move(cb), rid);
+}
+
+void ClientMachine::PostReliable(int thread, const TargetSpec& target, uint64_t addr,
+                                 SmallFunction<void(SimTime, bool)> cb) {
+  auto op = std::make_shared<ReliableOp>();
+  op->target = target;
+  op->addr = addr;
+  op->cb = std::move(cb);
+  // The first attempt pays the full post path (WQE build + doorbell);
+  // retransmissions replay from the NIC.
+  Post(thread, target, addr,
+       [this, op](SimTime completed) { CompleteReliable(op, completed); });
+  ArmRetry(op);
+}
+
+void ClientMachine::LaunchReliable(const TargetSpec& target, uint64_t addr,
+                                   SmallFunction<void(SimTime, bool)> cb,
+                                   uint64_t req_id) {
+  auto op = std::make_shared<ReliableOp>();
+  op->target = target;
+  op->addr = addr;
+  op->cb = std::move(cb);
+  LaunchFromNic(target, addr,
+                [this, op](SimTime completed) { CompleteReliable(op, completed); },
+                req_id);
+  ArmRetry(op);
+}
+
+void ClientMachine::ArmRetry(const std::shared_ptr<ReliableOp>& op) {
+  const uint64_t epoch = op->epoch;
+  const int shift = std::min(op->attempts, params_.backoff_shift_cap);
+  sim_->In(params_.transport_timeout << shift, [this, op, epoch] {
+    if (op->done || op->epoch != epoch) {
+      return;  // completed, or a newer round owns the timer
+    }
+    ++op->epoch;
+    if (op->attempts >= params_.retry_cnt) {
+      op->done = true;
+      ++op_failures_;
+      if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+        tr->Instant(name_, "op_failed", sim_->now(), 0);
+      }
+      op->cb(sim_->now(), false);
+      return;
+    }
+    ++op->attempts;
+    ++retransmits_;
+    Launch(op->target, op->addr,
+           [this, op](SimTime completed) { CompleteReliable(op, completed); });
+    ArmRetry(op);
+  });
+}
+
+void ClientMachine::CompleteReliable(const std::shared_ptr<ReliableOp>& op,
+                                     SimTime completed) {
+  if (op->done) {
+    return;  // late duplicate after a retransmission already completed it
+  }
+  op->done = true;
+  ++op->epoch;  // cancels the pending retry timer
+  op->cb(completed, true);
+}
+
 void ClientMachine::LaunchFromNic(const TargetSpec& target, uint64_t addr,
                                   SmallFunction<void(SimTime)> cb, uint64_t req_id) {
   // Client NIC pipeline + WQE handling.
@@ -177,6 +293,16 @@ void ClientMachine::RegisterMetrics(MetricsRegistry* reg) {
   reg->Register(name_, "doorbells", "count",
                 "MMIO doorbell rings (one per batch when batching)",
                 [this] { return static_cast<double>(doorbells_); });
+  // Reliability counters exist only in fault-carrying runs, so the metrics
+  // dump of a fault-free run stays byte-identical to the pre-fault layer.
+  if (sim_->faults() != nullptr) {
+    reg->Register(name_, "retransmits", "count",
+                  "NIC-level replays by the client reliability layer",
+                  [this] { return static_cast<double>(retransmits_); });
+    reg->Register(name_, "op_failures", "count",
+                  "closed-loop ops abandoned after retry_cnt retransmissions",
+                  [this] { return static_cast<double>(op_failures_); });
+  }
 }
 
 std::vector<std::unique_ptr<ClientMachine>> MakeClients(Simulator* sim, Fabric* fabric,

@@ -39,6 +39,13 @@ struct ClientParams {
   int batch = 16;
   SimTime wqe_fetch = FromNanos(450);  // NIC DMA round trip for the chain
   NicParams nic = NicParams::ConnectX4();
+
+  // --- closed-loop reliability, active ONLY when the simulation carries a
+  // fault injector (sim->faults() != nullptr). Without it a dropped frame
+  // would leak a window slot forever and the closed loop would starve. ---
+  SimTime transport_timeout = FromMicros(120);  // 0 disables even under faults
+  int retry_cnt = 7;          // retransmissions before the op fails
+  int backoff_shift_cap = 6;  // timeout doubles per retry up to this shift
 };
 
 // What a client hammers: a verb against one endpoint of one server.
@@ -64,15 +71,33 @@ class ClientMachine {
 
   // Posts a single operation from `thread` (0-based); `cb` fires when the
   // completion is visible to the polling thread. This is the primitive the
-  // verbs layer (src/rdma) builds on.
+  // verbs layer (src/rdma) builds on. Unreliable: if the request or its
+  // response is lost to fault injection, `cb` never fires.
   void Post(int thread, const TargetSpec& target, uint64_t addr,
             SmallFunction<void(SimTime completed)> cb);
 
+  // NIC-side retransmission of an already-posted WR: the WQE is still in
+  // the send queue, so the NIC replays it without a CPU WQE build or a
+  // doorbell. This is what the QP reliability layer (src/rdma/verbs.h)
+  // uses for go-back-N rounds.
+  void Launch(const TargetSpec& target, uint64_t addr,
+              SmallFunction<void(SimTime completed)> cb);
+
+  // Reliable post: like Post, but armed with a transport timeout and
+  // bounded-backoff retransmission. `cb(completed, ok)` fires exactly once:
+  // ok=true on a (possibly retransmitted) response, ok=false when
+  // `retry_cnt` retransmissions all vanished.
+  void PostReliable(int thread, const TargetSpec& target, uint64_t addr,
+                    SmallFunction<void(SimTime completed, bool ok)> cb);
+
   PcieLink* port() { return port_; }
   Simulator* sim() const { return sim_; }
+  const std::string& name() const { return name_; }
   int threads() const { return params_.threads; }
   uint64_t issued() const { return issued_; }
   uint64_t doorbells() const { return doorbells_; }
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t op_failures() const { return op_failures_; }
 
   // Exposes issue-side counters under "<name>".
   void RegisterMetrics(MetricsRegistry* reg);
@@ -86,9 +111,29 @@ class ClientMachine {
     int in_flight = 0;
   };
 
+  // One reliable op in flight: `epoch` cancels superseded retry timers,
+  // `done` makes completion first-wins (a late duplicate response after a
+  // retransmission is dropped here).
+  struct ReliableOp {
+    TargetSpec target;
+    uint64_t addr = 0;
+    int attempts = 0;
+    uint64_t epoch = 0;
+    bool done = false;
+    SmallFunction<void(SimTime, bool)> cb;
+  };
+
   void Pump(const std::shared_ptr<Loop>& loop);
   void IssueOne(const std::shared_ptr<Loop>& loop);
   void IssueBatch(const std::shared_ptr<Loop>& loop);
+  // True when closed-loop ops must carry the retransmission layer.
+  bool Reliable() const;
+  // NIC-level launch with retransmission protection (the batch path, which
+  // never rings per-op doorbells).
+  void LaunchReliable(const TargetSpec& target, uint64_t addr,
+                      SmallFunction<void(SimTime, bool)> cb, uint64_t req_id);
+  void ArmRetry(const std::shared_ptr<ReliableOp>& op);
+  void CompleteReliable(const std::shared_ptr<ReliableOp>& op, SimTime completed);
   // The NIC-side half of a post: pipeline, fabric, responder, completion.
   void LaunchFromNic(const TargetSpec& target, uint64_t addr,
                      SmallFunction<void(SimTime)> cb, uint64_t req_id = 0);
@@ -102,6 +147,8 @@ class ClientMachine {
   std::vector<std::unique_ptr<BusyServer>> thread_cpu_;
   uint64_t issued_ = 0;
   uint64_t doorbells_ = 0;  // MMIO doorbell rings (one per batch when batching)
+  uint64_t retransmits_ = 0;  // reliable-layer NIC replays
+  uint64_t op_failures_ = 0;  // reliable ops that exhausted retry_cnt
 };
 
 // Convenience: builds `count` identical client machines.

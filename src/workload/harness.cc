@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "src/common/log.h"
+#include "src/fault/injector.h"
 #include "src/sim/meter.h"
 #include "src/topo/server.h"
 
@@ -57,6 +58,36 @@ HarnessConfig ScaleForPayload(HarnessConfig config, uint32_t payload) {
     config.warmup = std::max<SimTime>(config.warmup, config.window / 4);
   }
   return config;
+}
+
+// Attaches a FaultInjector to `sim` when the config carries a fault plan.
+// With an empty plan no injector exists at all, so every component's fault
+// hook is a null-pointer test and the run is bit-identical to a build
+// without the fault layer. The caller owns the injector for the sim's life.
+std::unique_ptr<fault::FaultInjector> MakeInjector(Simulator* sim,
+                                                   const HarnessConfig& config) {
+  if (config.faults.empty()) {
+    return nullptr;
+  }
+  auto injector = std::make_unique<fault::FaultInjector>(config.faults);
+  sim->set_faults(injector.get());
+  return injector;
+}
+
+// Folds fault-side counters (NIC replays, failed ops, dropped frames) into a
+// finished measurement. No-op when faults are off.
+void FoldFaults(Measurement* m, const fault::FaultInjector* injector,
+                const std::vector<std::unique_ptr<ClientMachine>>* clients) {
+  if (injector == nullptr) {
+    return;
+  }
+  m->frames_dropped = injector->frames_dropped();
+  if (clients != nullptr) {
+    for (const auto& c : *clients) {
+      m->retransmits += c->retransmits();
+      m->op_failures += c->op_failures();
+    }
+  }
 }
 
 // Attaches a Tracer to `sim` when the config asks for one. The returned
@@ -120,6 +151,7 @@ Measurement MeasureInboundPath(ServerKind kind, Verb verb, uint32_t payload,
     port = bf->port();
   }
   auto clients = MakeClients(&sim, &fabric, config.client, config.client_machines);
+  const auto injector = MakeInjector(&sim, config);
   const auto tracer = MakeTracer(&sim, config);
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
@@ -145,8 +177,13 @@ Measurement MeasureInboundPath(ServerKind kind, Verb verb, uint32_t payload,
     for (auto& c : clients) {
       c->RegisterMetrics(reg);
     }
+    if (injector != nullptr) {
+      injector->RegisterMetrics(reg);
+    }
   });
-  return Finish(meter, config.window, bf.get(), watch);
+  Measurement m = Finish(meter, config.window, bf.get(), watch);
+  FoldFaults(&m, injector.get(), &clients);
+  return m;
 }
 
 Measurement MeasureConcurrentInbound(Verb verb, uint32_t payload,
@@ -157,6 +194,7 @@ Measurement MeasureConcurrentInbound(Verb verb, uint32_t payload,
                 config.testbed.network_switch_forward);
   BluefieldServer bf(&sim, &fabric, config.testbed);
   auto clients = MakeClients(&sim, &fabric, config.client, config.client_machines);
+  const auto injector = MakeInjector(&sim, config);
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
   const TargetSpec host =
@@ -172,7 +210,9 @@ Measurement MeasureConcurrentInbound(Verb verb, uint32_t payload,
     watch = CounterWatch{bf.pcie0().TotalCounters(), bf.pcie1().TotalCounters()};
   });
   sim.RunUntil(config.warmup + config.window);
-  return Finish(meter, config.window, &bf, watch);
+  Measurement m = Finish(meter, config.window, &bf, watch);
+  FoldFaults(&m, injector.get(), &clients);
+  return m;
 }
 
 Measurement MeasureLocalPath(bool s2h, Verb verb, uint32_t payload,
@@ -194,6 +234,7 @@ Measurement MeasureLocalPath(bool s2h, Verb verb, uint32_t payload,
   NicEndpoint* src = s2h ? bf.soc_ep() : bf.host_ep();
   NicEndpoint* dst = s2h ? bf.host_ep() : bf.soc_ep();
   LocalRequester req(&sim, &bf.nic(), src, dst, req_params, s2h ? "s2h" : "h2s");
+  const auto injector = MakeInjector(&sim, config);
   const auto tracer = MakeTracer(&sim, config);
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
@@ -206,8 +247,13 @@ Measurement MeasureLocalPath(bool s2h, Verb verb, uint32_t payload,
   DumpObservability(config, tracer.get(), [&](MetricsRegistry* reg) {
     bf.RegisterMetrics(reg);
     req.RegisterMetrics(reg);
+    if (injector != nullptr) {
+      injector->RegisterMetrics(reg);
+    }
   });
-  return Finish(meter, config.window, &bf, watch);
+  Measurement m = Finish(meter, config.window, &bf, watch);
+  FoldFaults(&m, injector.get(), nullptr);
+  return m;
 }
 
 Measurement MeasureInterference(Verb verb, uint32_t payload, bool enable_path3,
@@ -217,6 +263,7 @@ Measurement MeasureInterference(Verb verb, uint32_t payload, bool enable_path3,
                 config.testbed.network_switch_forward);
   BluefieldServer bf(&sim, &fabric, config.testbed);
   auto clients = MakeClients(&sim, &fabric, config.client, config.client_machines);
+  const auto injector = MakeInjector(&sim, config);
   Meter inter_meter(&sim);
   inter_meter.SetWindow(config.warmup, config.warmup + config.window);
   const TargetSpec host =
@@ -235,7 +282,9 @@ Measurement MeasureInterference(Verb verb, uint32_t payload, bool enable_path3,
                &intra_meter);
   }
   sim.RunUntil(config.warmup + config.window);
-  return Finish(inter_meter, config.window, &bf, std::nullopt);
+  Measurement m = Finish(inter_meter, config.window, &bf, std::nullopt);
+  FoldFaults(&m, injector.get(), &clients);
+  return m;
 }
 
 double MeasureFlowCombination(ServerKind kind, Verb verb_a, Verb verb_b, uint32_t payload,
@@ -261,6 +310,7 @@ double MeasureFlowCombination(ServerKind kind, Verb verb_a, Verb verb_b, uint32_
     port = bf->port();
   }
   auto clients = MakeClients(&sim, &fabric, config.client, config.client_machines);
+  const auto injector = MakeInjector(&sim, config);
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
   uint64_t seed = 1;
@@ -279,6 +329,7 @@ double MeasureLocalFlowCombination(bool opposite_directions, uint32_t payload,
   Fabric fabric(&sim, config.testbed.network_link_propagation,
                 config.testbed.network_switch_forward);
   BluefieldServer bf(&sim, &fabric, config.testbed);
+  const auto injector = MakeInjector(&sim, config);
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
   LocalRequesterParams host_p = LocalRequesterParams::Host();

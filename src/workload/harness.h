@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/common/units.h"
+#include "src/fault/plan.h"
 #include "src/nic/verb.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -55,6 +56,12 @@ struct HarnessConfig {
   std::string metrics_path;
   size_t trace_capacity = Tracer::kDefaultCapacity;
 
+  // Fault schedule for this experiment (src/fault/plan.h). Empty (the
+  // default) means no injector is even created: the run is bit-identical
+  // to a fault-free build. Each Measure* call owns its injector, so sweep
+  // points never share fault state and parallel sweeps stay deterministic.
+  fault::FaultPlan faults;
+
   static HarnessConfig Latency() {
     // One requester, one thread, one outstanding op: unloaded latency.
     HarnessConfig c;
@@ -76,6 +83,10 @@ struct Measurement {
   double pcie0_mpps = 0.0;
   double pcie1_mpps = 0.0;
   double pcie_total_mpps = 0.0;
+  // Fault-injection outcome over the whole run (0 when faults are off).
+  uint64_t retransmits = 0;
+  uint64_t op_failures = 0;
+  uint64_t frames_dropped = 0;
 };
 
 // Inbound client -> responder experiment (paths RNIC①, SNIC①, SNIC②).

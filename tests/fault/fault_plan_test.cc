@@ -1,0 +1,116 @@
+// FaultPlan parsing: the inline key=value grammar, the @file.json schedule
+// form, and the rejection of malformed specs (a typo'd schedule must fail
+// loudly, never silently run fault-free).
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/fault/plan.h"
+
+namespace snicsim {
+namespace fault {
+namespace {
+
+FaultPlan MustParse(const std::string& spec) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(ParseFaultPlan(spec, &plan, &error)) << error;
+  return plan;
+}
+
+std::string MustFail(const std::string& spec) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(ParseFaultPlan(spec, &plan, &error)) << "spec: " << spec;
+  EXPECT_FALSE(error.empty());
+  return error;
+}
+
+TEST(FaultPlan, EmptySpecIsEmptyPlan) {
+  const FaultPlan plan = MustParse("");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.drop_rate, 0.0);
+  EXPECT_EQ(plan.seed, 1u);
+}
+
+TEST(FaultPlan, InlineScalars) {
+  const FaultPlan plan = MustParse("drop=0.01,seed=42");
+  EXPECT_FALSE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.drop_rate, 0.01);
+  EXPECT_EQ(plan.seed, 42u);
+}
+
+TEST(FaultPlan, InlineWindowsConvertMicrosecondsAndRepeat) {
+  const FaultPlan plan = MustParse(
+      "flap=bf_srv.port:10:20;flap=cli0.port:30:40,"
+      "degrade=bf_srv.port:0:50:4.5,stall=soc:5:15");
+  ASSERT_EQ(plan.flaps.size(), 2u);
+  EXPECT_EQ(plan.flaps[0].link, "bf_srv.port");
+  EXPECT_EQ(plan.flaps[0].start, FromMicros(10));
+  EXPECT_EQ(plan.flaps[0].end, FromMicros(20));
+  EXPECT_EQ(plan.flaps[1].link, "cli0.port");
+  ASSERT_EQ(plan.degrades.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.degrades[0].factor, 4.5);
+  EXPECT_EQ(plan.degrades[0].end, FromMicros(50));
+  ASSERT_EQ(plan.stalls.size(), 1u);
+  EXPECT_EQ(plan.stalls[0].domain, "soc");
+  EXPECT_EQ(plan.stalls[0].start, FromMicros(5));
+  // A flap-only plan still counts as non-empty even at drop 0.
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, InlineRejectsMalformedSpecs) {
+  MustFail("drop=1.5");                   // probability out of range
+  MustFail("drop=abc");                   // not a number
+  MustFail("seed=-3");                    // negative seed
+  MustFail("flap=link:20:10");            // END < START
+  MustFail("flap=:0:10");                 // empty link name
+  MustFail("flap=link:0");                // missing field
+  MustFail("degrade=link:0:10:0.5");      // factor < 1 speeds the link up
+  MustFail("stall=soc:0:10:extra");       // too many fields
+  MustFail("typo=1");                     // unknown key
+  MustFail("justaword");                  // not key=value
+}
+
+TEST(FaultPlan, JsonScheduleFile) {
+  const std::string path = ::testing::TempDir() + "/fault_plan_test_schedule.json";
+  {
+    std::ofstream out(path);
+    out << R"({"drop": 0.02, "seed": 9,
+               "flaps": [{"link": "bf_srv.port", "start_us": 10, "end_us": 20}],
+               "degrades": [{"link": "cli0.port", "start_us": 0, "end_us": 5, "factor": 2}],
+               "stalls": [{"domain": "soc", "start_us": 1, "end_us": 2}]})";
+  }
+  const FaultPlan plan = MustParse("@" + path);
+  EXPECT_DOUBLE_EQ(plan.drop_rate, 0.02);
+  EXPECT_EQ(plan.seed, 9u);
+  ASSERT_EQ(plan.flaps.size(), 1u);
+  EXPECT_EQ(plan.flaps[0].link, "bf_srv.port");
+  EXPECT_EQ(plan.flaps[0].start, FromMicros(10));
+  ASSERT_EQ(plan.degrades.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.degrades[0].factor, 2.0);
+  ASSERT_EQ(plan.stalls.size(), 1u);
+  EXPECT_EQ(plan.stalls[0].domain, "soc");
+}
+
+TEST(FaultPlan, JsonRejectsUnknownKeysAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "/fault_plan_test_bad.json";
+  {
+    std::ofstream out(path);
+    out << R"({"drop": 0.1, "oops": 3})";
+  }
+  EXPECT_NE(MustFail("@" + path).find("unknown schedule key"), std::string::npos);
+  EXPECT_NE(MustFail("@/nonexistent/schedule.json").find("cannot read"),
+            std::string::npos);
+
+  const std::string incomplete = ::testing::TempDir() + "/fault_plan_test_incomplete.json";
+  {
+    std::ofstream out(incomplete);
+    out << R"({"flaps": [{"link": "x", "start_us": 5}]})";  // no end_us
+  }
+  MustFail("@" + incomplete);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace snicsim

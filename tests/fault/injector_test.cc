@@ -1,0 +1,111 @@
+// FaultInjector determinism contract: per-link RNG streams, draw-free flap
+// windows, multiplicative degrade windows, and max-end stall deferral.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/fault/injector.h"
+
+namespace snicsim {
+namespace fault {
+namespace {
+
+std::vector<bool> Draw(FaultInjector* inj, const std::string& link, int n, SimTime at) {
+  std::vector<bool> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(inj->ShouldDropBurst(link, 1, at));
+  }
+  return out;
+}
+
+TEST(FaultInjector, FlapDropsWithoutConsumingBernoulliDraws) {
+  FaultPlan base;
+  base.drop_rate = 0.5;
+  base.seed = 3;
+  FaultInjector plain(base);
+  const std::vector<bool> reference = Draw(&plain, "L", 10, FromMicros(20));
+
+  FaultPlan flapped = base;
+  flapped.flaps.push_back({"L", 0, FromMicros(5)});
+  FaultInjector with_flap(flapped);
+  // Five bursts inside the flap: all dropped, none consuming a draw...
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(with_flap.ShouldDropBurst("L", 1, FromMicros(1)));
+  }
+  EXPECT_EQ(with_flap.flap_drops(), 5u);
+  // ...so the post-flap Bernoulli pattern matches the flap-free injector
+  // from its very first draw.
+  EXPECT_EQ(Draw(&with_flap, "L", 10, FromMicros(20)), reference);
+}
+
+TEST(FaultInjector, PerLinkStreamsAreIndependent) {
+  FaultPlan plan;
+  plan.drop_rate = 0.5;
+  plan.seed = 11;
+  FaultInjector only_a(plan);
+  const std::vector<bool> reference = Draw(&only_a, "A", 16, 0);
+
+  // Interleaving draws on another link must not shift A's stream.
+  FaultInjector interleaved(plan);
+  std::vector<bool> a_draws;
+  for (int i = 0; i < 16; ++i) {
+    a_draws.push_back(interleaved.ShouldDropBurst("A", 1, 0));
+    interleaved.ShouldDropBurst("B", 1, 0);
+  }
+  EXPECT_EQ(a_draws, reference);
+  // And distinct links see distinct streams (seed ^ FNV(link name)).
+  FaultInjector other(plan);
+  EXPECT_NE(Draw(&other, "B", 16, 0), reference);
+}
+
+TEST(FaultInjector, MultiFrameBurstConsumesOneDrawPerFrame) {
+  FaultPlan plan;
+  plan.drop_rate = 0.3;
+  plan.seed = 5;
+  FaultInjector by_frame(plan);
+  const std::vector<bool> singles = Draw(&by_frame, "L", 8, 0);
+
+  // An 8-frame burst consumes the same eight draws; it dies iff any of the
+  // per-frame draws would have.
+  FaultInjector by_burst(plan);
+  bool any = false;
+  for (bool b : singles) {
+    any = any || b;
+  }
+  EXPECT_EQ(by_burst.ShouldDropBurst("L", 8, 0), any);
+  EXPECT_EQ(by_burst.frames_offered(), 8u);
+}
+
+TEST(FaultInjector, DegradeWindowsMultiplyAndExpire) {
+  FaultPlan plan;
+  plan.degrades.push_back({"L", FromMicros(10), FromMicros(30), 2.0});
+  plan.degrades.push_back({"L", FromMicros(20), FromMicros(40), 3.0});
+  plan.degrades.push_back({"M", 0, FromMicros(100), 7.0});  // other link
+  FaultInjector inj(plan);
+  EXPECT_DOUBLE_EQ(inj.ServiceScale("L", FromMicros(5)), 1.0);
+  EXPECT_DOUBLE_EQ(inj.ServiceScale("L", FromMicros(15)), 2.0);
+  EXPECT_DOUBLE_EQ(inj.ServiceScale("L", FromMicros(25)), 6.0);  // overlap
+  EXPECT_DOUBLE_EQ(inj.ServiceScale("L", FromMicros(35)), 3.0);
+  EXPECT_DOUBLE_EQ(inj.ServiceScale("L", FromMicros(45)), 1.0);
+  EXPECT_DOUBLE_EQ(inj.ServiceScale("M", FromMicros(15)), 7.0);
+}
+
+TEST(FaultInjector, StallDelayDefersToTheLatestEnclosingWindow) {
+  FaultPlan plan;
+  plan.stalls.push_back({"soc", FromMicros(10), FromMicros(30)});
+  plan.stalls.push_back({"soc", FromMicros(20), FromMicros(50)});
+  plan.stalls.push_back({"host", 0, FromMicros(5)});
+  FaultInjector inj(plan);
+  EXPECT_EQ(inj.StallDelay("soc", FromMicros(5)), 0);
+  EXPECT_EQ(inj.StallDelay("soc", FromMicros(15)), FromMicros(15));  // to 30
+  EXPECT_EQ(inj.StallDelay("soc", FromMicros(25)), FromMicros(25));  // max end 50
+  EXPECT_EQ(inj.StallDelay("soc", FromMicros(60)), 0);
+  EXPECT_EQ(inj.StallDelay("host", FromMicros(2)), FromMicros(3));
+  EXPECT_EQ(inj.StallDelay("dpu", FromMicros(15)), 0);  // unknown domain
+  EXPECT_EQ(inj.stall_hits(), 3u);
+  EXPECT_EQ(inj.stalled_time(), FromMicros(15 + 25 + 3));
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace snicsim

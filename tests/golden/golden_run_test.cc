@@ -1,0 +1,167 @@
+// End-to-end numeric regression pins: miniature fig3/fig4/fig8/fig10
+// harness runs at a fixed tiny configuration, diffed byte-for-byte against
+// committed golden files. Any change to the simulated numbers — however
+// small — fails here and must be acknowledged by regenerating the goldens
+// (scripts/update_goldens.sh, or UPDATE_GOLDENS=1 on this binary).
+//
+// The goldens were recorded before the fault-injection layer landed, so a
+// green run also proves that an unset --faults leaves every simulated
+// number bit-identical to the pre-fault simulator.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/workload/harness.h"
+
+namespace snicsim {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(SNICSIM_SOURCE_DIR) + "/tests/golden/data/" + name;
+}
+
+// Diff `actual` against the committed golden, or rewrite the golden when
+// UPDATE_GOLDENS is set in the environment.
+void CheckGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  ASSERT_FALSE(actual.empty());
+  if (std::getenv("UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    std::printf("updated %s (%zu bytes)\n", path.c_str(), actual.size());
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " — run scripts/update_goldens.sh";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), actual)
+      << name << " drifted from its golden. If the numeric change is "
+      << "intentional, regenerate with scripts/update_goldens.sh.";
+}
+
+// Tiny fixed configurations: small enough for tier-1 CI, large enough that
+// queueing/contention paths are exercised. Everything is pinned — seeds,
+// windows, machine counts — so output is a pure function of the simulator.
+HarnessConfig TinyLatency() {
+  HarnessConfig c = HarnessConfig::Latency();
+  c.warmup = FromMicros(20);
+  c.window = FromMicros(120);
+  return c;
+}
+
+HarnessConfig TinyThroughput() {
+  HarnessConfig c;
+  c.client_machines = 3;
+  c.client.threads = 4;
+  c.warmup = FromMicros(10);
+  c.window = FromMicros(40);
+  return c;
+}
+
+// fig3_flow's simulator cross-check column: unloaded p50 per path.
+TEST(GoldenRun, Fig3FlowLatency) {
+  Table t({"verb", "path", "p50_us"});
+  for (const Verb verb : {Verb::kRead, Verb::kWrite}) {
+    for (const ServerKind kind : {ServerKind::kRnicHost, ServerKind::kBluefieldHost,
+                                  ServerKind::kBluefieldSoc}) {
+      t.Row().Add(VerbName(verb)).Add(ServerKindName(kind));
+      t.Add(MeasureInboundPath(kind, verb, 64, TinyLatency()).p50_us, 3);
+    }
+  }
+  std::ostringstream os;
+  t.PrintCsv(os);
+  CheckGolden("fig3.golden", os.str());
+}
+
+// fig4_latency's grid: p50 vs payload for all five communication paths.
+TEST(GoldenRun, Fig4LatencyGrid) {
+  Table t({"verb", "payload", "RNIC(1)", "SNIC(1)", "SNIC(2)", "SNIC(3)S2H",
+           "SNIC(3)H2S"});
+  for (const Verb verb : {Verb::kRead, Verb::kWrite}) {
+    for (const uint32_t payload : {64u, 1024u}) {
+      t.Row().Add(VerbName(verb)).Add(static_cast<uint64_t>(payload));
+      for (const ServerKind kind : {ServerKind::kRnicHost, ServerKind::kBluefieldHost,
+                                    ServerKind::kBluefieldSoc}) {
+        t.Add(MeasureInboundPath(kind, verb, payload, TinyLatency()).p50_us, 3);
+      }
+      for (const bool s2h : {true, false}) {
+        LocalRequesterParams p =
+            s2h ? LocalRequesterParams::Soc() : LocalRequesterParams::Host();
+        p.threads = 1;
+        p.window = 1;
+        t.Add(MeasureLocalPath(s2h, verb, payload, p, TinyLatency()).p50_us, 3);
+      }
+    }
+  }
+  std::ostringstream os;
+  t.PrintCsv(os);
+  CheckGolden("fig4.golden", os.str());
+}
+
+// fig8's bandwidth story at one large payload: host vs SoC READ, SoC WRITE.
+TEST(GoldenRun, Fig8LargeRead) {
+  Table t({"series", "gbps", "p50_us"});
+  const uint32_t payload = 256 * 1024;
+  const struct {
+    const char* name;
+    ServerKind kind;
+    Verb verb;
+  } rows[] = {
+      {"READ SNIC(1)", ServerKind::kBluefieldHost, Verb::kRead},
+      {"READ SNIC(2)", ServerKind::kBluefieldSoc, Verb::kRead},
+      {"WRITE SNIC(2)", ServerKind::kBluefieldSoc, Verb::kWrite},
+  };
+  for (const auto& r : rows) {
+    const Measurement m = MeasureInboundPath(r.kind, r.verb, payload, TinyThroughput());
+    t.Row().Add(r.name).Add(m.gbps, 2).Add(m.p50_us, 2);
+  }
+  std::ostringstream os;
+  t.PrintCsv(os);
+  CheckGolden("fig8.golden", os.str());
+}
+
+// fig10's doorbell-batching ablation on path (3), both directions.
+TEST(GoldenRun, Fig10DoorbellBatching) {
+  Table t({"dir", "batch", "mreqs", "p50_us"});
+  for (const bool s2h : {false, true}) {
+    for (const bool batch : {false, true}) {
+      LocalRequesterParams p =
+          s2h ? LocalRequesterParams::Soc() : LocalRequesterParams::Host();
+      p.threads = 2;
+      p.window = 2;
+      p.doorbell_batch = batch;
+      p.batch = 8;
+      HarnessConfig cfg = TinyLatency();
+      const Measurement m = MeasureLocalPath(s2h, Verb::kWrite, 64, p, cfg);
+      t.Row().Add(s2h ? "S2H" : "H2S").Add(batch ? "on" : "off");
+      t.Add(m.mreqs, 4).Add(m.p50_us, 3);
+    }
+  }
+  std::ostringstream os;
+  t.PrintCsv(os);
+  CheckGolden("fig10.golden", os.str());
+}
+
+// The full metrics dump of one SNIC(1) run: pins every registered counter
+// of the whole component graph (links, switch, memories, NIC, CPU pools).
+TEST(GoldenRun, MetricsDump) {
+  HarnessConfig cfg = TinyThroughput();
+  cfg.metrics_path = testing::TempDir() + "/golden_metrics.json";
+  MeasureInboundPath(ServerKind::kBluefieldHost, Verb::kRead, 256, cfg);
+  std::ifstream in(cfg.metrics_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  CheckGolden("metrics.golden", buf.str());
+}
+
+}  // namespace
+}  // namespace snicsim

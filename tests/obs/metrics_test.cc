@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/fault/injector.h"
 #include "src/topo/fabric.h"
 #include "src/topo/server.h"
 #include "src/topo/testbed_params.h"
@@ -73,12 +74,19 @@ TEST(MetricsCatalog, EveryRegisteredLeafIsDocumented) {
   ClientMachine cli(&sim, &fabric, ClientParams(), "cli0");
   LocalRequester req(&sim, &bf.nic(), bf.host_ep(), bf.soc_ep(),
                      LocalRequesterParams::Host(), "h2s");
+  // Attach a fault injector so the conditional counters (client reliability
+  // layer + the faults. component) are part of the audited catalog too.
+  fault::FaultPlan plan;
+  plan.drop_rate = 0.01;
+  fault::FaultInjector faults(plan);
+  sim.set_faults(&faults);
 
   MetricsRegistry reg;
   rnic.RegisterMetrics(&reg);
   bf.RegisterMetrics(&reg);
   cli.RegisterMetrics(&reg);
   req.RegisterMetrics(&reg);
+  faults.RegisterMetrics(&reg);
   ASSERT_GT(reg.entries().size(), 30u);  // the graph is fully instrumented
 
   std::ifstream design(std::string(SNICSIM_SOURCE_DIR) + "/DESIGN.md");

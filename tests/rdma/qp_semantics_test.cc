@@ -1,7 +1,9 @@
 // Verbs semantics beyond the data path: QP state ladder, transport-type
-// restrictions, send-queue depth, signaled/unsignaled WRs, and RNR.
+// restrictions, send-queue depth, signaled/unsignaled WRs, RNR backoff and
+// budget exhaustion, and the RC transport's timeout/retransmission layer.
 #include <gtest/gtest.h>
 
+#include "src/fault/injector.h"
 #include "src/rdma/recv_queue.h"
 #include "src/rdma/verbs.h"
 #include "src/topo/server.h"
@@ -145,6 +147,108 @@ TEST_F(QpSemanticsTest, AutoReplenishRingNeverRnrs) {
   EXPECT_EQ(completed, 20);
   EXPECT_EQ(qp.rnr_retries(), 0u);
   EXPECT_EQ(ring.consumed(), 20u);
+}
+
+TEST_F(QpSemanticsTest, RnrBackoffTimingIsExact) {
+  ReceiveQueue ring(1, /*auto_replenish=*/false);
+  ASSERT_TRUE(ring.Consume());  // dry the ring before the QP sees it
+  RemoteMemoryRegion mr = Mr();
+  mr.recv = &ring;
+  QpConfig cfg;
+  cfg.rnr_backoff = FromMicros(5);
+  QueuePair qp(&client_, 0, mr, nullptr, cfg);
+  int completed = 0;
+  qp.PostSend(64, 0, [&](SimTime) { ++completed; });
+  // Dry consume at t=0, then one retry per 5 us backoff: 0, 5, 10 have
+  // fired by t=12, the t=15 retry has not.
+  sim_.RunFor(FromMicros(12));
+  EXPECT_EQ(qp.rnr_retries(), 3u);
+  EXPECT_EQ(completed, 0);
+  ring.PostRecv(1);
+  sim_.Run();  // the t=15 retry finds the receive and goes through
+  EXPECT_EQ(completed, 1);
+  EXPECT_EQ(qp.rnr_retries(), 3u);
+}
+
+TEST_F(QpSemanticsTest, RnrBudgetExhaustionEntersErrorAndRecovers) {
+  ReceiveQueue ring(1, /*auto_replenish=*/false);
+  ASSERT_TRUE(ring.Consume());
+  RemoteMemoryRegion mr = Mr();
+  mr.recv = &ring;
+  QpConfig cfg;
+  cfg.rnr_backoff = FromMicros(5);
+  cfg.rnr_retry_cnt = 3;
+  CompletionQueue cq;
+  QueuePair qp(&client_, 0, mr, &cq, cfg);
+  int callbacks = 0;
+  // Unsignaled on purpose: error completions are delivered regardless.
+  qp.PostSend(64, 7, [&](SimTime) { ++callbacks; }, /*signaled=*/false);
+  sim_.Run();
+  EXPECT_EQ(qp.state(), QpState::kError);
+  EXPECT_EQ(qp.rnr_retries(), 3u);  // the budget, exactly
+  EXPECT_EQ(qp.completion_errors(), 1u);
+  EXPECT_EQ(callbacks, 1);
+  ASSERT_EQ(cq.pending(), 1u);
+  WorkCompletion wc;
+  cq.Poll(&wc, 1);
+  EXPECT_EQ(wc.wr_id, 7u);
+  EXPECT_EQ(wc.status, WcStatus::kRnrRetryExceeded);
+  // Reconnect: replenish the ring, walk the ladder, and the QP serves again.
+  ring.PostRecv(1);
+  ASSERT_TRUE(qp.Recover());
+  EXPECT_EQ(qp.state(), QpState::kRts);
+  ASSERT_TRUE(qp.PostSend(64, 8, [&](SimTime) { ++callbacks; }));
+  sim_.Run();
+  EXPECT_EQ(callbacks, 2);
+}
+
+TEST_F(QpSemanticsTest, ReliableLayerQuiescentWithoutLoss) {
+  QpConfig cfg;
+  cfg.transport_timeout = FromMicros(200);  // far above the ~3 us RTT
+  CompletionQueue cq;
+  QueuePair qp(&client_, 0, Mr(), &cq, cfg);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(qp.PostRead(static_cast<uint64_t>(i) * 64, 64, i + 1));
+  }
+  sim_.Run();
+  EXPECT_EQ(qp.completions(), 8u);
+  EXPECT_EQ(qp.timeouts(), 0u);
+  EXPECT_EQ(qp.retransmits(), 0u);
+  EXPECT_EQ(cq.pending(), 8u);
+  WorkCompletion wc;
+  while (cq.Poll(&wc, 1) == 1) {
+    EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  }
+}
+
+TEST_F(QpSemanticsTest, GoBackNRetransmitsEverythingAfterTheTimedOutWr) {
+  // The server's cable flaps for the first 10 us: the three initial
+  // transmissions all vanish, the first WR's 20 us timer fires once, and
+  // go-back-N replays all three after the link heals.
+  fault::FaultPlan plan;
+  plan.flaps.push_back({"bf_srv.port", 0, FromMicros(10)});
+  fault::FaultInjector injector(plan);
+  sim_.set_faults(&injector);
+  QpConfig cfg;
+  cfg.transport_timeout = FromMicros(20);
+  CompletionQueue cq;
+  QueuePair qp(&client_, 0, Mr(), &cq, cfg);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(qp.PostRead(static_cast<uint64_t>(i) * 64, 64, i + 1));
+  }
+  sim_.Run();
+  EXPECT_EQ(qp.timeouts(), 1u);      // one timer fired (the other two were
+                                     // superseded by the epoch bump)
+  EXPECT_EQ(qp.retransmits(), 3u);   // ...but all three WRs replayed
+  EXPECT_EQ(qp.completions(), 3u);
+  EXPECT_EQ(qp.completion_errors(), 0u);
+  EXPECT_EQ(qp.state(), QpState::kRts);
+  ASSERT_EQ(cq.pending(), 3u);
+  WorkCompletion wc;
+  while (cq.Poll(&wc, 1) == 1) {
+    EXPECT_EQ(wc.status, WcStatus::kSuccess);
+    EXPECT_GT(wc.completed_at, FromMicros(20));  // post-retransmission
+  }
 }
 
 TEST(ReceiveQueue, PostRecvCapsAtCapacity) {

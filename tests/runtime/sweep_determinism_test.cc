@@ -1,7 +1,9 @@
 // The tentpole guarantee: a sweep run with --jobs=N produces byte-identical
 // CSV, trace, and metrics output to the serial run, for any N. This test
 // runs the same miniature figure-bench sweep at jobs=1 and jobs=8 and
-// compares every byte of every artifact.
+// compares every byte of every artifact — fault-free and under an active
+// fault schedule (each sweep point owns its injector, so worker interleaving
+// must never leak into the fault draws).
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "src/common/table.h"
+#include "src/fault/plan.h"
 #include "src/runtime/sweep_runner.h"
 #include "src/workload/harness.h"
 
@@ -34,7 +37,8 @@ struct SweepArtifacts {
 // experiment with its own trace + metrics sinks. Mirrors the two-pass
 // pattern the bench mains use: submit in table order, run, then consume
 // results in the same order.
-SweepArtifacts RunMiniSweep(int jobs, const std::string& tag) {
+SweepArtifacts RunMiniSweep(int jobs, const std::string& tag,
+                            const std::string& faults_spec = "") {
   const ServerKind kinds[] = {ServerKind::kRnicHost, ServerKind::kBluefieldSoc};
   const uint32_t payloads[] = {64, 512};
 
@@ -43,6 +47,12 @@ SweepArtifacts RunMiniSweep(int jobs, const std::string& tag) {
   base.client.threads = 2;
   base.warmup = FromMicros(5);
   base.window = FromMicros(20);
+  if (!faults_spec.empty()) {
+    std::string error;
+    EXPECT_TRUE(fault::ParseFaultPlan(faults_spec, &base.faults, &error)) << error;
+    // Keep retransmission rounds inside the short run.
+    base.client.transport_timeout = FromMicros(6);
+  }
 
   SweepArtifacts out;
   runtime::SweepQueue<Measurement> sweep(jobs);
@@ -64,7 +74,8 @@ SweepArtifacts RunMiniSweep(int jobs, const std::string& tag) {
   }
   const std::vector<Measurement> results = sweep.Run();
 
-  Table table({"path", "payload", "mreqs", "gbps", "p50_us", "p99_us"});
+  Table table({"path", "payload", "mreqs", "gbps", "p50_us", "p99_us", "retx",
+               "frames_lost"});
   size_t k = 0;
   for (const ServerKind kind : kinds) {
     for (const uint32_t payload : payloads) {
@@ -75,7 +86,9 @@ SweepArtifacts RunMiniSweep(int jobs, const std::string& tag) {
           .Add(m.mreqs, 3)
           .Add(m.gbps, 2)
           .Add(m.p50_us, 2)
-          .Add(m.p99_us, 2);
+          .Add(m.p99_us, 2)
+          .Add(m.retransmits)
+          .Add(m.frames_dropped);
     }
   }
   std::ostringstream csv;
@@ -111,6 +124,36 @@ TEST(SweepDeterminism, RepeatedParallelRunsAgree) {
   const SweepArtifacts a = RunMiniSweep(8, "r1");
   const SweepArtifacts b = RunMiniSweep(8, "r2");
   EXPECT_EQ(a.csv, b.csv);
+}
+
+// The fault layer must not break the guarantee: per-point injectors with
+// per-link RNG streams mean job count cannot perturb which frames drop.
+constexpr char kFaultSpec[] = "drop=0.02,seed=9,flap=bf_srv.port:8:12";
+
+TEST(SweepDeterminism, FaultedParallelSweepIsByteIdenticalToSerial) {
+  const SweepArtifacts serial = RunMiniSweep(1, "fj1", kFaultSpec);
+  const SweepArtifacts parallel = RunMiniSweep(8, "fj8", kFaultSpec);
+  EXPECT_FALSE(serial.csv.empty());
+  EXPECT_EQ(serial.csv, parallel.csv);
+  ASSERT_EQ(serial.metrics.size(), parallel.metrics.size());
+  for (size_t i = 0; i < serial.metrics.size(); ++i) {
+    const std::string a = ReadFile(serial.metrics[i]);
+    const std::string b = ReadFile(parallel.metrics[i]);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << serial.metrics[i];
+    EXPECT_NE(a.find("faults.frames_dropped"), std::string::npos) << serial.metrics[i];
+  }
+  ASSERT_EQ(serial.traces.size(), parallel.traces.size());
+  for (size_t i = 0; i < serial.traces.size(); ++i) {
+    EXPECT_EQ(ReadFile(serial.traces[i]), ReadFile(parallel.traces[i]))
+        << serial.traces[i];
+  }
+}
+
+TEST(SweepDeterminism, FaultedRunDiffersFromFaultFreeRun) {
+  const SweepArtifacts clean = RunMiniSweep(1, "c");
+  const SweepArtifacts faulted = RunMiniSweep(1, "f", kFaultSpec);
+  EXPECT_NE(clean.csv, faulted.csv);
 }
 
 }  // namespace
