@@ -1,0 +1,96 @@
+// Path-selection policies for the KV serving workload.
+//
+// A policy decides, per request, which communication path carries it:
+// ① client→host (index kPathHost) or ② client→SoC (index kPathSoc). SoC
+// misses then cost a host↔SoC fetch (path ③) as a consequence — policies
+// don't route ③ directly, they budget for it.
+//
+// Three reference policies live here; the adaptive governor is in
+// governor.h. StaticPolicy pins every request to one path (the paper's
+// fixed deployments). OraclePolicy cheats: it reads the executor's
+// instantaneous queue backlogs and the true residency set, giving the
+// upper envelope an online policy is judged against.
+#ifndef SRC_GOVERNOR_POLICY_H_
+#define SRC_GOVERNOR_POLICY_H_
+
+#include <vector>
+
+#include "src/kvstore/serving.h"
+#include "src/model/latency_model.h"
+#include "src/workload/fleet.h"
+
+namespace snicsim {
+namespace governor {
+
+inline constexpr int kPathHost = 0;  // ① client→host SEND
+inline constexpr int kPathSoc = 1;   // ② client→SoC SEND
+inline constexpr int kPathCount = 2;
+
+class RoutePolicy {
+ public:
+  virtual ~RoutePolicy() = default;
+
+  // Returns the path index for this request (called once per request).
+  virtual int Route(const KvRequest& req) = 0;
+
+  // Terminal outcome of a routed request; fires exactly once per request.
+  virtual void OnComplete(int path, const KvRequest& req, SimTime latency, bool ok) {
+    (void)path;
+    (void)req;
+    (void)latency;
+    (void)ok;
+  }
+
+  // Random draws consumed so far (0 for deterministic policies). Part of
+  // the replay fingerprint: same seed => same draws => same routing.
+  virtual uint64_t draws() const { return 0; }
+
+  virtual const char* name() const = 0;
+};
+
+class StaticPolicy : public RoutePolicy {
+ public:
+  explicit StaticPolicy(int path) : path_(path) {}
+  int Route(const KvRequest&) override { return path_; }
+  const char* name() const override {
+    return path_ == kPathHost ? "static-host" : "static-soc";
+  }
+
+ private:
+  int path_;
+};
+
+// Unloaded per-size-class latency priors for each serving path, from the
+// analytic models (latency_model.h) plus the serving-side CPU terms the
+// model does not cover. The value flows responder→client like a READ
+// response, so kRead at the value size is the model's closest flow.
+struct PathPriors {
+  std::vector<double> host_us;      // path ① serve
+  std::vector<double> soc_hit_us;   // path ② serve, value in SoC DRAM
+  std::vector<double> soc_miss_us;  // path ② serve + path ③ value fetch
+
+  static PathPriors Compute(const std::vector<uint32_t>& class_bytes,
+                            const TestbedParams& tp, const ClientParams& client,
+                            const kv::ServingConfig& serving);
+};
+
+// Full-knowledge greedy: true residency, true instantaneous CPU backlog on
+// both serving pools, analytic priors for everything queue-independent.
+class OraclePolicy : public RoutePolicy {
+ public:
+  OraclePolicy(const kv::ServingLayout* layout, kv::ServingExecutor* executor,
+               PathPriors priors);
+
+  int Route(const KvRequest& req) override;
+  const char* name() const override { return "oracle"; }
+
+ private:
+  const kv::ServingLayout* layout_;
+  kv::ServingExecutor* executor_;
+  PathPriors priors_;
+};
+
+}  // namespace governor
+}  // namespace snicsim
+
+#endif  // SRC_GOVERNOR_POLICY_H_

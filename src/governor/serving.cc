@@ -1,0 +1,245 @@
+#include "src/governor/serving.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "src/common/log.h"
+#include "src/fault/injector.h"
+#include "src/sim/meter.h"
+#include "src/topo/server.h"
+
+namespace snicsim {
+namespace governor {
+
+namespace {
+
+void AppendU(std::string* s, uint64_t v) {
+  s->append(std::to_string(v));
+  s->push_back('|');
+}
+
+void AppendD(std::string* s, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  s->append(buf);
+  s->push_back('|');
+}
+
+}  // namespace
+
+std::string ServingResult::Fingerprint() const {
+  std::string s = policy;
+  s.push_back('|');
+  AppendD(&s, mreqs);
+  AppendD(&s, gbps);
+  AppendD(&s, p50_us);
+  AppendD(&s, p99_us);
+  AppendU(&s, ops);
+  AppendU(&s, issued);
+  AppendU(&s, completed);
+  AppendU(&s, failed);
+  for (uint64_t v : path_issued) AppendU(&s, v);
+  for (uint64_t v : path_completed) AppendU(&s, v);
+  for (uint64_t v : path_failed) AppendU(&s, v);
+  AppendU(&s, soc_hits);
+  AppendU(&s, soc_misses);
+  AppendU(&s, path3_bytes);
+  AppendU(&s, hol_gated);
+  AppendU(&s, budget_spills);
+  AppendU(&s, explored);
+  AppendU(&s, draws);
+  AppendD(&s, share_soc);
+  for (double v : class_share_soc) AppendD(&s, v);
+  AppendU(&s, retransmits);
+  AppendU(&s, op_failures);
+  AppendU(&s, frames_dropped);
+  return s;
+}
+
+ServingResult RunServing(const ServingRunConfig& raw) {
+  ServingRunConfig config = raw;
+  config.layout.Validate();
+  SNIC_CHECK_EQ(config.mix.weights.size(), config.layout.class_bytes.size());
+  config.fleet.machine = config.client;
+
+  Simulator sim;
+  Fabric fabric(&sim, config.testbed.network_link_propagation,
+                config.testbed.network_switch_forward);
+  BluefieldServer bf(&sim, &fabric, config.testbed);
+  kv::ServingConfig serving =
+      kv::ServingConfig::FromTestbed(config.testbed, config.layout);
+  if (config.host_cores > 0) {
+    serving.host_cores = config.host_cores;
+  }
+  if (config.soc_cores > 0) {
+    serving.soc_cores = config.soc_cores;
+  }
+  kv::ServingExecutor exec(&sim, &bf, serving);
+
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(config.faults);
+    sim.set_faults(injector.get());
+  }
+  std::unique_ptr<Tracer> tracer;
+  if (!config.trace_path.empty()) {
+    tracer = std::make_unique<Tracer>(config.trace_capacity);
+    sim.set_tracer(tracer.get());
+  }
+
+  ClientFleet fleet(&sim, &fabric, config.fleet);
+  const ZipfDist zipf(config.layout.keys, config.zipf_theta);
+
+  // The policy under test. The governor additionally gets the live metric
+  // feed (its epoch sampler) and a per-path QP-health view synthesized from
+  // the fleet's conservation counters — the task-level fault signal.
+  std::unique_ptr<RoutePolicy> policy;
+  AdaptiveGovernor* gov = nullptr;
+  MetricsRegistry live_reg;  // sampled by the governor's tick, not dumped
+  switch (config.policy) {
+    case PolicyKind::kStaticHost:
+      policy = std::make_unique<StaticPolicy>(kPathHost);
+      break;
+    case PolicyKind::kStaticSoc:
+      policy = std::make_unique<StaticPolicy>(kPathSoc);
+      break;
+    case PolicyKind::kOracle:
+      policy = std::make_unique<OraclePolicy>(
+          &exec.config().layout, &exec,
+          PathPriors::Compute(config.layout.class_bytes, config.testbed,
+                              config.client, serving));
+      break;
+    case PolicyKind::kGovernor: {
+      auto g = std::make_unique<AdaptiveGovernor>(&sim, config.governor,
+                                                  &exec.config().layout, serving,
+                                                  config.testbed, config.client,
+                                                  config.layout.class_bytes);
+      gov = g.get();
+      policy = std::move(g);
+      exec.RegisterMetrics(&live_reg);
+      gov->BindMetrics(live_reg);
+      for (int p = 0; p < kPathCount; ++p) {
+        gov->BindQpHealth(p, [&fleet, p] {
+          rdma::QpHealth h;
+          if (static_cast<size_t>(p) < fleet.path_issued().size()) {
+            h.posted = fleet.path_issued()[static_cast<size_t>(p)];
+            h.completions = fleet.path_completed()[static_cast<size_t>(p)];
+            h.completion_errors = fleet.path_failed()[static_cast<size_t>(p)];
+            h.outstanding = static_cast<int>(h.posted - h.completions -
+                                             h.completion_errors);
+          }
+          return h;
+        });
+      }
+      break;
+    }
+  }
+  SNIC_CHECK(policy != nullptr);
+
+  Meter meter(&sim);
+  meter.SetWindow(config.warmup, config.warmup + config.window);
+  const size_t classes = config.layout.class_bytes.size();
+  std::vector<uint64_t> class_window_ops(classes, 0);
+  std::vector<uint64_t> class_window_soc(classes, 0);
+
+  std::vector<TargetSpec> paths(static_cast<size_t>(kPathCount));
+  for (int p = 0; p < kPathCount; ++p) {
+    TargetSpec& t = paths[static_cast<size_t>(p)];
+    t.engine = &bf.nic();
+    t.endpoint = p == kPathHost ? bf.host_ep() : bf.soc_ep();
+    t.server_port = bf.port();
+    t.verb = Verb::kSend;
+  }
+
+  const kv::ServingLayout layout = config.layout;
+  RoutePolicy* const pol = policy.get();
+  fleet.Start(
+      std::move(paths), &zipf, config.mix, config.layout.class_bytes,
+      /*header=*/[layout](uint64_t rank, int cls) { return layout.Pack(rank, cls); },
+      /*route=*/[pol](const KvRequest& req) { return pol->Route(req); },
+      /*observe=*/
+      [&](int path, const KvRequest& req, SimTime latency, bool ok) {
+        pol->OnComplete(path, req, latency, ok);
+        if (!ok) {
+          return;
+        }
+        if (meter.InWindow()) {
+          const size_t cls = static_cast<size_t>(req.size_class);
+          ++class_window_ops[cls];
+          if (path == kPathSoc) {
+            ++class_window_soc[cls];
+          }
+        }
+        meter.RecordOp(req.bytes, latency);
+      });
+
+  // Quiesce at the window edge, then drain: every in-flight request
+  // terminates, so conservation is exact (not cut off mid-flight).
+  sim.At(config.warmup + config.window, [&] {
+    fleet.StopIssuing();
+    if (gov != nullptr) {
+      gov->StopTicking();
+    }
+  });
+  sim.Run();
+
+  ServingResult r;
+  r.policy = pol->name();
+  r.mreqs = meter.MReqsPerSec();
+  r.gbps = meter.Gbps();
+  r.p50_us = ToMicros(meter.latency().Percentile(50));
+  r.p99_us = ToMicros(meter.latency().Percentile(99));
+  r.ops = meter.ops();
+  r.issued = fleet.issued();
+  r.completed = fleet.completed();
+  r.failed = fleet.failed();
+  r.path_issued = fleet.path_issued();
+  r.path_completed = fleet.path_completed();
+  r.path_failed = fleet.path_failed();
+  r.soc_hits = exec.soc_hits();
+  r.soc_misses = exec.soc_misses();
+  r.path3_bytes = exec.path3_bytes();
+  r.draws = pol->draws();
+  if (gov != nullptr) {
+    r.hol_gated = gov->hol_gated();
+    r.budget_spills = gov->budget_spills();
+    r.explored = gov->explored();
+  }
+  if (r.issued > 0) {
+    r.share_soc = static_cast<double>(r.path_issued[static_cast<size_t>(kPathSoc)]) /
+                  static_cast<double>(r.issued);
+  }
+  r.class_share_soc.assign(classes, 0.0);
+  for (size_t c = 0; c < classes; ++c) {
+    if (class_window_ops[c] > 0) {
+      r.class_share_soc[c] = static_cast<double>(class_window_soc[c]) /
+                             static_cast<double>(class_window_ops[c]);
+    }
+  }
+  if (injector != nullptr) {
+    r.frames_dropped = injector->frames_dropped();
+    for (int i = 0; i < fleet.machine_count(); ++i) {
+      r.retransmits += fleet.machine(i).retransmits();
+      r.op_failures += fleet.machine(i).op_failures();
+    }
+  }
+
+  if (tracer != nullptr) {
+    SNIC_CHECK(tracer->WriteChromeJsonFile(config.trace_path));
+  }
+  if (!config.metrics_path.empty()) {
+    MetricsRegistry dump;
+    bf.RegisterMetrics(&dump);
+    exec.RegisterMetrics(&dump);
+    fleet.RegisterMetrics(&dump);
+    if (injector != nullptr) {
+      injector->RegisterMetrics(&dump);
+    }
+    SNIC_CHECK(dump.WriteJsonFile(config.metrics_path));
+  }
+  return r;
+}
+
+}  // namespace governor
+}  // namespace snicsim

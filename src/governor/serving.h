@@ -1,0 +1,124 @@
+// One-call KV serving experiment: fleet + BlueField server + executor +
+// path policy, measured over a warmup/window pair and then *drained*.
+//
+// Unlike the echo harness (src/workload/harness.h) an experiment here does
+// not stop at the window edge: at warmup+window the fleet stops issuing and
+// the governor stops ticking, then the simulation runs dry. That makes
+// conservation exact — issued == completed + failed, per path — which is
+// what the governor property tests pin.
+//
+// Determinism contract: a ServingRunConfig fully determines the run. All
+// randomness flows from (fleet seed, client id) streams plus the governor's
+// own counted ε-draws, so ServingResult::Fingerprint() is byte-identical
+// across processes, sweep orders, and --jobs levels.
+#ifndef SRC_GOVERNOR_SERVING_H_
+#define SRC_GOVERNOR_SERVING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fault/plan.h"
+#include "src/governor/governor.h"
+#include "src/governor/policy.h"
+#include "src/obs/trace.h"
+#include "src/topo/testbed_params.h"
+#include "src/workload/fleet.h"
+
+namespace snicsim {
+namespace governor {
+
+enum class PolicyKind {
+  kStaticHost,  // every request on ① (the paper's RNIC-style deployment)
+  kStaticSoc,   // every request on ② (naive full offload)
+  kOracle,      // full-knowledge greedy (upper envelope)
+  kGovernor,    // the adaptive governor
+};
+
+constexpr const char* PolicyKindName(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kStaticHost:
+      return "static-host";
+    case PolicyKind::kStaticSoc:
+      return "static-soc";
+    case PolicyKind::kOracle:
+      return "oracle";
+    case PolicyKind::kGovernor:
+      return "governor";
+  }
+  return "?";
+}
+
+struct ServingRunConfig {
+  TestbedParams testbed = TestbedParams::Default();
+  ClientParams client;  // per requester machine (fleet.machine is overwritten)
+  FleetParams fleet;
+  kv::ServingLayout layout;
+  SizeMixture mix;  // parallel to layout.class_bytes
+  double zipf_theta = 0.99;
+  // Serving-pool size overrides (0 = take the testbed value). Shrinking the
+  // host pool is how tests and sweeps create serving-side pressure without
+  // needing a proportionally bigger fleet.
+  int host_cores = 0;
+  int soc_cores = 0;
+  PolicyKind policy = PolicyKind::kGovernor;
+  GovernorConfig governor;
+  SimTime warmup = FromMicros(60);
+  SimTime window = FromMicros(200);
+
+  // Fault schedule (src/fault/plan.h). Empty => no injector exists and the
+  // run is bit-identical to a fault-free build.
+  fault::FaultPlan faults;
+
+  // Observability sinks (same semantics as HarnessConfig).
+  std::string trace_path;
+  std::string metrics_path;
+  size_t trace_capacity = Tracer::kDefaultCapacity;
+};
+
+struct ServingResult {
+  std::string policy;
+
+  // Steady-state window measurement (value bytes = goodput).
+  double mreqs = 0.0;
+  double gbps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t ops = 0;
+
+  // Whole-run conservation counters (exact after the drain).
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  std::vector<uint64_t> path_issued;     // [kPathHost, kPathSoc]
+  std::vector<uint64_t> path_completed;
+  std::vector<uint64_t> path_failed;
+
+  // Serving-side split.
+  uint64_t soc_hits = 0;
+  uint64_t soc_misses = 0;
+  uint64_t path3_bytes = 0;
+
+  // Policy introspection (zero for policies without the signal).
+  uint64_t hol_gated = 0;
+  uint64_t budget_spills = 0;
+  uint64_t explored = 0;
+  uint64_t draws = 0;
+  double share_soc = 0.0;                // routed-② fraction, whole run
+  std::vector<double> class_share_soc;   // per size class, window ops only
+
+  // Fault-layer outcome (zero when faults are off).
+  uint64_t retransmits = 0;
+  uint64_t op_failures = 0;
+  uint64_t frames_dropped = 0;
+
+  // Canonical digest of every field above ("%.17g" doubles): two runs are
+  // replay-equal iff their fingerprints are string-equal.
+  std::string Fingerprint() const;
+};
+
+ServingResult RunServing(const ServingRunConfig& config);
+
+}  // namespace governor
+}  // namespace snicsim
+
+#endif  // SRC_GOVERNOR_SERVING_H_

@@ -1,0 +1,87 @@
+// Online statistics the path-selection governor feeds on.
+//
+// Two kinds of signal, both deterministic:
+//  - per-(path, size-class) completion latency EWMAs, updated from the
+//    fleet's Observer callback in completion order (which the DES fixes);
+//  - epoch deltas of named MetricsRegistry entries (CPU busy time, reply
+//    counts), sampled on the governor's own periodic event. The registry's
+//    sampling callbacks were built for end-of-run dumps; binding them here
+//    turns the same counters into a live occupancy feed.
+#ifndef SRC_GOVERNOR_STATS_H_
+#define SRC_GOVERNOR_STATS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/obs/metrics.h"
+
+namespace snicsim {
+namespace governor {
+
+// Exponentially weighted moving average; empty until the first observation.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+  void Observe(double v) {
+    if (!seen_) {
+      value_ = v;
+      seen_ = true;
+      return;
+    }
+    value_ += alpha_ * (v - value_);
+  }
+
+  bool seen() const { return seen_; }
+  // `fallback` is returned until the first observation (the analytic prior).
+  double ValueOr(double fallback) const { return seen_ ? value_ : fallback; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seen_ = false;
+};
+
+// Resolves a "<instance>.<leaf>" registry entry once and reports the change
+// in its value since the previous Sample() call.
+class MetricDelta {
+ public:
+  // Returns false when the entry does not exist (callers treat the signal
+  // as absent, not as an error: topologies differ).
+  bool Bind(const MetricsRegistry& reg, std::string_view instance,
+            std::string_view leaf) {
+    for (const auto& e : reg.entries()) {
+      if (e.instance == instance && e.leaf == leaf) {
+        sample_ = e.sample;
+        last_ = sample_();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool bound() const { return sample_ != nullptr; }
+
+  double Sample() {
+    if (sample_ == nullptr) {
+      return 0.0;
+    }
+    const double now = sample_();
+    const double delta = now - last_;
+    last_ = now;
+    return delta;
+  }
+
+  double Level() const { return sample_ == nullptr ? 0.0 : sample_(); }
+
+ private:
+  MetricsRegistry::Sample sample_;
+  double last_ = 0.0;
+};
+
+}  // namespace governor
+}  // namespace snicsim
+
+#endif  // SRC_GOVERNOR_STATS_H_

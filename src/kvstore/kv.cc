@@ -49,7 +49,7 @@ SocOffloadKvServer::SocOffloadKvServer(Simulator* sim, BluefieldServer* server,
       key_rng_(0x5eedULL) {
   server_->nic().SetSendHandler(
       server_->soc_ep(),
-      [this](uint32_t /*len*/, ReplyCallback reply) {
+      [this](uint64_t /*hdr*/, uint32_t /*len*/, ReplyCallback reply) {
         ++gets_served_;
         const uint64_t key = 1 + key_rng_.NextBelow(max_key_);
         const Lookup lookup = index_->Get(key);

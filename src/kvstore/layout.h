@@ -1,0 +1,68 @@
+// Shared layout of the scale-out KV serving workload: how a request's
+// (popularity rank, size class) pair is packed into the 64-bit application
+// header that rides the SEND (src/nic/engine.h SendHandler), and which
+// ranks are resident in SoC DRAM.
+//
+// The packing doubles as the value's simulated address, so hot ranks also
+// concentrate memory accesses — the skew the fleet generates is the skew
+// the memory subsystem sees. Fleet (src/workload/fleet.h) encodes; the
+// serving executor (src/kvstore/serving.h) decodes. Both sides must agree
+// on this header, which is why it lives alone in one file.
+#ifndef SRC_KVSTORE_LAYOUT_H_
+#define SRC_KVSTORE_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/log.h"
+
+namespace snicsim {
+namespace kv {
+
+// Per-rank stride leaves room for kMaxSizeClasses cache-line-aligned class
+// sub-slots below it.
+inline constexpr uint64_t kRankStride = 4096;
+inline constexpr uint64_t kClassStride = 64;
+inline constexpr int kMaxSizeClasses = static_cast<int>(kRankStride / kClassStride);
+
+struct ServingLayout {
+  // Distinct keys, addressed by popularity rank 0 (hottest) .. keys-1.
+  uint64_t keys = 1u << 20;
+  // Ranks [0, cached_keys) have their value replicated in SoC DRAM; the
+  // SoC serves them locally, everything else costs a path-③ host fetch.
+  // 0 means the SoC caches nothing; >= keys means everything is resident.
+  uint64_t cached_keys = 1u << 16;
+  // Value bytes per size class (the fleet's size mixture indexes this).
+  std::vector<uint32_t> class_bytes = {64, 512, 4096};
+
+  uint64_t Pack(uint64_t rank, int size_class) const {
+    SNIC_CHECK_LT(rank, keys);
+    SNIC_CHECK_GE(size_class, 0);
+    SNIC_CHECK_LT(static_cast<size_t>(size_class), class_bytes.size());
+    return rank * kRankStride + static_cast<uint64_t>(size_class) * kClassStride;
+  }
+
+  static uint64_t RankOf(uint64_t packed) { return packed / kRankStride; }
+  static int ClassOf(uint64_t packed) {
+    return static_cast<int>((packed % kRankStride) / kClassStride);
+  }
+
+  uint32_t BytesOf(uint64_t packed) const {
+    const int cls = ClassOf(packed);
+    SNIC_CHECK_LT(static_cast<size_t>(cls), class_bytes.size());
+    return class_bytes[static_cast<size_t>(cls)];
+  }
+
+  bool SocResident(uint64_t rank) const { return rank < cached_keys; }
+
+  void Validate() const {
+    SNIC_CHECK_GT(keys, 0u);
+    SNIC_CHECK(!class_bytes.empty());
+    SNIC_CHECK_LE(class_bytes.size(), static_cast<size_t>(kMaxSizeClasses));
+  }
+};
+
+}  // namespace kv
+}  // namespace snicsim
+
+#endif  // SRC_KVSTORE_LAYOUT_H_

@@ -1,0 +1,96 @@
+#include "src/kvstore/serving.h"
+
+#include <utility>
+
+#include "src/fault/injector.h"
+
+namespace snicsim {
+namespace kv {
+
+ServingExecutor::ServingExecutor(Simulator* sim, BluefieldServer* server,
+                                 const ServingConfig& config)
+    : sim_(sim),
+      server_(server),
+      config_(config),
+      host_cpu_(sim, "serve.hostcpu", config.host_cores),
+      soc_cpu_(sim, "serve.soccpu", config.soc_cores) {
+  config_.layout.Validate();
+  server_->nic().SetSendHandler(
+      server_->host_ep(),
+      [this](uint64_t hdr, uint32_t /*len*/, ReplyCallback reply) {
+        ServeHost(hdr, std::move(reply));
+      });
+  server_->nic().SetSendHandler(
+      server_->soc_ep(),
+      [this](uint64_t hdr, uint32_t /*len*/, ReplyCallback reply) {
+        ServeSoc(hdr, std::move(reply));
+      });
+}
+
+SimTime ServingExecutor::Stall(const std::string& domain) {
+  if (fault::FaultInjector* const inj = sim_->faults(); inj != nullptr) {
+    return inj->StallDelay(domain, sim_->now());
+  }
+  return 0;
+}
+
+void ServingExecutor::ServeHost(uint64_t hdr, ReplyCallback reply) {
+  ++host_gets_;
+  const uint32_t bytes = config_.layout.BytesOf(hdr);
+  const SimTime dispatch = sim_->now() + config_.host_notify + Stall("host");
+  const SimTime cpu_done = host_cpu_.EnqueueAt(dispatch, config_.host_lookup);
+  sim_->At(cpu_done, [this, hdr, bytes, reply = std::move(reply)]() mutable {
+    const SimTime v =
+        server_->host_memory().Access(sim_->now(), hdr, bytes, /*is_write=*/false);
+    sim_->At(v, [v, bytes, reply = std::move(reply)] { reply(v, bytes); });
+  });
+}
+
+void ServingExecutor::ServeSoc(uint64_t hdr, ReplyCallback reply) {
+  ++soc_gets_;
+  const uint64_t rank = ServingLayout::RankOf(hdr);
+  const uint32_t bytes = config_.layout.BytesOf(hdr);
+  const SimTime dispatch = sim_->now() + config_.soc_notify + Stall("soc");
+  const SimTime cpu_done = soc_cpu_.EnqueueAt(dispatch, config_.soc_lookup);
+  if (config_.layout.SocResident(rank)) {
+    ++soc_hits_;
+    sim_->At(cpu_done, [this, hdr, bytes, reply = std::move(reply)]() mutable {
+      const SimTime v =
+          server_->soc_memory().Access(sim_->now(), hdr, bytes, /*is_write=*/false);
+      sim_->At(v, [v, bytes, reply = std::move(reply)] { reply(v, bytes); });
+    });
+    return;
+  }
+  ++soc_misses_;
+  path3_bytes_ += bytes;
+  // Value lives only in host DRAM: the SoC fetches it over path ③ before
+  // replying (the S2H READ crosses PCIe1 twice — the §4 tax the governor's
+  // budget rule exists to bound).
+  sim_->At(cpu_done, [this, hdr, bytes, reply = std::move(reply)]() mutable {
+    server_->nic().ExecuteLocalOp(
+        server_->soc_ep(), server_->host_ep(), Verb::kRead, hdr, bytes,
+        [bytes, reply = std::move(reply)](SimTime done) { reply(done, bytes); });
+  });
+}
+
+void ServingExecutor::RegisterMetrics(MetricsRegistry* reg) {
+  reg->Register("serve", "host_gets", "count", "gets served on path 1 (host CPU)",
+                [this] { return static_cast<double>(host_gets_); });
+  reg->Register("serve", "soc_gets", "count", "gets served on path 2 (SoC CPU)",
+                [this] { return static_cast<double>(soc_gets_); });
+  reg->Register("serve", "soc_hits", "count", "SoC gets served from SoC DRAM",
+                [this] { return static_cast<double>(soc_hits_); });
+  reg->Register("serve", "soc_misses", "count",
+                "SoC gets that fetched the value over path 3",
+                [this] { return static_cast<double>(soc_misses_); });
+  reg->Register("serve", "path3_bytes", "bytes",
+                "value bytes fetched host->SoC for SoC misses",
+                [this] { return static_cast<double>(path3_bytes_); });
+  reg->Register("serve", "host_busy_us", "us", "host serving-core busy time",
+                [this] { return ToMicros(host_cpu_.busy_time()); });
+  reg->Register("serve", "soc_busy_us", "us", "SoC serving-core busy time",
+                [this] { return ToMicros(soc_cpu_.busy_time()); });
+}
+
+}  // namespace kv
+}  // namespace snicsim

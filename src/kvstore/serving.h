@@ -1,0 +1,95 @@
+// Server side of the scale-out KV serving workload: one executor that
+// serves gets on *both* BlueField endpoints, so a fleet (or its governor)
+// can route each request to the path it prefers.
+//
+//   ① client→host SEND: the host CPU walks the index and reads the value
+//     from host DRAM — the classic RNIC deployment.
+//   ② client→SoC SEND: the wimpy ARM cores serve it. Values whose rank is
+//     SoC-resident (layout.SocResident) come from SoC DRAM; misses fetch
+//     the value from host DRAM over path ③ (S2H READ through the NIC
+//     engine) — the paper's host↔SoC communication, with its double PCIe
+//     crossing.
+//
+// The request's (rank, size class) arrives in the 64-bit SEND header
+// (kv::ServingLayout packing); the reply carries the value bytes. Both CPU
+// pools honor compute-stall fault windows ("host"/"soc" domains), which is
+// what makes governor monotonicity under SoC stalls observable.
+#ifndef SRC_KVSTORE_SERVING_H_
+#define SRC_KVSTORE_SERVING_H_
+
+#include <string>
+
+#include "src/kvstore/layout.h"
+#include "src/obs/metrics.h"
+#include "src/sim/server.h"
+#include "src/topo/server.h"
+
+namespace snicsim {
+namespace kv {
+
+struct ServingConfig {
+  ServingLayout layout;
+  SimTime host_lookup = FromNanos(326);  // per-get host hash walk (SNIC MMIO path)
+  SimTime soc_lookup = FromNanos(350);   // per-get ARM hash walk
+  SimTime host_notify = FromNanos(0);    // busy-polling host
+  SimTime soc_notify = FromNanos(900);   // slow ARM dispatch
+  int host_cores = 24;
+  int soc_cores = 8;
+
+  static ServingConfig FromTestbed(const TestbedParams& tp, ServingLayout l) {
+    ServingConfig c;
+    c.layout = std::move(l);
+    c.host_lookup = tp.host_msg_service_snic;
+    c.soc_lookup = tp.soc_msg_service;
+    c.host_notify = tp.host_notify_delay;
+    c.soc_notify = tp.soc_notify_delay;
+    c.host_cores = tp.host_cores;
+    c.soc_cores = tp.soc_cores;
+    return c;
+  }
+};
+
+class ServingExecutor {
+ public:
+  ServingExecutor(Simulator* sim, BluefieldServer* server, const ServingConfig& config);
+
+  ServingExecutor(const ServingExecutor&) = delete;
+  ServingExecutor& operator=(const ServingExecutor&) = delete;
+
+  uint64_t host_gets() const { return host_gets_; }
+  uint64_t soc_gets() const { return soc_gets_; }
+  uint64_t soc_hits() const { return soc_hits_; }
+  uint64_t soc_misses() const { return soc_misses_; }
+  uint64_t path3_bytes() const { return path3_bytes_; }
+
+  const ServingConfig& config() const { return config_; }
+
+  // Live serving pools (the oracle policy reads their instantaneous
+  // backlog; an online policy must estimate it).
+  MultiServer& host_cpu() { return host_cpu_; }
+  MultiServer& soc_cpu() { return soc_cpu_; }
+
+  // Exposes serving counters under "serve" (leaf catalog: DESIGN.md §6).
+  void RegisterMetrics(MetricsRegistry* reg);
+
+ private:
+  void ServeHost(uint64_t hdr, ReplyCallback reply);
+  void ServeSoc(uint64_t hdr, ReplyCallback reply);
+  SimTime Stall(const std::string& domain);
+
+  Simulator* sim_;
+  BluefieldServer* server_;
+  ServingConfig config_;
+  MultiServer host_cpu_;
+  MultiServer soc_cpu_;
+  uint64_t host_gets_ = 0;
+  uint64_t soc_gets_ = 0;
+  uint64_t soc_hits_ = 0;
+  uint64_t soc_misses_ = 0;
+  uint64_t path3_bytes_ = 0;
+};
+
+}  // namespace kv
+}  // namespace snicsim
+
+#endif  // SRC_KVSTORE_SERVING_H_

@@ -16,6 +16,14 @@ int BanksEngaged(const MemoryParams& mem, uint64_t range) {
   return static_cast<int>(std::min<uint64_t>(rows, total_banks));
 }
 
+// Loud calibration gate: the analytic models are only characterization
+// inside [kMinCalibratedPayload, kMaxCalibratedPayload]. A query outside
+// that range is a planning bug at the caller, not a degenerate anomaly —
+// abort instead of silently extrapolating (DESIGN.md §10).
+void CheckCalibratedPayload(uint64_t payload) {
+  SNIC_CHECK(PayloadWithinCalibration(payload));
+}
+
 }  // namespace
 
 bool OffloadAdvisor::TriggersSkewAnomaly(const OffloadPlan& plan) const {
@@ -34,6 +42,7 @@ bool OffloadAdvisor::TriggersSkewAnomaly(const OffloadPlan& plan) const {
 }
 
 bool OffloadAdvisor::TriggersLargeReadAnomaly(const OffloadPlan& plan) const {
+  CheckCalibratedPayload(plan.payload);
   if (plan.verb != Verb::kRead || !TargetsSoc(plan.path)) {
     return false;
   }
@@ -42,6 +51,7 @@ bool OffloadAdvisor::TriggersLargeReadAnomaly(const OffloadPlan& plan) const {
 }
 
 bool OffloadAdvisor::TriggersPath3LargeTransferAnomaly(const OffloadPlan& plan) const {
+  CheckCalibratedPayload(plan.payload);
   if (!IsPath3(plan.path)) {
     return false;
   }
@@ -65,6 +75,7 @@ bool OffloadAdvisor::DoorbellBatchingHelps(const OffloadPlan& plan) const {
 double OffloadAdvisor::Path3BudgetGbps() const { return SafePath3BudgetGbps(tp_); }
 
 std::vector<Advice> OffloadAdvisor::Review(const OffloadPlan& plan) const {
+  CheckCalibratedPayload(plan.payload);
   std::vector<Advice> out;
   if (TriggersSkewAnomaly(plan)) {
     out.push_back(

@@ -46,6 +46,12 @@ class OffloadAdvisor {
   explicit OffloadAdvisor(TestbedParams tp = TestbedParams::Default()) : tp_(tp) {}
 
   // Returns every advice triggered by the plan (empty = no anomaly expected).
+  //
+  // The plan's payload must lie within the models' calibrated range
+  // ([kMinCalibratedPayload, kMaxCalibratedPayload] in src/model/bounds.h);
+  // a payload outside it aborts with a CHECK failure rather than silently
+  // extrapolating the closed forms. Review and every payload-dependent
+  // predicate below enforce this.
   std::vector<Advice> Review(const OffloadPlan& plan) const;
 
   // Advice #1: one-sided accesses into SoC memory degrade when the address

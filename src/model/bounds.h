@@ -54,6 +54,19 @@ inline PathBounds ComputePathBounds(CommPath path, const TestbedParams& tp) {
   return b;
 }
 
+// Payload range the analytic models are calibrated against: the paper's
+// microbenchmarks sweep 16 B (minimum inlined WQE payload) through 64 MiB
+// (the largest single WR in the §3 experiments). Outside this range the
+// closed forms are extrapolation, not characterization — callers that
+// consult the models for planning (the advisor) must refuse such payloads
+// loudly instead of returning a silently-unsupported figure.
+inline constexpr uint64_t kMinCalibratedPayload = 16;
+inline constexpr uint64_t kMaxCalibratedPayload = 64ull * kMiB;
+
+inline bool PayloadWithinCalibration(uint64_t payload) {
+  return payload >= kMinCalibratedPayload && payload <= kMaxCalibratedPayload;
+}
+
 // §4 budget rule: when inter-machine traffic saturates the NIC, host<->SoC
 // traffic should be capped at P − N (PCIe minus network limit) to avoid
 // throttling the inter-machine path. Returns Gbps (>= 0).

@@ -125,14 +125,14 @@ void NicEngine::HandleRequest(NicEndpoint* ep, Verb verb, uint64_t addr, uint32_
           // Deliver payload + CQE into the receive ring, then hand off to
           // the endpoint CPU.
           const uint64_t ring_bytes = static_cast<uint64_t>(len) + params_.cqe_bytes;
-          ep->DmaWrite(addr, ring_bytes, [this, ep, len, req_id,
+          ep->DmaWrite(addr, ring_bytes, [this, ep, addr, len, req_id,
                                           release = std::move(release),
                                           response_path = std::move(response_path),
                                           done = std::move(done)](SimTime posted) mutable {
             sim_->At(posted + params_.write_pipeline_overhead, std::move(release));
             SendHandler& handler = send_handlers_[static_cast<size_t>(ep->fe_id)];
             SNIC_CHECK(handler != nullptr);
-            handler(len, [this, ep, req_id, response_path = std::move(response_path),
+            handler(addr, len, [this, ep, req_id, response_path = std::move(response_path),
                           done = std::move(done)](SimTime ready, uint32_t reply_len) mutable {
               const SimTime t = frontend_.Process(ready, ep->fe_id, 1.0);
               if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
@@ -260,13 +260,13 @@ void NicEngine::ExecuteLocalOp(NicEndpoint* src, NicEndpoint* dst, Verb verb, ui
                                     : std::max<uint32_t>(len, 1);
             dst->DmaWrite(
                 addr, dst_bytes,
-                [this, src, dst, verb, len, cqe_addr, req_id, release = std::move(release),
+                [this, src, dst, verb, addr, len, cqe_addr, req_id, release = std::move(release),
                  done = std::move(done)](SimTime posted) mutable {
               sim_->At(posted + params_.write_pipeline_overhead, std::move(release));
               if (verb == Verb::kSend) {
                 SendHandler& handler = send_handlers_[static_cast<size_t>(dst->fe_id)];
                 if (handler != nullptr) {
-                  handler(len, [](SimTime, uint32_t) {});
+                  handler(addr, len, [](SimTime, uint32_t) {});
                 }
               }
               src->DmaWrite(cqe_addr, params_.cqe_bytes,

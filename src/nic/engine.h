@@ -44,9 +44,13 @@ using ResponseCallback = SmallFunction<void(SimTime delivered)>;
 using ReplyCallback = SmallFunction<void(SimTime ready, uint32_t reply_len)>;
 
 // Two-sided delivery: the endpoint CPU receives `len` bytes and must
-// eventually invoke the reply closure. The handler itself is registered once
-// and invoked many times, so plain std::function is fine here.
-using SendHandler = std::function<void(uint32_t len, ReplyCallback reply)>;
+// eventually invoke the reply closure. `hdr` is the request's 64-bit
+// application header — the addr field of the originating post, delivered
+// untouched like a SEND-with-immediate — so a serving layer can thread the
+// key/opcode of each message to the executing CPU without a side channel.
+// The handler itself is registered once and invoked many times, so plain
+// std::function is fine here.
+using SendHandler = std::function<void(uint64_t hdr, uint32_t len, ReplyCallback reply)>;
 
 class NicEngine {
  public:

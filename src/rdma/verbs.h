@@ -140,6 +140,35 @@ struct QpConfig {
   int backoff_shift_cap = 6;
 };
 
+// Point-in-time health of one QP, snapshotted for admission and routing
+// decisions (the path-selection governor folds these into its per-path
+// fault signal). Pure data: safe to copy out and compare across epochs.
+struct QpHealth {
+  QpState state = QpState::kRts;
+  int outstanding = 0;
+  uint64_t posted = 0;
+  uint64_t completions = 0;
+  uint64_t timeouts = 0;
+  uint64_t retransmits = 0;
+  uint64_t completion_errors = 0;
+
+  // A QP that left kRts cannot carry new work until Recover().
+  bool usable() const { return state == QpState::kRts; }
+
+  // Fraction of delivered completions that were errors, in [0, 1].
+  double ErrorRate() const {
+    const uint64_t total = completions + completion_errors;
+    return total == 0 ? 0.0
+                      : static_cast<double>(completion_errors) / static_cast<double>(total);
+  }
+
+  // Transport retransmissions per posted WR (can exceed 1 under heavy loss).
+  double RetransmitRate() const {
+    return posted == 0 ? 0.0
+                       : static_cast<double>(retransmits) / static_cast<double>(posted);
+  }
+};
+
 // A verbs queue pair bound to one client thread and one remote region.
 // Completion callbacks run when the CQE is visible to the polling thread.
 class QueuePair {
@@ -224,6 +253,20 @@ class QueuePair {
   uint64_t retransmits() const { return retransmits_; }
   uint64_t completions() const { return completions_; }
   uint64_t completion_errors() const { return completion_errors_; }
+
+  // Coherent snapshot of the counters above (one call, no torn reads
+  // across event boundaries).
+  QpHealth health() const {
+    QpHealth h;
+    h.state = state_;
+    h.outstanding = outstanding_;
+    h.posted = posted_;
+    h.completions = completions_;
+    h.timeouts = timeouts_;
+    h.retransmits = retransmits_;
+    h.completion_errors = completion_errors_;
+    return h;
+  }
 
  private:
   // One reliability-layer WR: identity plus retry state. `epoch` cancels

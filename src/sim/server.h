@@ -104,6 +104,16 @@ class MultiServer {
   uint64_t jobs() const { return jobs_; }
   const std::string& name() const { return name_; }
 
+  // Queueing delay a job arriving now would see before a server frees up
+  // (0 when any server is idle).
+  SimTime Backlog() const {
+    SimTime best = next_free_[0];
+    for (size_t i = 1; i < next_free_.size(); ++i) {
+      best = std::min(best, next_free_[i]);
+    }
+    return std::max<SimTime>(0, best - sim_->now());
+  }
+
  private:
   Simulator* sim_;
   std::string name_;

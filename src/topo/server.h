@@ -43,7 +43,7 @@ class EchoCpu {
   // Returns a SendHandler that serves each message on the earliest-free
   // core and echoes a same-size reply.
   SendHandler Handler() {
-    return [this](uint32_t len, ReplyCallback reply) {
+    return [this](uint64_t /*hdr*/, uint32_t len, ReplyCallback reply) {
       SimTime dispatch = sim_->now() + notify_delay_;
       if (fault::FaultInjector* const inj = sim_->faults(); inj != nullptr) {
         const SimTime stall = inj->StallDelay(fault_domain_, sim_->now());

@@ -49,14 +49,16 @@ class AddressGenerator {
   Rng rng_;
 };
 
-// Zipfian item selection (YCSB-style), for workloads where a few keys are
-// hot — the realistic version of Fig. 7's shrunken-range skew. Uses the
-// Gray et al. quick-zipf transform: O(1) per draw after O(1) setup.
-class ZipfGenerator {
+// The state-free half of Zipfian item selection: precomputed Gray et al.
+// quick-zipf coefficients with an O(1) uniform-to-rank transform. One
+// ZipfDist is shared read-only by thousands of logical clients (the fleet),
+// each drawing uniforms from its own Rng stream — the setup cost is paid
+// once, and draws stay completion-order independent.
+class ZipfDist {
  public:
   // `items` in [1, 2^40], `theta` in (0, 1): 0.99 is the YCSB default.
-  ZipfGenerator(uint64_t items, double theta = 0.99, uint64_t seed = 42)
-      : items_(items), theta_(theta), rng_(seed) {
+  explicit ZipfDist(uint64_t items, double theta = 0.99)
+      : items_(items), theta_(theta) {
     SNIC_CHECK_GT(items, 0u);
     SNIC_CHECK(theta > 0.0 && theta < 1.0);
     zetan_ = Zeta(items);
@@ -66,9 +68,8 @@ class ZipfGenerator {
            (1.0 - zeta2_ / zetan_);
   }
 
-  // Returns a rank in [0, items): rank 0 is the hottest item.
-  uint64_t Next() {
-    const double u = rng_.NextDouble();
+  // Maps a uniform u in [0, 1) to a rank in [0, items): rank 0 is hottest.
+  uint64_t RankOf(double u) const {
     const double uz = u * zetan_;
     if (uz < 1.0) {
       return 0;
@@ -105,11 +106,31 @@ class ZipfGenerator {
 
   uint64_t items_;
   double theta_;
-  Rng rng_;
   double zetan_ = 0.0;
   double zeta2_ = 0.0;
   double alpha_ = 0.0;
   double eta_ = 0.0;
+};
+
+// Zipfian item selection (YCSB-style), for workloads where a few keys are
+// hot — the realistic version of Fig. 7's shrunken-range skew. Bundles a
+// ZipfDist with its own Rng stream; draws are byte-identical to the
+// pre-ZipfDist generator.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t items, double theta = 0.99, uint64_t seed = 42)
+      : dist_(items, theta), rng_(seed) {}
+
+  // Returns a rank in [0, items): rank 0 is the hottest item.
+  uint64_t Next() { return dist_.RankOf(rng_.NextDouble()); }
+
+  uint64_t items() const { return dist_.items(); }
+  double theta() const { return dist_.theta(); }
+  const ZipfDist& dist() const { return dist_; }
+
+ private:
+  ZipfDist dist_;
+  Rng rng_;
 };
 
 }  // namespace snicsim

@@ -1,0 +1,187 @@
+#include "src/workload/fleet.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace snicsim {
+
+int SizeMixture::ClassOf(double u) const {
+  SNIC_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SNIC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  SNIC_CHECK_GT(total, 0.0);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / total;
+    if (u < acc) {
+      return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+ClientFleet::ClientFleet(Simulator* sim, Fabric* fabric, const FleetParams& params,
+                         const std::string& prefix)
+    : sim_(sim), params_(params), prefix_(prefix) {
+  SNIC_CHECK_GT(params_.machines, 0);
+  SNIC_CHECK_GT(params_.logical_clients, 0);
+  SNIC_CHECK_GT(params_.window, 0);
+  machines_.reserve(static_cast<size_t>(params_.machines));
+  for (int i = 0; i < params_.machines; ++i) {
+    machines_.push_back(std::make_unique<ClientMachine>(sim, fabric, params_.machine,
+                                                        prefix + std::to_string(i)));
+  }
+}
+
+bool ClientFleet::Reliable() const {
+  return sim_->faults() != nullptr && params_.machine.transport_timeout > 0;
+}
+
+void ClientFleet::Start(std::vector<TargetSpec> paths, const ZipfDist* zipf,
+                        const SizeMixture& mix, std::vector<uint32_t> class_bytes,
+                        HeaderFn header, Router route, Observer observe) {
+  SNIC_CHECK(!paths.empty());
+  SNIC_CHECK(zipf != nullptr);
+  SNIC_CHECK_EQ(mix.weights.size(), class_bytes.size());
+  SNIC_CHECK(header != nullptr);
+  SNIC_CHECK(route != nullptr);
+  paths_ = std::move(paths);
+  for (const TargetSpec& p : paths_) {
+    SNIC_CHECK(p.engine != nullptr);
+    SNIC_CHECK(p.endpoint != nullptr);
+    SNIC_CHECK(p.server_port != nullptr);
+  }
+  zipf_ = zipf;
+  mix_ = mix;
+  class_bytes_ = std::move(class_bytes);
+  header_ = std::move(header);
+  route_ = std::move(route);
+  observe_ = std::move(observe);
+  path_issued_.assign(paths_.size(), 0);
+  path_completed_.assign(paths_.size(), 0);
+  path_failed_.assign(paths_.size(), 0);
+
+  const int lanes = params_.machines * params_.machine.threads;
+  logicals_.reserve(static_cast<size_t>(params_.logical_clients));
+  for (int id = 0; id < params_.logical_clients; ++id) {
+    auto lc = std::make_shared<Logical>();
+    lc->id = static_cast<uint64_t>(id);
+    const int lane = id % lanes;
+    lc->machine = lane % params_.machines;
+    lc->thread = lane / params_.machines;
+    // Seed from (fleet seed, client id) only: the stream is a function of
+    // identity, never of scheduling.
+    lc->rng = Rng(params_.seed ^ (0x9e3779b97f4a7c15ULL * (lc->id + 1)));
+    logicals_.push_back(lc);
+    // Stagger starts so thousands of clients don't ring doorbells in one
+    // event: a deterministic spread over ~25 us.
+    const SimTime offset = FromNanos(25) * static_cast<SimTime>(id % 997);
+    if (params_.open_loop) {
+      sim_->In(offset, [this, lc] { ScheduleArrival(lc); });
+    } else {
+      sim_->In(offset, [this, lc] { Pump(lc); });
+    }
+  }
+}
+
+void ClientFleet::Pump(const std::shared_ptr<Logical>& lc) {
+  while (!stopped_ && lc->in_flight < params_.window) {
+    lc->in_flight += 1;
+    IssueOne(lc);
+  }
+}
+
+void ClientFleet::ScheduleArrival(const std::shared_ptr<Logical>& lc) {
+  SNIC_CHECK_GT(params_.open_mops, 0.0);
+  // Aggregate Poisson process thinned per client: exponential gaps with
+  // mean logical_clients / open_mops microseconds, drawn from the client's
+  // own stream (deterministic, order independent).
+  const double mean_us =
+      static_cast<double>(params_.logical_clients) / params_.open_mops;
+  const double u = lc->rng.NextDouble();
+  const double gap_us = -std::log(1.0 - u) * mean_us;
+  SimTime dt = FromMicros(gap_us);
+  if (dt < kNanos) {
+    dt = kNanos;
+  }
+  sim_->In(dt, [this, lc] {
+    if (stopped_) {
+      return;
+    }
+    IssueOne(lc);
+    ScheduleArrival(lc);
+  });
+}
+
+void ClientFleet::IssueOne(const std::shared_ptr<Logical>& lc) {
+  KvRequest req;
+  req.client = lc->id;
+  req.seq = lc->seq++;
+  req.rank = zipf_->RankOf(lc->rng.NextDouble());
+  req.size_class = mix_.ClassOf(lc->rng.NextDouble());
+  req.bytes = class_bytes_[static_cast<size_t>(req.size_class)];
+  req.hdr = header_(req.rank, req.size_class);
+
+  const int path = route_(req);
+  SNIC_CHECK_GE(path, 0);
+  SNIC_CHECK_LT(static_cast<size_t>(path), paths_.size());
+  ++issued_;
+  ++path_issued_[static_cast<size_t>(path)];
+
+  TargetSpec spec = paths_[static_cast<size_t>(path)];
+  spec.payload = params_.request_bytes;
+  const SimTime issued_at = sim_->now();
+  ClientMachine& m = *machines_[static_cast<size_t>(lc->machine)];
+  if (Reliable()) {
+    m.PostReliable(lc->thread, spec, req.hdr,
+                   [this, lc, req, path, issued_at](SimTime completed, bool ok) {
+                     Finish(path, req, issued_at, completed, ok);
+                     if (!params_.open_loop) {
+                       lc->in_flight -= 1;
+                       Pump(lc);
+                     }
+                   });
+    return;
+  }
+  m.Post(lc->thread, spec, req.hdr,
+         [this, lc, req, path, issued_at](SimTime completed) {
+           Finish(path, req, issued_at, completed, /*ok=*/true);
+           if (!params_.open_loop) {
+             lc->in_flight -= 1;
+             Pump(lc);
+           }
+         });
+}
+
+void ClientFleet::Finish(int path, const KvRequest& req, SimTime issued_at,
+                         SimTime completed, bool ok) {
+  if (ok) {
+    ++completed_;
+    ++path_completed_[static_cast<size_t>(path)];
+  } else {
+    ++failed_;
+    ++path_failed_[static_cast<size_t>(path)];
+  }
+  if (observe_) {
+    observe_(path, req, completed - issued_at, ok);
+  }
+}
+
+void ClientFleet::RegisterMetrics(MetricsRegistry* reg) {
+  reg->Register(prefix_, "issued", "count", "requests routed by the fleet",
+                [this] { return static_cast<double>(issued_); });
+  reg->Register(prefix_, "completed", "count", "requests that completed",
+                [this] { return static_cast<double>(completed_); });
+  reg->Register(prefix_, "failed", "count", "requests the reliability layer gave up on",
+                [this] { return static_cast<double>(failed_); });
+  for (auto& m : machines_) {
+    m->RegisterMetrics(reg);
+  }
+}
+
+}  // namespace snicsim

@@ -1,0 +1,161 @@
+// Sharded multi-client request generator for the KV serving workload.
+//
+// A ClientFleet multiplexes thousands of *logical* clients over a small
+// pool of requester machines (each a ClientMachine: one client NIC, a QP
+// pool of posting threads) — the way a real scale-out tier runs thousands
+// of application connections over a few physical hosts. Each logical
+// client draws its key rank from a shared Zipf distribution and its value
+// size from a mixture, then asks a Router which communication path the
+// request should take: client→host (①) or client→SoC (②). That hook is
+// what the path-selection governor (src/governor) plugs into.
+//
+// Determinism contract: every logical client owns a private Rng stream
+// seeded from (fleet seed, client id) only, and draws from it in its own
+// program order. Streams never depend on cross-client completion
+// interleaving, so a run is byte-identical for a given seed regardless of
+// how sweep points are scheduled (--jobs). Routed requests are conserved:
+// each one terminates exactly once — completed on the path it was routed
+// to, or failed after the reliability layer exhausts retry_cnt.
+#ifndef SRC_WORKLOAD_FLEET_H_
+#define SRC_WORKLOAD_FLEET_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/topo/fabric.h"
+#include "src/workload/addr_gen.h"
+#include "src/workload/client.h"
+
+namespace snicsim {
+
+// Discrete value-size mixture: class i is drawn with weight weights[i] and
+// carries class_bytes[i] payload bytes (the layout's class table).
+struct SizeMixture {
+  std::vector<double> weights;  // need not be normalized
+
+  // Maps a uniform u in [0, 1) to a class index by cumulative weight.
+  int ClassOf(double u) const;
+
+  static SizeMixture Single() { return SizeMixture{{1.0}}; }
+};
+
+// One generated KV request, as seen by the Router and the Observer.
+struct KvRequest {
+  uint64_t client = 0;  // logical client id
+  uint64_t seq = 0;     // per-client issue sequence number
+  uint64_t rank = 0;    // Zipf popularity rank (0 = hottest)
+  int size_class = 0;   // index into the layout's class table
+  uint32_t bytes = 0;   // reply value bytes
+  uint64_t hdr = 0;     // packed header delivered to the executor
+};
+
+struct FleetParams {
+  int machines = 4;        // physical requester machines (QP pools)
+  ClientParams machine;    // per-machine NIC/CPU parameters
+  int logical_clients = 1024;
+  int window = 1;          // closed-loop outstanding ops per logical client
+  bool open_loop = false;  // Poisson arrivals instead of a closed loop
+  double open_mops = 1.0;  // aggregate arrival rate (Mops) when open-loop
+  // Request SEND payload (the GET header). The *reply* carries the drawn
+  // value size; the request itself stays small like a real KV get.
+  uint32_t request_bytes = 64;
+  uint64_t seed = 42;
+};
+
+class ClientFleet {
+ public:
+  // Returns the index of the path (into the `paths` vector handed to
+  // Start) this request is routed to.
+  using Router = std::function<int(const KvRequest&)>;
+  // Encodes (rank, size class) into the 64-bit header / simulated address
+  // the executor decodes (kv::ServingLayout::Pack, kept abstract here so
+  // the workload layer does not depend on the kvstore layer).
+  using HeaderFn = std::function<uint64_t(uint64_t rank, int size_class)>;
+  // Fires exactly once per routed request: ok=true with its end-to-end
+  // latency, ok=false when the reliability layer gave up.
+  using Observer = std::function<void(int path, const KvRequest&, SimTime latency, bool ok)>;
+
+  ClientFleet(Simulator* sim, Fabric* fabric, const FleetParams& params,
+              const std::string& prefix = "fleet");
+
+  ClientFleet(const ClientFleet&) = delete;
+  ClientFleet& operator=(const ClientFleet&) = delete;
+
+  // Starts every logical client; runs until StopIssuing().
+  // `paths[i].payload` is ignored — every request SEND carries
+  // params.request_bytes; the reply carries the drawn value size.
+  // `class_bytes` is the size-class table (parallel to `mix.weights`).
+  void Start(std::vector<TargetSpec> paths, const ZipfDist* zipf,
+             const SizeMixture& mix, std::vector<uint32_t> class_bytes,
+             HeaderFn header, Router route, Observer observe);
+
+  // Stops new issues (closed loops stop re-pumping, open-loop arrival
+  // chains end). In-flight requests still terminate, so running the
+  // simulation dry afterwards gives exact conservation:
+  // issued == completed + failed.
+  void StopIssuing() { stopped_ = true; }
+
+  // Conservation counters: issued() == completed() + failed() once the
+  // simulation drains, and the per-path splits sum to the totals.
+  uint64_t issued() const { return issued_; }
+  uint64_t completed() const { return completed_; }
+  uint64_t failed() const { return failed_; }
+  const std::vector<uint64_t>& path_issued() const { return path_issued_; }
+  const std::vector<uint64_t>& path_completed() const { return path_completed_; }
+  const std::vector<uint64_t>& path_failed() const { return path_failed_; }
+
+  int machine_count() const { return static_cast<int>(machines_.size()); }
+  ClientMachine& machine(int i) { return *machines_[static_cast<size_t>(i)]; }
+
+  // Exposes fleet totals under "<prefix>" plus each machine's counters.
+  void RegisterMetrics(MetricsRegistry* reg);
+
+ private:
+  struct Logical {
+    uint64_t id = 0;
+    int machine = 0;
+    int thread = 0;
+    Rng rng;
+    uint64_t seq = 0;
+    int in_flight = 0;
+  };
+
+  void Pump(const std::shared_ptr<Logical>& lc);
+  void IssueOne(const std::shared_ptr<Logical>& lc);
+  void ScheduleArrival(const std::shared_ptr<Logical>& lc);
+  void Finish(int path, const KvRequest& req, SimTime issued_at, SimTime completed,
+              bool ok);
+  bool Reliable() const;
+
+  Simulator* sim_;
+  FleetParams params_;
+  std::string prefix_;
+  std::vector<std::unique_ptr<ClientMachine>> machines_;
+  std::vector<std::shared_ptr<Logical>> logicals_;
+
+  std::vector<TargetSpec> paths_;
+  const ZipfDist* zipf_ = nullptr;
+  SizeMixture mix_;
+  std::vector<uint32_t> class_bytes_;
+  HeaderFn header_;
+  Router route_;
+  Observer observe_;
+
+  bool stopped_ = false;
+  uint64_t issued_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  std::vector<uint64_t> path_issued_;
+  std::vector<uint64_t> path_completed_;
+  std::vector<uint64_t> path_failed_;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_WORKLOAD_FLEET_H_

@@ -150,6 +150,42 @@ TEST(GoldenRun, Fig10DoorbellBatching) {
   CheckGolden("fig10.golden", os.str());
 }
 
+// fig11_concurrent's story in miniature: 0 B READs (which never reach PCIe)
+// on each BlueField endpoint alone, then both driven concurrently — the
+// NIC-core sharing result of paper §4.
+TEST(GoldenRun, Fig11ConcurrentEndpoints) {
+  HarnessConfig cfg = TinyThroughput();
+  cfg.client.window = 32;  // deep pipeline: 0B ops are cheap (as in the bench)
+  Table t({"setup", "mreqs", "p50_us"});
+  for (const ServerKind kind :
+       {ServerKind::kBluefieldHost, ServerKind::kBluefieldSoc}) {
+    const Measurement m = MeasureInboundPath(kind, Verb::kRead, 0, cfg);
+    t.Row().Add(ServerKindName(kind)).Add(m.mreqs, 3).Add(m.p50_us, 3);
+  }
+  const Measurement both = MeasureConcurrentInbound(Verb::kRead, 0, cfg);
+  t.Row().Add("SNIC(1+2)").Add(both.mreqs, 3).Add(both.p50_us, 3);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  CheckGolden("fig11.golden", os.str());
+}
+
+// sec4_interference's part (a) in miniature: path-③ H2S traffic stealing
+// NIC pipeline slots and host-completer capacity from path ①, per verb.
+TEST(GoldenRun, Sec4Interference) {
+  const HarnessConfig cfg = TinyThroughput();
+  Table t({"verb", "path3", "mreqs", "p50_us"});
+  for (const Verb verb : {Verb::kRead, Verb::kWrite, Verb::kSend}) {
+    for (const bool path3 : {false, true}) {
+      const Measurement m = MeasureInterference(verb, 64, path3, cfg);
+      t.Row().Add(VerbName(verb)).Add(path3 ? "on" : "off");
+      t.Add(m.mreqs, 3).Add(m.p50_us, 3);
+    }
+  }
+  std::ostringstream os;
+  t.PrintCsv(os);
+  CheckGolden("sec4.golden", os.str());
+}
+
 // The full metrics dump of one SNIC(1) run: pins every registered counter
 // of the whole component graph (links, switch, memories, NIC, CPU pools).
 TEST(GoldenRun, MetricsDump) {

@@ -115,5 +115,35 @@ TEST(Advisor, MaxSafeSocRead) {
   EXPECT_EQ(adv.MaxSafeSocReadBytes(), 9 * kMiB);
 }
 
+// The models are characterization only inside the calibrated payload range;
+// the advisor must refuse extrapolation loudly rather than return a figure.
+TEST(Advisor, PayloadsAtCalibrationBoundariesAreAccepted) {
+  OffloadAdvisor adv;
+  OffloadPlan p = BasePlan();
+  p.payload = static_cast<uint32_t>(kMinCalibratedPayload);
+  EXPECT_TRUE(adv.Review(p).empty());
+  p.payload = static_cast<uint32_t>(kMaxCalibratedPayload);
+  EXPECT_TRUE(adv.Review(p).empty());  // wide-range SoC WRITE stays clean
+  p.verb = Verb::kRead;
+  EXPECT_TRUE(adv.TriggersLargeReadAnomaly(p));  // in-bounds large READ still advises
+}
+
+TEST(Advisor, PayloadBelowCalibrationAborts) {
+  OffloadAdvisor adv;
+  OffloadPlan p = BasePlan();
+  p.payload = static_cast<uint32_t>(kMinCalibratedPayload - 1);
+  EXPECT_DEATH(adv.Review(p), "CHECK failed");
+  EXPECT_DEATH(adv.TriggersLargeReadAnomaly(p), "CHECK failed");
+}
+
+TEST(Advisor, PayloadAboveCalibrationAborts) {
+  OffloadAdvisor adv;
+  OffloadPlan p = BasePlan();
+  p.path = CommPath::kSnic3H2S;
+  p.payload = static_cast<uint32_t>(kMaxCalibratedPayload + 1);
+  EXPECT_DEATH(adv.Review(p), "CHECK failed");
+  EXPECT_DEATH(adv.TriggersPath3LargeTransferAnomaly(p), "CHECK failed");
+}
+
 }  // namespace
 }  // namespace snicsim

@@ -1,0 +1,182 @@
+// Metamorphic properties of the analytic models (latency_model.h,
+// pcie_model.h). Instead of pinning absolute figures (latency_model_test
+// does that against the simulator), these tests pin *relations* that must
+// hold for every configuration: moving more bytes can never get cheaper,
+// and shrinking the PCIe MTU can never produce fewer packets. The relations
+// are checked table-driven across host-class and SoC-class memory/MTU
+// configurations so a future parameter change cannot silently invert them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/latency_model.h"
+#include "src/model/pcie_model.h"
+
+namespace snicsim {
+namespace {
+
+constexpr LatencyTarget kTargets[] = {
+    LatencyTarget::kRnicHost,
+    LatencyTarget::kBluefieldHost,
+    LatencyTarget::kBluefieldSoc,
+};
+
+constexpr Verb kVerbs[] = {Verb::kRead, Verb::kWrite};
+
+// One named testbed variant per row: the default card, a BlueField whose
+// SoC memory is host-class (channels/banks), and a host throttled to
+// SoC-class memory. The latency relations must survive all of them.
+struct MemoryConfigRow {
+  const char* name;
+  TestbedParams tp;
+};
+
+std::vector<MemoryConfigRow> MemoryConfigs() {
+  std::vector<MemoryConfigRow> rows;
+  rows.push_back({"default", TestbedParams::Default()});
+  {
+    TestbedParams tp = TestbedParams::Default();
+    tp.soc_memory = tp.host_memory;  // host-class DRAM behind the SoC
+    rows.push_back({"soc_with_host_memory", tp});
+  }
+  {
+    TestbedParams tp = TestbedParams::Default();
+    tp.host_memory = tp.soc_memory;  // wimpy single-channel host DRAM
+    rows.push_back({"host_with_soc_memory", tp});
+  }
+  return rows;
+}
+
+// --- latency model: doubling the payload never decreases latency ---------
+
+TEST(LatencyModelMetamorphic, DoublingPayloadNeverDecreasesLatency) {
+  for (const MemoryConfigRow& row : MemoryConfigs()) {
+    for (const LatencyTarget target : kTargets) {
+      for (const Verb verb : kVerbs) {
+        double prev = -1.0;
+        for (uint32_t payload = 16; payload <= 8 * kMiB; payload *= 2) {
+          const double us = PredictLatency(target, verb, payload, row.tp).total_us();
+          EXPECT_GE(us, prev) << row.name << " " << VerbName(verb)
+                              << " payload=" << payload;
+          prev = us;
+        }
+      }
+    }
+  }
+}
+
+TEST(LatencyModelMetamorphic, EveryPhaseIsNonNegative) {
+  for (const MemoryConfigRow& row : MemoryConfigs()) {
+    for (const LatencyTarget target : kTargets) {
+      for (const Verb verb : kVerbs) {
+        for (uint32_t payload : {16u, 4096u, 1048576u}) {
+          const LatencyBreakdown b = PredictLatency(target, verb, payload, row.tp);
+          EXPECT_GE(b.post_us, 0.0);
+          EXPECT_GE(b.request_wire_us, 0.0);
+          EXPECT_GE(b.pcie_round_trip_us, 0.0);
+          EXPECT_GE(b.memory_us, 0.0);
+          EXPECT_GE(b.response_wire_us, 0.0);
+          EXPECT_GE(b.completion_us, 0.0);
+        }
+      }
+    }
+  }
+}
+
+// The SmartNIC tax: for identical payloads the BlueField host path can
+// never be faster than the plain RNIC (it adds PCIe1 + switch), and the
+// 128 B-MTU SoC path can never beat the host path on large READs.
+TEST(LatencyModelMetamorphic, SmartNicTaxIsMonotoneAcrossPaths) {
+  for (const MemoryConfigRow& row : MemoryConfigs()) {
+    for (uint32_t payload = 16; payload <= 8 * kMiB; payload *= 4) {
+      const double rnic =
+          PredictLatency(LatencyTarget::kRnicHost, Verb::kRead, payload, row.tp).total_us();
+      const double bf_host =
+          PredictLatency(LatencyTarget::kBluefieldHost, Verb::kRead, payload, row.tp)
+              .total_us();
+      EXPECT_GE(bf_host, rnic) << row.name << " payload=" << payload;
+    }
+    // The MTU term only separates ② from ① once payloads span many TLPs.
+    const double host_large =
+        PredictLatency(LatencyTarget::kBluefieldHost, Verb::kRead, 1 * kMiB, row.tp)
+            .total_us();
+    const double soc_large =
+        PredictLatency(LatencyTarget::kBluefieldSoc, Verb::kRead, 1 * kMiB, row.tp)
+            .total_us();
+    EXPECT_GE(soc_large, host_large) << row.name;
+  }
+}
+
+// --- PCIe packet model: a smaller MTU never produces fewer TLPs ----------
+
+constexpr CommPath kPaths[] = {
+    CommPath::kRnic1,  CommPath::kSnic1,    CommPath::kSnic2,
+    CommPath::kSnic3S2H, CommPath::kSnic3H2S,
+};
+
+TEST(PcieModelMetamorphic, ShrinkingSocMtuNeverDecreasesTlpCount) {
+  for (const CommPath path : kPaths) {
+    for (uint64_t bytes = 16; bytes <= 64 * kMiB; bytes *= 4) {
+      const uint64_t at512 = DataPacketsForTransfer(path, bytes,
+                                                    /*host_mtu=*/512,
+                                                    /*soc_mtu=*/512)
+                                 .total();
+      const uint64_t at128 = DataPacketsForTransfer(path, bytes,
+                                                    /*host_mtu=*/512,
+                                                    /*soc_mtu=*/128)
+                                 .total();
+      EXPECT_GE(at128, at512) << CommPathName(path) << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(PcieModelMetamorphic, ShrinkingHostMtuNeverDecreasesTlpCount) {
+  for (const CommPath path : kPaths) {
+    for (uint64_t bytes = 16; bytes <= 64 * kMiB; bytes *= 4) {
+      const uint64_t wide = DataPacketsForTransfer(path, bytes, /*host_mtu=*/4096,
+                                                   /*soc_mtu=*/128)
+                                .total();
+      const uint64_t narrow = DataPacketsForTransfer(path, bytes, /*host_mtu=*/512,
+                                                     /*soc_mtu=*/128)
+                                  .total();
+      EXPECT_GE(narrow, wide) << CommPathName(path) << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(PcieModelMetamorphic, MoreBytesNeverFewerTlps) {
+  for (const CommPath path : kPaths) {
+    uint64_t prev = 0;
+    for (uint64_t bytes = 16; bytes <= 64 * kMiB; bytes *= 2) {
+      const uint64_t n = DataPacketsForTransfer(path, bytes).total();
+      EXPECT_GE(n, prev) << CommPathName(path) << " bytes=" << bytes;
+      prev = n;
+    }
+  }
+}
+
+TEST(PcieModelMetamorphic, RequiredPacketRateScalesAndMtuOrders) {
+  for (const CommPath path : kPaths) {
+    // Linear in offered bandwidth...
+    const double r100 = RequiredPacketRate(path, 100.0);
+    const double r200 = RequiredPacketRate(path, 200.0);
+    EXPECT_NEAR(r200, 2.0 * r100, 1e-6);
+    // ...and never helped by a smaller MTU.
+    EXPECT_GE(RequiredPacketRate(path, 100.0, 512, 128),
+              RequiredPacketRate(path, 100.0, 512, 512));
+    EXPECT_GE(RequiredPacketRate(path, 100.0, 512, 128),
+              RequiredPacketRate(path, 100.0, 4096, 128));
+  }
+}
+
+TEST(PcieModelMetamorphic, EffectiveBandwidthShrinksWithMtu) {
+  const Bandwidth raw = Bandwidth::Gbps(256);
+  EXPECT_GT(EffectiveGbps(raw, 512), EffectiveGbps(raw, 128));
+  EXPECT_GT(EffectiveGbps(raw, 4096), EffectiveGbps(raw, 512));
+  EXPECT_LT(EffectiveGbps(raw, 128), raw.gbps());
+}
+
+}  // namespace
+}  // namespace snicsim

@@ -94,7 +94,7 @@ TEST(NicEngine, WriteAcksWithoutWaitingForCommit) {
 TEST(NicEngine, SendInvokesHandlerAndReplies) {
   EngineHarness h;
   int handled = 0;
-  h.engine_.SetSendHandler(h.soc_, [&](uint32_t len, ReplyCallback reply) {
+  h.engine_.SetSendHandler(h.soc_, [&](uint64_t /*hdr*/, uint32_t len, ReplyCallback reply) {
     ++handled;
     reply(h.sim_.now() + FromNanos(400), len);
   });

@@ -75,7 +75,7 @@ TEST(EchoCpu, ServesAndReplies) {
   SendHandler h = cpu.Handler();
   SimTime replied_at = -1;
   uint32_t replied_len = 0;
-  h(128, [&](SimTime t, uint32_t len) {
+  h(/*hdr=*/0, 128, [&](SimTime t, uint32_t len) {
     replied_at = t;
     replied_len = len;
   });
@@ -90,7 +90,7 @@ TEST(EchoCpu, CoresBoundThroughput) {
   SendHandler h = cpu.Handler();
   SimTime last = 0;
   for (int i = 0; i < 10; ++i) {
-    h(64, [&](SimTime t, uint32_t) { last = std::max(last, t); });
+    h(/*hdr=*/0, 64, [&](SimTime t, uint32_t) { last = std::max(last, t); });
   }
   sim.Run();
   // 10 messages on 2 cores at 100 ns each = 500 ns to drain.
