@@ -26,6 +26,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/fault/plan.h"
 #include "src/governor/serving.h"
 #include "src/runtime/sweep_runner.h"
 
@@ -79,16 +80,15 @@ ServingRunConfig Base(int host_cores) {
 }
 
 ServingRunConfig GridPoint(double theta, const MixSpec& mix, PolicyKind policy,
-                           double drop, int host_cores) {
+                           const fault::FaultPlan& plan, int host_cores) {
   ServingRunConfig c = Base(host_cores);
   c.zipf_theta = theta;
   c.layout.class_bytes = mix.class_bytes;
   c.mix.weights = mix.weights;
   c.fleet.logical_clients = mix.logical_clients;
   c.policy = policy;
-  if (drop > 0.0) {
-    c.faults.drop_rate = drop;
-    c.faults.seed = 7;
+  if (!plan.empty()) {
+    c.faults = plan;
     c.client.transport_timeout = FromMicros(20);
   }
   return c;
@@ -97,7 +97,7 @@ ServingRunConfig GridPoint(double theta, const MixSpec& mix, PolicyKind policy,
 // Runs the full (theta x mix x policy) grid on `jobs` workers, results in
 // submission order: point-major, Policies() order within each point.
 std::vector<ServingResult> RunGrid(const std::vector<double>& thetas, int jobs,
-                                   double drop, int host_cores,
+                                   const fault::FaultPlan& plan, int host_cores,
                                    bool governor_only) {
   runtime::SweepQueue<ServingResult> sweep(jobs);
   for (double theta : thetas) {
@@ -106,7 +106,7 @@ std::vector<ServingResult> RunGrid(const std::vector<double>& thetas, int jobs,
         if (governor_only && policy != PolicyKind::kGovernor) {
           continue;
         }
-        const ServingRunConfig c = GridPoint(theta, mix, policy, drop, host_cores);
+        const ServingRunConfig c = GridPoint(theta, mix, policy, plan, host_cores);
         sweep.Add([c] { return RunServing(c); });
       }
     }
@@ -139,7 +139,9 @@ std::string JoinFingerprints(const std::vector<ServingResult>& rs) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  const double faults = flags.GetDouble("faults", 0.0, "frame drop rate for the grid");
+  // Full fault-plan grammar (drop=…,flap=…,crash=…; a bare number is
+  // shorthand for a uniform drop rate, so --faults=0.02 keeps working).
+  const fault::FaultPlan faults = fault::FaultsFlag(flags);
   const bool check = flags.GetBool("check", false,
                                    "assert dominance + --jobs/fault determinism");
   const std::string trace =
@@ -156,7 +158,7 @@ int main(int argc, char** argv) {
 
   std::printf("== Figure 12: governor vs static paths vs oracle "
               "(%d-core host pool%s) ==\n",
-              hc, faults > 0.0 ? ", faulted" : "");
+              hc, !faults.empty() ? ", faulted" : "");
   Table t({"theta", "mix", "host mreqs", "soc mreqs", "oracle", "governor",
            "gov p99us", "gov soc%", "winner"});
   bool dominated_everywhere = true;
@@ -248,14 +250,17 @@ int main(int argc, char** argv) {
                 jobs);
     ok = false;
   }
-  const double fault_drop = faults > 0.0 ? faults : 0.02;
+  fault::FaultPlan fault_plan = faults;
+  if (fault_plan.empty()) {
+    fault_plan.drop_rate = 0.02;
+    fault_plan.seed = 7;
+  }
   const std::string faulted_serial = JoinFingerprints(
-      RunGrid(thetas, /*jobs=*/1, fault_drop, hc, /*governor_only=*/true));
+      RunGrid(thetas, /*jobs=*/1, fault_plan, hc, /*governor_only=*/true));
   const std::string faulted_parallel = JoinFingerprints(
-      RunGrid(thetas, jobs, fault_drop, hc, /*governor_only=*/true));
+      RunGrid(thetas, jobs, fault_plan, hc, /*governor_only=*/true));
   if (faulted_serial != faulted_parallel) {
-    std::printf("FAIL: faulted grid (drop=%.3f) fingerprints differ across --jobs\n",
-                fault_drop);
+    std::printf("FAIL: faulted grid fingerprints differ across --jobs\n");
     ok = false;
   }
   if (!dominated_everywhere) {

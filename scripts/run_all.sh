@@ -6,18 +6,20 @@
 # threads (default: all cores). Output is byte-identical at any job count:
 # results are merged in submission order before anything is printed.
 #
-# --faults=SPEC (see DESIGN.md §9 for the grammar) is forwarded only to the
-# benches that accept the flag; the rest run fault-free.
+# --faults=SPEC (see DESIGN.md §9 for the grammar) and --check are forwarded
+# only to the benches that accept those flags; the rest run without them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc)"
 faults=""
+check=""
 args=()
 for a in "$@"; do
   case "$a" in
     --jobs=*) jobs="${a#--jobs=}" ;;
     --faults=*) faults="$a" ;;
+    --check) check="$a" ;;
     *) args+=("$a") ;;
   esac
 done
@@ -37,6 +39,11 @@ for b in build/bench/*; do
     fig3_flow|fig4_latency|fig4_throughput|fig8_large_read|fig10_doorbell)
       # The fault-aware benches additionally take --faults.
       "$b" --jobs="$jobs" ${faults:+"$faults"} ${args[@]+"${args[@]}"}
+      ;;
+    fig12_governor|sec_overload)
+      # Fault-aware and self-checking: forward --faults and --check both.
+      "$b" --jobs="$jobs" ${faults:+"$faults"} ${check:+"$check"} \
+        ${args[@]+"${args[@]}"}
       ;;
     *)
       "$b" --jobs="$jobs" ${args[@]+"${args[@]}"}

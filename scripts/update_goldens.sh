@@ -6,7 +6,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
-cmake --build build --target golden_golden_run_test
+cmake --build build --target golden_golden_run_test golden_overload_golden_test
 mkdir -p tests/golden/data
 UPDATE_GOLDENS=1 ./build/tests/golden_golden_run_test
+UPDATE_GOLDENS=1 ./build/tests/golden_overload_golden_test
 echo "goldens regenerated; review with: git diff tests/golden/data"

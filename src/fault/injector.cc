@@ -80,6 +80,34 @@ SimTime FaultInjector::StallDelay(const std::string& domain, SimTime at) {
   return resume - at;
 }
 
+bool FaultInjector::CrashedAt(const std::string& domain, SimTime at) const {
+  for (const CrashWindow& w : plan_.crashes) {
+    if (at >= w.start && at < w.end && w.domain == domain) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::CrashKills(const std::string& domain, SimTime from,
+                               SimTime to) const {
+  for (const CrashWindow& w : plan_.crashes) {
+    if (w.start < to && from < w.end && w.domain == domain) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::InRewarm(const std::string& domain, SimTime at) const {
+  for (const CrashWindow& w : plan_.crashes) {
+    if (at >= w.end && at < w.end + w.rewarm && w.domain == domain) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void FaultInjector::RegisterMetrics(MetricsRegistry* reg) {
   reg->Register("faults", "frames_offered", "count",
                 "MTU frames offered to lossy links",

@@ -51,6 +51,21 @@ class FaultInjector {
   // remaining until every enclosing stall window has ended (0 when none).
   SimTime StallDelay(const std::string& domain, SimTime at);
 
+  // Crash-window queries (pure; counters live at the consumption sites,
+  // which know whether a drop was an arrival or an in-flight kill).
+  //
+  // Is `domain` dead at instant `at`? Windows are half-open like every
+  // other window: at == start is dead, at == end is alive again.
+  bool CrashedAt(const std::string& domain, SimTime at) const;
+  // Does work in flight on `domain` over [from, to) die? True iff some
+  // crash window overlaps the span. A crash starting exactly at `to` does
+  // not kill (the reply left before the lights went out), and one ending
+  // exactly at `from` doesn't either.
+  bool CrashKills(const std::string& domain, SimTime from, SimTime to) const;
+  // Is `domain` inside the cold-cache rewarm tail of a crash — i.e. is
+  // `at` in [end, end + rewarm) of some window?
+  bool InRewarm(const std::string& domain, SimTime at) const;
+
   const FaultPlan& plan() const { return plan_; }
 
   uint64_t frames_offered() const { return frames_offered_; }

@@ -258,6 +258,46 @@ bool ParseJsonPlan(const std::string& text, FaultPlan* out, std::string* error) 
       if (!ok) {
         return false;
       }
+    } else if (key == "crashes") {
+      const bool ok = s.ReadArray([&] {
+        CrashWindow w;
+        double su = -1.0;
+        double eu = -1.0;
+        double rw = 0.0;
+        if (!s.ReadFlatObject([&](const std::string& k, const std::string& sv,
+                                  double nv, bool is_string) {
+              if (k == "domain" && is_string) {
+                w.domain = sv;
+                return true;
+              }
+              if (k == "start_us" && !is_string) {
+                su = nv;
+                return true;
+              }
+              if (k == "end_us" && !is_string) {
+                eu = nv;
+                return true;
+              }
+              if (k == "rewarm_us" && !is_string) {
+                rw = nv;
+                return true;
+              }
+              return s.Fail("unknown crash field '" + k + "'");
+            })) {
+          return false;
+        }
+        if (w.domain.empty() || su < 0.0 || eu < su || rw < 0.0) {
+          return s.Fail("incomplete crash (need domain, start_us <= end_us, rewarm_us >= 0)");
+        }
+        w.start = FromMicros(su);
+        w.end = FromMicros(eu);
+        w.rewarm = FromMicros(rw);
+        out->crashes.push_back(w);
+        return true;
+      });
+      if (!ok) {
+        return false;
+      }
     } else if (key == "degrades") {
       const bool ok = s.ReadArray([&] {
         DegradeWindow w;
@@ -336,6 +376,16 @@ bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* error)
     buf << in.rdbuf();
     return ParseJsonPlan(buf.str(), out, error);
   }
+  // Bare-number shorthand: "--faults=0.02" means "drop=0.02". Only when the
+  // whole spec is one number — a key-less entry inside a longer spec is
+  // still an error.
+  if (spec.find('=') == std::string::npos) {
+    double rate = 0.0;
+    if (ParseNumber(spec, &rate) && rate >= 0.0 && rate <= 1.0) {
+      out->drop_rate = rate;
+      return true;
+    }
+  }
   for (const std::string& entry : SplitEntries(spec)) {
     const size_t eq = entry.find('=');
     if (eq == std::string::npos) {
@@ -397,6 +447,26 @@ bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* error)
         return false;
       }
       out->stalls.push_back(w);
+    } else if (key == "crash") {
+      const auto f = SplitFields(value, ':');
+      CrashWindow w;
+      if ((f.size() != 3 && f.size() != 4) || f[0].empty()) {
+        *error = "crash wants DOMAIN:START:END[:REWARM], got '" + value + "'";
+        return false;
+      }
+      w.domain = f[0];
+      if (!ParseWindowTimes(f[1], f[2], &w.start, &w.end, error)) {
+        return false;
+      }
+      if (f.size() == 4) {
+        double rw = 0.0;
+        if (!ParseNumber(f[3], &rw) || rw < 0.0) {
+          *error = "crash rewarm '" + f[3] + "' must be >= 0 (us)";
+          return false;
+        }
+        w.rewarm = FromMicros(rw);
+      }
+      out->crashes.push_back(w);
     } else {
       *error = "unknown fault key '" + key + "'";
       return false;
@@ -409,7 +479,8 @@ FaultPlan FaultsFlag(Flags& flags) {
   const std::string spec = flags.GetString(
       "faults", "",
       "fault schedule: drop=P,seed=S,flap=LINK:START:END,"
-      "degrade=LINK:START:END:FACTOR,stall=DOMAIN:START:END (us) or @file.json");
+      "degrade=LINK:START:END:FACTOR,stall=DOMAIN:START:END,"
+      "crash=DOMAIN:START:END[:REWARM] (us), a bare drop rate, or @file.json");
   FaultPlan plan;
   std::string error;
   if (!ParseFaultPlan(spec, &plan, &error)) {

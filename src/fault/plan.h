@@ -48,6 +48,18 @@ struct StallWindow {
   SimTime end = 0;
 };
 
+// Endpoint crash on one fault domain ("host", "soc"): the endpoint is dead
+// in [start, end) — arriving work is dropped without a reply and in-flight
+// work dies with it (the transport sees it as loss and flushes as
+// kFlushed). After restart at `end`, a cold cache is modeled for `rewarm`
+// more time: SoC-resident lookups miss until end + rewarm.
+struct CrashWindow {
+  std::string domain;
+  SimTime start = 0;
+  SimTime end = 0;
+  SimTime rewarm = 0;
+};
+
 struct FaultPlan {
   // Per-frame drop probability on lossy links (network ports only).
   double drop_rate = 0.0;
@@ -57,24 +69,30 @@ struct FaultPlan {
   std::vector<FlapWindow> flaps;
   std::vector<DegradeWindow> degrades;
   std::vector<StallWindow> stalls;
+  std::vector<CrashWindow> crashes;
 
   // An empty plan injects nothing; the harness then skips creating an
   // injector entirely so the simulation is bit-identical to a fault-free
   // build.
   bool empty() const {
-    return drop_rate == 0.0 && flaps.empty() && degrades.empty() && stalls.empty();
+    return drop_rate == 0.0 && flaps.empty() && degrades.empty() &&
+           stalls.empty() && crashes.empty();
   }
 };
 
 // Parses `spec` into `*out`. Two forms:
 //   inline:  "drop=0.01,seed=7,flap=LINK:START:END,degrade=LINK:START:END:F,
-//             stall=DOMAIN:START:END"   (times in microseconds; keys repeat
-//             for multiple windows; ',' and ';' both separate entries)
+//             stall=DOMAIN:START:END,crash=DOMAIN:START:END[:REWARM]"
+//             (times in microseconds; keys repeat for multiple windows;
+//             ',' and ';' both separate entries). A bare number with no
+//             key at all — "0.02" — is shorthand for "drop=0.02".
 //   file:    "@schedule.json" with
 //             {"drop":0.01,"seed":7,
 //              "flaps":[{"link":"...","start_us":10,"end_us":20}],
 //              "degrades":[{"link":"...","start_us":0,"end_us":50,"factor":4}],
-//              "stalls":[{"domain":"soc","start_us":10,"end_us":60}]}
+//              "stalls":[{"domain":"soc","start_us":10,"end_us":60}],
+//              "crashes":[{"domain":"soc","start_us":10,"end_us":60,
+//                          "rewarm_us":30}]}
 // Returns false (and sets `*error`) on malformed input.
 bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* error);
 

@@ -98,6 +98,11 @@ void AdaptiveGovernor::Tick() {
       }
     }
   }
+  if (resil_ != nullptr) {
+    // The breakers advance on the governor's clock: a sick endpoint is
+    // tripped out of the admissible set within one epoch of the evidence.
+    resil_->OnEpoch(sim_->now());
+  }
   sim_->In(cfg_.epoch, [this] { Tick(); });
 }
 
@@ -124,6 +129,9 @@ int AdaptiveGovernor::Route(const KvRequest& req) {
   // never explored — the gate is absolute.
   if (req.bytes >= hol_gate_bytes_) {
     ++hol_gated_;
+    if (resil_ != nullptr) {
+      resil_->OnRouted(kPathHost);
+    }
     ++routed_[kPathHost];
     ++inflight_[kPathHost];
     return kPathHost;
@@ -135,10 +143,24 @@ int AdaptiveGovernor::Route(const KvRequest& req) {
   const bool path3_ok = path3_rate_gbps_ < path3_budget_gbps_;
   // 3. SoC-core budget.
   const bool soc_open = inflight_[kPathSoc] < soc_cap_;
-  const bool soc_admissible = (resident || path3_ok) && soc_open;
+  bool soc_admissible = (resident || path3_ok) && soc_open;
+  // 4. Circuit breakers (resilience layer, consulted before the score): an
+  // open breaker removes its endpoint from the admissible set outright.
+  if (soc_admissible && resil_ != nullptr &&
+      !resil_->EndpointAvailable(kPathSoc)) {
+    soc_admissible = false;
+    ++breaker_denied_;
+  }
+  const bool host_alive =
+      resil_ == nullptr || resil_->EndpointAvailable(kPathHost);
 
   int pick = kPathHost;
-  if (soc_admissible) {
+  if (soc_admissible && !host_alive) {
+    // Host breaker open with the SoC admissible: fail over deterministically
+    // — exploring a broken endpoint would just burn its half-open probes.
+    ++breaker_denied_;
+    pick = kPathSoc;
+  } else if (soc_admissible) {
     // The measured EWMAs alone cannot break a shared-bottleneck tie: once
     // the NIC/PCIe1 fabric saturates, both paths' latencies equalize at
     // *any* split, yet the SoC leg still burns more shared capacity per
@@ -164,9 +186,20 @@ int AdaptiveGovernor::Route(const KvRequest& req) {
     ++budget_spills_;
   }
 
+  if (resil_ != nullptr) {
+    resil_->OnRouted(pick);
+  }
   ++routed_[pick];
   ++inflight_[pick];
   return pick;
+}
+
+void AdaptiveGovernor::OnShed(int path, const KvRequest& req) {
+  (void)req;
+  // Admission refused the request after Route() counted it in flight; the
+  // slot frees immediately (routed_ keeps counting decisions, like draws_).
+  SNIC_CHECK_GE(inflight_[path], 1);
+  --inflight_[path];
 }
 
 void AdaptiveGovernor::OnComplete(int path, const KvRequest& req, SimTime latency,

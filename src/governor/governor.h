@@ -36,6 +36,7 @@
 #include "src/governor/stats.h"
 #include "src/model/bounds.h"
 #include "src/rdma/verbs.h"
+#include "src/resilience/resilience.h"
 
 namespace snicsim {
 namespace governor {
@@ -70,12 +71,20 @@ class AdaptiveGovernor : public RoutePolicy {
   // epoch; a path whose QPs are erroring or out of kRts is penalized.
   void BindQpHealth(int path, std::function<rdma::QpHealth()> sampler);
 
+  // Hooks the resilience layer in: the governor's epoch tick drives the
+  // circuit breakers (OnEpoch), an open breaker makes its endpoint
+  // inadmissible (counted breaker_denied), and every routing decision is
+  // reported for half-open probe accounting. Null keeps routing
+  // byte-identical to the resilience-free governor.
+  void BindResilience(resilience::ResilienceManager* resil) { resil_ = resil; }
+
   // Ends the periodic epoch tick, so a run can drain to an empty event
   // queue (exact conservation) instead of being cut off mid-flight.
   void StopTicking() { stopped_ = true; }
 
   int Route(const KvRequest& req) override;
   void OnComplete(int path, const KvRequest& req, SimTime latency, bool ok) override;
+  void OnShed(int path, const KvRequest& req) override;
   uint64_t draws() const override { return draws_; }
   const char* name() const override { return "governor"; }
 
@@ -86,6 +95,7 @@ class AdaptiveGovernor : public RoutePolicy {
   uint64_t hol_gated() const { return hol_gated_; }
   uint64_t budget_spills() const { return budget_spills_; }
   uint64_t explored() const { return explored_; }
+  uint64_t breaker_denied() const { return breaker_denied_; }
   double path3_rate_gbps() const { return path3_rate_gbps_; }
   double path3_budget_gbps() const { return path3_budget_gbps_; }
   const PathPriors& priors() const { return priors_; }
@@ -118,6 +128,8 @@ class AdaptiveGovernor : public RoutePolicy {
   uint64_t hol_gated_ = 0;
   uint64_t budget_spills_ = 0;
   uint64_t explored_ = 0;
+  uint64_t breaker_denied_ = 0;
+  resilience::ResilienceManager* resil_ = nullptr;
 
   // Epoch-sampled signals.
   MetricDelta host_busy_us_;

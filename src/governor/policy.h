@@ -41,6 +41,14 @@ class RoutePolicy {
     (void)ok;
   }
 
+  // Admission control refused a request *after* Route() chose `path`: the
+  // request was never posted and OnComplete will not fire. Policies that
+  // keep in-flight accounting unwind it here.
+  virtual void OnShed(int path, const KvRequest& req) {
+    (void)path;
+    (void)req;
+  }
+
   // Random draws consumed so far (0 for deterministic policies). Part of
   // the replay fingerprint: same seed => same draws => same routing.
   virtual uint64_t draws() const { return 0; }

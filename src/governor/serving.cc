@@ -36,6 +36,7 @@ std::string ServingResult::Fingerprint() const {
   AppendD(&s, p50_us);
   AppendD(&s, p99_us);
   AppendU(&s, ops);
+  AppendU(&s, generated);
   AppendU(&s, issued);
   AppendU(&s, completed);
   AppendU(&s, failed);
@@ -54,6 +55,28 @@ std::string ServingResult::Fingerprint() const {
   AppendU(&s, retransmits);
   AppendU(&s, op_failures);
   AppendU(&s, frames_dropped);
+  AppendU(&s, shed);
+  AppendU(&s, cancelled);
+  AppendU(&s, good);
+  AppendU(&s, late);
+  AppendU(&s, deadline_failed);
+  for (uint64_t v : path_shed) AppendU(&s, v);
+  for (uint64_t v : path_cancelled) AppendU(&s, v);
+  AppendU(&s, shed_codel);
+  AppendU(&s, shed_bucket);
+  AppendU(&s, shed_deadline);
+  AppendU(&s, hedges);
+  AppendU(&s, hedge_wins);
+  AppendU(&s, hedge_cancels);
+  AppendU(&s, breaker_trips);
+  AppendU(&s, breaker_reopens);
+  AppendU(&s, breaker_probes);
+  AppendU(&s, breaker_denied);
+  AppendU(&s, resil_draws);
+  AppendU(&s, crash_drops);
+  AppendU(&s, rewarm_misses);
+  AppendD(&s, soc_trip_us);
+  AppendD(&s, soc_trip_gap_us);
   return s;
 }
 
@@ -86,6 +109,15 @@ ServingResult RunServing(const ServingRunConfig& raw) {
   if (!config.trace_path.empty()) {
     tracer = std::make_unique<Tracer>(config.trace_capacity);
     sim.set_tracer(tracer.get());
+  }
+
+  // The resilience layer only exists when asked for: an empty config keeps
+  // the fleet's issue path, the governor's routing, and every metric dump
+  // byte-identical to a resilience-free build.
+  std::unique_ptr<resilience::ResilienceManager> resil;
+  if (!config.resil.empty()) {
+    resil = std::make_unique<resilience::ResilienceManager>(config.resil);
+    exec.BindResilience(resil.get());
   }
 
   ClientFleet fleet(&sim, &fabric, config.fleet);
@@ -136,6 +168,9 @@ ServingResult RunServing(const ServingRunConfig& raw) {
     }
   }
   SNIC_CHECK(policy != nullptr);
+  if (resil != nullptr && gov != nullptr) {
+    gov->BindResilience(resil.get());
+  }
 
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
@@ -154,6 +189,12 @@ ServingResult RunServing(const ServingRunConfig& raw) {
 
   const kv::ServingLayout layout = config.layout;
   RoutePolicy* const pol = policy.get();
+  const SimTime deadline_budget = config.resil.deadline;
+  if (resil != nullptr) {
+    fleet.SetResilience(resil.get());
+    fleet.SetShedObserver(
+        [pol](int path, const KvRequest& req) { pol->OnShed(path, req); });
+  }
   fleet.Start(
       std::move(paths), &zipf, config.mix, config.layout.class_bytes,
       /*header=*/[layout](uint64_t rank, int cls) { return layout.Pack(rank, cls); },
@@ -161,6 +202,11 @@ ServingResult RunServing(const ServingRunConfig& raw) {
       /*observe=*/
       [&](int path, const KvRequest& req, SimTime latency, bool ok) {
         pol->OnComplete(path, req, latency, ok);
+        const bool deadline_met =
+            deadline_budget == 0 || latency <= deadline_budget;
+        if (resil != nullptr) {
+          resil->OnOutcome(path, latency, ok, deadline_met, sim.now());
+        }
         if (!ok) {
           return;
         }
@@ -170,6 +216,9 @@ ServingResult RunServing(const ServingRunConfig& raw) {
           if (path == kPathSoc) {
             ++class_window_soc[cls];
           }
+        }
+        if (!deadline_met) {
+          return;  // with deadlines on, the meter measures goodput
         }
         meter.RecordOp(req.bytes, latency);
       });
@@ -191,6 +240,7 @@ ServingResult RunServing(const ServingRunConfig& raw) {
   r.p50_us = ToMicros(meter.latency().Percentile(50));
   r.p99_us = ToMicros(meter.latency().Percentile(99));
   r.ops = meter.ops();
+  r.generated = fleet.generated();
   r.issued = fleet.issued();
   r.completed = fleet.completed();
   r.failed = fleet.failed();
@@ -205,6 +255,34 @@ ServingResult RunServing(const ServingRunConfig& raw) {
     r.hol_gated = gov->hol_gated();
     r.budget_spills = gov->budget_spills();
     r.explored = gov->explored();
+    r.breaker_denied = gov->breaker_denied();
+  }
+  if (resil != nullptr) {
+    r.shed = fleet.shed();
+    r.cancelled = fleet.cancelled();
+    r.good = fleet.good();
+    r.late = fleet.late();
+    r.deadline_failed = fleet.deadline_failed();
+    r.path_shed = fleet.path_shed();
+    r.path_cancelled = fleet.path_cancelled();
+    r.shed_codel = resil->shed_codel();
+    r.shed_bucket = resil->shed_bucket();
+    r.shed_deadline = resil->shed_deadline();
+    r.hedges = resil->hedges();
+    r.hedge_wins = resil->hedge_wins();
+    r.hedge_cancels = resil->hedge_cancels();
+    r.breaker_trips = resil->breaker_trips();
+    r.breaker_reopens = resil->breaker_reopens();
+    r.breaker_probes = resil->breaker_probes_used();
+    r.resil_draws = resil->draws();
+    const SimTime trip = resil->first_trip_at(resilience::kEndpointSoc);
+    const SimTime gap = resil->max_trip_gap(resilience::kEndpointSoc);
+    r.soc_trip_us = trip >= 0 ? ToMicros(trip) : -1.0;
+    r.soc_trip_gap_us = gap >= 0 ? ToMicros(gap) : -1.0;
+  }
+  if (injector != nullptr) {
+    r.crash_drops = exec.crash_drops();
+    r.rewarm_misses = exec.rewarm_misses();
   }
   if (r.issued > 0) {
     r.share_soc = static_cast<double>(r.path_issued[static_cast<size_t>(kPathSoc)]) /
@@ -235,6 +313,9 @@ ServingResult RunServing(const ServingRunConfig& raw) {
     fleet.RegisterMetrics(&dump);
     if (injector != nullptr) {
       injector->RegisterMetrics(&dump);
+    }
+    if (resil != nullptr) {
+      resil->RegisterMetrics(&dump);
     }
     SNIC_CHECK(dump.WriteJsonFile(config.metrics_path));
   }

@@ -21,6 +21,7 @@
 #include "src/governor/governor.h"
 #include "src/governor/policy.h"
 #include "src/obs/trace.h"
+#include "src/resilience/resilience.h"
 #include "src/topo/testbed_params.h"
 #include "src/workload/fleet.h"
 
@@ -69,6 +70,10 @@ struct ServingRunConfig {
   // run is bit-identical to a fault-free build.
   fault::FaultPlan faults;
 
+  // Overload-protection / failover layer (src/resilience). Empty => no
+  // manager exists and the run is bit-identical to a resilience-free build.
+  resilience::ResilienceConfig resil;
+
   // Observability sinks (same semantics as HarnessConfig).
   std::string trace_path;
   std::string metrics_path;
@@ -85,7 +90,10 @@ struct ServingResult {
   double p99_us = 0.0;
   uint64_t ops = 0;
 
-  // Whole-run conservation counters (exact after the drain).
+  // Whole-run conservation counters (exact after the drain):
+  // generated == (issued - hedges) + shed, issued == completed + failed +
+  // cancelled.
+  uint64_t generated = 0;
   uint64_t issued = 0;
   uint64_t completed = 0;
   uint64_t failed = 0;
@@ -110,6 +118,34 @@ struct ServingResult {
   uint64_t retransmits = 0;
   uint64_t op_failures = 0;
   uint64_t frames_dropped = 0;
+
+  // Resilience-layer outcome (zero when the resilience config is empty).
+  // With deadlines on, `mreqs`/`gbps` above count only in-deadline
+  // completions — they are *goodput*, and good + late == completed.
+  uint64_t shed = 0;
+  uint64_t cancelled = 0;
+  uint64_t good = 0;
+  uint64_t late = 0;
+  uint64_t deadline_failed = 0;
+  std::vector<uint64_t> path_shed;
+  std::vector<uint64_t> path_cancelled;
+  uint64_t shed_codel = 0;
+  uint64_t shed_bucket = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t hedges = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t hedge_cancels = 0;
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_reopens = 0;
+  uint64_t breaker_probes = 0;
+  uint64_t breaker_denied = 0;
+  uint64_t resil_draws = 0;
+  uint64_t crash_drops = 0;
+  uint64_t rewarm_misses = 0;
+  // Failover timeline of the SoC endpoint's breaker: when it first tripped
+  // and the largest evidence-to-trip gap (-1 each when it never tripped).
+  double soc_trip_us = -1.0;
+  double soc_trip_gap_us = -1.0;
 
   // Canonical digest of every field above ("%.17g" doubles): two runs are
   // replay-equal iff their fingerprints are string-equal.

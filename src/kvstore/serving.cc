@@ -35,29 +35,64 @@ SimTime ServingExecutor::Stall(const std::string& domain) {
 }
 
 void ServingExecutor::ServeHost(uint64_t hdr, ReplyCallback reply) {
+  fault::FaultInjector* const inj = sim_->faults();
+  const SimTime arrived = sim_->now();
+  if (inj != nullptr && inj->CrashedAt("host", arrived)) {
+    ++crash_drops_;  // dead endpoint: no reply, the client transport times out
+    return;
+  }
   ++host_gets_;
   const uint32_t bytes = config_.layout.BytesOf(hdr);
-  const SimTime dispatch = sim_->now() + config_.host_notify + Stall("host");
+  const SimTime dispatch = arrived + config_.host_notify + Stall("host");
   const SimTime cpu_done = host_cpu_.EnqueueAt(dispatch, config_.host_lookup);
-  sim_->At(cpu_done, [this, hdr, bytes, reply = std::move(reply)]() mutable {
+  sim_->At(cpu_done, [this, hdr, bytes, arrived, inj,
+                      reply = std::move(reply)]() mutable {
     const SimTime v =
         server_->host_memory().Access(sim_->now(), hdr, bytes, /*is_write=*/false);
-    sim_->At(v, [v, bytes, reply = std::move(reply)] { reply(v, bytes); });
+    sim_->At(v, [this, v, bytes, arrived, inj, reply = std::move(reply)] {
+      // A crash anywhere during [arrival, reply) kills the in-flight get:
+      // the reply evaporates with the endpoint's state.
+      if (inj != nullptr && inj->CrashKills("host", arrived, v)) {
+        ++crash_drops_;
+        return;
+      }
+      reply(v, bytes);
+    });
   });
 }
 
 void ServingExecutor::ServeSoc(uint64_t hdr, ReplyCallback reply) {
+  fault::FaultInjector* const inj = sim_->faults();
+  const SimTime arrived = sim_->now();
+  if (inj != nullptr && inj->CrashedAt("soc", arrived)) {
+    ++crash_drops_;
+    return;
+  }
   ++soc_gets_;
   const uint64_t rank = ServingLayout::RankOf(hdr);
   const uint32_t bytes = config_.layout.BytesOf(hdr);
-  const SimTime dispatch = sim_->now() + config_.soc_notify + Stall("soc");
+  const SimTime dispatch = arrived + config_.soc_notify + Stall("soc");
   const SimTime cpu_done = soc_cpu_.EnqueueAt(dispatch, config_.soc_lookup);
-  if (config_.layout.SocResident(rank)) {
+  // Restart comes up with a cold SoC cache: resident ranks miss (and pay
+  // path ③) until the rewarm window closes.
+  bool resident = config_.layout.SocResident(rank);
+  if (resident && inj != nullptr && inj->InRewarm("soc", arrived)) {
+    resident = false;
+    ++rewarm_misses_;
+  }
+  if (resident) {
     ++soc_hits_;
-    sim_->At(cpu_done, [this, hdr, bytes, reply = std::move(reply)]() mutable {
+    sim_->At(cpu_done, [this, hdr, bytes, arrived, inj,
+                        reply = std::move(reply)]() mutable {
       const SimTime v =
           server_->soc_memory().Access(sim_->now(), hdr, bytes, /*is_write=*/false);
-      sim_->At(v, [v, bytes, reply = std::move(reply)] { reply(v, bytes); });
+      sim_->At(v, [this, v, bytes, arrived, inj, reply = std::move(reply)] {
+        if (inj != nullptr && inj->CrashKills("soc", arrived, v)) {
+          ++crash_drops_;
+          return;
+        }
+        reply(v, bytes);
+      });
     });
     return;
   }
@@ -66,10 +101,17 @@ void ServingExecutor::ServeSoc(uint64_t hdr, ReplyCallback reply) {
   // Value lives only in host DRAM: the SoC fetches it over path ③ before
   // replying (the S2H READ crosses PCIe1 twice — the §4 tax the governor's
   // budget rule exists to bound).
-  sim_->At(cpu_done, [this, hdr, bytes, reply = std::move(reply)]() mutable {
+  sim_->At(cpu_done, [this, hdr, bytes, arrived, inj,
+                      reply = std::move(reply)]() mutable {
     server_->nic().ExecuteLocalOp(
         server_->soc_ep(), server_->host_ep(), Verb::kRead, hdr, bytes,
-        [bytes, reply = std::move(reply)](SimTime done) { reply(done, bytes); });
+        [this, bytes, arrived, inj, reply = std::move(reply)](SimTime done) {
+          if (inj != nullptr && inj->CrashKills("soc", arrived, done)) {
+            ++crash_drops_;
+            return;
+          }
+          reply(done, bytes);
+        });
   });
 }
 
@@ -90,6 +132,16 @@ void ServingExecutor::RegisterMetrics(MetricsRegistry* reg) {
                 [this] { return ToMicros(host_cpu_.busy_time()); });
   reg->Register("serve", "soc_busy_us", "us", "SoC serving-core busy time",
                 [this] { return ToMicros(soc_cpu_.busy_time()); });
+  // Crash accounting exists only in fault-carrying runs, so fault-free
+  // metric dumps stay byte-identical to the recorded goldens.
+  if (sim_->faults() != nullptr) {
+    reg->Register("serve", "crash_drops", "count",
+                  "gets dropped by an endpoint crash (arrival or in-flight)",
+                  [this] { return static_cast<double>(crash_drops_); });
+    reg->Register("serve", "rewarm_misses", "count",
+                  "SoC-resident gets that missed during the post-crash rewarm",
+                  [this] { return static_cast<double>(rewarm_misses_); });
+  }
 }
 
 }  // namespace kv

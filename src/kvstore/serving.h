@@ -21,6 +21,7 @@
 
 #include "src/kvstore/layout.h"
 #include "src/obs/metrics.h"
+#include "src/resilience/resilience.h"
 #include "src/sim/server.h"
 #include "src/topo/server.h"
 
@@ -61,6 +62,17 @@ class ServingExecutor {
   uint64_t soc_hits() const { return soc_hits_; }
   uint64_t soc_misses() const { return soc_misses_; }
   uint64_t path3_bytes() const { return path3_bytes_; }
+  uint64_t crash_drops() const { return crash_drops_; }
+  uint64_t rewarm_misses() const { return rewarm_misses_; }
+
+  // Feeds the admission controllers their exact queue-delay signal: the
+  // backlog a request arriving now would see on each pool.
+  void BindResilience(resilience::ResilienceManager* resil) {
+    resil->BindQueueSignal(resilience::kEndpointHost,
+                           [this] { return host_cpu_.Backlog(); });
+    resil->BindQueueSignal(resilience::kEndpointSoc,
+                           [this] { return soc_cpu_.Backlog(); });
+  }
 
   const ServingConfig& config() const { return config_; }
 
@@ -87,6 +99,8 @@ class ServingExecutor {
   uint64_t soc_hits_ = 0;
   uint64_t soc_misses_ = 0;
   uint64_t path3_bytes_ = 0;
+  uint64_t crash_drops_ = 0;    // requests eaten by an endpoint crash window
+  uint64_t rewarm_misses_ = 0;  // SoC-resident gets missed during rewarm
 };
 
 }  // namespace kv

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/common/log.h"
+#include "src/fault/injector.h"
 #include "src/nic/engine.h"
 #include "src/nic/verb.h"
 #include "src/rdma/recv_queue.h"
@@ -51,6 +52,7 @@ enum class WcStatus : uint8_t {
   kRetryExceeded,     // transport retry_cnt exhausted on this WR
   kRnrRetryExceeded,  // receiver-not-ready retry budget exhausted
   kFlushed,           // WR flushed when the QP entered the error state
+  kDeadlineExceeded,  // deadline passed at retransmit time; WR abandoned
 };
 
 constexpr const char* WcStatusName(WcStatus s) {
@@ -63,6 +65,8 @@ constexpr const char* WcStatusName(WcStatus s) {
       return "rnr_retry_exceeded";
     case WcStatus::kFlushed:
       return "flushed";
+    case WcStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "?";
 }
@@ -138,6 +142,11 @@ struct QpConfig {
   int retry_cnt = 7;
   // Exponential backoff cap: timeout doubles per retry up to this shift.
   int backoff_shift_cap = 6;
+  // Fault domain ("host", "soc") whose crash windows kill this QP: when a
+  // timeout fires inside a crash window of the domain, the QP drops to
+  // kError and flushes instead of retransmitting into a dead endpoint.
+  // Empty = not bound to any crash domain.
+  std::string crash_domain;
 };
 
 // Point-in-time health of one QP, snapshotted for admission and routing
@@ -226,21 +235,29 @@ class QueuePair {
   }
 
   // Posts return false when the QP is not ready or the send queue is full.
+  // `deadline` (absolute sim time, 0 = none) bounds the reliability layer:
+  // a WR whose deadline has passed when its retransmit timer fires
+  // completes as kDeadlineExceeded instead of requeueing.
   bool PostRead(uint64_t remote_addr, uint32_t len, uint64_t wr_id = 0,
-                OpCallback cb = nullptr, bool signaled = true) {
+                OpCallback cb = nullptr, bool signaled = true,
+                SimTime deadline = 0) {
     SNIC_CHECK(config_.type == QpType::kRc);  // one-sided needs RC
-    return PostOp(Verb::kRead, remote_addr, len, wr_id, std::move(cb), signaled);
+    return PostOp(Verb::kRead, remote_addr, len, wr_id, std::move(cb), signaled,
+                  /*rnr_attempts=*/0, deadline);
   }
   bool PostWrite(uint64_t remote_addr, uint32_t len, uint64_t wr_id = 0,
-                 OpCallback cb = nullptr, bool signaled = true) {
+                 OpCallback cb = nullptr, bool signaled = true,
+                 SimTime deadline = 0) {
     SNIC_CHECK(config_.type == QpType::kRc);
-    return PostOp(Verb::kWrite, remote_addr, len, wr_id, std::move(cb), signaled);
+    return PostOp(Verb::kWrite, remote_addr, len, wr_id, std::move(cb), signaled,
+                  /*rnr_attempts=*/0, deadline);
   }
   // Two-sided send into the responder's receive ring; the responder's
   // registered handler produces the reply. Works on RC and UD.
   bool PostSend(uint32_t len, uint64_t wr_id = 0, OpCallback cb = nullptr,
-                bool signaled = true) {
-    return PostOp(Verb::kSend, mr_.addr, len, wr_id, std::move(cb), signaled);
+                bool signaled = true, SimTime deadline = 0) {
+    return PostOp(Verb::kSend, mr_.addr, len, wr_id, std::move(cb), signaled,
+                  /*rnr_attempts=*/0, deadline);
   }
 
   const RemoteMemoryRegion& remote() const { return mr_; }
@@ -253,6 +270,7 @@ class QueuePair {
   uint64_t retransmits() const { return retransmits_; }
   uint64_t completions() const { return completions_; }
   uint64_t completion_errors() const { return completion_errors_; }
+  uint64_t deadline_exceeded() const { return deadline_exceeded_; }
 
   // Coherent snapshot of the counters above (one call, no torn reads
   // across event boundaries).
@@ -282,12 +300,14 @@ class QueuePair {
     int retries = 0;
     uint64_t epoch = 0;
     bool done = false;
+    SimTime deadline = 0;  // absolute; 0 = unbounded
   };
 
   bool reliable() const { return config_.transport_timeout > 0; }
 
   bool PostOp(Verb verb, uint64_t remote_addr, uint32_t len, uint64_t wr_id,
-              OpCallback cb, bool signaled, int rnr_attempts = 0) {
+              OpCallback cb, bool signaled, int rnr_attempts = 0,
+              SimTime deadline = 0) {
     if (state_ != QpState::kRts) {
       return false;
     }
@@ -305,10 +325,12 @@ class QueuePair {
       ++rnr_retries_;
       Simulator* sim = machine_->sim();
       ++outstanding_;
-      sim->In(config_.rnr_backoff, [this, verb, remote_addr, len, wr_id,
-                                    cb = std::move(cb), signaled, rnr_attempts]() mutable {
+      sim->In(config_.rnr_backoff,
+              [this, verb, remote_addr, len, wr_id, cb = std::move(cb), signaled,
+               rnr_attempts, deadline]() mutable {
         --outstanding_;
-        PostOp(verb, remote_addr, len, wr_id, std::move(cb), signaled, rnr_attempts + 1);
+        PostOp(verb, remote_addr, len, wr_id, std::move(cb), signaled,
+               rnr_attempts + 1, deadline);
       });
       return true;
     }
@@ -322,6 +344,7 @@ class QueuePair {
       wr->wr_id = wr_id;
       wr->signaled = signaled;
       wr->cb = std::move(cb);
+      wr->deadline = deadline;
       sq_.push_back(wr);
       Transmit(wr, /*first=*/true);
       return true;
@@ -374,6 +397,13 @@ class QueuePair {
       if (wr->done || wr->epoch != epoch) {
         return;  // completed, flushed, or superseded by a newer round
       }
+      if (state_ != QpState::kRts) {
+        // The QP left kRts (crash, flap escalation, external Modify) after
+        // this timer was armed but the WR was not flushed with it. Without
+        // this gate the timer would keep firing, retransmitting into a dead
+        // QP and re-arming itself forever.
+        return;
+      }
       OnTimeout(wr);
     });
   }
@@ -383,6 +413,37 @@ class QueuePair {
     Simulator* const sim = machine_->sim();
     if (Tracer* const tr = sim->tracer(); tr != nullptr) {
       tr->Instant(machine_->name() + ".qp", "timeout", sim->now(), wr->wr_id);
+    }
+    // A timeout inside the bound domain's crash window means the endpoint is
+    // gone, not the frame: retransmitting is pointless. The QP drops to
+    // kError and every in-flight WR flushes; Recover() reconnects after the
+    // restart.
+    if (!config_.crash_domain.empty() && sim->faults() != nullptr &&
+        sim->faults()->CrashedAt(config_.crash_domain, sim->now())) {
+      state_ = QpState::kError;
+      FlushSendQueue(nullptr, WcStatus::kFlushed);
+      return;
+    }
+    // Deadline budget: an expired WR completes now as kDeadlineExceeded
+    // instead of burning more retransmissions. Only this WR dies — the QP
+    // stays in kRts and later WRs keep their own timers.
+    if (wr->deadline > 0 && sim->now() >= wr->deadline) {
+      wr->done = true;
+      ++wr->epoch;
+      --outstanding_;
+      ++completion_errors_;
+      ++deadline_exceeded_;
+      if (cq_ != nullptr) {
+        cq_->Push(WorkCompletion{wr->verb, wr->wr_id, wr->len, sim->now(),
+                                 WcStatus::kDeadlineExceeded});
+      }
+      if (wr->cb) {
+        wr->cb(sim->now());
+      }
+      while (!sq_.empty() && sq_.front()->done) {
+        sq_.pop_front();
+      }
+      return;
     }
     if (wr->retries >= config_.retry_cnt) {
       state_ = QpState::kError;
@@ -478,6 +539,7 @@ class QueuePair {
   uint64_t retransmits_ = 0;
   uint64_t completions_ = 0;
   uint64_t completion_errors_ = 0;
+  uint64_t deadline_exceeded_ = 0;
 };
 
 }  // namespace rdma

@@ -1,0 +1,250 @@
+#include "src/resilience/resilience.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace snicsim {
+namespace resilience {
+
+namespace {
+// Shed levels beyond the largest plausible class count add nothing; the cap
+// only bounds how long de-escalation takes after a burst.
+constexpr int kMaxShedLevel = 8;
+}  // namespace
+
+ResilienceManager::ResilienceManager(const ResilienceConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {}
+
+int ResilienceManager::Check(int ep) {
+  SNIC_CHECK_GE(ep, 0);
+  SNIC_CHECK_LT(ep, kEndpointCount);
+  return ep;
+}
+
+void ResilienceManager::BindQueueSignal(int ep, QueueSignal backlog) {
+  eps_[Check(ep)].backlog = std::move(backlog);
+}
+
+bool ResilienceManager::Admit(int ep, int cls, SimTime deadline, SimTime now) {
+  Endpoint& e = eps_[Check(ep)];
+  // A request whose budget is already gone never earns queue space.
+  if (deadline > 0 && now >= deadline) {
+    ++shed_deadline_;
+    return false;
+  }
+  if (!cfg_.shedding) {
+    return true;
+  }
+  // CoDel-style controller on the exact pool backlog: track the windowed
+  // minimum queue delay; if even the *minimum* over a full interval sits
+  // above target, the pool has a standing queue (not a burst) and the shed
+  // level rises by one class. A window whose minimum falls back under half
+  // the target de-escalates by one.
+  if (e.backlog) {
+    const SimTime delay = e.backlog();
+    e.min_delay = std::min(e.min_delay, delay);
+    if (e.interval_end == 0) {
+      e.interval_end = now + cfg_.codel_interval;
+    } else if (now >= e.interval_end) {
+      if (e.min_delay > cfg_.codel_target) {
+        e.level = std::min(e.level + 1, kMaxShedLevel);
+      } else if (e.min_delay <= cfg_.codel_target / 2) {
+        e.level = std::max(e.level - 1, 0);
+      }
+      e.min_delay = std::numeric_limits<SimTime>::max();
+      e.interval_end = now + cfg_.codel_interval;
+    }
+    if (cls < e.level) {
+      ++shed_codel_;
+      return false;
+    }
+  }
+  // Token bucket: a deterministic hard rate cap near capacity, the plateau
+  // backstop when the integer shed level alone oscillates around the knee.
+  if (cfg_.bucket_mops > 0.0) {
+    if (!e.bucket_primed) {
+      e.bucket_primed = true;
+      e.tokens = cfg_.bucket_depth;
+      e.bucket_at = now;
+    }
+    e.tokens = std::min(cfg_.bucket_depth,
+                        e.tokens + ToMicros(now - e.bucket_at) * cfg_.bucket_mops);
+    e.bucket_at = now;
+    if (e.tokens < 1.0) {
+      ++shed_bucket_;
+      return false;
+    }
+    e.tokens -= 1.0;
+  }
+  return true;
+}
+
+bool ResilienceManager::EndpointAvailable(int ep) const {
+  if (!cfg_.breakers) {
+    return true;
+  }
+  const Endpoint& e = eps_[Check(ep)];
+  switch (e.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return false;
+    case BreakerState::kHalfOpen:
+      return e.probes_left > 0;
+  }
+  return true;
+}
+
+void ResilienceManager::OnRouted(int ep) {
+  if (!cfg_.breakers) {
+    return;
+  }
+  Endpoint& e = eps_[Check(ep)];
+  if (e.state == BreakerState::kHalfOpen && e.probes_left > 0) {
+    --e.probes_left;
+    ++breaker_probes_used_;
+  }
+}
+
+void ResilienceManager::Trip(Endpoint& e, SimTime now, bool reopen) {
+  e.state = BreakerState::kOpen;
+  e.open_epochs_left = cfg_.breaker_open_epochs;
+  if (reopen) {
+    ++breaker_reopens_;
+  } else {
+    ++breaker_trips_;
+    if (e.first_trip_at < 0) {
+      e.first_trip_at = now;
+    }
+    if (e.first_bad_at >= 0) {
+      e.max_trip_gap = std::max(e.max_trip_gap, now - e.first_bad_at);
+    }
+  }
+}
+
+void ResilienceManager::OnEpoch(SimTime now) {
+  if (!cfg_.breakers) {
+    return;
+  }
+  for (int p = 0; p < kEndpointCount; ++p) {
+    Endpoint& e = eps_[p];
+    const uint64_t total = e.window_total;
+    const uint64_t bad = e.window_bad;
+    const bool rate_bad =
+        total > 0 && static_cast<double>(bad) / static_cast<double>(total) >=
+                         cfg_.breaker_threshold;
+    switch (e.state) {
+      case BreakerState::kClosed:
+        if (total >= static_cast<uint64_t>(cfg_.breaker_min_samples) && rate_bad) {
+          Trip(e, now, /*reopen=*/false);
+        }
+        break;
+      case BreakerState::kOpen:
+        if (--e.open_epochs_left <= 0) {
+          e.state = BreakerState::kHalfOpen;
+          e.probes_left = cfg_.breaker_probes;
+        }
+        break;
+      case BreakerState::kHalfOpen:
+        if (total > 0 && rate_bad) {
+          Trip(e, now, /*reopen=*/true);
+        } else if (total > 0) {
+          // Probes came back healthy: close and forget the bad spell.
+          e.state = BreakerState::kClosed;
+          e.first_bad_at = -1;
+        } else {
+          // Nothing was routed here this epoch — refill the probe budget
+          // and keep listening.
+          e.probes_left = cfg_.breaker_probes;
+        }
+        break;
+    }
+    e.window_total = 0;
+    e.window_bad = 0;
+  }
+}
+
+void ResilienceManager::OnOutcome(int ep, SimTime latency, bool ok,
+                                  bool deadline_met, SimTime now) {
+  Endpoint& e = eps_[Check(ep)];
+  const bool bad = !ok || !deadline_met;
+  ++e.window_total;
+  if (bad) {
+    ++e.window_bad;
+    if (e.first_bad_at < 0) {
+      e.first_bad_at = now;
+    }
+  }
+  if (ok) {
+    // Jacobson-style mean/dev estimators feeding the hedge delay.
+    const double us = ToMicros(latency);
+    if (!e.lat_primed) {
+      e.lat_primed = true;
+      e.lat_mean_us = us;
+      e.lat_dev_us = us / 2.0;
+    } else {
+      const double err = us - e.lat_mean_us;
+      e.lat_mean_us += err / 8.0;
+      e.lat_dev_us += (std::abs(err) - e.lat_dev_us) / 4.0;
+    }
+  }
+}
+
+bool ResilienceManager::HedgeEligible(int routed_ep, uint32_t bytes) const {
+  if (!cfg_.hedging || bytes > cfg_.hedge_max_bytes) {
+    return false;
+  }
+  return EndpointAvailable(OtherEndpoint(Check(routed_ep)));
+}
+
+SimTime ResilienceManager::HedgeDelay(int routed_ep) {
+  const Endpoint& e = eps_[Check(routed_ep)];
+  double us = cfg_.hedge_multiplier * (e.lat_mean_us + 2.0 * e.lat_dev_us);
+  us = std::max(us, ToMicros(cfg_.hedge_min_delay));
+  // One counted draw per hedge decision, like the governor's epsilon.
+  ++draws_;
+  const double u = rng_.NextDouble();
+  us *= 1.0 + cfg_.hedge_jitter * (2.0 * u - 1.0);
+  return FromMicros(us);
+}
+
+void ResilienceManager::RegisterMetrics(MetricsRegistry* reg) {
+  reg->Register("resil", "shed_total", "count",
+                "requests refused at admission (all causes)",
+                [this] { return static_cast<double>(shed_total()); });
+  reg->Register("resil", "shed_codel", "count",
+                "requests shed by the CoDel queue-delay controller",
+                [this] { return static_cast<double>(shed_codel_); });
+  reg->Register("resil", "shed_bucket", "count",
+                "requests shed by the token-bucket rate limiter",
+                [this] { return static_cast<double>(shed_bucket_); });
+  reg->Register("resil", "shed_deadline", "count",
+                "requests whose deadline expired before admission",
+                [this] { return static_cast<double>(shed_deadline_); });
+  reg->Register("resil", "hedges", "count",
+                "duplicate requests launched onto the second endpoint",
+                [this] { return static_cast<double>(hedges_); });
+  reg->Register("resil", "hedge_wins", "count",
+                "hedged requests won by the duplicate copy",
+                [this] { return static_cast<double>(hedge_wins_); });
+  reg->Register("resil", "hedge_cancels", "count",
+                "hedge copies cancelled after the race settled",
+                [this] { return static_cast<double>(hedge_cancels_); });
+  reg->Register("resil", "breaker_trips", "count",
+                "circuit breakers tripped closed -> open",
+                [this] { return static_cast<double>(breaker_trips_); });
+  reg->Register("resil", "breaker_reopens", "count",
+                "half-open probe rounds that re-tripped the breaker",
+                [this] { return static_cast<double>(breaker_reopens_); });
+  reg->Register("resil", "breaker_probes", "count",
+                "probe requests admitted while half-open",
+                [this] { return static_cast<double>(breaker_probes_used_); });
+  reg->Register("resil", "draws", "count",
+                "hedge-jitter RNG draws (replay accounting)",
+                [this] { return static_cast<double>(draws_); });
+}
+
+}  // namespace resilience
+}  // namespace snicsim

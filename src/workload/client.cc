@@ -191,10 +191,12 @@ void ClientMachine::Launch(const TargetSpec& target, uint64_t addr,
 }
 
 void ClientMachine::PostReliable(int thread, const TargetSpec& target, uint64_t addr,
-                                 SmallFunction<void(SimTime, bool)> cb) {
+                                 SmallFunction<void(SimTime, bool)> cb,
+                                 SimTime deadline) {
   auto op = std::make_shared<ReliableOp>();
   op->target = target;
   op->addr = addr;
+  op->deadline = deadline;
   op->cb = std::move(cb);
   // The first attempt pays the full post path (WQE build + doorbell);
   // retransmissions replay from the NIC.
@@ -219,11 +221,34 @@ void ClientMachine::LaunchReliable(const TargetSpec& target, uint64_t addr,
 void ClientMachine::ArmRetry(const std::shared_ptr<ReliableOp>& op) {
   const uint64_t epoch = op->epoch;
   const int shift = std::min(op->attempts, params_.backoff_shift_cap);
-  sim_->In(params_.transport_timeout << shift, [this, op, epoch] {
+  SimTime dt = params_.transport_timeout << shift;
+  // A deadline-carrying op clamps its timer to the budget edge: without the
+  // clamp an exponential backoff step could overshoot the deadline by a
+  // whole round, and the failure (the failover evidence the breaker layer
+  // feeds on) would be reported a round late.
+  if (op->deadline > 0 && sim_->now() + dt > op->deadline) {
+    dt = op->deadline > sim_->now() ? op->deadline - sim_->now() : 0;
+    if (dt < kNanos) {
+      dt = kNanos;
+    }
+  }
+  sim_->In(dt, [this, op, epoch] {
     if (op->done || op->epoch != epoch) {
       return;  // completed, or a newer round owns the timer
     }
     ++op->epoch;
+    // Deadline budget: once the budget is gone there is no point posting
+    // another round whose response could only arrive even later — the op
+    // fails now and the caller's deadline accounting takes over.
+    if (op->deadline > 0 && sim_->now() >= op->deadline) {
+      op->done = true;
+      ++deadline_failures_;
+      if (Tracer* const tr = sim_->tracer(); tr != nullptr) {
+        tr->Instant(name_, "op_deadline", sim_->now(), 0);
+      }
+      op->cb(sim_->now(), false);
+      return;
+    }
     if (op->attempts >= params_.retry_cnt) {
       op->done = true;
       ++op_failures_;
@@ -302,6 +327,9 @@ void ClientMachine::RegisterMetrics(MetricsRegistry* reg) {
     reg->Register(name_, "op_failures", "count",
                   "closed-loop ops abandoned after retry_cnt retransmissions",
                   [this] { return static_cast<double>(op_failures_); });
+    reg->Register(name_, "deadline_failures", "count",
+                  "reliable ops abandoned at a retry timer past their deadline",
+                  [this] { return static_cast<double>(deadline_failures_); });
   }
 }
 

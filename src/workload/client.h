@@ -86,9 +86,12 @@ class ClientMachine {
   // Reliable post: like Post, but armed with a transport timeout and
   // bounded-backoff retransmission. `cb(completed, ok)` fires exactly once:
   // ok=true on a (possibly retransmitted) response, ok=false when
-  // `retry_cnt` retransmissions all vanished.
+  // `retry_cnt` retransmissions all vanished — or, with a nonzero absolute
+  // `deadline`, as soon as a retry timer fires past it (the op is abandoned
+  // without burning the remaining retry budget).
   void PostReliable(int thread, const TargetSpec& target, uint64_t addr,
-                    SmallFunction<void(SimTime completed, bool ok)> cb);
+                    SmallFunction<void(SimTime completed, bool ok)> cb,
+                    SimTime deadline = 0);
 
   PcieLink* port() { return port_; }
   Simulator* sim() const { return sim_; }
@@ -98,6 +101,7 @@ class ClientMachine {
   uint64_t doorbells() const { return doorbells_; }
   uint64_t retransmits() const { return retransmits_; }
   uint64_t op_failures() const { return op_failures_; }
+  uint64_t deadline_failures() const { return deadline_failures_; }
 
   // Exposes issue-side counters under "<name>".
   void RegisterMetrics(MetricsRegistry* reg);
@@ -120,6 +124,7 @@ class ClientMachine {
     int attempts = 0;
     uint64_t epoch = 0;
     bool done = false;
+    SimTime deadline = 0;  // absolute; 0 = unbounded
     SmallFunction<void(SimTime, bool)> cb;
   };
 
@@ -149,6 +154,7 @@ class ClientMachine {
   uint64_t doorbells_ = 0;  // MMIO doorbell rings (one per batch when batching)
   uint64_t retransmits_ = 0;  // reliable-layer NIC replays
   uint64_t op_failures_ = 0;  // reliable ops that exhausted retry_cnt
+  uint64_t deadline_failures_ = 0;  // reliable ops abandoned past deadline
 };
 
 // Convenience: builds `count` identical client machines.

@@ -65,6 +65,8 @@ void ClientFleet::Start(std::vector<TargetSpec> paths, const ZipfDist* zipf,
   path_issued_.assign(paths_.size(), 0);
   path_completed_.assign(paths_.size(), 0);
   path_failed_.assign(paths_.size(), 0);
+  path_shed_.assign(paths_.size(), 0);
+  path_cancelled_.assign(paths_.size(), 0);
 
   const int lanes = params_.machines * params_.machine.threads;
   logicals_.reserve(static_cast<size_t>(params_.logical_clients));
@@ -126,6 +128,12 @@ void ClientFleet::IssueOne(const std::shared_ptr<Logical>& lc) {
   req.size_class = mix_.ClassOf(lc->rng.NextDouble());
   req.bytes = class_bytes_[static_cast<size_t>(req.size_class)];
   req.hdr = header_(req.rank, req.size_class);
+  ++generated_;
+
+  if (resil_ != nullptr) {
+    IssueResilient(lc, req);
+    return;
+  }
 
   const int path = route_(req);
   SNIC_CHECK_GE(path, 0);
@@ -140,7 +148,7 @@ void ClientFleet::IssueOne(const std::shared_ptr<Logical>& lc) {
   if (Reliable()) {
     m.PostReliable(lc->thread, spec, req.hdr,
                    [this, lc, req, path, issued_at](SimTime completed, bool ok) {
-                     Finish(path, req, issued_at, completed, ok);
+                     Finish(path, path, req, issued_at, completed, ok);
                      if (!params_.open_loop) {
                        lc->in_flight -= 1;
                        Pump(lc);
@@ -150,7 +158,7 @@ void ClientFleet::IssueOne(const std::shared_ptr<Logical>& lc) {
   }
   m.Post(lc->thread, spec, req.hdr,
          [this, lc, req, path, issued_at](SimTime completed) {
-           Finish(path, req, issued_at, completed, /*ok=*/true);
+           Finish(path, path, req, issued_at, completed, /*ok=*/true);
            if (!params_.open_loop) {
              lc->in_flight -= 1;
              Pump(lc);
@@ -158,17 +166,135 @@ void ClientFleet::IssueOne(const std::shared_ptr<Logical>& lc) {
          });
 }
 
-void ClientFleet::Finish(int path, const KvRequest& req, SimTime issued_at,
-                         SimTime completed, bool ok) {
+void ClientFleet::IssueResilient(const std::shared_ptr<Logical>& lc, KvRequest req) {
+  const SimTime now = sim_->now();
+  req.deadline = resil_->StampDeadline(now);
+  const int routed = route_(req);
+  SNIC_CHECK_GE(routed, 0);
+  SNIC_CHECK_LT(static_cast<size_t>(routed), paths_.size());
+
+  if (!resil_->Admit(routed, req.size_class, req.deadline, now)) {
+    ++shed_;
+    ++path_shed_[static_cast<size_t>(routed)];
+    if (shed_observer_) {
+      shed_observer_(routed, req);
+    }
+    if (!params_.open_loop) {
+      // A delayed re-pump, never an immediate one: shedding at the same sim
+      // time would spin the closed loop against a controller whose signal
+      // cannot have moved yet.
+      sim_->In(resil_->config().shed_backoff, [this, lc] {
+        lc->in_flight -= 1;
+        Pump(lc);
+      });
+    }
+    return;
+  }
+
+  ++issued_;
+  ++path_issued_[static_cast<size_t>(routed)];
+  const SimTime issued_at = now;
+  auto hs = std::make_shared<HedgeState>();
+  hs->outstanding = 1;
+  PostCopy(lc, req, hs, routed, routed, issued_at);
+
+  if (static_cast<size_t>(resilience::kEndpointCount) <= paths_.size() &&
+      resil_->HedgeEligible(routed, req.bytes)) {
+    // The jitter draw happens at issue time whether or not the duplicate
+    // eventually launches, so the draw stream depends only on issue order.
+    const SimTime hedge_delay = resil_->HedgeDelay(routed);
+    const int hpath = resilience::ResilienceManager::OtherEndpoint(routed);
+    sim_->In(hedge_delay, [this, lc, req, hs, routed, hpath, issued_at] {
+      if (hs->settled || stopped_) {
+        return;  // the original already answered (or the run is draining)
+      }
+      if (req.deadline > 0 && sim_->now() >= req.deadline) {
+        return;  // no budget left for a second copy
+      }
+      if (!resil_->EndpointAvailable(hpath)) {
+        return;  // the other endpoint's breaker is open
+      }
+      hs->outstanding += 1;
+      resil_->OnHedgeLaunched();
+      ++issued_;
+      ++path_issued_[static_cast<size_t>(hpath)];
+      PostCopy(lc, req, hs, routed, hpath, issued_at);
+    });
+  }
+}
+
+void ClientFleet::PostCopy(const std::shared_ptr<Logical>& lc, const KvRequest& req,
+                           const std::shared_ptr<HedgeState>& hs, int routed,
+                           int copy, SimTime issued_at) {
+  TargetSpec spec = paths_[static_cast<size_t>(copy)];
+  spec.payload = params_.request_bytes;
+  ClientMachine& m = *machines_[static_cast<size_t>(lc->machine)];
+  if (Reliable()) {
+    m.PostReliable(lc->thread, spec, req.hdr,
+                   [this, lc, req, hs, routed, copy, issued_at](SimTime completed,
+                                                                bool ok) {
+                     Settle(lc, req, hs, routed, copy, issued_at, completed, ok);
+                   },
+                   req.deadline);
+    return;
+  }
+  m.Post(lc->thread, spec, req.hdr,
+         [this, lc, req, hs, routed, copy, issued_at](SimTime completed) {
+           Settle(lc, req, hs, routed, copy, issued_at, completed, /*ok=*/true);
+         });
+}
+
+void ClientFleet::Settle(const std::shared_ptr<Logical>& lc, const KvRequest& req,
+                         const std::shared_ptr<HedgeState>& hs, int routed,
+                         int copy, SimTime issued_at, SimTime completed, bool ok) {
+  hs->outstanding -= 1;
+  if (hs->settled) {
+    // The race was already decided: this copy is the hedge loser.
+    ++cancelled_;
+    ++path_cancelled_[static_cast<size_t>(copy)];
+    resil_->OnHedgeCancel();
+    return;
+  }
+  if (ok || hs->outstanding == 0) {
+    hs->settled = true;
+    if (ok && copy != routed) {
+      resil_->OnHedgeWin();
+    }
+    Finish(routed, copy, req, issued_at, completed, ok);
+    if (!params_.open_loop) {
+      lc->in_flight -= 1;
+      Pump(lc);
+    }
+    return;
+  }
+  // This copy failed but another is still racing: let the survivor settle
+  // the request and count this one as cancelled.
+  ++cancelled_;
+  ++path_cancelled_[static_cast<size_t>(copy)];
+  resil_->OnHedgeCancel();
+}
+
+void ClientFleet::Finish(int routed, int copy, const KvRequest& req,
+                         SimTime issued_at, SimTime completed, bool ok) {
   if (ok) {
     ++completed_;
-    ++path_completed_[static_cast<size_t>(path)];
+    ++path_completed_[static_cast<size_t>(copy)];
+    if (req.deadline == 0 || completed <= req.deadline) {
+      ++good_;
+    } else {
+      ++late_;
+    }
   } else {
     ++failed_;
-    ++path_failed_[static_cast<size_t>(path)];
+    ++path_failed_[static_cast<size_t>(copy)];
+    if (req.deadline > 0 && completed >= req.deadline) {
+      ++deadline_failed_;
+    }
   }
   if (observe_) {
-    observe_(path, req, completed - issued_at, ok);
+    // The observer hears the *routed* path so policy in-flight accounting
+    // pairs with the Router's decision even when a hedge copy won.
+    observe_(routed, req, completed - issued_at, ok);
   }
 }
 
@@ -179,6 +305,25 @@ void ClientFleet::RegisterMetrics(MetricsRegistry* reg) {
                 [this] { return static_cast<double>(completed_); });
   reg->Register(prefix_, "failed", "count", "requests the reliability layer gave up on",
                 [this] { return static_cast<double>(failed_); });
+  // Resilience counters exist only when a manager is attached (attach it
+  // before registering), so resilience-free metric dumps stay byte-identical.
+  if (resil_ != nullptr) {
+    reg->Register(prefix_, "shed", "count",
+                  "requests refused by admission control (never posted)",
+                  [this] { return static_cast<double>(shed_); });
+    reg->Register(prefix_, "cancelled", "count",
+                  "hedge copies cancelled after the race settled",
+                  [this] { return static_cast<double>(cancelled_); });
+    reg->Register(prefix_, "good", "count",
+                  "requests completed within their deadline budget",
+                  [this] { return static_cast<double>(good_); });
+    reg->Register(prefix_, "late", "count",
+                  "requests completed past their deadline budget",
+                  [this] { return static_cast<double>(late_); });
+    reg->Register(prefix_, "deadline_failed", "count",
+                  "requests failed with the deadline budget exhausted",
+                  [this] { return static_cast<double>(deadline_failed_); });
+  }
   for (auto& m : machines_) {
     m->RegisterMetrics(reg);
   }

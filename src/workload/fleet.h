@@ -27,6 +27,7 @@
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/obs/metrics.h"
+#include "src/resilience/resilience.h"
 #include "src/sim/simulator.h"
 #include "src/topo/fabric.h"
 #include "src/workload/addr_gen.h"
@@ -53,6 +54,7 @@ struct KvRequest {
   int size_class = 0;   // index into the layout's class table
   uint32_t bytes = 0;   // reply value bytes
   uint64_t hdr = 0;     // packed header delivered to the executor
+  SimTime deadline = 0;  // absolute latency budget; 0 = none
 };
 
 struct FleetParams {
@@ -95,20 +97,47 @@ class ClientFleet {
              const SizeMixture& mix, std::vector<uint32_t> class_bytes,
              HeaderFn header, Router route, Observer observe);
 
+  // Hooks the overload-protection layer in *before* Start. With a manager
+  // set, every generated request is deadline-stamped and passes admission
+  // control after routing; refused requests are shed (counted, observed via
+  // the shed observer, never posted), and small requests may be hedged onto
+  // the other path. Null (the default) keeps the issue path byte-identical
+  // to the pre-resilience fleet.
+  void SetResilience(resilience::ResilienceManager* resil) { resil_ = resil; }
+  // Fires once per shed request with the path routing chose; the harness
+  // uses it to unwind the policy's in-flight accounting.
+  using ShedObserver = std::function<void(int path, const KvRequest&)>;
+  void SetShedObserver(ShedObserver observer) { shed_observer_ = std::move(observer); }
+
   // Stops new issues (closed loops stop re-pumping, open-loop arrival
   // chains end). In-flight requests still terminate, so running the
   // simulation dry afterwards gives exact conservation:
-  // issued == completed + failed.
+  // generated == issued - hedge launches + shed (each launched hedge adds
+  // one extra wire copy to issued) and issued == completed + failed +
+  // cancelled (without a resilience manager, shed == cancelled == 0).
   void StopIssuing() { stopped_ = true; }
 
-  // Conservation counters: issued() == completed() + failed() once the
-  // simulation drains, and the per-path splits sum to the totals.
+  // Conservation counters (see StopIssuing), plus the per-path splits which
+  // sum to the totals. `completed`/`failed`/`cancelled` count wire copies:
+  // a hedged request settles exactly one copy as completed-or-failed and
+  // cancels the rest.
+  uint64_t generated() const { return generated_; }
   uint64_t issued() const { return issued_; }
   uint64_t completed() const { return completed_; }
   uint64_t failed() const { return failed_; }
+  uint64_t shed() const { return shed_; }
+  uint64_t cancelled() const { return cancelled_; }
+  // Deadline classification of settled requests: good (ok, within budget),
+  // late (ok, past budget), deadline_failed (failed with the budget gone —
+  // a subset of failed()). good + late == completed.
+  uint64_t good() const { return good_; }
+  uint64_t late() const { return late_; }
+  uint64_t deadline_failed() const { return deadline_failed_; }
   const std::vector<uint64_t>& path_issued() const { return path_issued_; }
   const std::vector<uint64_t>& path_completed() const { return path_completed_; }
   const std::vector<uint64_t>& path_failed() const { return path_failed_; }
+  const std::vector<uint64_t>& path_shed() const { return path_shed_; }
+  const std::vector<uint64_t>& path_cancelled() const { return path_cancelled_; }
 
   int machine_count() const { return static_cast<int>(machines_.size()); }
   ClientMachine& machine(int i) { return *machines_[static_cast<size_t>(i)]; }
@@ -126,11 +155,30 @@ class ClientFleet {
     int in_flight = 0;
   };
 
+  // Settlement state of one (possibly hedged) request: first terminal copy
+  // wins, the rest cancel.
+  struct HedgeState {
+    bool settled = false;
+    int outstanding = 0;
+  };
+
   void Pump(const std::shared_ptr<Logical>& lc);
   void IssueOne(const std::shared_ptr<Logical>& lc);
+  void IssueResilient(const std::shared_ptr<Logical>& lc, KvRequest req);
   void ScheduleArrival(const std::shared_ptr<Logical>& lc);
-  void Finish(int path, const KvRequest& req, SimTime issued_at, SimTime completed,
-              bool ok);
+  // Posts one wire copy of `req` onto `copy`'s target and settles it
+  // through `hs` when it terminates.
+  void PostCopy(const std::shared_ptr<Logical>& lc, const KvRequest& req,
+                const std::shared_ptr<HedgeState>& hs, int routed, int copy,
+                SimTime issued_at);
+  void Settle(const std::shared_ptr<Logical>& lc, const KvRequest& req,
+              const std::shared_ptr<HedgeState>& hs, int routed, int copy,
+              SimTime issued_at, SimTime completed, bool ok);
+  // `routed` is the path the Router chose (what the Observer hears);
+  // `copy` is the path this wire copy actually took (what the per-path
+  // counters record) — they differ only for a winning hedge.
+  void Finish(int routed, int copy, const KvRequest& req, SimTime issued_at,
+              SimTime completed, bool ok);
   bool Reliable() const;
 
   Simulator* sim_;
@@ -146,14 +194,24 @@ class ClientFleet {
   HeaderFn header_;
   Router route_;
   Observer observe_;
+  resilience::ResilienceManager* resil_ = nullptr;
+  ShedObserver shed_observer_;
 
   bool stopped_ = false;
+  uint64_t generated_ = 0;
   uint64_t issued_ = 0;
   uint64_t completed_ = 0;
   uint64_t failed_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t good_ = 0;
+  uint64_t late_ = 0;
+  uint64_t deadline_failed_ = 0;
   std::vector<uint64_t> path_issued_;
   std::vector<uint64_t> path_completed_;
   std::vector<uint64_t> path_failed_;
+  std::vector<uint64_t> path_shed_;
+  std::vector<uint64_t> path_cancelled_;
 };
 
 }  // namespace snicsim

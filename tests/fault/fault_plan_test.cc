@@ -59,6 +59,35 @@ TEST(FaultPlan, InlineWindowsConvertMicrosecondsAndRepeat) {
   EXPECT_FALSE(plan.empty());
 }
 
+TEST(FaultPlan, InlineCrashWindows) {
+  // Three-field form: the restart comes back warm (rewarm defaults to 0).
+  const FaultPlan three = MustParse("crash=soc:80:140");
+  ASSERT_EQ(three.crashes.size(), 1u);
+  EXPECT_EQ(three.crashes[0].domain, "soc");
+  EXPECT_EQ(three.crashes[0].start, FromMicros(80));
+  EXPECT_EQ(three.crashes[0].end, FromMicros(140));
+  EXPECT_EQ(three.crashes[0].rewarm, 0);
+  EXPECT_FALSE(three.empty());
+
+  // Four-field form adds the cold-cache rewarm tail; windows repeat.
+  const FaultPlan four = MustParse("crash=soc:80:140:20;crash=host:10:30");
+  ASSERT_EQ(four.crashes.size(), 2u);
+  EXPECT_EQ(four.crashes[0].rewarm, FromMicros(20));
+  EXPECT_EQ(four.crashes[1].domain, "host");
+  EXPECT_EQ(four.crashes[1].rewarm, 0);
+}
+
+TEST(FaultPlan, BareNumberIsDropRateShorthand) {
+  // `--faults=0.02` predates the structured grammar; it must keep working.
+  const FaultPlan plan = MustParse("0.02");
+  EXPECT_DOUBLE_EQ(plan.drop_rate, 0.02);
+  EXPECT_FALSE(plan.empty());
+  // The shorthand is only for a lone probability: anything else goes
+  // through the key=value grammar and its validation.
+  MustFail("1.5");
+  MustFail("0.02,seed");
+}
+
 TEST(FaultPlan, InlineRejectsMalformedSpecs) {
   MustFail("drop=1.5");                   // probability out of range
   MustFail("drop=abc");                   // not a number
@@ -70,6 +99,11 @@ TEST(FaultPlan, InlineRejectsMalformedSpecs) {
   MustFail("stall=soc:0:10:extra");       // too many fields
   MustFail("typo=1");                     // unknown key
   MustFail("justaword");                  // not key=value
+  MustFail("crash=soc:140:80");           // END < START
+  MustFail("crash=:80:140");              // empty domain
+  MustFail("crash=soc:80");               // missing END
+  MustFail("crash=soc:80:140:-5");        // negative rewarm
+  MustFail("crash=soc:80:140:20:extra");  // too many fields
 }
 
 TEST(FaultPlan, JsonScheduleFile) {
@@ -79,7 +113,10 @@ TEST(FaultPlan, JsonScheduleFile) {
     out << R"({"drop": 0.02, "seed": 9,
                "flaps": [{"link": "bf_srv.port", "start_us": 10, "end_us": 20}],
                "degrades": [{"link": "cli0.port", "start_us": 0, "end_us": 5, "factor": 2}],
-               "stalls": [{"domain": "soc", "start_us": 1, "end_us": 2}]})";
+               "stalls": [{"domain": "soc", "start_us": 1, "end_us": 2}],
+               "crashes": [{"domain": "soc", "start_us": 80, "end_us": 140,
+                            "rewarm_us": 20},
+                           {"domain": "host", "start_us": 5, "end_us": 8}]})";
   }
   const FaultPlan plan = MustParse("@" + path);
   EXPECT_DOUBLE_EQ(plan.drop_rate, 0.02);
@@ -91,6 +128,12 @@ TEST(FaultPlan, JsonScheduleFile) {
   EXPECT_DOUBLE_EQ(plan.degrades[0].factor, 2.0);
   ASSERT_EQ(plan.stalls.size(), 1u);
   EXPECT_EQ(plan.stalls[0].domain, "soc");
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_EQ(plan.crashes[0].domain, "soc");
+  EXPECT_EQ(plan.crashes[0].start, FromMicros(80));
+  EXPECT_EQ(plan.crashes[0].end, FromMicros(140));
+  EXPECT_EQ(plan.crashes[0].rewarm, FromMicros(20));
+  EXPECT_EQ(plan.crashes[1].rewarm, 0);  // rewarm_us defaults to 0
 }
 
 TEST(FaultPlan, JsonRejectsUnknownKeysAndMissingFile) {

@@ -106,6 +106,80 @@ TEST(FaultInjector, StallDelayDefersToTheLatestEnclosingWindow) {
   EXPECT_EQ(inj.stalled_time(), FromMicros(15 + 25 + 3));
 }
 
+// Every window kind is half-open [start, end): the start instant is inside,
+// the end instant is outside. These edges are where drop/serve decisions
+// flip, so they get exact coverage.
+TEST(FaultInjector, WindowBoundariesAreHalfOpen) {
+  FaultPlan plan;
+  plan.flaps.push_back({"L", FromMicros(10), FromMicros(20)});
+  plan.degrades.push_back({"L", FromMicros(10), FromMicros(20), 2.0});
+  plan.stalls.push_back({"soc", FromMicros(10), FromMicros(20)});
+  FaultInjector inj(plan);
+
+  // Flap: dead at start, alive again at exactly end. (drop_rate is zero, so
+  // outside the flap nothing drops.)
+  EXPECT_FALSE(inj.ShouldDropBurst("L", 1, FromMicros(10) - 1));
+  EXPECT_TRUE(inj.ShouldDropBurst("L", 1, FromMicros(10)));
+  EXPECT_TRUE(inj.ShouldDropBurst("L", 1, FromMicros(20) - 1));
+  EXPECT_FALSE(inj.ShouldDropBurst("L", 1, FromMicros(20)));
+
+  // Degrade: scaled at start, clean at end.
+  EXPECT_DOUBLE_EQ(inj.ServiceScale("L", FromMicros(10) - 1), 1.0);
+  EXPECT_DOUBLE_EQ(inj.ServiceScale("L", FromMicros(10)), 2.0);
+  EXPECT_DOUBLE_EQ(inj.ServiceScale("L", FromMicros(20) - 1), 2.0);
+  EXPECT_DOUBLE_EQ(inj.ServiceScale("L", FromMicros(20)), 1.0);
+
+  // Stall: deferred at start, free at end (a deferral to `end` from one
+  // tick before is exactly one tick).
+  EXPECT_EQ(inj.StallDelay("soc", FromMicros(10) - 1), 0);
+  EXPECT_EQ(inj.StallDelay("soc", FromMicros(10)), FromMicros(10));
+  EXPECT_EQ(inj.StallDelay("soc", FromMicros(20) - 1), 1);
+  EXPECT_EQ(inj.StallDelay("soc", FromMicros(20)), 0);
+}
+
+TEST(FaultInjector, CrashedAtEdges) {
+  FaultPlan plan;
+  plan.crashes.push_back({"soc", FromMicros(80), FromMicros(140), FromMicros(20)});
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.CrashedAt("soc", FromMicros(80) - 1));
+  EXPECT_TRUE(inj.CrashedAt("soc", FromMicros(80)));    // start included
+  EXPECT_TRUE(inj.CrashedAt("soc", FromMicros(140) - 1));
+  EXPECT_FALSE(inj.CrashedAt("soc", FromMicros(140)));  // end excluded
+  EXPECT_FALSE(inj.CrashedAt("host", FromMicros(100))); // other domain alive
+}
+
+TEST(FaultInjector, CrashKillsOverlapEdges) {
+  FaultPlan plan;
+  plan.crashes.push_back({"soc", FromMicros(80), FromMicros(140), 0});
+  FaultInjector inj(plan);
+  // Spans ending exactly at the crash start escaped: the reply left before
+  // the lights went out.
+  EXPECT_FALSE(inj.CrashKills("soc", FromMicros(60), FromMicros(80)));
+  // One tick of overlap on either side kills.
+  EXPECT_TRUE(inj.CrashKills("soc", FromMicros(60), FromMicros(80) + 1));
+  EXPECT_TRUE(inj.CrashKills("soc", FromMicros(140) - 1, FromMicros(200)));
+  // Spans starting exactly at the crash end never saw the dead endpoint.
+  EXPECT_FALSE(inj.CrashKills("soc", FromMicros(140), FromMicros(200)));
+  // A span enclosing the whole window dies; one inside it too.
+  EXPECT_TRUE(inj.CrashKills("soc", FromMicros(60), FromMicros(200)));
+  EXPECT_TRUE(inj.CrashKills("soc", FromMicros(90), FromMicros(100)));
+  EXPECT_FALSE(inj.CrashKills("host", FromMicros(90), FromMicros(100)));
+}
+
+TEST(FaultInjector, InRewarmEdges) {
+  FaultPlan plan;
+  plan.crashes.push_back({"soc", FromMicros(80), FromMicros(140), FromMicros(20)});
+  plan.crashes.push_back({"host", FromMicros(10), FromMicros(30), 0});
+  FaultInjector inj(plan);
+  // The rewarm tail is [end, end + rewarm): the restart instant is cold.
+  EXPECT_FALSE(inj.InRewarm("soc", FromMicros(140) - 1));  // still crashed
+  EXPECT_TRUE(inj.InRewarm("soc", FromMicros(140)));
+  EXPECT_TRUE(inj.InRewarm("soc", FromMicros(160) - 1));
+  EXPECT_FALSE(inj.InRewarm("soc", FromMicros(160)));
+  // rewarm == 0 means the restart comes back warm.
+  EXPECT_FALSE(inj.InRewarm("host", FromMicros(30)));
+}
+
 }  // namespace
 }  // namespace fault
 }  // namespace snicsim

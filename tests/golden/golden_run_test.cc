@@ -9,43 +9,16 @@
 // number bit-identical to the pre-fault simulator.
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "src/common/table.h"
 #include "src/workload/harness.h"
+#include "tests/golden/golden_check.h"
 
 namespace snicsim {
 namespace {
-
-std::string GoldenPath(const std::string& name) {
-  return std::string(SNICSIM_SOURCE_DIR) + "/tests/golden/data/" + name;
-}
-
-// Diff `actual` against the committed golden, or rewrite the golden when
-// UPDATE_GOLDENS is set in the environment.
-void CheckGolden(const std::string& name, const std::string& actual) {
-  const std::string path = GoldenPath(name);
-  ASSERT_FALSE(actual.empty());
-  if (std::getenv("UPDATE_GOLDENS") != nullptr) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    ASSERT_TRUE(out.good()) << "cannot write " << path;
-    out << actual;
-    std::printf("updated %s (%zu bytes)\n", path.c_str(), actual.size());
-    return;
-  }
-  std::ifstream in(path, std::ios::binary);
-  ASSERT_TRUE(in.good()) << "missing golden " << path
-                         << " — run scripts/update_goldens.sh";
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  EXPECT_EQ(buf.str(), actual)
-      << name << " drifted from its golden. If the numeric change is "
-      << "intentional, regenerate with scripts/update_goldens.sh.";
-}
 
 // Tiny fixed configurations: small enough for tier-1 CI, large enough that
 // queueing/contention paths are exercised. Everything is pinned — seeds,

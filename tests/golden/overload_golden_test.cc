@@ -1,0 +1,136 @@
+// Numeric regression pins for the resilience layer: a miniature overload
+// point (deadline-only vs shedding arm, well past the serving knee) and a
+// SoC crash-recovery run with the full stack on, each rendered as a counter
+// table plus the complete ServingResult fingerprint and diffed
+// byte-for-byte against committed goldens. The fingerprint covers every
+// result field, so any drift in the resilience pipeline — shed decisions,
+// hedge draws, the breaker state machine, crash/rewarm accounting — fails
+// here and must be acknowledged via scripts/update_goldens.sh.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/governor/serving.h"
+#include "tests/golden/golden_check.h"
+
+namespace snicsim {
+namespace governor {
+namespace {
+
+// The overload_property_test shape: 2 machines x 4 threads against 1 host
+// core + 2 Arm cores, everything seeded so the run is a pure function of
+// the simulator.
+ServingRunConfig TinyServing() {
+  ServingRunConfig c;
+  c.client.threads = 4;
+  c.fleet.machines = 2;
+  c.fleet.logical_clients = 128;
+  c.fleet.seed = 42;
+  c.layout.keys = 4096;
+  c.layout.cached_keys = 1024;
+  c.layout.class_bytes = {64, 128, 512, 1024};
+  c.mix.weights = {0.25, 0.25, 0.25, 0.25};
+  c.zipf_theta = 0.99;
+  c.host_cores = 1;
+  c.soc_cores = 2;
+  c.warmup = FromMicros(20);
+  c.window = FromMicros(100);
+  return c;
+}
+
+resilience::ResilienceConfig FullResilience() {
+  resilience::ResilienceConfig r;
+  r.deadline = FromMicros(40);
+  r.shedding = true;
+  r.codel_target = FromMicros(8);
+  r.codel_interval = FromMicros(20);
+  r.hedging = true;
+  r.hedge_max_bytes = 4096;
+  r.hedge_multiplier = 2.0;
+  r.hedge_min_delay = FromMicros(4);
+  r.breakers = true;
+  r.breaker_threshold = 0.5;
+  r.breaker_min_samples = 4;
+  r.breaker_open_epochs = 2;
+  r.breaker_probes = 8;
+  return r;
+}
+
+// One offered-load point past the ~8 Mops knee, unprotected vs shedding:
+// pins both the goodput plateau and every ledger counter behind it.
+TEST(GoldenOverload, SheddingPoint) {
+  auto point = [](bool resilient) {
+    ServingRunConfig c = TinyServing();
+    c.policy = PolicyKind::kGovernor;
+    c.governor.soc_inflight_cap = 1 << 20;
+    c.fleet.open_loop = true;
+    c.fleet.open_mops = 16.0;
+    c.resil.deadline = FromMicros(40);
+    if (resilient) {
+      c.resil.shedding = true;
+      c.resil.codel_target = FromMicros(8);
+      c.resil.codel_interval = FromMicros(20);
+    }
+    return c;
+  };
+  Table t({"arm", "mreqs", "generated", "issued", "completed", "shed",
+           "shed_codel", "good", "late"});
+  std::string fingerprints;
+  for (const bool resilient : {false, true}) {
+    const ServingResult r = RunServing(point(resilient));
+    t.Row().Add(resilient ? "shedding" : "deadline-only");
+    t.Add(r.mreqs, 3).Add(r.generated).Add(r.issued).Add(r.completed);
+    t.Add(r.shed).Add(r.shed_codel).Add(r.good).Add(r.late);
+    fingerprints += r.Fingerprint() + "\n";
+  }
+  std::ostringstream os;
+  t.PrintCsv(os);
+  os << fingerprints;
+  CheckGolden("overload.golden", os.str());
+}
+
+// A SoC crash window: pins the flush/failover/half-open-readmission story
+// — crash drops, breaker transitions, probe budget, rewarm misses — down
+// to the exact counts. Hedging is off, as in the matching property test:
+// hedged duplicates dilute the SoC failure rate below the trip threshold,
+// and this golden exists to pin the breaker path.
+TEST(GoldenOverload, CrashRecovery) {
+  ServingRunConfig c = TinyServing();
+  c.policy = PolicyKind::kGovernor;
+  c.fleet.open_loop = true;
+  c.fleet.open_mops = 4.0;
+  c.client.transport_timeout = FromMicros(12);
+  c.window = FromMicros(160);  // post-restart runway for half-open probes
+  c.faults.seed = 7;
+  c.faults.crashes.push_back(
+      {"soc", FromMicros(40), FromMicros(80), FromMicros(10)});
+  c.resil = FullResilience();
+  c.resil.hedging = false;
+
+  const ServingResult r = RunServing(c);
+  Table t({"counter", "value"});
+  t.Row().Add("crash_drops").Add(r.crash_drops);
+  t.Row().Add("rewarm_misses").Add(r.rewarm_misses);
+  t.Row().Add("breaker_trips").Add(r.breaker_trips);
+  t.Row().Add("breaker_reopens").Add(r.breaker_reopens);
+  t.Row().Add("breaker_probes").Add(r.breaker_probes);
+  t.Row().Add("breaker_denied").Add(r.breaker_denied);
+  t.Row().Add("hedges").Add(r.hedges);
+  t.Row().Add("hedge_wins").Add(r.hedge_wins);
+  t.Row().Add("hedge_cancels").Add(r.hedge_cancels);
+  t.Row().Add("shed").Add(r.shed);
+  t.Row().Add("cancelled").Add(r.cancelled);
+  t.Row().Add("deadline_failed").Add(r.deadline_failed);
+  t.Row().Add("soc_trip_us").Add(r.soc_trip_us, 3);
+  t.Row().Add("soc_trip_gap_us").Add(r.soc_trip_gap_us, 3);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  os << r.Fingerprint() << "\n";
+  CheckGolden("crash_recovery.golden", os.str());
+}
+
+}  // namespace
+}  // namespace governor
+}  // namespace snicsim

@@ -8,10 +8,13 @@
 #include <string>
 
 #include "src/fault/injector.h"
+#include "src/kvstore/serving.h"
+#include "src/resilience/resilience.h"
 #include "src/topo/fabric.h"
 #include "src/topo/server.h"
 #include "src/topo/testbed_params.h"
 #include "src/workload/client.h"
+#include "src/workload/fleet.h"
 #include "src/workload/local_requester.h"
 
 namespace snicsim {
@@ -78,8 +81,23 @@ TEST(MetricsCatalog, EveryRegisteredLeafIsDocumented) {
   // layer + the faults. component) are part of the audited catalog too.
   fault::FaultPlan plan;
   plan.drop_rate = 0.01;
+  plan.crashes.push_back({"soc", FromMicros(10), FromMicros(20), FromMicros(5)});
   fault::FaultInjector faults(plan);
   sim.set_faults(&faults);
+  // The serving/resilience stack registers more conditional leaves: the
+  // executor's crash counters (faults set), the fleet's shed/deadline
+  // ledger (manager set), and the manager's own "resil" component.
+  kv::ServingExecutor exec(&sim, &bf,
+                           kv::ServingConfig::FromTestbed(tp, kv::ServingLayout()));
+  resilience::ResilienceConfig rc;
+  rc.deadline = FromMicros(40);
+  rc.shedding = true;
+  rc.hedging = true;
+  rc.breakers = true;
+  resilience::ResilienceManager resil(rc);
+  exec.BindResilience(&resil);
+  ClientFleet fleet(&sim, &fabric, FleetParams());
+  fleet.SetResilience(&resil);
 
   MetricsRegistry reg;
   rnic.RegisterMetrics(&reg);
@@ -87,6 +105,9 @@ TEST(MetricsCatalog, EveryRegisteredLeafIsDocumented) {
   cli.RegisterMetrics(&reg);
   req.RegisterMetrics(&reg);
   faults.RegisterMetrics(&reg);
+  exec.RegisterMetrics(&reg);
+  fleet.RegisterMetrics(&reg);
+  resil.RegisterMetrics(&reg);
   ASSERT_GT(reg.entries().size(), 30u);  // the graph is fully instrumented
 
   std::ifstream design(std::string(SNICSIM_SOURCE_DIR) + "/DESIGN.md");

@@ -251,6 +251,113 @@ TEST_F(QpSemanticsTest, GoBackNRetransmitsEverythingAfterTheTimedOutWr) {
   }
 }
 
+TEST_F(QpSemanticsTest, RetransmitTimerFreezesWhenQpLeavesRts) {
+  // Regression: an armed retransmit timer used to keep firing after the QP
+  // left kRts through an *external* Modify (which, unlike Reset/Recover,
+  // does not flush the send queue), retransmitting into a dead QP and
+  // re-arming itself forever. The timer must find state != kRts and die.
+  fault::FaultPlan plan;
+  plan.flaps.push_back({"bf_srv.port", 0, FromMicros(10)});
+  fault::FaultInjector injector(plan);
+  sim_.set_faults(&injector);
+  QpConfig cfg;
+  cfg.transport_timeout = FromMicros(20);
+  CompletionQueue cq;
+  QueuePair qp(&client_, 0, Mr(), &cq, cfg);
+  int callbacks = 0;
+  ASSERT_TRUE(qp.PostRead(0, 64, 7, [&](SimTime) { ++callbacks; }));
+  // The first transmission dies in the flap; at t=5 us (before the 20 us
+  // timer) something external errors the QP out.
+  sim_.In(FromMicros(5), [&] { qp.Modify(QpState::kError); });
+  sim_.Run();  // would never drain if the timer re-armed forever
+  EXPECT_EQ(qp.state(), QpState::kError);
+  EXPECT_EQ(qp.timeouts(), 0u);      // the gate fires before the timeout path
+  EXPECT_EQ(qp.retransmits(), 0u);
+  EXPECT_EQ(qp.outstanding(), 1);    // external Modify does not flush
+  EXPECT_EQ(callbacks, 0);
+  // Recover flushes the orphaned WR exactly once and the QP serves again.
+  ASSERT_TRUE(qp.Recover());
+  EXPECT_EQ(qp.outstanding(), 0);
+  EXPECT_EQ(qp.completion_errors(), 1u);
+  EXPECT_EQ(callbacks, 1);
+  ASSERT_EQ(cq.pending(), 1u);
+  WorkCompletion wc;
+  cq.Poll(&wc, 1);
+  EXPECT_EQ(wc.status, WcStatus::kFlushed);
+  ASSERT_TRUE(qp.PostRead(0, 64, 8, [&](SimTime) { ++callbacks; }));
+  sim_.Run();
+  EXPECT_EQ(callbacks, 2);
+  EXPECT_EQ(qp.completions(), 1u);
+}
+
+TEST_F(QpSemanticsTest, DeadlineExpiresOneWrAndLeavesTheQpServing) {
+  // Every transmission dies until t=100 us, so the deadline (t=30 us) can
+  // only be noticed at retransmit time. The bounded WR completes exactly
+  // once as kDeadlineExceeded; the unbounded WR keeps its own timers and
+  // completes normally after the link heals — the QP never leaves kRts.
+  fault::FaultPlan plan;
+  plan.flaps.push_back({"bf_srv.port", 0, FromMicros(100)});
+  fault::FaultInjector injector(plan);
+  sim_.set_faults(&injector);
+  QpConfig cfg;
+  cfg.transport_timeout = FromMicros(20);
+  CompletionQueue cq;
+  QueuePair qp(&client_, 0, Mr(), &cq, cfg);
+  int deadline_cbs = 0;
+  ASSERT_TRUE(qp.PostRead(0, 64, 1, [&](SimTime) { ++deadline_cbs; },
+                          /*signaled=*/true, /*deadline=*/FromMicros(30)));
+  ASSERT_TRUE(qp.PostRead(64, 64, 2));
+  sim_.Run();
+  EXPECT_EQ(qp.state(), QpState::kRts);
+  EXPECT_EQ(qp.deadline_exceeded(), 1u);
+  EXPECT_EQ(qp.completion_errors(), 1u);
+  EXPECT_EQ(qp.completions(), 1u);
+  EXPECT_EQ(deadline_cbs, 1);
+  ASSERT_EQ(cq.pending(), 2u);
+  WorkCompletion wc;
+  cq.Poll(&wc, 1);
+  EXPECT_EQ(wc.wr_id, 1u);
+  EXPECT_EQ(wc.status, WcStatus::kDeadlineExceeded);
+  EXPECT_GE(wc.completed_at, FromMicros(30));  // at a timer, never before
+  cq.Poll(&wc, 1);
+  EXPECT_EQ(wc.wr_id, 2u);
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+}
+
+TEST_F(QpSemanticsTest, CrashDomainTimeoutFlushesAndRecoversAfterRestart) {
+  // A timeout inside the bound domain's crash window means the endpoint
+  // died, not the frame: the QP drops to kError and flushes instead of
+  // retransmitting into the void. After the restart Recover() reconnects.
+  fault::FaultPlan plan;
+  plan.flaps.push_back({"bf_srv.port", 0, FromMicros(40)});
+  plan.crashes.push_back({"srv", 0, FromMicros(40), 0});
+  fault::FaultInjector injector(plan);
+  sim_.set_faults(&injector);
+  QpConfig cfg;
+  cfg.transport_timeout = FromMicros(20);
+  cfg.crash_domain = "srv";
+  CompletionQueue cq;
+  QueuePair qp(&client_, 0, Mr(), &cq, cfg);
+  ASSERT_TRUE(qp.PostRead(0, 64, 1));
+  sim_.Run();
+  EXPECT_EQ(qp.state(), QpState::kError);
+  EXPECT_EQ(qp.timeouts(), 1u);
+  EXPECT_EQ(qp.retransmits(), 0u);  // pointless retransmissions skipped
+  EXPECT_EQ(qp.completion_errors(), 1u);
+  ASSERT_EQ(cq.pending(), 1u);
+  WorkCompletion wc;
+  cq.Poll(&wc, 1);
+  EXPECT_EQ(wc.status, WcStatus::kFlushed);
+  // The run drained at t=20 us, still inside the window; step past it.
+  sim_.RunFor(FromMicros(30));
+  ASSERT_TRUE(qp.Recover());
+  EXPECT_EQ(qp.state(), QpState::kRts);
+  ASSERT_TRUE(qp.PostRead(0, 64, 2));
+  sim_.Run();
+  EXPECT_EQ(qp.completions(), 1u);
+  EXPECT_EQ(qp.state(), QpState::kRts);
+}
+
 TEST(ReceiveQueue, PostRecvCapsAtCapacity) {
   ReceiveQueue ring(4, false);
   EXPECT_EQ(ring.posted(), 4);

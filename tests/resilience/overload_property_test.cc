@@ -1,0 +1,231 @@
+// End-to-end properties of the resilience layer through RunServing, at a
+// scale small enough for the test tier: the request ledger closes exactly
+// under every combination of seeds and fault plans, runs replay
+// byte-identically, shedding holds goodput above the collapsing baseline
+// past the knee, the hedge race settles with exactly one cancelled loser
+// per launched duplicate, and a SoC crash window trips the breaker and
+// re-admits the endpoint through half-open probes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/fault/plan.h"
+#include "src/governor/serving.h"
+
+namespace snicsim {
+namespace governor {
+namespace {
+
+// The sec_overload bench shape shrunk for test latency: half the fleet,
+// half the window, same 1 host core + 2 Arm cores serving side.
+ServingRunConfig SmallBase(uint64_t seed) {
+  ServingRunConfig c;
+  c.client.threads = 4;
+  c.fleet.machines = 2;
+  c.fleet.logical_clients = 128;
+  c.fleet.seed = seed;
+  c.layout.keys = 4096;
+  c.layout.cached_keys = 1024;
+  c.layout.class_bytes = {64, 128, 512, 1024};
+  c.mix.weights = {0.25, 0.25, 0.25, 0.25};
+  c.zipf_theta = 0.99;
+  c.host_cores = 1;
+  c.soc_cores = 2;
+  c.warmup = FromMicros(20);
+  c.window = FromMicros(100);
+  return c;
+}
+
+resilience::ResilienceConfig FullResilience() {
+  resilience::ResilienceConfig r;
+  r.deadline = FromMicros(40);
+  r.shedding = true;
+  r.codel_target = FromMicros(8);
+  r.codel_interval = FromMicros(20);
+  r.hedging = true;
+  r.hedge_max_bytes = 4096;
+  r.hedge_multiplier = 2.0;
+  r.hedge_min_delay = FromMicros(4);
+  r.breakers = true;
+  r.breaker_threshold = 0.5;
+  r.breaker_min_samples = 4;
+  r.breaker_open_epochs = 2;
+  r.breaker_probes = 8;
+  return r;
+}
+
+// Every admitted request terminates exactly once; nothing is lost or
+// double-counted anywhere in the pipeline.
+void ExpectLedgerClosed(const ServingResult& r, bool has_resil,
+                        const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(r.generated, r.issued - r.hedges + r.shed);
+  EXPECT_EQ(r.issued, r.completed + r.failed + r.cancelled);
+  uint64_t sum = 0;
+  for (uint64_t v : r.path_issued) sum += v;
+  EXPECT_EQ(sum, r.issued);
+  if (!has_resil) {
+    return;
+  }
+  EXPECT_EQ(r.good + r.late, r.completed);
+  EXPECT_LE(r.deadline_failed, r.failed);
+  EXPECT_EQ(r.shed, r.shed_codel + r.shed_bucket + r.shed_deadline);
+  // The race settles exactly: one cancelled loser per launched duplicate
+  // (the winner may be either copy, so wins only bound from above), and
+  // every hedge decision consumed exactly one jitter draw up front.
+  EXPECT_EQ(r.cancelled, r.hedges);
+  EXPECT_EQ(r.hedge_cancels, r.cancelled);
+  EXPECT_LE(r.hedge_wins, r.hedges);
+  EXPECT_GE(r.resil_draws, r.hedges);
+}
+
+TEST(OverloadProperty, LedgerClosesAcrossSeedsAndFaultPlans) {
+  for (uint64_t seed : {7ULL, 42ULL, 1337ULL}) {
+    for (int plan = 0; plan < 3; ++plan) {
+      ServingRunConfig c = SmallBase(seed);
+      c.policy = PolicyKind::kGovernor;
+      c.fleet.open_loop = true;
+      c.fleet.open_mops = 4.0;
+      c.resil = FullResilience();
+      switch (plan) {
+        case 0:
+          break;  // fault-free
+        case 1:
+          c.faults.drop_rate = 0.02;
+          c.faults.seed = 7;
+          c.client.transport_timeout = FromMicros(12);
+          break;
+        case 2:
+          c.faults.seed = 7;
+          c.faults.crashes.push_back(
+              {"soc", FromMicros(50), FromMicros(90), FromMicros(10)});
+          c.client.transport_timeout = FromMicros(12);
+          break;
+      }
+      const ServingResult r = RunServing(c);
+      ExpectLedgerClosed(r, /*has_resil=*/true,
+                         "seed=" + std::to_string(seed) +
+                             " plan=" + std::to_string(plan));
+      EXPECT_GT(r.completed, 0u);
+    }
+  }
+}
+
+TEST(OverloadProperty, ReplayIsByteIdentical) {
+  ServingRunConfig c = SmallBase(42);
+  c.policy = PolicyKind::kGovernor;
+  c.fleet.open_loop = true;
+  c.fleet.open_mops = 8.0;
+  c.resil = FullResilience();
+  c.faults.seed = 7;
+  c.faults.crashes.push_back(
+      {"soc", FromMicros(50), FromMicros(90), FromMicros(10)});
+  c.client.transport_timeout = FromMicros(12);
+
+  const std::string a = RunServing(c).Fingerprint();
+  const std::string b = RunServing(c).Fingerprint();
+  EXPECT_EQ(a, b);
+}
+
+TEST(OverloadProperty, SheddingHoldsGoodputAboveCollapsedBaseline) {
+  // Well past the ~8 Mops knee of the 1+2-core serving side. The governor's
+  // own SoC in-flight cap is lifted so the resilience layer is the only
+  // admission control in play.
+  auto point = [](bool resilient) {
+    ServingRunConfig c = SmallBase(42);
+    c.policy = PolicyKind::kGovernor;
+    c.governor.soc_inflight_cap = 1 << 20;
+    c.fleet.open_loop = true;
+    c.fleet.open_mops = 16.0;
+    c.resil.deadline = FromMicros(40);
+    if (resilient) {
+      c.resil.shedding = true;
+      c.resil.codel_target = FromMicros(8);
+      c.resil.codel_interval = FromMicros(20);
+    }
+    return c;
+  };
+  const ServingResult base = RunServing(point(false));
+  const ServingResult resil = RunServing(point(true));
+  ExpectLedgerClosed(base, true, "deadline-only");
+  ExpectLedgerClosed(resil, true, "shedding");
+  // The overloaded baseline drowns in its own queues: completions land past
+  // the 40 us budget and goodput collapses. Shedding refuses low classes at
+  // admission and keeps the pools serving in-deadline work.
+  EXPECT_GT(resil.shed_codel, 0u);
+  EXPECT_GT(resil.mreqs, base.mreqs);
+  EXPECT_GT(base.late, 0u);
+}
+
+TEST(OverloadProperty, HedgeRaceSettlesUnderSocStalls) {
+  auto point = [](bool hedged) {
+    ServingRunConfig c = SmallBase(42);
+    c.policy = PolicyKind::kStaticSoc;
+    c.fleet.open_loop = true;
+    c.fleet.open_mops = 1.0;
+    c.faults.seed = 7;
+    c.faults.stalls.push_back({"soc", FromMicros(40), FromMicros(70)});
+    if (hedged) {
+      c.resil.hedging = true;
+      c.resil.hedge_max_bytes = 4096;
+      c.resil.hedge_multiplier = 2.0;
+      c.resil.hedge_min_delay = FromMicros(4);
+    }
+    return c;
+  };
+  const ServingResult off = RunServing(point(false));
+  const ServingResult on = RunServing(point(true));
+  ExpectLedgerClosed(on, true, "hedged");
+  EXPECT_EQ(off.hedges, 0u);
+  EXPECT_GT(on.hedges, 0u);
+  EXPECT_GT(on.hedge_wins, 0u);
+  // Escaping the stall onto the idle host path cuts the tail.
+  EXPECT_LT(on.p99_us, off.p99_us);
+}
+
+TEST(OverloadProperty, CrashTripsBreakerAndProbesReadmit) {
+  ServingRunConfig c = SmallBase(42);
+  c.policy = PolicyKind::kGovernor;
+  c.fleet.open_loop = true;
+  c.fleet.open_mops = 4.0;
+  c.client.transport_timeout = FromMicros(12);
+  // Generous post-restart runway so the half-open probe trickle is visible
+  // before the fleet stops issuing.
+  c.window = FromMicros(160);
+  c.faults.seed = 7;
+  c.faults.crashes.push_back(
+      {"soc", FromMicros(40), FromMicros(80), FromMicros(10)});
+  c.resil = FullResilience();
+  c.resil.hedging = false;  // isolate the breaker path
+
+  const ServingResult r = RunServing(c);
+  ExpectLedgerClosed(r, true, "crash");
+  EXPECT_GT(r.crash_drops, 0u);
+  EXPECT_GE(r.breaker_trips, 1u);
+  EXPECT_GT(r.breaker_probes, 0u);
+  EXPECT_GE(r.soc_trip_us, 0.0);
+  EXPECT_GE(r.soc_trip_gap_us, 0.0);
+  // Evidence-to-trip gap bounded by two governor epochs (the --check bound
+  // in bench/sec_overload, asserted here at test scale too).
+  EXPECT_LE(r.soc_trip_gap_us, 2.0 * ToMicros(GovernorConfig().epoch));
+  // The endpoint came back: SoC work completed after restart, paying cold
+  // misses over path 3.
+  EXPECT_GT(r.rewarm_misses, 0u);
+}
+
+TEST(OverloadProperty, EmptyResilienceConfigLeavesLedgerUntouched) {
+  ServingRunConfig c = SmallBase(42);
+  c.policy = PolicyKind::kGovernor;
+  const ServingResult r = RunServing(c);
+  ExpectLedgerClosed(r, /*has_resil=*/false, "resilience-free");
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_EQ(r.hedges, 0u);
+  EXPECT_EQ(r.good, 0u);  // goodput accounting only exists with a manager
+  EXPECT_EQ(r.breaker_trips, 0u);
+  EXPECT_EQ(r.resil_draws, 0u);
+  EXPECT_EQ(r.soc_trip_us, -1.0);
+}
+
+}  // namespace
+}  // namespace governor
+}  // namespace snicsim

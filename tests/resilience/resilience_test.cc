@@ -1,0 +1,377 @@
+// Unit tests for the ResilienceManager state machines in isolation: the
+// CoDel shed-level controller, the token bucket, the circuit-breaker
+// lifecycle (including probe accounting and the reopen path), hedge
+// eligibility/delay determinism, and the deadline admission check. The
+// end-to-end behaviour through RunServing is covered by
+// tests/resilience/overload_property_test.cc.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/resilience/resilience.h"
+
+namespace snicsim {
+namespace resilience {
+namespace {
+
+TEST(ResilienceConfig, EmptyContract) {
+  ResilienceConfig cfg;
+  EXPECT_TRUE(cfg.empty());
+
+  ResilienceConfig d = cfg;
+  d.deadline = FromMicros(40);
+  EXPECT_FALSE(d.empty());
+  ResilienceConfig s = cfg;
+  s.shedding = true;
+  EXPECT_FALSE(s.empty());
+  ResilienceConfig h = cfg;
+  h.hedging = true;
+  EXPECT_FALSE(h.empty());
+  ResilienceConfig b = cfg;
+  b.breakers = true;
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(ResilienceManager, StampDeadline) {
+  ResilienceConfig off;
+  EXPECT_EQ(ResilienceManager(off).StampDeadline(FromMicros(7)), 0);
+
+  ResilienceConfig on;
+  on.deadline = FromMicros(40);
+  ResilienceManager m(on);
+  EXPECT_EQ(m.StampDeadline(FromMicros(7)), FromMicros(47));
+}
+
+TEST(ResilienceManager, AdmitShedsExpiredDeadlines) {
+  ResilienceConfig cfg;
+  cfg.deadline = FromMicros(10);
+  ResilienceManager m(cfg);
+
+  const SimTime deadline = FromMicros(100);
+  // Budget still alive: admitted, nothing counted.
+  EXPECT_TRUE(m.Admit(kEndpointHost, 0, deadline, FromMicros(99)));
+  EXPECT_EQ(m.shed_total(), 0u);
+  // now == deadline is already too late — the check is `now >= deadline`.
+  EXPECT_FALSE(m.Admit(kEndpointHost, 0, deadline, FromMicros(100)));
+  EXPECT_FALSE(m.Admit(kEndpointSoc, 3, deadline, FromMicros(200)));
+  EXPECT_EQ(m.shed_deadline(), 2u);
+  EXPECT_EQ(m.shed_total(), 2u);
+  // deadline == 0 means "no budget": never shed on this path.
+  EXPECT_TRUE(m.Admit(kEndpointHost, 0, 0, FromMicros(1000)));
+  EXPECT_EQ(m.shed_deadline(), 2u);
+}
+
+TEST(ResilienceManager, CodelEscalatesOnStandingQueueAndRecovers) {
+  ResilienceConfig cfg;
+  cfg.shedding = true;
+  cfg.codel_target = FromMicros(10);
+  cfg.codel_interval = FromMicros(30);
+  ResilienceManager m(cfg);
+
+  SimTime backlog = FromMicros(50);
+  m.BindQueueSignal(kEndpointHost, [&backlog] { return backlog; });
+
+  // First sample only opens the window (interval_end was the 0 sentinel).
+  EXPECT_TRUE(m.Admit(kEndpointHost, 0, 0, 0));
+  EXPECT_EQ(m.shed_level(kEndpointHost), 0);
+
+  // A full interval whose *minimum* delay sat above target: standing queue,
+  // level escalates and class 0 is now refused while class 1 still passes.
+  EXPECT_FALSE(m.Admit(kEndpointHost, 0, 0, FromMicros(30)));
+  EXPECT_EQ(m.shed_level(kEndpointHost), 1);
+  EXPECT_EQ(m.shed_codel(), 1u);
+  EXPECT_TRUE(m.Admit(kEndpointHost, 1, 0, FromMicros(30)));
+
+  // Still saturated one interval later: level 2, class 1 shed too.
+  EXPECT_FALSE(m.Admit(kEndpointHost, 1, 0, FromMicros(60)));
+  EXPECT_EQ(m.shed_level(kEndpointHost), 2);
+
+  // A dip *within* the window (burst absorbed) pins the windowed minimum
+  // below target/2, so the next boundary de-escalates.
+  backlog = FromMicros(4);
+  EXPECT_TRUE(m.Admit(kEndpointHost, 2, 0, FromMicros(70)));
+  backlog = FromMicros(50);
+  EXPECT_TRUE(m.Admit(kEndpointHost, 2, 0, FromMicros(90)));
+  EXPECT_EQ(m.shed_level(kEndpointHost), 1);
+
+  // The middle band (target/2 < min <= target) holds the level steady.
+  backlog = FromMicros(8);
+  EXPECT_TRUE(m.Admit(kEndpointHost, 2, 0, FromMicros(120)));
+  EXPECT_EQ(m.shed_level(kEndpointHost), 1);
+  EXPECT_TRUE(m.Admit(kEndpointHost, 2, 0, FromMicros(150)));
+  EXPECT_EQ(m.shed_level(kEndpointHost), 1);
+
+  // Sustained low delay drains the level back to zero, one per interval.
+  backlog = FromMicros(1);
+  EXPECT_TRUE(m.Admit(kEndpointHost, 2, 0, FromMicros(180)));
+  EXPECT_EQ(m.shed_level(kEndpointHost), 0);
+  EXPECT_TRUE(m.Admit(kEndpointHost, 0, 0, FromMicros(210)));
+  EXPECT_EQ(m.shed_level(kEndpointHost), 0);
+
+  // Endpoints are independent: the SoC endpoint never moved.
+  EXPECT_EQ(m.shed_level(kEndpointSoc), 0);
+}
+
+TEST(ResilienceManager, CodelLevelIsCapped) {
+  ResilienceConfig cfg;
+  cfg.shedding = true;
+  cfg.codel_target = FromMicros(10);
+  cfg.codel_interval = FromMicros(30);
+  ResilienceManager m(cfg);
+  m.BindQueueSignal(kEndpointSoc, [] { return FromMicros(500); });
+
+  for (int i = 0; i < 32; ++i) {
+    m.Admit(kEndpointSoc, 100, 0, FromMicros(30) * i);
+  }
+  EXPECT_EQ(m.shed_level(kEndpointSoc), 8);  // kMaxShedLevel
+}
+
+TEST(ResilienceManager, TokenBucketCapsAdmitRate) {
+  ResilienceConfig cfg;
+  cfg.shedding = true;
+  cfg.bucket_mops = 1.0;  // one token per microsecond
+  cfg.bucket_depth = 4.0;
+  ResilienceManager m(cfg);
+  // No queue signal bound: the CoDel stage is inert, the bucket still caps.
+
+  // The bucket primes full: a burst of depth admits, the next one sheds.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(m.Admit(kEndpointHost, 0, 0, 0)) << i;
+  }
+  EXPECT_FALSE(m.Admit(kEndpointHost, 0, 0, 0));
+  EXPECT_EQ(m.shed_bucket(), 1u);
+
+  // 2us later exactly two tokens have refilled.
+  EXPECT_TRUE(m.Admit(kEndpointHost, 0, 0, FromMicros(2)));
+  EXPECT_TRUE(m.Admit(kEndpointHost, 0, 0, FromMicros(2)));
+  EXPECT_FALSE(m.Admit(kEndpointHost, 0, 0, FromMicros(2)));
+  EXPECT_EQ(m.shed_bucket(), 2u);
+
+  // Refill saturates at the depth, not beyond it.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(m.Admit(kEndpointHost, 0, 0, FromMicros(1000)));
+  }
+  EXPECT_FALSE(m.Admit(kEndpointHost, 0, 0, FromMicros(1000)));
+
+  // Buckets are per endpoint.
+  EXPECT_TRUE(m.Admit(kEndpointSoc, 0, 0, FromMicros(1000)));
+}
+
+// Drives one endpoint's breaker with `bad` failed and `good` healthy
+// outcomes at time `at`.
+void Feed(ResilienceManager* m, int ep, int bad, int good, SimTime at) {
+  for (int i = 0; i < bad; ++i) {
+    m->OnOutcome(ep, FromMicros(5), /*ok=*/false, /*deadline_met=*/true, at);
+  }
+  for (int i = 0; i < good; ++i) {
+    m->OnOutcome(ep, FromMicros(5), /*ok=*/true, /*deadline_met=*/true, at);
+  }
+}
+
+TEST(ResilienceManager, BreakerLifecycle) {
+  ResilienceConfig cfg;
+  cfg.breakers = true;
+  cfg.breaker_threshold = 0.5;
+  cfg.breaker_min_samples = 4;
+  cfg.breaker_open_epochs = 2;
+  cfg.breaker_probes = 2;
+  ResilienceManager m(cfg);
+
+  EXPECT_EQ(m.breaker_state(kEndpointSoc), BreakerState::kClosed);
+  EXPECT_TRUE(m.EndpointAvailable(kEndpointSoc));
+  EXPECT_EQ(m.first_trip_at(kEndpointSoc), -1);
+  EXPECT_EQ(m.max_trip_gap(kEndpointSoc), -1);
+
+  // A healthy epoch changes nothing.
+  Feed(&m, kEndpointSoc, 0, 4, FromMicros(5));
+  m.OnEpoch(FromMicros(10));
+  EXPECT_EQ(m.breaker_state(kEndpointSoc), BreakerState::kClosed);
+
+  // Too few samples never trip, even at a 100% bad rate.
+  Feed(&m, kEndpointSoc, 3, 0, FromMicros(12));
+  m.OnEpoch(FromMicros(20));
+  EXPECT_EQ(m.breaker_state(kEndpointSoc), BreakerState::kClosed);
+  EXPECT_EQ(m.breaker_trips(), 0u);
+
+  // The epoch window resets: those 3 bads don't carry into this epoch, so
+  // 2 bad + 2 good (rate 0.5 == threshold, 4 samples) is what trips.
+  Feed(&m, kEndpointSoc, 2, 2, FromMicros(22));
+  m.OnEpoch(FromMicros(30));
+  EXPECT_EQ(m.breaker_state(kEndpointSoc), BreakerState::kOpen);
+  EXPECT_FALSE(m.EndpointAvailable(kEndpointSoc));
+  EXPECT_EQ(m.breaker_trips(), 1u);
+  EXPECT_EQ(m.first_trip_at(kEndpointSoc), FromMicros(30));
+  // The evidence-to-trip gap runs from the first bad outcome *ever seen*
+  // in this closed spell (t=12us), not from the tripping epoch's window.
+  EXPECT_EQ(m.max_trip_gap(kEndpointSoc), FromMicros(18));
+  // The host endpoint is untouched.
+  EXPECT_TRUE(m.EndpointAvailable(kEndpointHost));
+
+  // Open for exactly breaker_open_epochs epochs, then half-open.
+  m.OnEpoch(FromMicros(40));
+  EXPECT_EQ(m.breaker_state(kEndpointSoc), BreakerState::kOpen);
+  m.OnEpoch(FromMicros(50));
+  EXPECT_EQ(m.breaker_state(kEndpointSoc), BreakerState::kHalfOpen);
+  EXPECT_TRUE(m.EndpointAvailable(kEndpointSoc));
+
+  // Half-open admits exactly the probe budget.
+  m.OnRouted(kEndpointSoc);
+  EXPECT_TRUE(m.EndpointAvailable(kEndpointSoc));
+  m.OnRouted(kEndpointSoc);
+  EXPECT_FALSE(m.EndpointAvailable(kEndpointSoc));
+  EXPECT_EQ(m.breaker_probes_used(), 2u);
+
+  // Healthy probes close the breaker and forget the bad spell.
+  Feed(&m, kEndpointSoc, 0, 2, FromMicros(55));
+  m.OnEpoch(FromMicros(60));
+  EXPECT_EQ(m.breaker_state(kEndpointSoc), BreakerState::kClosed);
+  EXPECT_TRUE(m.EndpointAvailable(kEndpointSoc));
+
+  // Second spell: first_trip_at is sticky, max_trip_gap tracks the max,
+  // and the first_bad clock restarted after the healthy close.
+  Feed(&m, kEndpointSoc, 4, 0, FromMicros(61));
+  m.OnEpoch(FromMicros(70));
+  EXPECT_EQ(m.breaker_state(kEndpointSoc), BreakerState::kOpen);
+  EXPECT_EQ(m.breaker_trips(), 2u);
+  EXPECT_EQ(m.first_trip_at(kEndpointSoc), FromMicros(30));
+  EXPECT_EQ(m.max_trip_gap(kEndpointSoc), FromMicros(18));  // max(18, 70-61)
+
+  // Walk to half-open again.
+  m.OnEpoch(FromMicros(80));
+  m.OnEpoch(FromMicros(90));
+  EXPECT_EQ(m.breaker_state(kEndpointSoc), BreakerState::kHalfOpen);
+
+  // An idle half-open epoch (no outcomes) refills the probe budget.
+  m.OnRouted(kEndpointSoc);
+  m.OnRouted(kEndpointSoc);
+  EXPECT_FALSE(m.EndpointAvailable(kEndpointSoc));
+  m.OnEpoch(FromMicros(100));
+  EXPECT_EQ(m.breaker_state(kEndpointSoc), BreakerState::kHalfOpen);
+  EXPECT_TRUE(m.EndpointAvailable(kEndpointSoc));
+
+  // A bad probe reopens: counted as a reopen, not a fresh trip.
+  m.OnRouted(kEndpointSoc);
+  Feed(&m, kEndpointSoc, 1, 0, FromMicros(105));
+  m.OnEpoch(FromMicros(110));
+  EXPECT_EQ(m.breaker_state(kEndpointSoc), BreakerState::kOpen);
+  EXPECT_EQ(m.breaker_reopens(), 1u);
+  EXPECT_EQ(m.breaker_trips(), 2u);
+}
+
+TEST(ResilienceManager, DeadlineMissesCountAsBadOutcomes) {
+  ResilienceConfig cfg;
+  cfg.breakers = true;
+  cfg.breaker_threshold = 0.5;
+  cfg.breaker_min_samples = 4;
+  ResilienceManager m(cfg);
+
+  // ok=true but past the budget is still breaker evidence.
+  for (int i = 0; i < 4; ++i) {
+    m.OnOutcome(kEndpointSoc, FromMicros(90), /*ok=*/true,
+                /*deadline_met=*/false, FromMicros(5));
+  }
+  m.OnEpoch(FromMicros(10));
+  EXPECT_EQ(m.breaker_state(kEndpointSoc), BreakerState::kOpen);
+}
+
+TEST(ResilienceManager, BreakersOffNeverDeny) {
+  ResilienceConfig cfg;
+  cfg.deadline = FromMicros(40);  // non-empty, but breakers off
+  ResilienceManager m(cfg);
+  Feed(&m, kEndpointSoc, 100, 0, FromMicros(5));
+  m.OnEpoch(FromMicros(10));
+  EXPECT_TRUE(m.EndpointAvailable(kEndpointSoc));
+  m.OnRouted(kEndpointSoc);
+  EXPECT_EQ(m.breaker_probes_used(), 0u);
+  EXPECT_EQ(m.breaker_trips(), 0u);
+}
+
+TEST(ResilienceManager, HedgeEligibility) {
+  ResilienceConfig off;
+  off.deadline = FromMicros(40);
+  EXPECT_FALSE(ResilienceManager(off).HedgeEligible(kEndpointHost, 64));
+
+  ResilienceConfig cfg;
+  cfg.hedging = true;
+  cfg.hedge_max_bytes = 4096;
+  cfg.breakers = true;
+  cfg.breaker_threshold = 0.5;
+  cfg.breaker_min_samples = 4;
+  ResilienceManager m(cfg);
+
+  EXPECT_EQ(ResilienceManager::OtherEndpoint(kEndpointHost), kEndpointSoc);
+  EXPECT_EQ(ResilienceManager::OtherEndpoint(kEndpointSoc), kEndpointHost);
+
+  // Size gate is inclusive.
+  EXPECT_TRUE(m.HedgeEligible(kEndpointHost, 4096));
+  EXPECT_FALSE(m.HedgeEligible(kEndpointHost, 4097));
+
+  // A hedge targets the *other* endpoint, so it needs that breaker closed.
+  Feed(&m, kEndpointSoc, 4, 0, FromMicros(5));
+  m.OnEpoch(FromMicros(10));
+  EXPECT_FALSE(m.HedgeEligible(kEndpointHost, 64));  // duplicate would hit soc
+  EXPECT_TRUE(m.HedgeEligible(kEndpointSoc, 64));    // duplicate hits host
+}
+
+TEST(ResilienceManager, HedgeDelayIsSeededDeterministicAndBounded) {
+  ResilienceConfig cfg;
+  cfg.hedging = true;
+  cfg.hedge_multiplier = 3.0;
+  cfg.hedge_min_delay = FromMicros(4);
+  cfg.hedge_jitter = 0.25;
+  cfg.seed = 0xfeedULL;
+
+  ResilienceManager a(cfg);
+  ResilienceManager b(cfg);
+  std::vector<SimTime> seq_a;
+  for (int i = 0; i < 16; ++i) {
+    const SimTime d = a.HedgeDelay(kEndpointHost);
+    // Unprimed estimators: the floor applies, jittered by +/- 25%.
+    EXPECT_GE(d, FromMicros(3));
+    EXPECT_LE(d, FromMicros(5));
+    seq_a.push_back(d);
+  }
+  EXPECT_EQ(a.draws(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(b.HedgeDelay(kEndpointHost), seq_a[i]) << i;
+  }
+
+  // A different seed diverges somewhere in the sequence.
+  ResilienceConfig other = cfg;
+  other.seed = 0xbeefULL;
+  ResilienceManager c(other);
+  bool diverged = false;
+  for (int i = 0; i < 16; ++i) {
+    diverged |= c.HedgeDelay(kEndpointHost) != seq_a[i];
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ResilienceManager, HedgeDelayTracksLatencyEstimators) {
+  ResilienceConfig cfg;
+  cfg.hedging = true;
+  cfg.hedge_multiplier = 3.0;
+  cfg.hedge_min_delay = FromMicros(4);
+  cfg.hedge_jitter = 0.0;  // exact arithmetic, draws still counted
+  ResilienceManager m(cfg);
+
+  // Priming sets mean = sample, dev = sample/2: delay = 3*(80 + 2*40).
+  m.OnOutcome(kEndpointHost, FromMicros(80), true, true, 0);
+  EXPECT_EQ(m.HedgeDelay(kEndpointHost), FromMicros(480));
+
+  // A repeat of the same latency: mean holds, dev decays by 1/4.
+  m.OnOutcome(kEndpointHost, FromMicros(80), true, true, 0);
+  EXPECT_EQ(m.HedgeDelay(kEndpointHost), FromMicros(420));  // 3*(80 + 2*30)
+
+  // Failed outcomes never feed the estimators.
+  m.OnOutcome(kEndpointHost, FromMicros(100000), false, true, 0);
+  EXPECT_EQ(m.HedgeDelay(kEndpointHost), FromMicros(420));
+
+  // Estimators are per endpoint; the soc side is still on the floor.
+  EXPECT_EQ(m.HedgeDelay(kEndpointSoc), FromMicros(4));
+  EXPECT_EQ(m.draws(), 4u);
+}
+
+}  // namespace
+}  // namespace resilience
+}  // namespace snicsim
