@@ -1,13 +1,24 @@
 #!/usr/bin/env python3
-"""CI perf gate for the DES event core.
+"""CI perf gate for the DES core.
 
-The gated quantity is a *same-run ratio*: bench/micro_simcore measures both
-the optimized event core (BM_EventQueueThroughput) and the pre-optimization
-reference implementation compiled into the same binary
-(BM_EventQueueThroughputLegacy), so fast/legacy is taken on one machine in
-one process. The gate fails when that speedup drops below the baseline's
-gate.min_speedup. Absolute throughput numbers vary wildly across CI runners
-and are reported for information only — they never fail the build.
+Every gated quantity is a *same-run ratio*: bench/micro_simcore measures a
+target and its reference implementation in the same binary on the same
+machine, so the ratio transfers across runners while absolute throughput
+does not. The baseline's `gates` list (or the legacy single `gate` object)
+names target/reference prefix pairs; for every target/arg point the
+same-run speedup must stay above that gate's min_speedup.
+
+Gates in the baseline today:
+  * event_core — the optimized event heap (BM_EventQueueThroughput) vs the
+    pre-optimization core compiled in as BM_EventQueueThroughputLegacy.
+  * parallel_vs_serial — the multi-domain rack workload on the parallel DES
+    core (BM_RackParallel) vs the same workload on one event core
+    (BM_RackSerial). This gate carries min_cores: a runner without enough
+    CPUs cannot show a parallel speedup, so the gate is skipped (loudly)
+    there instead of failing on scheduler noise.
+
+Absolute numbers vs the recorded dev-machine baseline are reported for
+information only — they never fail the build.
 
 Usage:
   build/bench/micro_simcore --benchmark_out=fresh.json \
@@ -20,10 +31,10 @@ import json
 import sys
 
 
-def load_fresh_items_per_second(path):
-    """Returns {benchmark_name: items_per_second} from a google-benchmark
-    JSON export, preferring the _median aggregate when repetitions were
-    requested."""
+def load_fresh(path):
+    """Returns ({benchmark_name: items_per_second}, num_cpus) from a
+    google-benchmark JSON export, preferring the _median aggregate when
+    repetitions were requested."""
     with open(path) as f:
         doc = json.load(f)
     plain = {}
@@ -37,41 +48,35 @@ def load_fresh_items_per_second(path):
             median[name[: -len("_median")]] = ips
         elif run.get("run_type", "iteration") == "iteration":
             plain[name] = ips
-    return {**plain, **median}
+    num_cpus = int(doc.get("context", {}).get("num_cpus", 0))
+    return {**plain, **median}, num_cpus
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", default="BENCH_simcore.json")
-    parser.add_argument("--fresh", required=True,
-                        help="google-benchmark JSON from a fresh run")
-    parser.add_argument("--min-speedup", type=float, default=None,
-                        help="min allowed fast/legacy ratio "
-                             "(default: baseline gate.min_speedup)")
-    args = parser.parse_args()
-
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    gate = baseline["gate"]
-    min_speedup = args.min_speedup
+def check_gate(gate, fresh, num_cpus, min_speedup_override):
+    """Runs one same-run-ratio gate. Returns (checked, skipped, failures)."""
+    label = gate.get("name", gate["target_prefix"])
+    min_speedup = min_speedup_override
     if min_speedup is None:
         min_speedup = float(gate["min_speedup"])
     target_prefix = gate["target_prefix"]
     reference_prefix = gate["reference_prefix"]
 
-    fresh = load_fresh_items_per_second(args.fresh)
+    min_cores = int(gate.get("min_cores", 0))
+    if min_cores and num_cpus and num_cpus < min_cores:
+        print(f"[skip ] gate '{label}': needs >= {min_cores} CPUs, "
+              f"runner has {num_cpus} — a parallel speedup cannot show "
+              f"here; not gated on this runner")
+        return 0, 1, []
 
-    # Gate: for every target/arg pair, the same-run speedup over the legacy
-    # reference must hold.
     failures = []
     checked = 0
     for name, ips in sorted(fresh.items()):
-        # target_prefix is a prefix of reference_prefix, so exclude the
-        # reference benchmarks themselves from the target set.
+        # target_prefix may be a prefix of reference_prefix (the event-core
+        # pair), so exclude the reference benchmarks from the target set.
         if not name.startswith(target_prefix) or \
                 name.startswith(reference_prefix):
             continue
-        arg = name[len(target_prefix):]  # e.g. "/1000"
+        arg = name[len(target_prefix):]  # e.g. "/1000" or "/8/real_time"
         ref_name = reference_prefix + arg
         if ref_name not in fresh:
             failures.append(f"{name}: reference {ref_name} missing from run")
@@ -81,12 +86,45 @@ def main():
         if speedup < min_speedup:
             status = "REGRESSION"
             failures.append(
-                f"{name}: {speedup:.2f}x over legacy core, gate requires "
-                f">= {min_speedup:.2f}x (fast {ips:,.0f} vs legacy "
-                f"{fresh[ref_name]:,.0f} items/s)")
+                f"{name}: {speedup:.2f}x over {ref_name}, gate '{label}' "
+                f"requires >= {min_speedup:.2f}x (target {ips:,.0f} vs "
+                f"reference {fresh[ref_name]:,.0f} items/s)")
         checked += 1
         print(f"[gated] {name}: {speedup:.2f}x over {ref_name} "
               f"(need >= {min_speedup:.2f}x) {status}")
+    if checked == 0:
+        failures.append(
+            f"gate '{label}': no '{target_prefix}*' benchmarks in fresh run")
+    return checked, 0, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_simcore.json")
+    parser.add_argument("--fresh", required=True,
+                        help="google-benchmark JSON from a fresh run")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="min allowed target/reference ratio for every "
+                             "gate (default: each gate's min_speedup)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    # `gates` list with a legacy single-`gate` fallback.
+    gates = baseline.get("gates")
+    if gates is None:
+        gates = [baseline["gate"]]
+
+    fresh, num_cpus = load_fresh(args.fresh)
+
+    failures = []
+    checked = 0
+    skipped = 0
+    for gate in gates:
+        c, s, f = check_gate(gate, fresh, num_cpus, args.min_speedup)
+        checked += c
+        skipped += s
+        failures.extend(f)
 
     # Informational: absolute numbers vs the recorded dev-machine baseline.
     # Hosted-runner hardware is unrelated to the machine that recorded the
@@ -99,16 +137,16 @@ def main():
         print(f"[info ] {name}: fresh {got:,.0f} / recorded {ref:,.0f} "
               f"items/s ({got / ref:.2f}x of dev-machine baseline)")
 
-    if checked == 0:
-        print(f"error: no '{target_prefix}*' benchmarks in fresh run",
-              file=sys.stderr)
+    if checked == 0 and skipped == 0:
+        print("error: no gate checked any benchmark", file=sys.stderr)
         return 2
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("\nperf gate passed")
+    print(f"\nperf gate passed ({checked} point(s) gated, "
+          f"{skipped} gate(s) skipped for core count)")
     return 0
 
 

@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # Builds everything, runs the test suite, then regenerates every paper
-# figure/table. Usage: scripts/run_all.sh [--csv] [--jobs=N] [--faults=SPEC]
+# figure/table. Usage: scripts/run_all.sh [--csv] [--jobs=N]
+#                                         [--sim-threads=N] [--faults=SPEC]
 #
 # --jobs=N fans the independent sweep points of each bench across N worker
-# threads (default: all cores). Output is byte-identical at any job count:
-# results are merged in submission order before anything is printed.
+# threads (default: all cores). --sim-threads=N sets the event cores inside
+# each simulation (multi-domain sims shard per-server domains; single-domain
+# harnesses accept it as a no-op). Output is byte-identical at any value of
+# either flag: results are merged in submission order before anything is
+# printed, and cross-domain events merge in (time, src, seq) order
+# (DESIGN.md §12). The two compose multiplicatively — keep jobs×sim_threads
+# near the core count.
 #
 # --faults=SPEC (see DESIGN.md §9 for the grammar) and --check are forwarded
 # only to the benches that accept those flags; the rest run without them.
@@ -12,12 +18,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc)"
+simthreads=""
 faults=""
 check=""
 args=()
 for a in "$@"; do
   case "$a" in
     --jobs=*) jobs="${a#--jobs=}" ;;
+    --sim-threads=*) simthreads="$a" ;;
     --faults=*) faults="$a" ;;
     --check) check="$a" ;;
     *) args+=("$a") ;;
@@ -37,13 +45,14 @@ for b in build/bench/*; do
       "$b"
       ;;
     fig3_flow|fig4_latency|fig4_throughput|fig8_large_read|fig10_doorbell)
-      # The fault-aware benches additionally take --faults.
-      "$b" --jobs="$jobs" ${faults:+"$faults"} ${args[@]+"${args[@]}"}
+      # The fault-aware benches additionally take --faults and --sim-threads.
+      "$b" --jobs="$jobs" ${simthreads:+"$simthreads"} ${faults:+"$faults"} \
+        ${args[@]+"${args[@]}"}
       ;;
     fig12_governor|sec_overload)
       # Fault-aware and self-checking: forward --faults and --check both.
-      "$b" --jobs="$jobs" ${faults:+"$faults"} ${check:+"$check"} \
-        ${args[@]+"${args[@]}"}
+      "$b" --jobs="$jobs" ${simthreads:+"$simthreads"} ${faults:+"$faults"} \
+        ${check:+"$check"} ${args[@]+"${args[@]}"}
       ;;
     *)
       "$b" --jobs="$jobs" ${args[@]+"${args[@]}"}

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/sim/timer_wheel.h"
 
 namespace snicsim {
 namespace governor {
@@ -57,7 +58,7 @@ void AdaptiveGovernor::BindMetrics(const MetricsRegistry& reg) {
   path3_bytes_.Bind(reg, "serve", "path3_bytes");
   if (!ticking_) {
     ticking_ = true;
-    sim_->In(cfg_.epoch, [this] { Tick(); });
+    ScheduleTick();
   }
 }
 
@@ -67,6 +68,14 @@ void AdaptiveGovernor::BindQpHealth(int path, std::function<rdma::QpHealth()> sa
   qp_health_[path] = std::move(sampler);
   if (!ticking_) {
     ticking_ = true;
+    ScheduleTick();
+  }
+}
+
+void AdaptiveGovernor::ScheduleTick() {
+  if (TimerWheel* const wheel = sim_->timer_wheel(); wheel != nullptr) {
+    wheel->In(cfg_.epoch, [this] { Tick(); });
+  } else {
     sim_->In(cfg_.epoch, [this] { Tick(); });
   }
 }
@@ -103,7 +112,7 @@ void AdaptiveGovernor::Tick() {
     // tripped out of the admissible set within one epoch of the evidence.
     resil_->OnEpoch(sim_->now());
   }
-  sim_->In(cfg_.epoch, [this] { Tick(); });
+  ScheduleTick();
 }
 
 double AdaptiveGovernor::Penalty(int path) const {

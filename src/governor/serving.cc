@@ -7,6 +7,7 @@
 #include "src/common/log.h"
 #include "src/fault/injector.h"
 #include "src/sim/meter.h"
+#include "src/sim/timer_wheel.h"
 #include "src/topo/server.h"
 
 namespace snicsim {
@@ -84,6 +85,9 @@ ServingResult RunServing(const ServingRunConfig& raw) {
   ServingRunConfig config = raw;
   config.layout.Validate();
   SNIC_CHECK_EQ(config.mix.weights.size(), config.layout.class_bytes.size());
+  // Single-domain serving testbed: sim_threads is accepted for CLI
+  // uniformity but must not perturb the run (DESIGN.md §12).
+  SNIC_CHECK_GE(config.sim_threads, 1);
   config.fleet.machine = config.client;
 
   Simulator sim;
@@ -105,6 +109,12 @@ ServingResult RunServing(const ServingRunConfig& raw) {
     injector = std::make_unique<fault::FaultInjector>(config.faults);
     sim.set_faults(injector.get());
   }
+  // The governor's epoch clock and the fleet's retry timers arm through the
+  // wheel; firing order is heap-equivalent (src/sim/timer_wheel.h), and the
+  // §12 determinism contract is unaffected because the wheel lives entirely
+  // inside this domain.
+  TimerWheel wheel(&sim);
+  sim.set_timer_wheel(&wheel);
   std::unique_ptr<Tracer> tracer;
   if (!config.trace_path.empty()) {
     tracer = std::make_unique<Tracer>(config.trace_capacity);

@@ -22,6 +22,7 @@
 #include "src/nic/verb.h"
 #include "src/rdma/recv_queue.h"
 #include "src/sim/simulator.h"
+#include "src/sim/timer_wheel.h"
 #include "src/workload/client.h"
 
 namespace snicsim {
@@ -301,6 +302,10 @@ class QueuePair {
     uint64_t epoch = 0;
     bool done = false;
     SimTime deadline = 0;  // absolute; 0 = unbounded
+    // Wheel handle of the pending retransmit timer (kNoTimer when armed on
+    // the plain heap). Lets completions reclaim the timer in O(1) instead
+    // of leaving a stale event to no-op at full timeout depth.
+    TimerWheel::TimerId timer = TimerWheel::kNoTimer;
   };
 
   bool reliable() const { return config_.transport_timeout > 0; }
@@ -393,7 +398,8 @@ class QueuePair {
   void ArmTimer(const std::shared_ptr<PendingWr>& wr) {
     const uint64_t epoch = wr->epoch;
     const int shift = std::min(wr->retries, config_.backoff_shift_cap);
-    machine_->sim()->In(config_.transport_timeout << shift, [this, wr, epoch] {
+    const SimTime timeout = config_.transport_timeout << shift;
+    auto fire = [this, wr, epoch] {
       if (wr->done || wr->epoch != epoch) {
         return;  // completed, flushed, or superseded by a newer round
       }
@@ -405,7 +411,28 @@ class QueuePair {
         return;
       }
       OnTimeout(wr);
-    });
+    };
+    // Retransmit timers are the wheel's home case: nearly all of them are
+    // superseded by a completion, so arming through an attached wheel lets
+    // CancelTimer reclaim them without a heap op. The epoch guard above
+    // stays as belt-and-braces (and carries the heap fallback unchanged).
+    if (TimerWheel* const wheel = machine_->sim()->timer_wheel();
+        wheel != nullptr) {
+      wr->timer = wheel->In(timeout, std::move(fire));
+    } else {
+      machine_->sim()->In(timeout, std::move(fire));
+    }
+  }
+
+  void CancelTimer(const std::shared_ptr<PendingWr>& wr) {
+    if (wr->timer == TimerWheel::kNoTimer) {
+      return;
+    }
+    if (TimerWheel* const wheel = machine_->sim()->timer_wheel();
+        wheel != nullptr) {
+      wheel->Cancel(wr->timer);  // stale-id no-op if it already fired
+    }
+    wr->timer = TimerWheel::kNoTimer;
   }
 
   void OnTimeout(const std::shared_ptr<PendingWr>& wr) {
@@ -473,6 +500,7 @@ class QueuePair {
     }
     wr->done = true;
     ++wr->epoch;
+    CancelTimer(wr);
     --outstanding_;
     ++completions_;
     if (cq_ != nullptr && (wr->signaled || config_.signal_all)) {
@@ -500,6 +528,7 @@ class QueuePair {
       }
       p->done = true;
       ++p->epoch;
+      CancelTimer(p);
       --outstanding_;
       ++completion_errors_;
       const WcStatus st = p.get() == culprit ? culprit_status : WcStatus::kFlushed;

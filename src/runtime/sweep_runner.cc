@@ -16,6 +16,14 @@ int JobsFlag(Flags& flags) {
       "output is byte-identical for any value)"));
 }
 
+int SimThreadsFlag(Flags& flags) {
+  const int n = static_cast<int>(flags.GetInt(
+      "sim-threads", 1,
+      "event cores per simulation (multi-domain sims shard per-server "
+      "domains across them; output is byte-identical for any value)"));
+  return n < 1 ? 1 : n;
+}
+
 SweepRunner::SweepRunner(int jobs) {
   const int n = jobs <= 0 ? DefaultJobs() : jobs;
   queues_.reserve(static_cast<size_t>(n));

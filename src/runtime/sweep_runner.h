@@ -34,6 +34,15 @@ int DefaultJobs();
 // flags.Finish().
 int JobsFlag(Flags& flags);
 
+// Registers the shared --sim-threads flag: event cores *inside* one
+// simulation (multi-domain sims shard per-server domains across them,
+// DESIGN.md §12), as opposed to --jobs which parallelizes across whole
+// experiments. Output is byte-identical for any value; single-domain
+// experiments accept it as a no-op so invocations compose uniformly.
+// Total worker threads ≈ jobs × sim_threads — keep the product near the
+// core count. Values below 1 clamp to 1.
+int SimThreadsFlag(Flags& flags);
+
 // A work-stealing pool for coarse-grained tasks (whole experiments).
 //
 // Submissions are dealt round-robin onto per-worker deques; a worker pops

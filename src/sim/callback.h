@@ -11,6 +11,12 @@
 // (DmaCallback, ResponseCallback, ...) reuse the template with their own
 // signatures so one request's closure chain can thread a move-only release
 // token end to end.
+//
+// Thread-safety: a SmallFunction is a plain value — no shared state, no
+// internal synchronization. Cross-domain closures handed to
+// ParallelSimulator::Post are moved between threads, which is safe because
+// ownership transfers whole at the round barrier (src/sim/domain.h); the
+// captured pointers themselves remain domain-confined by that contract.
 #ifndef SRC_SIM_CALLBACK_H_
 #define SRC_SIM_CALLBACK_H_
 

@@ -1,0 +1,75 @@
+// Slab allocator for per-event records (WRs, packets, in-flight ops).
+//
+// The event core already keeps its own callbacks in chunk-stable slabs
+// (src/sim/simulator.h); this pool extends the same discipline to the
+// workload-side records that ride along with events. Records are
+// default-constructed once per chunk, recycled through a free list, and
+// never relocated, so steady-state traffic allocates nothing and pointers
+// stay valid for the record's whole lifetime.
+//
+// Thread-safety: none — a SlabPool must be owned by exactly one domain and
+// touched only from that domain's events (the same affinity rule as every
+// other piece of domain state, see src/sim/domain.h). Records that cross
+// domains inside closures are opaque until they return home; Alloc and Free
+// for one record therefore always run on the owning domain's thread.
+#ifndef SRC_SIM_POOL_H_
+#define SRC_SIM_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/log.h"
+
+namespace snicsim {
+
+template <typename T>
+class SlabPool {
+ public:
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  // Hands out a recycled record (state is whatever the previous user left —
+  // callers reinitialize the fields they use). O(1) amortized; allocates
+  // only when the free list is empty, one chunk at a time.
+  T* Alloc() {
+    if (free_.empty()) {
+      const size_t base = chunks_.size() * kChunkSize;
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+      free_.reserve(free_.size() + kChunkSize);
+      for (size_t i = kChunkSize; i > 0; --i) {
+        free_.push_back(&chunks_.back()[i - 1]);
+      }
+      capacity_ = base + kChunkSize;
+    }
+    T* out = free_.back();
+    free_.pop_back();
+    ++live_;
+    return out;
+  }
+
+  // Returns `rec` to the free list. The pointer must have come from this
+  // pool's Alloc and must not be freed twice (not checked — records carry
+  // no per-slot header by design, they are exactly sizeof(T)).
+  void Free(T* rec) {
+    SNIC_CHECK_GT(live_, 0u);
+    --live_;
+    free_.push_back(rec);
+  }
+
+  size_t live() const { return live_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr size_t kChunkSize = 256;
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<T*> free_;
+  size_t live_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_SIM_POOL_H_

@@ -28,10 +28,17 @@
 namespace snicsim {
 
 class Tracer;  // src/obs/trace.h — attached by the harness when tracing is on
+class TimerWheel;  // src/sim/timer_wheel.h — attached for cancel-heavy clocks
 namespace fault {
 class FaultInjector;  // src/fault/injector.h — attached when a plan is set
 }
 
+// Thread-safety: none. A Simulator and everything reachable from its events
+// form one *domain* (src/sim/domain.h) that must be driven by at most one
+// thread at a time. ParallelSimulator (src/sim/parallel.h) runs many
+// Simulators concurrently but hands each one to a single worker per round —
+// that barrier discipline, not locking here, is what keeps parallel runs
+// both safe and byte-identical to serial ones.
 class Simulator {
  public:
   using Callback = SimCallback;
@@ -76,6 +83,30 @@ class Simulator {
 
   void RunFor(SimTime d) { RunUntil(now_ + d); }
 
+  // Runs all events with time strictly before `t`, then advances the clock
+  // to exactly t. The parallel core's round primitive: `t` is the
+  // conservative horizon, and the exclusive bound is what makes it safe —
+  // every cross-domain event generated this round lands at >= t (the
+  // lookahead contract, src/sim/parallel.h), so an event at exactly t may
+  // still be merged in from another domain and must not have been passed.
+  void RunBefore(SimTime t) {
+    while (!heap_.empty() && heap_.front().time < t) {
+      Step();
+    }
+    SNIC_CHECK_GE(t, now_);
+    now_ = t;
+  }
+
+  // Sentinel for next_event_time() on an empty queue: later than any
+  // schedulable time.
+  static constexpr SimTime kNoEvent = INT64_MAX;
+
+  // Earliest pending event time (kNoEvent when idle). The horizon
+  // computation reads this for every domain between rounds.
+  SimTime next_event_time() const {
+    return heap_.empty() ? kNoEvent : heap_.front().time;
+  }
+
   bool empty() const { return heap_.empty(); }
   uint64_t processed() const { return processed_; }
 
@@ -90,6 +121,15 @@ class Simulator {
   // fault-free build.
   fault::FaultInjector* faults() const { return faults_; }
   void set_faults(fault::FaultInjector* f) { faults_ = f; }
+
+  // Nullable timer-wheel hook, same pattern again: cancellation-heavy
+  // clocks (retransmit timeouts, governor epochs) arm through the wheel iff
+  // one is attached and fall back to plain In() otherwise. The wheel fires
+  // at exact deadlines with heap-equivalent timer ordering
+  // (src/sim/timer_wheel.h), so attaching one may only perturb a run
+  // through the DES tie-break seq of same-picosecond cross-kind ties.
+  TimerWheel* timer_wheel() const { return timer_wheel_; }
+  void set_timer_wheel(TimerWheel* w) { timer_wheel_ = w; }
 
  private:
   friend class SimulatorTestPeer;  // tests fast-forward next_seq_ to the
@@ -221,6 +261,7 @@ class Simulator {
   std::vector<uint32_t> free_slots_;
   Tracer* tracer_ = nullptr;
   fault::FaultInjector* faults_ = nullptr;
+  TimerWheel* timer_wheel_ = nullptr;
   SimTime now_ = 0;
   uint32_t next_seq_ = 0;
   uint64_t processed_ = 0;

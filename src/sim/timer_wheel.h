@@ -1,0 +1,146 @@
+// Hierarchical timer wheel for cancellation-heavy clocks.
+//
+// The retransmit, epoch, and breaker clocks (src/rdma, src/workload,
+// src/governor) arm far more timers than ever fire: a reliable QP arms one
+// timeout per WR and almost every one is superseded by a completion. On the
+// plain event heap each of those timers costs two heap operations plus a
+// guaranteed stale-event dispatch. The wheel makes arming O(1), Cancel O(1),
+// and lets a cancelled timer die without ever reaching the Simulator heap:
+// only a shared per-slot *sentinel* event enters the heap, and all timers
+// that land in one slot amortize it.
+//
+// Firing-order contract (proved by tests/sim/timer_wheel_test.cc against the
+// heap path it replaces):
+//   * A timer fires at exactly its deadline (sentinels run earlier, but the
+//     final hop is sim->At(deadline), so no precision is lost to slotting).
+//   * Two timers with the same deadline fire in Schedule() order — the same
+//     tie-break the heap path gets from the DES (time, seq) order. This
+//     holds because equal-deadline timers provably converge into the same
+//     level-0 bucket before release, where the dispatch sorts by
+//     (deadline, arm order).
+//   Cross-kind ties (a wheel timer vs an unrelated event at the same
+//   picosecond) may take a different DES sequence number than a directly
+//   armed timer would have; callers for whom that tie matters must arm via
+//   sim->At directly.
+//
+// Thread-safety: none — a wheel belongs to exactly one Simulator (one
+// domain, see src/sim/domain.h) and must only be touched from that domain's
+// events, like every other component hanging off a Simulator.
+#ifndef SRC_SIM_TIMER_WHEEL_H_
+#define SRC_SIM_TIMER_WHEEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/callback.h"
+#include "src/sim/simulator.h"
+
+namespace snicsim {
+
+class TimerWheel {
+ public:
+  // Opaque handle for Cancel: packs (generation << 32 | record index), so a
+  // stale handle to a recycled record is rejected instead of cancelling an
+  // unrelated timer. 0 is never a valid id.
+  using TimerId = uint64_t;
+  static constexpr TimerId kNoTimer = 0;
+
+  // `tick` is the innermost slot width: timers due within the same tick of
+  // each other share a sentinel. It bounds batching, not precision —
+  // firing is always exact-time.
+  explicit TimerWheel(Simulator* sim, SimTime tick = FromNanos(500));
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  // Arms `cb` to run at absolute time `deadline` (>= sim->now()).
+  TimerId Schedule(SimTime deadline, SimCallback cb);
+
+  // After `delay`, like Simulator::In.
+  TimerId In(SimTime delay, SimCallback cb) {
+    return Schedule(sim_->now() + delay, std::move(cb));
+  }
+
+  // O(1): marks the timer dead; its record is reclaimed lazily the next
+  // time its bucket is scanned. Returns false if the id is stale (already
+  // fired, already cancelled, or recycled) — callers may Cancel
+  // unconditionally on completion paths.
+  bool Cancel(TimerId id);
+
+  Simulator* sim() const { return sim_; }
+  SimTime tick() const { return tick_; }
+
+  // Live = scheduled - fired - reclaimed-after-cancel.
+  size_t live() const { return live_; }
+  uint64_t scheduled() const { return scheduled_; }
+  uint64_t fired() const { return fired_; }
+  uint64_t cancelled() const { return cancelled_; }
+  // Heap events actually consumed: per-slot sentinels + exact-time release
+  // hops. The wheel's win is this staying far below `scheduled` when most
+  // timers cancel.
+  uint64_t sentinels() const { return sentinels_; }
+  uint64_t cascades() const { return cascades_; }
+
+ private:
+  static constexpr int kSlotBits = 6;
+  static constexpr int kSlots = 1 << kSlotBits;  // 64 slots per level
+  static constexpr int kLevels = 6;              // tick << 36 total span
+  static constexpr SimTime kNoSentinel = -1;
+
+  enum class State : uint8_t { kFree, kQueued, kReleased };
+
+  struct Timer {
+    SimTime deadline = 0;
+    uint64_t order = 0;  // global arm counter: the equal-deadline tie-break
+    uint32_t gen = 1;    // recycle guard, part of the public TimerId
+    State state = State::kFree;
+    bool cancelled = false;
+    SimCallback cb;
+  };
+
+  struct Bucket {
+    std::vector<uint32_t> timers;
+    // Earliest pending sentinel for this bucket (kNoSentinel when none).
+    // Invariant: whenever the bucket is non-empty, a sentinel is pending at
+    // or before the earliest member's slot start, so no timer is ever
+    // scanned later than its own slot.
+    SimTime next_sentinel = kNoSentinel;
+  };
+
+  SimTime Width(int level) const {
+    return tick_ << (kSlotBits * level);
+  }
+  SimTime SlotStart(int level, SimTime deadline) const {
+    return deadline - deadline % Width(level);
+  }
+
+  uint32_t AllocRecord();
+  void FreeRecord(uint32_t idx);
+  // Places `idx` as seen from time `now`: the coarsest level whose slot
+  // start still lies in the future, or the level-0 bucket with an immediate
+  // sentinel when the deadline's innermost slot has already begun.
+  void Place(uint32_t idx, SimTime now);
+  void ArmSentinel(int level, int bucket_index, SimTime at);
+  // Sentinel body: drain everything whose slot has started — cascade from
+  // level > 0, release exact-time events from level 0 in (deadline, order).
+  void Process(int level, int bucket_index, SimTime at);
+  void Release(uint32_t idx);
+
+  Simulator* sim_;
+  SimTime tick_;
+  std::vector<Bucket> levels_[kLevels];
+  std::vector<Timer> records_;
+  std::vector<uint32_t> free_;
+
+  uint64_t next_order_ = 0;
+  size_t live_ = 0;
+  uint64_t scheduled_ = 0;
+  uint64_t fired_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t sentinels_ = 0;
+  uint64_t cascades_ = 0;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_SIM_TIMER_WHEEL_H_

@@ -1,0 +1,277 @@
+#include "src/topo/rack.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/log.h"
+#include "src/common/rng.h"
+#include "src/fault/injector.h"
+#include "src/sim/parallel.h"
+#include "src/sim/pool.h"
+#include "src/sim/server.h"
+#include "src/sim/timer_wheel.h"
+
+namespace snicsim {
+namespace {
+
+// One in-flight request record. Lives in its home domain's slab; while the
+// request is at the serving domain the pointer travels inside closures as
+// an opaque handle and is only dereferenced back home (src/sim/domain.h).
+struct Op {
+  SimTime start = 0;
+  int client = 0;
+  int attempts = 0;
+};
+
+struct ClientState {
+  int remaining = 0;
+};
+
+// Everything one server domain owns. Touched only by the thread currently
+// running that domain — the ParallelSimulator barrier is the hand-off.
+struct RackDomain {
+  DomainId id = 0;
+  Simulator* sim = nullptr;
+  std::unique_ptr<MultiServer> pool;
+  std::unique_ptr<TimerWheel> wheel;
+  std::unique_ptr<fault::FaultInjector> injector;
+  Rng rng{0};
+  SlabPool<Op> ops;
+  std::vector<ClientState> clients;
+  std::vector<std::string> links;  // precomputed RackLinkName(id, dst)
+  Histogram latency;
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t dropped = 0;
+  uint64_t retried = 0;
+  uint64_t crash_refused = 0;
+  uint64_t scratch = 0;  // burst-event accumulator; folded into the digest
+};
+
+struct Rack {
+  const RackParams* p = nullptr;
+  ParallelSimulator* psim = nullptr;
+  std::vector<std::unique_ptr<RackDomain>> doms;
+};
+
+void Issue(Rack& r, DomainId d, int client);
+void Send(Rack& r, DomainId d, Op* op);
+void Retry(Rack& r, DomainId d, Op* op);
+void Arrive(Rack& r, DomainId src, DomainId dst, Op* op, SimTime service);
+void Reply(Rack& r, DomainId d, Op* op);
+
+void Issue(Rack& r, DomainId d, int client) {
+  RackDomain& dom = *r.doms[static_cast<size_t>(d)];
+  ClientState& cl = dom.clients[static_cast<size_t>(client)];
+  if (cl.remaining == 0) {
+    return;
+  }
+  --cl.remaining;
+  ++dom.issued;
+  Op* op = dom.ops.Alloc();
+  op->start = dom.sim->now();
+  op->client = client;
+  op->attempts = 0;
+  Send(r, d, op);
+}
+
+void Send(Rack& r, DomainId d, Op* op) {
+  RackDomain& dom = *r.doms[static_cast<size_t>(d)];
+  const RackParams& p = *r.p;
+  ++op->attempts;
+  // All draws for an op happen in its home domain, in its home domain's
+  // event order — the destination executes with shipped values and never
+  // touches this RNG stream.
+  const uint64_t pick = dom.rng.NextBelow(static_cast<uint64_t>(p.servers - 1));
+  const DomainId dst =
+      static_cast<DomainId>(pick >= static_cast<uint64_t>(d) ? pick + 1 : pick);
+  const SimTime service =
+      p.service + static_cast<SimTime>(
+                      dom.rng.NextBelow(static_cast<uint64_t>(p.service)));
+  if (dom.injector != nullptr &&
+      dom.injector->ShouldDropBurst(dom.links[static_cast<size_t>(dst)], 1,
+                                    dom.sim->now())) {
+    ++dom.dropped;
+    Retry(r, d, op);
+    return;
+  }
+  Rack* rack = &r;
+  r.psim->Post(d, dst, dom.sim->now() + p.link_latency,
+               [rack, d, dst, op, service] { Arrive(*rack, d, dst, op, service); });
+}
+
+void Retry(Rack& r, DomainId d, Op* op) {
+  RackDomain& dom = *r.doms[static_cast<size_t>(d)];
+  if (op->attempts >= r.p->max_attempts) {
+    ++dom.failed;
+    const int client = op->client;
+    dom.ops.Free(op);
+    Issue(r, d, client);
+    return;
+  }
+  ++dom.retried;
+  Rack* rack = &r;
+  // Backoff through the domain's wheel: the rack doubles as multi-domain
+  // coverage for the timer-wheel clock path.
+  dom.wheel->In(r.p->retry_backoff, [rack, d, op] { Send(*rack, d, op); });
+}
+
+void Arrive(Rack& r, DomainId src, DomainId dst, Op* op, SimTime service) {
+  RackDomain& dom = *r.doms[static_cast<size_t>(dst)];
+  const RackParams& p = *r.p;
+  Rack* rack = &r;
+  if (dom.injector != nullptr &&
+      dom.injector->CrashedAt(RackFaultDomain(dst), dom.sim->now())) {
+    ++dom.crash_refused;
+    // Nack home; the client backs off and resends. `op` stays opaque here.
+    r.psim->Post(dst, src, dom.sim->now() + p.link_latency,
+                 [rack, src, op] { Retry(*rack, src, op); });
+    return;
+  }
+  const SimTime done = dom.pool->EnqueueAt(dom.sim->now(), service, nullptr);
+  RackDomain* served = &dom;
+  for (int b = 0; b < p.burst; ++b) {
+    // Local fan-out: post-serve bookkeeping events (cache touch, index
+    // update, ...) that give each round real per-domain work.
+    dom.sim->At(done, [served, b] {
+      served->scratch = served->scratch * 6364136223846793005ull +
+                        static_cast<uint64_t>(b) + 1;
+    });
+  }
+  dom.sim->At(done, [rack, src, dst, op] {
+    RackDomain& here = *rack->doms[static_cast<size_t>(dst)];
+    rack->psim->Post(dst, src, here.sim->now() + rack->p->link_latency,
+                     [rack, src, op] { Reply(*rack, src, op); });
+  });
+}
+
+void Reply(Rack& r, DomainId d, Op* op) {
+  RackDomain& dom = *r.doms[static_cast<size_t>(d)];
+  dom.latency.Record(dom.sim->now() - op->start);
+  ++dom.completed;
+  const int client = op->client;
+  dom.ops.Free(op);
+  Issue(r, d, client);
+}
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* RackFaultDomain(DomainId d) { return (d % 2 == 0) ? "host" : "soc"; }
+
+std::string RackLinkName(DomainId src, DomainId dst) {
+  return "rack.l" + std::to_string(src) + "." + std::to_string(dst);
+}
+
+std::string RackResult::Fingerprint() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "issued=%llu;completed=%llu;failed=%llu;dropped=%llu;"
+                "retried=%llu;crash_refused=%llu;rounds=%llu;merged=%llu;"
+                "processed=%llu;p50=%lld;p99=%lld;max=%lld;digest=%016llx",
+                static_cast<unsigned long long>(issued),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(dropped),
+                static_cast<unsigned long long>(retried),
+                static_cast<unsigned long long>(crash_refused),
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(merged),
+                static_cast<unsigned long long>(processed),
+                static_cast<long long>(p50_ps), static_cast<long long>(p99_ps),
+                static_cast<long long>(max_ps),
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+RackResult RunRack(const RackParams& params) {
+  SNIC_CHECK_GE(params.servers, 2);
+  SNIC_CHECK_GT(params.clients_per_server, 0);
+  SNIC_CHECK_GT(params.cores_per_server, 0);
+  SNIC_CHECK_GT(params.requests_per_client, 0);
+  SNIC_CHECK_GE(params.burst, 0);
+  SNIC_CHECK_GT(params.max_attempts, 0);
+  SNIC_CHECK_GT(params.link_latency, 0);
+  SNIC_CHECK_GT(params.service, 0);
+  SNIC_CHECK_GT(params.retry_backoff, 0);
+
+  ParallelSimulator psim(params.servers, params.link_latency,
+                         params.sim_threads);
+  Rack rack;
+  rack.p = &params;
+  rack.psim = &psim;
+  rack.doms.reserve(static_cast<size_t>(params.servers));
+  for (int d = 0; d < params.servers; ++d) {
+    auto dom = std::make_unique<RackDomain>();
+    dom->id = d;
+    dom->sim = psim.domain(d);
+    dom->pool = std::make_unique<MultiServer>(
+        dom->sim, "rack.s" + std::to_string(d) + ".pool",
+        params.cores_per_server);
+    dom->wheel = std::make_unique<TimerWheel>(dom->sim);
+    dom->sim->set_timer_wheel(dom->wheel.get());
+    if (!params.faults.empty()) {
+      dom->injector = std::make_unique<fault::FaultInjector>(params.faults);
+      dom->sim->set_faults(dom->injector.get());
+    }
+    dom->rng = Rng(params.seed ^ (0x9e3779b97f4a7c15ull * (d + 1)));
+    dom->clients.resize(static_cast<size_t>(params.clients_per_server),
+                        ClientState{params.requests_per_client});
+    dom->links.reserve(static_cast<size_t>(params.servers));
+    for (int dst = 0; dst < params.servers; ++dst) {
+      dom->links.push_back(RackLinkName(d, dst));
+    }
+    rack.doms.push_back(std::move(dom));
+  }
+  // Seed: every client opens its loop at t=0, in (domain, client) order —
+  // the deterministic starting lineup.
+  for (int d = 0; d < params.servers; ++d) {
+    for (int c = 0; c < params.clients_per_server; ++c) {
+      Rack* rp = &rack;
+      rack.doms[static_cast<size_t>(d)]->sim->At(0, [rp, d, c] { Issue(*rp, d, c); });
+    }
+  }
+  psim.Run();
+
+  RackResult out;
+  out.rounds = psim.rounds();
+  out.merged = psim.merged();
+  out.processed = psim.processed();
+  uint64_t digest = psim.merge_digest();
+  Histogram latency;
+  for (const auto& dom : rack.doms) {
+    SNIC_CHECK_EQ(dom->ops.live(), 0u);  // every op resolved before quiesce
+    out.issued += dom->issued;
+    out.completed += dom->completed;
+    out.failed += dom->failed;
+    out.dropped += dom->dropped;
+    out.retried += dom->retried;
+    out.crash_refused += dom->crash_refused;
+    latency.Merge(dom->latency);
+    for (const uint64_t v :
+         {dom->issued, dom->completed, dom->failed, dom->dropped, dom->retried,
+          dom->crash_refused, dom->scratch, dom->sim->processed(),
+          static_cast<uint64_t>(dom->sim->now())}) {
+      digest = Mix(digest, v);
+    }
+  }
+  out.digest = digest;
+  out.p50_ps = latency.Percentile(50.0);
+  out.p99_ps = latency.Percentile(99.0);
+  out.max_ps = latency.max();
+  return out;
+}
+
+}  // namespace snicsim

@@ -1,0 +1,78 @@
+// Rack-scale multi-domain workload for the parallel DES core.
+//
+// The paper's testbed tops out at one switch and a dozen machines; the
+// cluster-scale direction (ROADMAP item 1, and the DPU deployment study in
+// PAPERS.md) needs racks of servers exchanging RPCs. RunRack builds exactly
+// the shape ParallelSimulator is for: D server domains, each with its own
+// core pool, RNG stream, timer wheel, and (optionally) fault injector,
+// exchanging closed-loop echo RPCs over fabric links whose one-way latency
+// is the conservative lookahead.
+//
+// Every number in RackResult — counters, latency percentiles, the replay
+// digest — is byte-identical at any sim_threads count; that is asserted by
+// tests/sim/parallel_sim_test.cc and is part of the determinism contract
+// (DESIGN.md §12). Fault plans reuse the standard grammar: link names are
+// "rack.l<src>.<dst>" (drop/flap/degrade draws happen in the source
+// domain), and servers map onto the usual fault-domain names — even
+// servers are "host", odd servers are "soc" — so a spec like
+// "crash=soc:10:60:20" kills every odd server for that window.
+#ifndef SRC_TOPO_RACK_H_
+#define SRC_TOPO_RACK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/fault/plan.h"
+#include "src/sim/domain.h"
+
+namespace snicsim {
+
+struct RackParams {
+  int servers = 4;             // one domain per server; >= 2
+  int clients_per_server = 8;  // closed-loop requesters per home domain
+  int cores_per_server = 2;    // MultiServer width on the serving side
+  int requests_per_client = 32;
+  int burst = 8;          // local fan-out events per served request
+  int max_attempts = 64;  // per-op send attempts before giving up
+  SimTime link_latency = FromNanos(1500);  // one-way; == the lookahead
+  SimTime service = FromNanos(600);        // base; jitter adds [0, service)
+  SimTime retry_backoff = FromMicros(4);
+  uint64_t seed = 1;
+  int sim_threads = 1;  // <= 1 serial; ParallelSimulator workers otherwise
+  fault::FaultPlan faults;
+};
+
+struct RackResult {
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;         // ops that exhausted max_attempts
+  uint64_t dropped = 0;        // sends killed by the fault layer
+  uint64_t retried = 0;        // backoff rearms (drops + nacks)
+  uint64_t crash_refused = 0;  // arrivals at a crashed server
+  // Parallel-core accounting (thread-count invariant like everything else).
+  uint64_t rounds = 0;
+  uint64_t merged = 0;
+  uint64_t processed = 0;
+  // Merge digest folded with every per-domain counter: one replayable
+  // word, the rack analogue of ServingResult::Fingerprint.
+  uint64_t digest = 0;
+  int64_t p50_ps = 0;
+  int64_t p99_ps = 0;
+  int64_t max_ps = 0;
+
+  // Every field above, fixed formatting — the byte-compare unit for the
+  // --sim-threads determinism tests.
+  std::string Fingerprint() const;
+};
+
+// Fault-domain name servers answer crash/stall queries with.
+const char* RackFaultDomain(DomainId d);
+// Fault-plan link name of the src -> dst fabric edge.
+std::string RackLinkName(DomainId src, DomainId dst);
+
+RackResult RunRack(const RackParams& params);
+
+}  // namespace snicsim
+
+#endif  // SRC_TOPO_RACK_H_

@@ -6,6 +6,7 @@
 #include "src/common/log.h"
 #include "src/fault/injector.h"
 #include "src/obs/trace.h"
+#include "src/sim/timer_wheel.h"
 
 namespace snicsim {
 
@@ -232,7 +233,7 @@ void ClientMachine::ArmRetry(const std::shared_ptr<ReliableOp>& op) {
       dt = kNanos;
     }
   }
-  sim_->In(dt, [this, op, epoch] {
+  auto fire = [this, op, epoch] {
     if (op->done || op->epoch != epoch) {
       return;  // completed, or a newer round owns the timer
     }
@@ -263,7 +264,14 @@ void ClientMachine::ArmRetry(const std::shared_ptr<ReliableOp>& op) {
     Launch(op->target, op->addr,
            [this, op](SimTime completed) { CompleteReliable(op, completed); });
     ArmRetry(op);
-  });
+  };
+  // Retry timers are overwhelmingly cancelled by a completion, so a wheel —
+  // when one is attached — absorbs them without individual heap events.
+  if (TimerWheel* const wheel = sim_->timer_wheel(); wheel != nullptr) {
+    op->timer = wheel->In(dt, std::move(fire));
+  } else {
+    sim_->In(dt, std::move(fire));
+  }
 }
 
 void ClientMachine::CompleteReliable(const std::shared_ptr<ReliableOp>& op,
@@ -273,6 +281,12 @@ void ClientMachine::CompleteReliable(const std::shared_ptr<ReliableOp>& op,
   }
   op->done = true;
   ++op->epoch;  // cancels the pending retry timer
+  if (op->timer != TimerWheel::kNoTimer) {
+    if (TimerWheel* const wheel = sim_->timer_wheel(); wheel != nullptr) {
+      wheel->Cancel(op->timer);  // stale-id no-op if the timer already fired
+    }
+    op->timer = TimerWheel::kNoTimer;
+  }
   op->cb(completed, true);
 }
 

@@ -117,7 +117,9 @@ class ClientMachine {
 
   // One reliable op in flight: `epoch` cancels superseded retry timers,
   // `done` makes completion first-wins (a late duplicate response after a
-  // retransmission is dropped here).
+  // retransmission is dropped here). `timer` is the wheel handle of the
+  // pending retry timer when a TimerWheel is attached to the simulator, so
+  // completion reclaims the timer record instead of leaving a stale event.
   struct ReliableOp {
     TargetSpec target;
     uint64_t addr = 0;
@@ -125,6 +127,7 @@ class ClientMachine {
     uint64_t epoch = 0;
     bool done = false;
     SimTime deadline = 0;  // absolute; 0 = unbounded
+    uint64_t timer = 0;    // TimerWheel::kNoTimer when on the plain heap
     SmallFunction<void(SimTime, bool)> cb;
   };
 

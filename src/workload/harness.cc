@@ -7,6 +7,7 @@
 #include "src/common/log.h"
 #include "src/fault/injector.h"
 #include "src/sim/meter.h"
+#include "src/sim/timer_wheel.h"
 #include "src/topo/server.h"
 
 namespace snicsim {
@@ -41,6 +42,9 @@ Measurement Finish(const Meter& meter, SimTime window, BluefieldServer* bf,
 // turn short windows into pure ramp measurement. Real RDMA benchmarks keep
 // few large messages outstanding; mirror that and lengthen the window.
 HarnessConfig ScaleForPayload(HarnessConfig config, uint32_t payload) {
+  // Single-domain harness: sim_threads is accepted (uniform bench CLI) but
+  // has nothing to shard, so any value must leave the run untouched.
+  SNIC_CHECK_GE(config.sim_threads, 1);
   if (payload >= 32 * kKiB) {
     config.client.window = std::min(config.client.window, 4);
     // Window long enough for a few hundred completions at ~200 Gbps, so the
@@ -72,6 +76,16 @@ std::unique_ptr<fault::FaultInjector> MakeInjector(Simulator* sim,
   auto injector = std::make_unique<fault::FaultInjector>(config.faults);
   sim->set_faults(injector.get());
   return injector;
+}
+
+// Attaches a TimerWheel so the cancellation-heavy clocks (client retry
+// timers, QP retransmit timeouts) arm through it instead of the event heap.
+// Fault-free runs arm none of those timers, so attaching a wheel there is
+// sequence-neutral. The caller owns the wheel for the sim's life.
+std::unique_ptr<TimerWheel> MakeWheel(Simulator* sim) {
+  auto wheel = std::make_unique<TimerWheel>(sim);
+  sim->set_timer_wheel(wheel.get());
+  return wheel;
 }
 
 // Folds fault-side counters (NIC replays, failed ops, dropped frames) into a
@@ -152,6 +166,7 @@ Measurement MeasureInboundPath(ServerKind kind, Verb verb, uint32_t payload,
   }
   auto clients = MakeClients(&sim, &fabric, config.client, config.client_machines);
   const auto injector = MakeInjector(&sim, config);
+  const auto wheel = MakeWheel(&sim);
   const auto tracer = MakeTracer(&sim, config);
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
@@ -195,6 +210,7 @@ Measurement MeasureConcurrentInbound(Verb verb, uint32_t payload,
   BluefieldServer bf(&sim, &fabric, config.testbed);
   auto clients = MakeClients(&sim, &fabric, config.client, config.client_machines);
   const auto injector = MakeInjector(&sim, config);
+  const auto wheel = MakeWheel(&sim);
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
   const TargetSpec host =
@@ -235,6 +251,7 @@ Measurement MeasureLocalPath(bool s2h, Verb verb, uint32_t payload,
   NicEndpoint* dst = s2h ? bf.host_ep() : bf.soc_ep();
   LocalRequester req(&sim, &bf.nic(), src, dst, req_params, s2h ? "s2h" : "h2s");
   const auto injector = MakeInjector(&sim, config);
+  const auto wheel = MakeWheel(&sim);
   const auto tracer = MakeTracer(&sim, config);
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
@@ -264,6 +281,7 @@ Measurement MeasureInterference(Verb verb, uint32_t payload, bool enable_path3,
   BluefieldServer bf(&sim, &fabric, config.testbed);
   auto clients = MakeClients(&sim, &fabric, config.client, config.client_machines);
   const auto injector = MakeInjector(&sim, config);
+  const auto wheel = MakeWheel(&sim);
   Meter inter_meter(&sim);
   inter_meter.SetWindow(config.warmup, config.warmup + config.window);
   const TargetSpec host =
@@ -311,6 +329,7 @@ double MeasureFlowCombination(ServerKind kind, Verb verb_a, Verb verb_b, uint32_
   }
   auto clients = MakeClients(&sim, &fabric, config.client, config.client_machines);
   const auto injector = MakeInjector(&sim, config);
+  const auto wheel = MakeWheel(&sim);
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
   uint64_t seed = 1;
@@ -330,6 +349,7 @@ double MeasureLocalFlowCombination(bool opposite_directions, uint32_t payload,
                 config.testbed.network_switch_forward);
   BluefieldServer bf(&sim, &fabric, config.testbed);
   const auto injector = MakeInjector(&sim, config);
+  const auto wheel = MakeWheel(&sim);
   Meter meter(&sim);
   meter.SetWindow(config.warmup, config.warmup + config.window);
   LocalRequesterParams host_p = LocalRequesterParams::Host();

@@ -1,8 +1,11 @@
 // The tentpole guarantee: a sweep run with --jobs=N produces byte-identical
-// CSV, trace, and metrics output to the serial run, for any N. This test
-// runs the same miniature figure-bench sweep at jobs=1 and jobs=8 and
-// compares every byte of every artifact — fault-free and under an active
-// fault schedule (each sweep point owns its injector, so worker interleaving
+// CSV, trace, and metrics output to the serial run, for any N — and, since
+// the parallel DES core, for any --sim-threads count too (DESIGN.md §12).
+// The two knobs parallelize at different layers (whole experiments vs
+// domains inside one experiment) and compose multiplicatively, so the tests
+// here compare every byte of every artifact across the (jobs, sim_threads)
+// cross-product — fault-free, under an active fault schedule, and through a
+// crash window (each sweep point owns its injector, so worker interleaving
 // must never leak into the fault draws).
 #include <gtest/gtest.h>
 
@@ -14,6 +17,7 @@
 #include "src/common/table.h"
 #include "src/fault/plan.h"
 #include "src/runtime/sweep_runner.h"
+#include "src/topo/rack.h"
 #include "src/workload/harness.h"
 
 namespace snicsim {
@@ -38,13 +42,15 @@ struct SweepArtifacts {
 // pattern the bench mains use: submit in table order, run, then consume
 // results in the same order.
 SweepArtifacts RunMiniSweep(int jobs, const std::string& tag,
-                            const std::string& faults_spec = "") {
+                            const std::string& faults_spec = "",
+                            int sim_threads = 1) {
   const ServerKind kinds[] = {ServerKind::kRnicHost, ServerKind::kBluefieldSoc};
   const uint32_t payloads[] = {64, 512};
 
   HarnessConfig base;
   base.client_machines = 2;
   base.client.threads = 2;
+  base.sim_threads = sim_threads;
   base.warmup = FromMicros(5);
   base.window = FromMicros(20);
   if (!faults_spec.empty()) {
@@ -154,6 +160,73 @@ TEST(SweepDeterminism, FaultedRunDiffersFromFaultFreeRun) {
   const SweepArtifacts clean = RunMiniSweep(1, "c");
   const SweepArtifacts faulted = RunMiniSweep(1, "f", kFaultSpec);
   EXPECT_NE(clean.csv, faulted.csv);
+}
+
+// --sim-threads on the single-domain harness is a no-op by contract: the
+// whole (jobs, sim_threads) cross-product — with the fault plan arming real
+// retry timers through the timer wheel — must be byte-identical.
+TEST(SweepDeterminism, SimThreadsIsNoOpOnSingleDomainSweep) {
+  const SweepArtifacts base = RunMiniSweep(1, "st11", kFaultSpec, 1);
+  EXPECT_FALSE(base.csv.empty());
+  EXPECT_EQ(base.csv, RunMiniSweep(1, "st14", kFaultSpec, 4).csv);
+  EXPECT_EQ(base.csv, RunMiniSweep(8, "st81", kFaultSpec, 1).csv);
+  EXPECT_EQ(base.csv, RunMiniSweep(8, "st84", kFaultSpec, 4).csv);
+}
+
+// A mini sweep over the genuinely multi-domain rack workload: several rack
+// configurations fanned across the SweepRunner, each point itself sharded
+// across sim_threads event cores. Joined fingerprints must be byte-identical
+// at every (jobs, sim_threads) combination.
+std::string RackSweepFingerprints(int jobs, int sim_threads,
+                                  const std::string& faults_spec = "") {
+  runtime::SweepQueue<std::string> sweep(jobs);
+  for (const int servers : {2, 4}) {
+    for (const uint64_t seed : {1ull, 7ull}) {
+      RackParams p;
+      p.servers = servers;
+      p.clients_per_server = 4;
+      p.requests_per_client = 8;
+      p.burst = 2;
+      p.seed = seed;
+      p.sim_threads = sim_threads;
+      if (!faults_spec.empty()) {
+        std::string error;
+        EXPECT_TRUE(fault::ParseFaultPlan(faults_spec, &p.faults, &error))
+            << error;
+      }
+      sweep.Add([p] { return RunRack(p).Fingerprint(); });
+    }
+  }
+  std::string joined;
+  for (const std::string& fp : sweep.Run()) {
+    joined += fp;
+    joined.push_back('\n');
+  }
+  return joined;
+}
+
+constexpr char kRackFaultSpec[] = "drop=0.05,seed=7,flap=rack.l0.1:5:15";
+constexpr char kRackCrashSpec[] = "drop=0.02,seed=9,crash=soc:5:40:10";
+
+TEST(SweepDeterminism, RackSweepInvariantAcrossJobsAndSimThreads) {
+  const std::string base = RackSweepFingerprints(1, 1);
+  EXPECT_FALSE(base.empty());
+  EXPECT_EQ(base, RackSweepFingerprints(1, 4));
+  EXPECT_EQ(base, RackSweepFingerprints(8, 1));
+  EXPECT_EQ(base, RackSweepFingerprints(8, 4));
+}
+
+TEST(SweepDeterminism, FaultedRackSweepInvariantAcrossJobsAndSimThreads) {
+  const std::string base = RackSweepFingerprints(1, 1, kRackFaultSpec);
+  EXPECT_EQ(base, RackSweepFingerprints(8, 4, kRackFaultSpec));
+  EXPECT_EQ(base, RackSweepFingerprints(4, 2, kRackFaultSpec));
+  EXPECT_NE(base, RackSweepFingerprints(1, 1));  // the plan actually bit
+}
+
+TEST(SweepDeterminism, CrashWindowRackSweepInvariantAcrossJobsAndSimThreads) {
+  const std::string base = RackSweepFingerprints(1, 1, kRackCrashSpec);
+  EXPECT_EQ(base, RackSweepFingerprints(8, 4, kRackCrashSpec));
+  EXPECT_EQ(base, RackSweepFingerprints(2, 8, kRackCrashSpec));
 }
 
 }  // namespace

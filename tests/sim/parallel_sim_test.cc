@@ -1,0 +1,195 @@
+// The parallel core's determinism contract (DESIGN.md §12): any
+// --sim-threads count — serial included — produces byte-identical results,
+// because domains only interact through the (time, src, seq)-ordered merge
+// at lookahead horizons. These tests drive the contract directly on
+// ParallelSimulator and end-to-end through the multi-domain rack workload,
+// fault-free and under drop/flap/crash plans.
+#include "src/sim/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/fault/plan.h"
+#include "src/obs/metrics.h"
+#include "src/sim/pool.h"
+#include "src/sim/simulator.h"
+#include "src/topo/rack.h"
+
+namespace snicsim {
+namespace {
+
+TEST(Simulator, RunBeforeIsExclusiveAndAdvancesClock) {
+  Simulator sim;
+  std::vector<SimTime> ran;
+  sim.At(10, [&] { ran.push_back(10); });
+  sim.At(20, [&] { ran.push_back(20); });
+  sim.RunBefore(20);
+  ASSERT_EQ(ran.size(), 1u);  // the event at exactly the horizon must wait
+  EXPECT_EQ(ran[0], 10);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.next_event_time(), 20);
+  sim.RunBefore(21);
+  EXPECT_EQ(ran.size(), 2u);
+  EXPECT_EQ(sim.next_event_time(), Simulator::kNoEvent);
+}
+
+// Cross-domain ties at one timestamp must resolve by (src, seq) — never by
+// which worker finished first. Observed through the arrival order in the
+// destination domain, compared across thread counts.
+std::vector<int> CrossTieOrder(int threads) {
+  ParallelSimulator psim(3, /*lookahead=*/100, threads);
+  std::vector<int> order;
+  ParallelSimulator* pp = &psim;
+  // Both source domains post two events to domain 2 for the same instant.
+  psim.domain(0)->At(0, [pp, &order] {
+    pp->Post(0, 2, 100, [&order] { order.push_back(1); });
+    pp->Post(0, 2, 100, [&order] { order.push_back(2); });
+  });
+  psim.domain(1)->At(0, [pp, &order] {
+    pp->Post(1, 2, 100, [&order] { order.push_back(11); });
+    pp->Post(1, 2, 100, [&order] { order.push_back(12); });
+  });
+  psim.Run();
+  return order;
+}
+
+TEST(ParallelSimulator, MergeOrderIsTimeSrcSeq) {
+  const std::vector<int> expect = {1, 2, 11, 12};
+  EXPECT_EQ(CrossTieOrder(1), expect);
+  EXPECT_EQ(CrossTieOrder(2), expect);
+  EXPECT_EQ(CrossTieOrder(8), expect);
+}
+
+TEST(ParallelSimulator, RoundAccountingIsThreadInvariant) {
+  auto run = [](int threads) {
+    ParallelSimulator psim(2, /*lookahead=*/50, threads);
+    ParallelSimulator* pp = &psim;
+    // Ping-pong a few times to force several horizons.
+    std::function<void(int, int, int)> ping = [pp, &ping](int from, int to,
+                                                          int hops) {
+      if (hops == 0) {
+        return;
+      }
+      pp->Post(from, to, pp->domain(from)->now() + 50,
+               [&ping, to, from, hops] { ping(to, from, hops - 1); });
+    };
+    psim.domain(0)->At(0, [&ping] { ping(0, 1, 6); });
+    psim.Run();
+    return std::tuple<uint64_t, uint64_t, uint64_t>(
+        psim.rounds(), psim.merged(), psim.merge_digest());
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+  EXPECT_GT(std::get<0>(serial), 0u);
+  EXPECT_EQ(std::get<1>(serial), 6u);
+}
+
+TEST(ParallelSimulator, RegistersSimMetrics) {
+  ParallelSimulator psim(4, FromNanos(1500), 1);
+  MetricsRegistry reg;
+  psim.RegisterMetrics(&reg);
+  std::vector<std::string> leaves;
+  for (const auto& e : reg.entries()) {
+    EXPECT_EQ(e.instance, "sim");
+    leaves.push_back(e.leaf);
+  }
+  const std::vector<std::string> expect = {"domains", "rounds",
+                                           "merged_events", "lookahead_us"};
+  EXPECT_EQ(leaves, expect);
+}
+
+RackParams SmallRack() {
+  RackParams p;
+  p.servers = 4;
+  p.clients_per_server = 4;
+  p.requests_per_client = 8;
+  p.burst = 2;
+  return p;
+}
+
+std::string RackFingerprint(RackParams p, int sim_threads,
+                            const std::string& faults = "") {
+  p.sim_threads = sim_threads;
+  if (!faults.empty()) {
+    std::string error;
+    EXPECT_TRUE(fault::ParseFaultPlan(faults, &p.faults, &error)) << error;
+  }
+  return RunRack(p).Fingerprint();
+}
+
+TEST(RackDeterminism, FingerprintInvariantAcrossSimThreads) {
+  const std::string serial = RackFingerprint(SmallRack(), 1);
+  EXPECT_EQ(serial, RackFingerprint(SmallRack(), 2));
+  EXPECT_EQ(serial, RackFingerprint(SmallRack(), 4));
+  EXPECT_EQ(serial, RackFingerprint(SmallRack(), 8));
+}
+
+constexpr char kDropSpec[] = "drop=0.05,seed=7,flap=rack.l0.1:5:15";
+
+TEST(RackDeterminism, FingerprintInvariantUnderFaults) {
+  const std::string serial = RackFingerprint(SmallRack(), 1, kDropSpec);
+  EXPECT_EQ(serial, RackFingerprint(SmallRack(), 2, kDropSpec));
+  EXPECT_EQ(serial, RackFingerprint(SmallRack(), 8, kDropSpec));
+}
+
+constexpr char kCrashSpec[] = "drop=0.02,seed=9,crash=soc:5:40:10";
+
+TEST(RackDeterminism, FingerprintInvariantUnderCrashWindow) {
+  RackParams p = SmallRack();
+  p.requests_per_client = 12;  // long enough to straddle the crash window
+  const std::string serial = RackFingerprint(p, 1, kCrashSpec);
+  EXPECT_EQ(serial, RackFingerprint(p, 2, kCrashSpec));
+  EXPECT_EQ(serial, RackFingerprint(p, 8, kCrashSpec));
+
+  RackParams probe = p;
+  std::string error;
+  ASSERT_TRUE(fault::ParseFaultPlan(kCrashSpec, &probe.faults, &error));
+  probe.sim_threads = 4;
+  const RackResult r = RunRack(probe);
+  EXPECT_GT(r.crash_refused, 0u);  // the window actually bit
+  EXPECT_GT(r.retried, 0u);
+}
+
+TEST(RackDeterminism, FaultedRunDiffersFromCleanRun) {
+  EXPECT_NE(RackFingerprint(SmallRack(), 1),
+            RackFingerprint(SmallRack(), 1, kDropSpec));
+}
+
+TEST(RackWorkload, ConservesOpsAndReportsRounds) {
+  RackParams p = SmallRack();
+  p.sim_threads = 4;
+  const RackResult r = RunRack(p);
+  EXPECT_EQ(r.issued,
+            static_cast<uint64_t>(p.servers) * p.clients_per_server *
+                p.requests_per_client);
+  EXPECT_EQ(r.completed + r.failed, r.issued);
+  EXPECT_EQ(r.failed, 0u);  // no faults, nothing can fail
+  EXPECT_GT(r.rounds, 0u);
+  // Request + reply cross the fabric at least once each.
+  EXPECT_GE(r.merged, 2 * r.completed);
+  EXPECT_GT(r.p50_ps, 0);
+  EXPECT_GE(r.p99_ps, r.p50_ps);
+}
+
+TEST(SlabPool, RecyclesRecordsWithoutGrowth) {
+  SlabPool<int> pool;
+  int* a = pool.Alloc();
+  int* b = pool.Alloc();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.live(), 2u);
+  const size_t cap = pool.capacity();
+  pool.Free(b);
+  EXPECT_EQ(pool.Alloc(), b);  // LIFO recycling, no new chunk
+  EXPECT_EQ(pool.capacity(), cap);
+  pool.Free(a);
+  pool.Free(b);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+}  // namespace
+}  // namespace snicsim
