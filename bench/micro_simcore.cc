@@ -14,6 +14,7 @@
 #include "src/sim/server.h"
 #include "src/sim/simulator.h"
 #include "src/topo/rack.h"
+#include "src/topo/rack_kv.h"
 #include "src/workload/harness.h"
 
 namespace snicsim {
@@ -174,6 +175,69 @@ void BM_RackParallel(benchmark::State& state) {
                           static_cast<int64_t>(RackOps(p)));
 }
 BENCHMARK(BM_RackParallel)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// The rack-scale sharded KV (src/topo/rack_kv.h): the full per-server
+// stack — SmartNIC model, governor, resilience, replication — in every
+// domain, which is the heaviest per-event workload the parallel core
+// carries. Gated exactly like the plain rack pair (BENCH_simcore.json
+// "rack_sharded_parallel_vs_serial", min_cores-guarded), with the same
+// fingerprint byte-equality pre-assert before the timed loop.
+RackKvParams BenchShardedRack(int servers) {
+  RackKvParams p;
+  p.servers = servers;
+  p.users = 1000 * static_cast<uint64_t>(servers);
+  p.think_mean_us = 500.0;
+  p.zipf_theta = 0.9;
+  p.layout.keys = 4096;
+  p.layout.cached_keys = 1024;
+  p.layout.class_bytes = {64, 512, 2048};
+  p.mix = {0.70, 0.25, 0.05};
+  p.window = FromMicros(150);
+  p.seed = 42;
+  return p;
+}
+
+void BM_RackShardedSerial(benchmark::State& state) {
+  RackKvParams p = BenchShardedRack(static_cast<int>(state.range(0)));
+  p.sim_threads = 1;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    const RackKvResult r = RunRackKv(p);
+    ops += r.completed;
+    benchmark::DoNotOptimize(r.completed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_RackShardedSerial)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RackShardedParallel(benchmark::State& state) {
+  RackKvParams p = BenchShardedRack(static_cast<int>(state.range(0)));
+  p.sim_threads = std::max(2, std::min(p.servers, runtime::DefaultJobs()));
+  {
+    RackKvParams serial = p;
+    serial.sim_threads = 1;
+    const std::string par = RunRackKv(p).Fingerprint();
+    const std::string ser = RunRackKv(serial).Fingerprint();
+    if (par != ser) {
+      state.SkipWithError("parallel fingerprint diverged from serial run");
+      return;
+    }
+  }
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    const RackKvResult r = RunRackKv(p);
+    ops += r.completed;
+    benchmark::DoNotOptimize(r.completed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_RackShardedParallel)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndExperiment(benchmark::State& state) {
   for (auto _ : state) {

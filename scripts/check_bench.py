@@ -53,23 +53,30 @@ def load_fresh(path):
 
 
 def check_gate(gate, fresh, num_cpus, min_speedup_override):
-    """Runs one same-run-ratio gate. Returns (checked, skipped, failures)."""
+    """Runs one same-run-ratio gate.
+
+    Returns a summary dict for the per-gate table:
+      {name, min_speedup, points, worst, status, failures}
+    where status is one of 'ok', 'SKIPPED (cores)', 'FAILED' and worst is
+    the lowest speedup among the gated points (None when nothing ran).
+    """
     label = gate.get("name", gate["target_prefix"])
     min_speedup = min_speedup_override
     if min_speedup is None:
         min_speedup = float(gate["min_speedup"])
     target_prefix = gate["target_prefix"]
     reference_prefix = gate["reference_prefix"]
+    summary = {"name": label, "min_speedup": min_speedup, "points": 0,
+               "worst": None, "status": "ok", "failures": []}
 
     min_cores = int(gate.get("min_cores", 0))
     if min_cores and num_cpus and num_cpus < min_cores:
         print(f"[skip ] gate '{label}': needs >= {min_cores} CPUs, "
               f"runner has {num_cpus} — a parallel speedup cannot show "
               f"here; not gated on this runner")
-        return 0, 1, []
+        summary["status"] = "SKIPPED (cores)"
+        return summary
 
-    failures = []
-    checked = 0
     for name, ips in sorted(fresh.items()):
         # target_prefix may be a prefix of reference_prefix (the event-core
         # pair), so exclude the reference benchmarks from the target set.
@@ -79,23 +86,45 @@ def check_gate(gate, fresh, num_cpus, min_speedup_override):
         arg = name[len(target_prefix):]  # e.g. "/1000" or "/8/real_time"
         ref_name = reference_prefix + arg
         if ref_name not in fresh:
-            failures.append(f"{name}: reference {ref_name} missing from run")
+            summary["failures"].append(
+                f"{name}: reference {ref_name} missing from run")
             continue
         speedup = ips / fresh[ref_name]
+        if summary["worst"] is None or speedup < summary["worst"]:
+            summary["worst"] = speedup
         status = "ok"
         if speedup < min_speedup:
             status = "REGRESSION"
-            failures.append(
+            summary["failures"].append(
                 f"{name}: {speedup:.2f}x over {ref_name}, gate '{label}' "
                 f"requires >= {min_speedup:.2f}x (target {ips:,.0f} vs "
                 f"reference {fresh[ref_name]:,.0f} items/s)")
-        checked += 1
+        summary["points"] += 1
         print(f"[gated] {name}: {speedup:.2f}x over {ref_name} "
               f"(need >= {min_speedup:.2f}x) {status}")
-    if checked == 0:
-        failures.append(
+    if summary["points"] == 0:
+        summary["failures"].append(
             f"gate '{label}': no '{target_prefix}*' benchmarks in fresh run")
-    return checked, 0, failures
+    if summary["failures"]:
+        summary["status"] = "FAILED"
+    return summary
+
+
+def print_gate_table(summaries):
+    """One row per gate: what was required, what was measured, the verdict.
+    This is the part of the log a human reads first, so it is aligned and
+    complete even when a gate skipped or found no benchmarks."""
+    rows = [("gate", "points", "min_speedup", "worst", "status")]
+    for s in summaries:
+        worst = f"{s['worst']:.2f}x" if s["worst"] is not None else "-"
+        rows.append((s["name"], str(s["points"]),
+                     f"{s['min_speedup']:.2f}x", worst, s["status"]))
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    print("\nper-gate summary:")
+    for i, row in enumerate(rows):
+        print("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            print("  " + "  ".join("-" * w for w in widths))
 
 
 def main():
@@ -117,14 +146,11 @@ def main():
 
     fresh, num_cpus = load_fresh(args.fresh)
 
-    failures = []
-    checked = 0
-    skipped = 0
-    for gate in gates:
-        c, s, f = check_gate(gate, fresh, num_cpus, args.min_speedup)
-        checked += c
-        skipped += s
-        failures.extend(f)
+    summaries = [check_gate(g, fresh, num_cpus, args.min_speedup)
+                 for g in gates]
+    failures = [f for s in summaries for f in s["failures"]]
+    checked = sum(s["points"] for s in summaries)
+    skipped = sum(1 for s in summaries if s["status"] == "SKIPPED (cores)")
 
     # Informational: absolute numbers vs the recorded dev-machine baseline.
     # Hosted-runner hardware is unrelated to the machine that recorded the
@@ -136,6 +162,8 @@ def main():
         got = fresh[name]
         print(f"[info ] {name}: fresh {got:,.0f} / recorded {ref:,.0f} "
               f"items/s ({got / ref:.2f}x of dev-machine baseline)")
+
+    print_gate_table(summaries)
 
     if checked == 0 and skipped == 0:
         print("error: no gate checked any benchmark", file=sys.stderr)

@@ -68,7 +68,7 @@ double FaultInjector::ServiceScale(const std::string& link, SimTime at) const {
 SimTime FaultInjector::StallDelay(const std::string& domain, SimTime at) {
   SimTime resume = at;
   for (const StallWindow& w : plan_.stalls) {
-    if (at >= w.start && at < w.end && w.domain == domain) {
+    if (at >= w.start && at < w.end && DomainMatches(w.domain, domain)) {
       resume = std::max(resume, w.end);
     }
   }
@@ -82,7 +82,7 @@ SimTime FaultInjector::StallDelay(const std::string& domain, SimTime at) {
 
 bool FaultInjector::CrashedAt(const std::string& domain, SimTime at) const {
   for (const CrashWindow& w : plan_.crashes) {
-    if (at >= w.start && at < w.end && w.domain == domain) {
+    if (at >= w.start && at < w.end && DomainMatches(w.domain, domain)) {
       return true;
     }
   }
@@ -92,7 +92,7 @@ bool FaultInjector::CrashedAt(const std::string& domain, SimTime at) const {
 bool FaultInjector::CrashKills(const std::string& domain, SimTime from,
                                SimTime to) const {
   for (const CrashWindow& w : plan_.crashes) {
-    if (w.start < to && from < w.end && w.domain == domain) {
+    if (w.start < to && from < w.end && DomainMatches(w.domain, domain)) {
       return true;
     }
   }
@@ -101,7 +101,7 @@ bool FaultInjector::CrashKills(const std::string& domain, SimTime from,
 
 bool FaultInjector::InRewarm(const std::string& domain, SimTime at) const {
   for (const CrashWindow& w : plan_.crashes) {
-    if (at >= w.end && at < w.end + w.rewarm && w.domain == domain) {
+    if (at >= w.end && at < w.end + w.rewarm && DomainMatches(w.domain, domain)) {
       return true;
     }
   }

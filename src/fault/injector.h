@@ -49,6 +49,10 @@ class FaultInjector {
 
   // Deferral for work arriving in fault domain `domain` at `at`: the time
   // remaining until every enclosing stall window has ended (0 when none).
+  // Domain queries here and in the crash family use the hierarchical
+  // DomainMatches rules (src/fault/plan.h): a plan's "soc" window covers
+  // every "rack.s<i>.soc" endpoint, and "rack.s<i>" covers both endpoints
+  // of server i.
   SimTime StallDelay(const std::string& domain, SimTime at);
 
   // Crash-window queries (pure; counters live at the consumption sites,

@@ -359,6 +359,25 @@ bool ParseJsonPlan(const std::string& text, FaultPlan* out, std::string* error) 
 
 }  // namespace
 
+bool DomainMatches(const std::string& plan_domain, const std::string& query) {
+  if (plan_domain == query) {
+    return true;
+  }
+  const size_t pd = plan_domain.size();
+  const size_t q = query.size();
+  if (pd >= q) {
+    return false;  // a longer (more scoped) plan name never widens
+  }
+  // Leaf alias: plan "soc" vs query "rack.s3.soc" — the plan name must be a
+  // whole trailing segment, so "oc" or "s3.soc" never match by accident.
+  if (query.compare(q - pd, pd, plan_domain) == 0 && query[q - pd - 1] == '.') {
+    return true;
+  }
+  // Subtree: plan "rack.s3" vs query "rack.s3.soc" — a whole leading
+  // segment run addresses every endpoint under it.
+  return query.compare(0, pd, plan_domain) == 0 && query[pd] == '.';
+}
+
 bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* error) {
   *out = FaultPlan();
   error->clear();

@@ -80,6 +80,19 @@ struct FaultPlan {
   }
 };
 
+// Does a plan's domain spec apply to a component asking about `query`?
+// Matching is hierarchical over dot-separated names so rack-scale
+// topologies can address one endpoint without breaking old plans:
+//   * exact:       plan "rack.s3.soc" matches query "rack.s3.soc"
+//   * leaf alias:  plan "soc" matches query "rack.s3.soc" (the legacy
+//     spelling addresses every SoC endpoint in the rack)
+//   * subtree:     plan "rack.s3" matches query "rack.s3.host" and
+//     "rack.s3.soc" (a whole-server crash)
+// The reverse is never true: plan "rack.s3.soc" does NOT match a component
+// whose domain is plain "soc" — a scoped plan never leaks onto the
+// single-server topologies.
+bool DomainMatches(const std::string& plan_domain, const std::string& query);
+
 // Parses `spec` into `*out`. Two forms:
 //   inline:  "drop=0.01,seed=7,flap=LINK:START:END,degrade=LINK:START:END:F,
 //             stall=DOMAIN:START:END,crash=DOMAIN:START:END[:REWARM]"

@@ -36,6 +36,13 @@ struct ServingConfig {
   SimTime soc_notify = FromNanos(900);   // slow ARM dispatch
   int host_cores = 24;
   int soc_cores = 8;
+  // Fault-domain names this executor's endpoints answer crash/stall queries
+  // with. The defaults keep single-server topologies on the legacy
+  // spellings; a rack gives each server addressable names
+  // ("rack.s<i>.host" / "rack.s<i>.soc") that the injector's hierarchical
+  // DomainMatches still covers with a bare "host"/"soc" plan.
+  std::string host_domain = "host";
+  std::string soc_domain = "soc";
 
   static ServingConfig FromTestbed(const TestbedParams& tp, ServingLayout l) {
     ServingConfig c;

@@ -169,7 +169,9 @@ uint64_t Mix(uint64_t h, uint64_t v) {
 
 }  // namespace
 
-const char* RackFaultDomain(DomainId d) { return (d % 2 == 0) ? "host" : "soc"; }
+std::string RackFaultDomain(DomainId d) {
+  return "rack.s" + std::to_string(d) + (d % 2 == 0 ? ".host" : ".soc");
+}
 
 std::string RackLinkName(DomainId src, DomainId dst) {
   return "rack.l" + std::to_string(src) + "." + std::to_string(dst);

@@ -13,9 +13,13 @@
 // tests/sim/parallel_sim_test.cc and is part of the determinism contract
 // (DESIGN.md §12). Fault plans reuse the standard grammar: link names are
 // "rack.l<src>.<dst>" (drop/flap/degrade draws happen in the source
-// domain), and servers map onto the usual fault-domain names — even
-// servers are "host", odd servers are "soc" — so a spec like
-// "crash=soc:10:60:20" kills every odd server for that window.
+// domain), and each server has an addressable fault-domain name —
+// "rack.s<i>.host" for even servers, "rack.s<i>.soc" for odd ones. The
+// injector's hierarchical DomainMatches (src/fault/plan.h) keeps the old
+// spellings working as aliases: "crash=soc:10:60:20" still kills every odd
+// server for that window, while "crash=rack.s3.soc:10:60:20" kills exactly
+// server 3 and "crash=rack.s3:..." would cover both endpoint domains of a
+// server that runs a real host+SoC pair (src/topo/rack_kv.h).
 #ifndef SRC_TOPO_RACK_H_
 #define SRC_TOPO_RACK_H_
 
@@ -66,8 +70,10 @@ struct RackResult {
   std::string Fingerprint() const;
 };
 
-// Fault-domain name servers answer crash/stall queries with.
-const char* RackFaultDomain(DomainId d);
+// Fault-domain name server `d` answers crash/stall queries with:
+// "rack.s<d>.host" (even d) / "rack.s<d>.soc" (odd d). Plans may address
+// one server by full name or every host/SoC by the legacy leaf alias.
+std::string RackFaultDomain(DomainId d);
 // Fault-plan link name of the src -> dst fabric edge.
 std::string RackLinkName(DomainId src, DomainId dst);
 

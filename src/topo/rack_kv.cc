@@ -1,0 +1,882 @@
+#include "src/topo/rack_kv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/log.h"
+#include "src/fault/injector.h"
+#include "src/governor/governor.h"
+#include "src/governor/policy.h"
+#include "src/kvstore/serving.h"
+#include "src/obs/metrics.h"
+#include "src/sim/parallel.h"
+#include "src/sim/pool.h"
+#include "src/sim/timer_wheel.h"
+#include "src/topo/fabric.h"
+#include "src/topo/server.h"
+#include "src/topo/shard.h"
+#include "src/workload/addr_gen.h"
+#include "src/workload/aggregate_fleet.h"
+#include "src/workload/client.h"
+#include "src/workload/fleet.h"
+
+namespace snicsim {
+namespace {
+
+// Terminal status a serving domain reports home for one attempt.
+enum class ReplyStatus : uint8_t { kOk, kShed, kNack };
+
+// One in-flight request, resident in its *home* domain's slab. While the
+// request is at the serving domain the pointer travels inside closures as
+// an opaque handle and is only dereferenced back home. `gen` (bumped on
+// every Alloc, zeroed on Free) and `token` (bumped on every dispatch and
+// every timeout decision) guard the handle against slab reuse and stale
+// replies — the reply that loses the race to a timeout is counted, never
+// double-settled.
+struct HomeOp {
+  uint64_t gen = 0;
+  uint64_t token = 0;
+  SimTime start = 0;
+  int cls = 0;
+  uint64_t rank = 0;
+  uint32_t bytes = 0;
+  bool write = false;
+  uint64_t user = 0;
+  int attempts = 0;
+  int target = 0;
+  TimerWheel::TimerId timer = TimerWheel::kNoTimer;
+};
+
+// One serve in progress at the serving domain: the watchdog and the NIC
+// completion race through `settled`/`gen` exactly like HomeOp replies.
+struct ServeCtx {
+  uint64_t gen = 0;
+  bool settled = false;
+  int path = 0;
+  SimTime arrived = 0;
+  KvRequest req;
+  bool write = false;
+  DomainId src = 0;
+  HomeOp* op = nullptr;  // opaque until it returns home
+  uint64_t op_gen = 0;
+  uint64_t op_token = 0;
+};
+
+// One replication push from the acting primary to the shard peer.
+struct RepOp {
+  uint64_t gen = 0;
+  uint64_t token = 0;
+  int attempts = 0;
+  int peer = 0;
+  uint64_t rank = 0;
+  int cls = 0;
+  uint32_t bytes = 0;
+  TimerWheel::TimerId timer = TimerWheel::kNoTimer;
+};
+
+// Home-side failover view of one remote server.
+struct ServerView {
+  bool down = false;
+  int consec_fail = 0;
+  SimTime first_evidence = -1;
+};
+
+// Everything one server domain owns — serving machine, home-side fleet and
+// failover state. Touched only by the thread currently running the domain.
+struct KvDomain {
+  DomainId id = 0;
+  Simulator* sim = nullptr;
+  std::unique_ptr<Fabric> fabric;
+  std::unique_ptr<BluefieldServer> bf;
+  std::unique_ptr<kv::ServingExecutor> exec;
+  PcieLink* uplink = nullptr;  // client-proxy port: the reply's wire leg
+  std::unique_ptr<TimerWheel> wheel;
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<MetricsRegistry> live_reg;
+  std::unique_ptr<governor::AdaptiveGovernor> gov;
+  std::unique_ptr<resilience::ResilienceManager> resil;
+  std::unique_ptr<AggregateFleet> fleet;
+  std::string host_domain;
+  std::string soc_domain;
+
+  // Home side.
+  SlabPool<HomeOp> ops;
+  uint64_t op_gen = 0;
+  std::vector<ServerView> views;
+  Histogram latency;
+  uint64_t generated = 0;
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t shed = 0;
+  uint64_t timeouts = 0;
+  uint64_t nacks = 0;
+  uint64_t stale_replies = 0;
+  uint64_t promotions = 0;
+  uint64_t rehomed = 0;
+  uint64_t probes = 0;
+  SimTime max_promote_gap = -1;
+  SimTime first_promote_at = -1;
+  SimTime first_rehome_at = -1;
+
+  // Serving side.
+  SlabPool<ServeCtx> serves;
+  uint64_t serve_gen = 0;
+  uint64_t crash_refused = 0;
+  uint64_t serve_timeouts = 0;
+  uint64_t late_serves = 0;
+  uint64_t shed_srv = 0;
+  uint64_t server_completed = 0;  // serves settled ok at this domain
+
+  // Replication.
+  SlabPool<RepOp> reps;
+  uint64_t rep_gen = 0;
+  uint64_t writes = 0;
+  uint64_t repl_pushed = 0;
+  uint64_t repl_acked = 0;
+  uint64_t repl_failed = 0;
+  uint64_t repl_applied = 0;
+  uint64_t repl_stale = 0;
+};
+
+struct RackKv {
+  const RackKvParams* p = nullptr;
+  ParallelSimulator* psim = nullptr;
+  const HashRing* ring = nullptr;
+  const ZipfDist* zipf = nullptr;
+  std::vector<std::unique_ptr<KvDomain>> doms;
+};
+
+void IssueNew(RackKv& r, DomainId d, int cls, uint64_t user);
+void Dispatch(RackKv& r, DomainId d, HomeOp* op);
+void OnTimeout(RackKv& r, DomainId d, HomeOp* op, uint64_t gen, uint64_t token);
+void RetryOrFail(RackKv& r, DomainId d, HomeOp* op);
+void FinishHome(RackKv& r, DomainId d, HomeOp* op, ReplyStatus status);
+void ReplyHome(RackKv& r, DomainId d, HomeOp* op, uint64_t gen, uint64_t token,
+               ReplyStatus status);
+void Evidence(RackKv& r, DomainId d, int target);
+void ServeArrival(RackKv& r, DomainId t, DomainId src, HomeOp* op,
+                  uint64_t op_gen, uint64_t op_token, uint64_t rank, int cls,
+                  uint32_t bytes, bool write);
+void SettleServe(RackKv& r, DomainId t, ServeCtx* ctx, bool ok, SimTime done);
+void Replicate(RackKv& r, DomainId t, uint64_t rank, int cls, uint32_t bytes);
+void PushReplica(RackKv& r, DomainId t, RepOp* rep);
+void EpochTick(RackKv& r, DomainId d);
+
+// Whole-server liveness: the rack treats a server as reachable while either
+// endpoint domain is up; the whole-shard crash scenario kills both.
+bool ServerDeadNow(const KvDomain& dom) {
+  return dom.injector != nullptr &&
+         dom.injector->CrashedAt(dom.host_domain, dom.sim->now()) &&
+         dom.injector->CrashedAt(dom.soc_domain, dom.sim->now());
+}
+
+void IssueNew(RackKv& r, DomainId d, int cls, uint64_t user) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  // Payload draws come from the fleet's class stream, in class event order,
+  // so aggregate and materialized runs consume identical streams.
+  const uint64_t rank = r.zipf->RankOf(dom.fleet->Draw(cls));
+  const bool write = dom.fleet->Draw(cls) < r.p->write_fraction;
+  ++dom.generated;
+  HomeOp* op = dom.ops.Alloc();
+  op->gen = ++dom.op_gen;
+  op->token = 0;
+  op->start = dom.sim->now();
+  op->cls = cls;
+  op->rank = rank;
+  op->bytes = r.p->layout.class_bytes[static_cast<size_t>(cls)];
+  op->write = write;
+  op->user = user;
+  op->attempts = 0;
+  op->timer = TimerWheel::kNoTimer;
+  Dispatch(r, d, op);
+}
+
+void Dispatch(RackKv& r, DomainId d, HomeOp* op) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  ++op->attempts;
+  ++dom.issued;
+  // Shard routing through the home's failover view: primary unless this
+  // home has marked it down, then the ring's follower (the same follower
+  // every home computes — no coordination).
+  const int primary = r.ring->PrimaryOf(op->rank);
+  const int target = dom.views[static_cast<size_t>(primary)].down
+                         ? r.ring->FollowerOf(op->rank)
+                         : primary;
+  op->target = target;
+  const uint64_t gen = op->gen;
+  const uint64_t token = ++op->token;
+  RackKv* rk = &r;
+  op->timer = dom.wheel->In(r.p->request_timeout, [rk, d, op, gen, token] {
+    OnTimeout(*rk, d, op, gen, token);
+  });
+  const DomainId src = d;
+  const uint64_t rank = op->rank;
+  const int cls = op->cls;
+  const uint32_t bytes = op->bytes;
+  const bool write = op->write;
+  r.psim->Post(d, static_cast<DomainId>(target),
+               dom.sim->now() + r.p->rack_link_latency,
+               [rk, target, src, op, gen, token, rank, cls, bytes, write] {
+                 ServeArrival(*rk, static_cast<DomainId>(target), src, op, gen,
+                              token, rank, cls, bytes, write);
+               });
+}
+
+void OnTimeout(RackKv& r, DomainId d, HomeOp* op, uint64_t gen, uint64_t token) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  if (op->gen != gen || op->token != token) {
+    return;  // a reply settled this attempt first
+  }
+  ++dom.timeouts;
+  ++op->token;  // the in-flight attempt is dead; its late reply is stale
+  op->timer = TimerWheel::kNoTimer;
+  Evidence(r, d, op->target);
+  RetryOrFail(r, d, op);
+}
+
+void RetryOrFail(RackKv& r, DomainId d, HomeOp* op) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  if (op->attempts >= r.p->max_attempts) {
+    FinishHome(r, d, op, ReplyStatus::kNack);  // terminal failure
+    return;
+  }
+  RackKv* rk = &r;
+  const uint64_t gen = op->gen;
+  const uint64_t token = op->token;
+  dom.wheel->In(r.p->retry_backoff, [rk, d, op, gen, token] {
+    if (op->gen != gen || op->token != token) {
+      return;  // freed or re-dispatched while backing off (cannot happen
+               // today — the op is quiescent during backoff — but cheap)
+    }
+    Dispatch(*rk, d, op);
+  });
+}
+
+void FinishHome(RackKv& r, DomainId d, HomeOp* op, ReplyStatus status) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  switch (status) {
+    case ReplyStatus::kOk:
+      ++dom.completed;
+      dom.latency.Record(dom.sim->now() - op->start);
+      break;
+    case ReplyStatus::kShed:
+      ++dom.shed;
+      break;
+    case ReplyStatus::kNack:
+      ++dom.failed;
+      break;
+  }
+  dom.fleet->OnComplete(op->cls, op->user);
+  op->gen = 0;
+  dom.ops.Free(op);
+}
+
+void ReplyHome(RackKv& r, DomainId d, HomeOp* op, uint64_t gen, uint64_t token,
+               ReplyStatus status) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  if (op->gen != gen || op->token != token) {
+    ++dom.stale_replies;
+    return;
+  }
+  if (op->timer != TimerWheel::kNoTimer) {
+    dom.wheel->Cancel(op->timer);
+    op->timer = TimerWheel::kNoTimer;
+  }
+  ++op->token;  // no later message can settle this attempt again
+  switch (status) {
+    case ReplyStatus::kOk: {
+      ServerView& v = dom.views[static_cast<size_t>(op->target)];
+      v.consec_fail = 0;
+      if (v.down) {
+        // A data reply is as good as a probe ack: the server answered.
+        v.down = false;
+        ++dom.rehomed;
+        if (dom.first_rehome_at < 0) {
+          dom.first_rehome_at = dom.sim->now();
+        }
+      }
+      FinishHome(r, d, op, ReplyStatus::kOk);
+      return;
+    }
+    case ReplyStatus::kShed:
+      FinishHome(r, d, op, ReplyStatus::kShed);
+      return;
+    case ReplyStatus::kNack:
+      ++dom.nacks;
+      Evidence(r, d, op->target);
+      RetryOrFail(r, d, op);
+      return;
+  }
+}
+
+void Evidence(RackKv& r, DomainId d, int target) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  ServerView& v = dom.views[static_cast<size_t>(target)];
+  if (v.down) {
+    return;
+  }
+  if (v.consec_fail == 0) {
+    v.first_evidence = dom.sim->now();
+  }
+  ++v.consec_fail;
+  if (v.consec_fail >= r.p->promote_after) {
+    v.down = true;
+    v.consec_fail = 0;
+    ++dom.promotions;
+    const SimTime gap = dom.sim->now() - v.first_evidence;
+    dom.max_promote_gap = std::max(dom.max_promote_gap, gap);
+    if (dom.first_promote_at < 0) {
+      dom.first_promote_at = dom.sim->now();
+    }
+  }
+}
+
+void ServeArrival(RackKv& r, DomainId t, DomainId src, HomeOp* op,
+                  uint64_t op_gen, uint64_t op_token, uint64_t rank, int cls,
+                  uint32_t bytes, bool write) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(t)];
+  RackKv* rk = &r;
+  if (ServerDeadNow(dom)) {
+    ++dom.crash_refused;
+    // Nack home: faster failure evidence than waiting out the timeout.
+    r.psim->Post(t, src, dom.sim->now() + r.p->rack_link_latency,
+                 [rk, src, op, op_gen, op_token] {
+                   ReplyHome(*rk, src, op, op_gen, op_token, ReplyStatus::kNack);
+                 });
+    return;
+  }
+  KvRequest req;
+  req.client = static_cast<uint64_t>(src);
+  req.seq = op_token;
+  req.rank = rank;
+  req.size_class = cls;
+  req.bytes = bytes;
+  req.hdr = r.p->layout.Pack(rank, cls);
+  const int path = dom.gov->Route(req);
+  if (dom.resil != nullptr &&
+      !dom.resil->Admit(path, cls, /*deadline=*/0, dom.sim->now())) {
+    dom.gov->OnShed(path, req);
+    ++dom.shed_srv;
+    r.psim->Post(t, src, dom.sim->now() + r.p->rack_link_latency,
+                 [rk, src, op, op_gen, op_token] {
+                   ReplyHome(*rk, src, op, op_gen, op_token, ReplyStatus::kShed);
+                 });
+    return;
+  }
+  ServeCtx* ctx = dom.serves.Alloc();
+  ctx->gen = ++dom.serve_gen;
+  ctx->settled = false;
+  ctx->path = path;
+  ctx->arrived = dom.sim->now();
+  ctx->req = req;
+  ctx->write = write;
+  ctx->src = src;
+  ctx->op = op;
+  ctx->op_gen = op_gen;
+  ctx->op_token = op_token;
+  const uint64_t sgen = ctx->gen;
+  // Crash windows eat in-flight serves inside the executor (the reply
+  // evaporates with the endpoint); the watchdog turns that silence into a
+  // deterministic failed-serve + nack so the governor's in-flight
+  // accounting and the home ledger both stay closed.
+  dom.wheel->In(r.p->serve_timeout, [rk, t, ctx, sgen] {
+    KvDomain& here = *rk->doms[static_cast<size_t>(t)];
+    if (ctx->gen != sgen || ctx->settled) {
+      return;
+    }
+    ++here.serve_timeouts;
+    SettleServe(*rk, t, ctx, /*ok=*/false, here.sim->now());
+  });
+  // Into the full SmartNIC model: FE -> PU -> DMA -> endpoint CPU
+  // (ServingExecutor via the registered SendHandler) -> response over the
+  // uplink. The request SEND is one header frame; the reply carries the
+  // value and pays the wire.
+  NicEndpoint* const ep = path == governor::kPathHost ? dom.bf->host_ep()
+                                                      : dom.bf->soc_ep();
+  PciePath back = dom.fabric->Route(dom.bf->port(), dom.uplink);
+  dom.bf->nic().HandleRequest(
+      ep, Verb::kSend, req.hdr, r.p->request_bytes, /*fe_units=*/1.0,
+      std::move(back),
+      [rk, t, ctx, sgen](SimTime delivered) {
+        KvDomain& here = *rk->doms[static_cast<size_t>(t)];
+        if (ctx->gen != sgen || ctx->settled) {
+          ++here.late_serves;  // the watchdog already failed this serve
+          return;
+        }
+        SettleServe(*rk, t, ctx, /*ok=*/true, delivered);
+      },
+      /*req_id=*/op_token);
+}
+
+void SettleServe(RackKv& r, DomainId t, ServeCtx* ctx, bool ok, SimTime done) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(t)];
+  ctx->settled = true;
+  const SimTime latency = done - ctx->arrived;
+  dom.gov->OnComplete(ctx->path, ctx->req, latency, ok);
+  if (dom.resil != nullptr) {
+    dom.resil->OnOutcome(ctx->path, latency, ok, /*deadline_met=*/ok,
+                         dom.sim->now());
+  }
+  if (ok) {
+    ++dom.server_completed;
+    if (ctx->write && r.p->replicas > 1) {
+      ++dom.writes;
+      Replicate(r, t, ctx->req.rank, ctx->req.size_class, ctx->req.bytes);
+    }
+  }
+  RackKv* rk = &r;
+  const DomainId src = ctx->src;
+  HomeOp* const op = ctx->op;
+  const uint64_t op_gen = ctx->op_gen;
+  const uint64_t op_token = ctx->op_token;
+  const ReplyStatus status = ok ? ReplyStatus::kOk : ReplyStatus::kNack;
+  r.psim->Post(t, src, dom.sim->now() + r.p->rack_link_latency,
+               [rk, src, op, op_gen, op_token, status] {
+                 ReplyHome(*rk, src, op, op_gen, op_token, status);
+               });
+  ctx->gen = 0;
+  dom.serves.Free(ctx);
+}
+
+void Replicate(RackKv& r, DomainId t, uint64_t rank, int cls, uint32_t bytes) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(t)];
+  ++dom.repl_pushed;
+  RepOp* rep = dom.reps.Alloc();
+  rep->gen = ++dom.rep_gen;
+  rep->token = 0;
+  rep->attempts = 0;
+  rep->peer = r.ring->ReplicaPeerOf(rank, static_cast<int>(t));
+  rep->rank = rank;
+  rep->cls = cls;
+  rep->bytes = bytes;
+  rep->timer = TimerWheel::kNoTimer;
+  PushReplica(r, t, rep);
+}
+
+void PushReplica(RackKv& r, DomainId t, RepOp* rep) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(t)];
+  ++rep->attempts;
+  const uint64_t gen = rep->gen;
+  const uint64_t token = ++rep->token;
+  RackKv* rk = &r;
+  // The replication engine runs on the primary's SoC; a crashed SoC fails
+  // the push outright (the restart path re-replicates by application-level
+  // means outside this model).
+  if (dom.injector != nullptr &&
+      dom.injector->CrashedAt(dom.soc_domain, dom.sim->now())) {
+    ++dom.repl_failed;
+    rep->gen = 0;
+    dom.reps.Free(rep);
+    return;
+  }
+  const SimTime fetch_start = dom.sim->now();
+  // Path ③: the SoC pulls the freshly-written value out of host DRAM
+  // through the NIC engine (double PCIe1 crossing) before pushing it to the
+  // follower over the wire.
+  dom.bf->nic().ExecuteLocalOp(
+      dom.bf->soc_ep(), dom.bf->host_ep(), Verb::kRead,
+      r.p->layout.Pack(rep->rank, rep->cls), rep->bytes,
+      [rk, t, rep, gen, token, fetch_start](SimTime done) {
+        KvDomain& here = *rk->doms[static_cast<size_t>(t)];
+        if (rep->gen != gen || rep->token != token) {
+          ++here.repl_stale;
+          return;
+        }
+        if (here.injector != nullptr &&
+            here.injector->CrashKills(here.soc_domain, fetch_start, done)) {
+          ++here.repl_failed;
+          rep->gen = 0;
+          here.reps.Free(rep);
+          return;
+        }
+        const int peer = rep->peer;
+        const uint64_t rank = rep->rank;
+        const int cls = rep->cls;
+        const uint32_t bytes = rep->bytes;
+        rep->timer = here.wheel->In(rk->p->repl_timeout, [rk, t, rep, gen, token] {
+          KvDomain& h = *rk->doms[static_cast<size_t>(t)];
+          if (rep->gen != gen || rep->token != token) {
+            return;
+          }
+          ++rep->token;  // the in-flight push is dead
+          rep->timer = TimerWheel::kNoTimer;
+          if (rep->attempts >= rk->p->repl_max_attempts) {
+            ++h.repl_failed;
+            rep->gen = 0;
+            h.reps.Free(rep);
+            return;
+          }
+          h.wheel->In(rk->p->retry_backoff, [rk, t, rep, gen] {
+            if (rep->gen != gen) {
+              return;
+            }
+            PushReplica(*rk, t, rep);
+          });
+        });
+        rk->psim->Post(
+            t, static_cast<DomainId>(peer),
+            here.sim->now() + rk->p->rack_link_latency,
+            [rk, t, peer, rep, gen, token, rank, cls, bytes] {
+              // Follower side: apply into SoC memory, then ack.
+              KvDomain& f = *rk->doms[static_cast<size_t>(peer)];
+              if (f.injector != nullptr &&
+                  f.injector->CrashedAt(f.soc_domain, f.sim->now())) {
+                return;  // dead follower: the primary's timer retries
+              }
+              const SimTime applied = f.bf->soc_memory().Access(
+                  f.sim->now(), rk->p->layout.Pack(rank, cls), bytes,
+                  /*is_write=*/true);
+              f.sim->At(applied, [rk, t, peer, rep, gen, token] {
+                KvDomain& ff = *rk->doms[static_cast<size_t>(peer)];
+                ++ff.repl_applied;
+                rk->psim->Post(
+                    static_cast<DomainId>(peer), t,
+                    ff.sim->now() + rk->p->rack_link_latency,
+                    [rk, t, rep, gen, token] {
+                      KvDomain& h = *rk->doms[static_cast<size_t>(t)];
+                      if (rep->gen != gen || rep->token != token) {
+                        ++h.repl_stale;
+                        return;
+                      }
+                      if (rep->timer != TimerWheel::kNoTimer) {
+                        h.wheel->Cancel(rep->timer);
+                        rep->timer = TimerWheel::kNoTimer;
+                      }
+                      ++h.repl_acked;
+                      rep->gen = 0;
+                      h.reps.Free(rep);
+                    });
+              });
+            });
+      },
+      /*req_id=*/token);
+}
+
+void EpochTick(RackKv& r, DomainId d) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  RackKv* rk = &r;
+  // Probe every down-marked server once per epoch; the first ack re-homes.
+  for (int s = 0; s < r.p->servers; ++s) {
+    if (s == d || !dom.views[static_cast<size_t>(s)].down) {
+      continue;
+    }
+    ++dom.probes;
+    r.psim->Post(d, static_cast<DomainId>(s),
+                 dom.sim->now() + r.p->rack_link_latency, [rk, d, s] {
+                   KvDomain& there = *rk->doms[static_cast<size_t>(s)];
+                   if (ServerDeadNow(there)) {
+                     return;  // the probe dies with the server
+                   }
+                   rk->psim->Post(static_cast<DomainId>(s), d,
+                                  there.sim->now() + rk->p->rack_link_latency,
+                                  [rk, d, s] {
+                                    KvDomain& home = *rk->doms[static_cast<size_t>(d)];
+                                    ServerView& v = home.views[static_cast<size_t>(s)];
+                                    if (!v.down) {
+                                      return;
+                                    }
+                                    v.down = false;
+                                    v.consec_fail = 0;
+                                    ++home.rehomed;
+                                    if (home.first_rehome_at < 0) {
+                                      home.first_rehome_at = home.sim->now();
+                                    }
+                                  });
+                 });
+  }
+  if (dom.sim->now() + r.p->governor_epoch < r.p->window) {
+    dom.wheel->In(r.p->governor_epoch, [rk, d] { EpochTick(*rk, d); });
+  }
+}
+
+void AppendU(std::string* s, uint64_t v) {
+  s->append(std::to_string(v));
+  s->push_back('|');
+}
+
+void AppendD(std::string* s, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  s->append(buf);
+  s->push_back('|');
+}
+
+}  // namespace
+
+std::string RackKvHostDomain(DomainId d) {
+  return "rack.s" + std::to_string(d) + ".host";
+}
+
+std::string RackKvSocDomain(DomainId d) {
+  return "rack.s" + std::to_string(d) + ".soc";
+}
+
+std::string RackKvResult::Fingerprint() const {
+  std::string s = "rackkv|";
+  for (uint64_t v :
+       {generated, issued, completed, failed, shed, timeouts, nacks,
+        stale_replies, crash_refused, serve_timeouts, late_serves, host_gets,
+        soc_gets, soc_hits, soc_misses, path3_bytes, crash_drops,
+        rewarm_misses, writes, repl_pushed, repl_acked, repl_failed,
+        repl_applied, repl_stale, routed_host, routed_soc, hol_gated,
+        budget_spills, explored, gov_draws, breaker_denied, shed_codel,
+        shed_bucket, resil_draws, promotions, rehomed, probes, fleet_draws,
+        peak_inflight, rounds, merged, processed, digest}) {
+    AppendU(&s, v);
+  }
+  AppendD(&s, max_promote_gap_us);
+  AppendD(&s, first_promote_at_us);
+  AppendD(&s, first_rehome_at_us);
+  AppendU(&s, static_cast<uint64_t>(p50_ps));
+  AppendU(&s, static_cast<uint64_t>(p99_ps));
+  AppendU(&s, static_cast<uint64_t>(max_ps));
+  for (uint64_t v : server_completed) {
+    AppendU(&s, v);
+  }
+  return s;
+}
+
+RackKvResult RunRackKv(const RackKvParams& params) {
+  SNIC_CHECK_GE(params.servers, 2);
+  SNIC_CHECK_GT(params.users, 0u);
+  SNIC_CHECK_GT(params.think_mean_us, 0.0);
+  SNIC_CHECK_GT(params.rack_link_latency, 0);
+  SNIC_CHECK_GT(params.request_timeout, 0);
+  SNIC_CHECK_GT(params.serve_timeout, 0);
+  SNIC_CHECK_GT(params.max_attempts, 0);
+  SNIC_CHECK_GT(params.promote_after, 0);
+  SNIC_CHECK_GT(params.window, 0);
+  SNIC_CHECK_EQ(params.mix.size(), params.layout.class_bytes.size());
+  params.layout.Validate();
+
+  ParallelSimulator psim(params.servers, params.rack_link_latency,
+                         params.sim_threads);
+  const HashRing ring(params.servers, /*vnodes_per_server=*/64, params.seed);
+  const ZipfDist zipf(params.layout.keys, params.zipf_theta);
+  // The rack population, split server -> class by largest remainder so
+  // every jobs/sim_threads level sees identical per-bucket populations.
+  const std::vector<uint64_t> per_server = AggregateFleet::Partition(
+      params.users, std::vector<double>(static_cast<size_t>(params.servers), 1.0));
+
+  RackKv rack;
+  rack.p = &params;
+  rack.psim = &psim;
+  rack.ring = &ring;
+  rack.zipf = &zipf;
+  rack.doms.reserve(static_cast<size_t>(params.servers));
+  const ClientParams client_params;  // governor latency priors only
+  for (int d = 0; d < params.servers; ++d) {
+    auto dom = std::make_unique<KvDomain>();
+    dom->id = d;
+    dom->sim = psim.domain(d);
+    dom->host_domain = RackKvHostDomain(d);
+    dom->soc_domain = RackKvSocDomain(d);
+    dom->fabric = std::make_unique<Fabric>(
+        dom->sim, params.testbed.network_link_propagation,
+        params.testbed.network_switch_forward);
+    dom->bf = std::make_unique<BluefieldServer>(
+        dom->sim, dom->fabric.get(), params.testbed,
+        "rack.s" + std::to_string(d));
+    dom->uplink = dom->fabric->AddPort("rack.s" + std::to_string(d) + ".up",
+                                       params.testbed.client_port_bandwidth);
+    kv::ServingConfig serving =
+        kv::ServingConfig::FromTestbed(params.testbed, params.layout);
+    serving.host_domain = dom->host_domain;
+    serving.soc_domain = dom->soc_domain;
+    dom->exec = std::make_unique<kv::ServingExecutor>(dom->sim, dom->bf.get(),
+                                                      serving);
+    dom->wheel = std::make_unique<TimerWheel>(dom->sim);
+    dom->sim->set_timer_wheel(dom->wheel.get());
+    if (!params.faults.empty()) {
+      dom->injector = std::make_unique<fault::FaultInjector>(params.faults);
+      dom->sim->set_faults(dom->injector.get());
+    }
+    if (!params.resil.empty()) {
+      dom->resil =
+          std::make_unique<resilience::ResilienceManager>(params.resil);
+      dom->exec->BindResilience(dom->resil.get());
+    }
+    governor::GovernorConfig gcfg;
+    gcfg.seed = params.seed ^ (0x9e3779b97f4a7c15ull * (d + 1));
+    gcfg.epoch = params.governor_epoch;
+    dom->gov = std::make_unique<governor::AdaptiveGovernor>(
+        dom->sim, gcfg, &dom->exec->config().layout, serving, params.testbed,
+        client_params, params.layout.class_bytes);
+    dom->live_reg = std::make_unique<MetricsRegistry>();
+    dom->exec->RegisterMetrics(dom->live_reg.get());
+    dom->gov->BindMetrics(*dom->live_reg);
+    if (dom->resil != nullptr) {
+      dom->gov->BindResilience(dom->resil.get());
+    }
+    AggregateFleetParams fp;
+    fp.users_per_class =
+        AggregateFleet::Partition(per_server[static_cast<size_t>(d)], params.mix);
+    fp.think_mean_us = params.think_mean_us;
+    fp.seed = params.seed ^ (0xd1b54a32d192ed03ull * (d + 1));
+    fp.materialize = params.materialize_fleet;
+    dom->fleet = std::make_unique<AggregateFleet>(dom->sim, std::move(fp));
+    dom->views.assign(static_cast<size_t>(params.servers), ServerView{});
+    rack.doms.push_back(std::move(dom));
+  }
+
+  // Opening lineup, in domain order: the fleet's candidate chains, the
+  // failover epoch tick, and the quiesce edge that stops both.
+  RackKv* rk = &rack;
+  for (int d = 0; d < params.servers; ++d) {
+    KvDomain& dom = *rack.doms[static_cast<size_t>(d)];
+    AggregateFleet* fleet = dom.fleet.get();
+    KvDomain* dp = &dom;
+    dom.sim->At(0, [rk, d, fleet] {
+      fleet->Start([rk, d](int cls, uint64_t user) { IssueNew(*rk, d, cls, user); });
+      EpochTick(*rk, d);
+    });
+    dom.sim->At(params.window, [fleet, dp] {
+      fleet->Stop();
+      dp->gov->StopTicking();
+    });
+  }
+  psim.Run();
+
+  RackKvResult out;
+  out.rounds = psim.rounds();
+  out.merged = psim.merged();
+  out.processed = psim.processed();
+  uint64_t digest = psim.merge_digest();
+  Histogram latency;
+  out.server_completed.reserve(static_cast<size_t>(params.servers));
+  constexpr uint64_t kPrime = 1099511628211ull;
+  auto mix = [&digest](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      digest ^= (v >> (8 * i)) & 0xffu;
+      digest *= kPrime;
+    }
+  };
+  for (const auto& domp : rack.doms) {
+    const KvDomain& dom = *domp;
+    // Every record resolved before quiesce: the O(in-flight) claim and the
+    // ledger both depend on a fully drained rack.
+    SNIC_CHECK_EQ(dom.ops.live(), 0u);
+    SNIC_CHECK_EQ(dom.serves.live(), 0u);
+    SNIC_CHECK_EQ(dom.reps.live(), 0u);
+    out.generated += dom.generated;
+    out.issued += dom.issued;
+    out.completed += dom.completed;
+    out.failed += dom.failed;
+    out.shed += dom.shed;
+    out.timeouts += dom.timeouts;
+    out.nacks += dom.nacks;
+    out.stale_replies += dom.stale_replies;
+    out.crash_refused += dom.crash_refused;
+    out.serve_timeouts += dom.serve_timeouts;
+    out.late_serves += dom.late_serves;
+    out.host_gets += dom.exec->host_gets();
+    out.soc_gets += dom.exec->soc_gets();
+    out.soc_hits += dom.exec->soc_hits();
+    out.soc_misses += dom.exec->soc_misses();
+    out.path3_bytes += dom.exec->path3_bytes();
+    out.crash_drops += dom.exec->crash_drops();
+    out.rewarm_misses += dom.exec->rewarm_misses();
+    out.writes += dom.writes;
+    out.repl_pushed += dom.repl_pushed;
+    out.repl_acked += dom.repl_acked;
+    out.repl_failed += dom.repl_failed;
+    out.repl_applied += dom.repl_applied;
+    out.repl_stale += dom.repl_stale;
+    out.routed_host += dom.gov->routed(governor::kPathHost);
+    out.routed_soc += dom.gov->routed(governor::kPathSoc);
+    out.hol_gated += dom.gov->hol_gated();
+    out.budget_spills += dom.gov->budget_spills();
+    out.explored += dom.gov->explored();
+    out.gov_draws += dom.gov->draws();
+    out.breaker_denied += dom.gov->breaker_denied();
+    if (dom.resil != nullptr) {
+      out.shed_codel += dom.resil->shed_codel();
+      out.shed_bucket += dom.resil->shed_bucket();
+      out.resil_draws += dom.resil->draws();
+    }
+    out.promotions += dom.promotions;
+    out.rehomed += dom.rehomed;
+    out.probes += dom.probes;
+    if (dom.max_promote_gap >= 0) {
+      out.max_promote_gap_us =
+          std::max(out.max_promote_gap_us, ToMicros(dom.max_promote_gap));
+    }
+    if (dom.first_promote_at >= 0 &&
+        (out.first_promote_at_us < 0 ||
+         ToMicros(dom.first_promote_at) < out.first_promote_at_us)) {
+      out.first_promote_at_us = ToMicros(dom.first_promote_at);
+    }
+    if (dom.first_rehome_at >= 0 &&
+        (out.first_rehome_at_us < 0 ||
+         ToMicros(dom.first_rehome_at) < out.first_rehome_at_us)) {
+      out.first_rehome_at_us = ToMicros(dom.first_rehome_at);
+    }
+    out.fleet_draws += dom.fleet->draws();
+    out.peak_inflight += dom.fleet->peak_inflight();
+    out.resident_client_bytes +=
+        dom.fleet->resident_state_bytes() +
+        dom.ops.capacity() * sizeof(HomeOp) +
+        dom.serves.capacity() * sizeof(ServeCtx) +
+        dom.reps.capacity() * sizeof(RepOp);
+    out.server_completed.push_back(dom.server_completed);
+    latency.Merge(dom.latency);
+    for (uint64_t v :
+         {dom.generated, dom.completed, dom.failed, dom.shed, dom.timeouts,
+          dom.nacks, dom.stale_replies, dom.crash_refused, dom.serve_timeouts,
+          dom.writes, dom.repl_acked, dom.promotions, dom.rehomed,
+          dom.server_completed, dom.fleet->draws(), dom.gov->draws(),
+          dom.sim->processed(), static_cast<uint64_t>(dom.sim->now())}) {
+      mix(v);
+    }
+  }
+  out.digest = digest;
+  out.p50_ps = latency.Percentile(50.0);
+  out.p99_ps = latency.Percentile(99.0);
+  out.max_ps = latency.max();
+
+  if (!params.metrics_path.empty()) {
+    MetricsRegistry dump;
+    const RackKvResult* res = &out;
+    dump.Register("rack", "generated", "count",
+                  "requests generated by the aggregate fleets",
+                  [res] { return static_cast<double>(res->generated); });
+    dump.Register("rack", "completed", "count", "requests settled ok",
+                  [res] { return static_cast<double>(res->completed); });
+    dump.Register("rack", "failed", "count",
+                  "requests that exhausted the retry budget",
+                  [res] { return static_cast<double>(res->failed); });
+    dump.Register("rack", "shed", "count",
+                  "requests refused by serving-side admission",
+                  [res] { return static_cast<double>(res->shed); });
+    dump.Register("rack", "timeouts", "count", "home request-timeout firings",
+                  [res] { return static_cast<double>(res->timeouts); });
+    dump.Register("rack", "repl_pushed", "count",
+                  "replication pushes initiated by acting primaries",
+                  [res] { return static_cast<double>(res->repl_pushed); });
+    dump.Register("rack", "repl_acked", "count",
+                  "replication pushes acked by the follower",
+                  [res] { return static_cast<double>(res->repl_acked); });
+    dump.Register("rack", "promotions", "count",
+                  "shard failovers (a home marked a server down)",
+                  [res] { return static_cast<double>(res->promotions); });
+    dump.Register("rack", "rehomed", "count",
+                  "recoveries (a probe or data reply re-homed a server)",
+                  [res] { return static_cast<double>(res->rehomed); });
+    dump.Register("rack", "peak_inflight", "count",
+                  "rack-wide peak concurrent in-flight requests",
+                  [res] { return static_cast<double>(res->peak_inflight); });
+    dump.Register("rack", "resident_client_bytes", "bytes",
+                  "resident client state (fleet + in-flight slabs)",
+                  [res] { return static_cast<double>(res->resident_client_bytes); });
+    SNIC_CHECK(dump.WriteJsonFile(params.metrics_path));
+  }
+  return out;
+}
+
+}  // namespace snicsim

@@ -1,0 +1,174 @@
+// Rack-scale sharded KV serving: N BlueField servers, each a parallel-sim
+// domain running the full per-server stack, fronted by consistent-hash
+// sharding with primary+follower replication and shard failover.
+//
+// Topology. Every domain owns a complete serving machine — Fabric,
+// BluefieldServer (SmartNIC model), ServingExecutor on both endpoints,
+// AdaptiveGovernor routing host (①) vs SoC (②, misses ride ③),
+// ResilienceManager admission control, FaultInjector, TimerWheel — plus
+// the *home* side: an AggregateFleet generating this domain's share of the
+// rack's user population in O(in-flight) memory, the shard map, and a
+// failover view of every other server. Domains exchange request/reply,
+// replication, and probe messages through ParallelSimulator::Post with the
+// rack link latency as the conservative lookahead.
+//
+// Sharding & replication. A key's primary is HashRing::PrimaryOf(rank);
+// its follower replica is the next distinct server clockwise
+// (src/topo/shard.h). Writes served at the primary are replicated: the
+// primary's SoC first pulls the value from host DRAM over path ③
+// (ExecuteLocalOp, the paper's host↔SoC communication) and then pushes it
+// to the follower, which applies it to its SoC memory and acks. Replication
+// is asynchronous with bounded retries; the conservation ledger closes over
+// it (repl_pushed == repl_acked + repl_failed after drain).
+//
+// Failover. Home domains keep a per-server view: `promote_after`
+// consecutive timeouts/nacks against a server mark it down and re-route its
+// shards to the follower — a pure function of the shared ring, so every
+// home promotes the same replacement without coordination. While a server
+// is down, the home's epoch tick (the governor epoch period) probes it;
+// the first probe ack (or any successful data reply) re-homes the shards.
+// The measured promotion gap (first evidence -> promote) is bounded by
+// ≤ 2 governor epochs in the crash-failover scenario (bench/rack_scale
+// --check asserts it).
+//
+// Every field of RackKvResult, including the replay digest, is
+// byte-identical at any --jobs x --sim-threads combination (DESIGN.md §12);
+// request state is materialized only while in flight, so the peak resident
+// client state is O(in-flight), not O(users) — both are asserted by
+// bench/rack_scale --check at a 1M-user point.
+#ifndef SRC_TOPO_RACK_KV_H_
+#define SRC_TOPO_RACK_KV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/fault/plan.h"
+#include "src/kvstore/layout.h"
+#include "src/resilience/resilience.h"
+#include "src/sim/domain.h"
+#include "src/topo/testbed_params.h"
+
+namespace snicsim {
+
+struct RackKvParams {
+  int servers = 4;  // >= 2 (replication needs a distinct follower)
+  // Rack-wide closed-loop user population, split across (server, class)
+  // buckets by largest remainder; memory stays O(in-flight) regardless.
+  uint64_t users = 100000;
+  double think_mean_us = 1000.0;  // per-user exponential think time
+  double zipf_theta = 0.99;       // key skew, in (0, 1)
+  kv::ServingLayout layout;       // keys, SoC-resident span, class table
+  std::vector<double> mix = {0.70, 0.25, 0.05};  // value-class weights
+  double write_fraction = 0.1;    // writes replicate to the follower
+  int replicas = 2;               // 1 disables replication
+  uint32_t request_bytes = 64;    // GET/PUT header SEND payload
+
+  SimTime rack_link_latency = FromMicros(2);  // one-way; == the lookahead
+  SimTime request_timeout = FromMicros(25);   // home retry clock
+  SimTime retry_backoff = FromMicros(5);
+  int max_attempts = 8;
+  SimTime serve_timeout = FromMicros(20);  // serving-side watchdog
+  SimTime repl_timeout = FromMicros(30);
+  int repl_max_attempts = 4;
+
+  SimTime governor_epoch = FromMicros(50);  // also the failover probe period
+  int promote_after = 2;  // consecutive fails that mark a server down
+
+  SimTime window = FromMicros(400);  // issue horizon; then drain to empty
+  uint64_t seed = 1;
+  int sim_threads = 1;
+  bool materialize_fleet = false;  // O(users) reference mode (tests only)
+  TestbedParams testbed;
+  fault::FaultPlan faults;
+  resilience::ResilienceConfig resil;  // empty() => no manager at all
+  std::string metrics_path;  // dump the rack.* catalog when non-empty
+};
+
+struct RackKvResult {
+  // Home-side request ledger: generated == completed + failed + shed.
+  uint64_t generated = 0;
+  uint64_t issued = 0;  // dispatch attempts (>= generated; retries add)
+  uint64_t completed = 0;
+  uint64_t failed = 0;  // retry budget exhausted
+  uint64_t shed = 0;    // refused by serving-side admission (terminal)
+  uint64_t timeouts = 0;
+  uint64_t nacks = 0;          // crash-refused arrivals bounced home
+  uint64_t stale_replies = 0;  // replies that lost to a timeout decision
+  // Serving side.
+  uint64_t crash_refused = 0;
+  uint64_t serve_timeouts = 0;  // watchdog-failed serves (crash-eaten)
+  uint64_t late_serves = 0;     // serve completions after the watchdog
+  uint64_t host_gets = 0;
+  uint64_t soc_gets = 0;
+  uint64_t soc_hits = 0;
+  uint64_t soc_misses = 0;
+  uint64_t path3_bytes = 0;
+  uint64_t crash_drops = 0;
+  uint64_t rewarm_misses = 0;
+  // Replication ledger: repl_pushed == repl_acked + repl_failed.
+  uint64_t writes = 0;
+  uint64_t repl_pushed = 0;
+  uint64_t repl_acked = 0;
+  uint64_t repl_failed = 0;
+  uint64_t repl_applied = 0;  // follower-side applies (>= acked - in-flight)
+  uint64_t repl_stale = 0;
+  // Governor (summed over domains).
+  uint64_t routed_host = 0;
+  uint64_t routed_soc = 0;
+  uint64_t hol_gated = 0;
+  uint64_t budget_spills = 0;
+  uint64_t explored = 0;
+  uint64_t gov_draws = 0;
+  uint64_t breaker_denied = 0;
+  // Resilience (summed; zero without a manager).
+  uint64_t shed_codel = 0;
+  uint64_t shed_bucket = 0;
+  uint64_t resil_draws = 0;
+  // Failover.
+  uint64_t promotions = 0;
+  uint64_t rehomed = 0;
+  uint64_t probes = 0;
+  double max_promote_gap_us = -1.0;  // worst first-evidence -> promote gap
+  double first_promote_at_us = -1.0;
+  double first_rehome_at_us = -1.0;
+  // Fleet / memory instrumentation.
+  uint64_t fleet_draws = 0;
+  uint64_t peak_inflight = 0;          // rack-wide concurrent in-flight peak
+  uint64_t resident_client_bytes = 0;  // fleet state + home op slabs (NOT in
+                                       // the fingerprint: sizeof-derived)
+  // Parallel core accounting (thread-count invariant).
+  uint64_t rounds = 0;
+  uint64_t merged = 0;
+  uint64_t processed = 0;
+  uint64_t digest = 0;
+  // Home-measured end-to-end latency.
+  int64_t p50_ps = 0;
+  int64_t p99_ps = 0;
+  int64_t max_ps = 0;
+  // Per-server completed counts (load-concentration dominance checks).
+  std::vector<uint64_t> server_completed;
+
+  bool Conserved() const {
+    return generated == completed + failed + shed &&
+           repl_pushed == repl_acked + repl_failed;
+  }
+
+  // Every deterministic field, fixed formatting — the byte-compare unit for
+  // the (--jobs, --sim-threads) grid. Excludes resident_client_bytes,
+  // which is derived from struct sizes, not simulation state.
+  std::string Fingerprint() const;
+};
+
+// Fault-domain names of server `d`'s endpoints ("rack.s<d>.host" /
+// "rack.s<d>.soc"); plans may address one endpoint, a whole server
+// ("rack.s<d>"), or every host/SoC via the legacy leaf alias.
+std::string RackKvHostDomain(DomainId d);
+std::string RackKvSocDomain(DomainId d);
+
+RackKvResult RunRackKv(const RackKvParams& params);
+
+}  // namespace snicsim
+
+#endif  // SRC_TOPO_RACK_KV_H_

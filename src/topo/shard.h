@@ -1,0 +1,113 @@
+// Consistent-hash shard map for the rack-scale KV (src/topo/rack_kv.h).
+//
+// Keys (popularity ranks) hash onto a ring of virtual nodes; the first
+// vnode clockwise owns the key (the shard's primary) and the next vnode
+// belonging to a *different* server is the follower replica. Virtual nodes
+// smooth the per-server load imbalance to O(sqrt(vnodes)) and make the map
+// stable under membership change — properties the failover scenario leans
+// on: when a home domain marks the primary down, the follower is a pure
+// function of (ring, key), so every domain promotes the same replacement
+// without coordination.
+//
+// Determinism: the ring is built once from (seed, server, vnode) hashes
+// with a keyed 64-bit mixer; no RNG stream is consumed. The ring is
+// immutable after construction and shared read-only across parallel-sim
+// domains exactly like ZipfDist (src/sim/domain.h shared-const rule).
+#ifndef SRC_TOPO_SHARD_H_
+#define SRC_TOPO_SHARD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/log.h"
+
+namespace snicsim {
+
+class HashRing {
+ public:
+  HashRing(int servers, int vnodes_per_server = 64,
+           uint64_t seed = 0x5a4dULL)
+      : servers_(servers) {
+    SNIC_CHECK_GE(servers, 2);
+    SNIC_CHECK_GT(vnodes_per_server, 0);
+    points_.reserve(static_cast<size_t>(servers * vnodes_per_server));
+    // Avalanche the seed before XORing the (server, vnode) id in: a raw
+    // `seed ^ v` would let seeds differing only in the vnode-index bits
+    // produce the same input *set* (vnodes permuted within each server),
+    // i.e. the identical ring.
+    const uint64_t keyed = Mix(seed);
+    for (int s = 0; s < servers; ++s) {
+      for (int v = 0; v < vnodes_per_server; ++v) {
+        points_.push_back(Point{
+            Mix(keyed ^ (static_cast<uint64_t>(s) << 32 | static_cast<uint64_t>(v))),
+            s});
+      }
+    }
+    std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+      // Hash ties broken by server id: the order must not depend on the
+      // (unspecified) relative order std::sort leaves equal keys in.
+      return a.hash != b.hash ? a.hash < b.hash : a.server < b.server;
+    });
+  }
+
+  int servers() const { return servers_; }
+
+  // The server owning `key` (the shard primary).
+  int PrimaryOf(uint64_t key) const { return points_[Lookup(key)].server; }
+
+  // The follower replica: the next ring point clockwise from the owner that
+  // belongs to a different server. With >= 2 servers one always exists.
+  int FollowerOf(uint64_t key) const {
+    const size_t start = Lookup(key);
+    const int primary = points_[start].server;
+    for (size_t i = 1; i < points_.size(); ++i) {
+      const int s = points_[(start + i) % points_.size()].server;
+      if (s != primary) {
+        return s;
+      }
+    }
+    SNIC_CHECK(false);  // unreachable: >= 2 servers on the ring
+    return primary;
+  }
+
+  // The shard pair member serving `key` that is not `self` — where a write
+  // executed on `self` pushes its replica. `self` must be one of the pair.
+  int ReplicaPeerOf(uint64_t key, int self) const {
+    const int p = PrimaryOf(key);
+    return self == p ? FollowerOf(key) : p;
+  }
+
+ private:
+  struct Point {
+    uint64_t hash = 0;
+    int server = 0;
+  };
+
+  // splitmix64 finalizer: a keyed full-avalanche 64-bit mixer.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  // First ring point at or clockwise after hash(key), wrapping.
+  size_t Lookup(uint64_t key) const {
+    const uint64_t h = Mix(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), h,
+        [](const Point& p, uint64_t v) { return p.hash < v; });
+    if (it == points_.end()) {
+      it = points_.begin();
+    }
+    return static_cast<size_t>(it - points_.begin());
+  }
+
+  int servers_;
+  std::vector<Point> points_;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_TOPO_SHARD_H_

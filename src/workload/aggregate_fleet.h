@@ -1,0 +1,131 @@
+// Aggregate closed-loop arrival processes: 1M+ simulated users in O(in-flight)
+// memory.
+//
+// A ClientFleet (src/workload/fleet.h) keeps one Logical record per client —
+// fine for thousands, fatal for the rack-scale target of ROADMAP item 1
+// (millions of users per rack). The key observation: a closed-loop
+// population of U users with exponential think time Z is a Markov process
+// whose *only* state is the in-flight count. The superposition of the idle
+// users' think-completion processes is Poisson with instantaneous rate
+// idle/Z, so it can be sampled exactly by thinning: draw candidate gaps at
+// the constant max rate U/Z and accept each candidate with probability
+// idle/U. Nothing per-user is ever stored — memory is O(size classes) plus
+// whatever the caller keeps per in-flight request.
+//
+// The same draws, materialized: with `materialize = true` the fleet also
+// keeps a per-user busy flag and assigns each accepted arrival to the
+// lowest-cost idle user from a free stack — consuming *no extra draws*, so
+// a materialized run issues byte-identical arrivals to the aggregate run
+// with the same seed. Users are exchangeable (identical think law), so the
+// free-stack assignment is distribution-preserving; the property suite
+// (tests/topo/rack_kv_test.cc) pins aggregate == materialized per-class
+// completion counts, and the O(users) mode exists only as that test's
+// reference.
+//
+// Determinism contract (DESIGN.md §12): each (fleet, class) owns a private
+// seeded Rng stream; gap, thinning, and every caller-side payload draw
+// (Draw()) come from that stream in the class's own event order. Streams
+// never depend on cross-class or cross-domain interleaving, and every draw
+// is counted (draws()).
+#ifndef SRC_WORKLOAD_AGGREGATE_FLEET_H_
+#define SRC_WORKLOAD_AGGREGATE_FLEET_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace snicsim {
+
+struct AggregateFleetParams {
+  // Closed-loop population per value-size class (already partitioned by the
+  // caller — see Partition).
+  std::vector<uint64_t> users_per_class;
+  // Mean exponential think time between a user's completion and its next
+  // request.
+  double think_mean_us = 1000.0;
+  uint64_t seed = 42;
+  // Keep the O(users) busy-array reference implementation in the loop
+  // (identical draws, identical arrivals — test-only).
+  bool materialize = false;
+};
+
+class AggregateFleet {
+ public:
+  // `user` is the assigned user index in materialized mode; in aggregate
+  // mode users are anonymous and it is the running per-class arrival count.
+  using IssueFn = std::function<void(int cls, uint64_t user)>;
+
+  AggregateFleet(Simulator* sim, AggregateFleetParams params);
+
+  AggregateFleet(const AggregateFleet&) = delete;
+  AggregateFleet& operator=(const AggregateFleet&) = delete;
+
+  // Starts every class's candidate chain at t = 0 (all users thinking).
+  void Start(IssueFn issue);
+  // Ends the candidate chains; in-flight requests still complete.
+  void Stop() { stopped_ = true; }
+
+  // The caller reports each generated request's terminal completion exactly
+  // once; the user returns to thinking.
+  void OnComplete(int cls, uint64_t user);
+
+  // One counted uniform in [0, 1) from the class stream — the caller draws
+  // request payload randomness (rank, op kind) here so aggregate and
+  // materialized runs consume identical streams.
+  double Draw(int cls);
+
+  uint64_t users() const { return users_total_; }
+  int classes() const { return static_cast<int>(cls_.size()); }
+  uint64_t generated() const { return generated_; }
+  uint64_t generated(int cls) const { return cls_[static_cast<size_t>(cls)].generated; }
+  uint64_t inflight(int cls) const { return cls_[static_cast<size_t>(cls)].inflight; }
+  uint64_t inflight_total() const;
+  // High-water mark of concurrent in-flight requests — the instrumented
+  // counter behind the O(in-flight) memory claim.
+  uint64_t peak_inflight() const { return peak_inflight_; }
+  uint64_t draws() const { return draws_; }
+  bool materialized() const { return params_.materialize; }
+
+  // Bytes of resident client state this fleet holds: O(classes) in
+  // aggregate mode, O(users) when materialized. The rack bench asserts the
+  // aggregate number is independent of the user count.
+  size_t resident_state_bytes() const;
+
+  // Largest-remainder apportionment of `total` across `weights` (sums to
+  // `total` exactly; deterministic ties by lowest index). Used to split a
+  // rack's user population across servers and classes.
+  static std::vector<uint64_t> Partition(uint64_t total,
+                                         const std::vector<double>& weights);
+
+ private:
+  struct ClassState {
+    uint64_t users = 0;
+    Rng rng{0};
+    uint64_t inflight = 0;
+    uint64_t generated = 0;
+    // Materialized reference mode only.
+    std::vector<uint8_t> busy;
+    std::vector<uint32_t> free_stack;
+  };
+
+  void Candidate(int cls);
+  void ScheduleNext(int cls);
+
+  Simulator* sim_;
+  AggregateFleetParams params_;
+  std::vector<ClassState> cls_;
+  IssueFn issue_;
+  bool stopped_ = false;
+  uint64_t users_total_ = 0;
+  uint64_t generated_ = 0;
+  uint64_t draws_ = 0;
+  uint64_t peak_inflight_ = 0;
+};
+
+}  // namespace snicsim
+
+#endif  // SRC_WORKLOAD_AGGREGATE_FLEET_H_

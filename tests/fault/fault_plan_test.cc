@@ -136,6 +136,52 @@ TEST(FaultPlan, JsonScheduleFile) {
   EXPECT_EQ(plan.crashes[1].rewarm, 0);  // rewarm_us defaults to 0
 }
 
+TEST(FaultPlan, DomainMatchesHierarchy) {
+  // Exact.
+  EXPECT_TRUE(DomainMatches("soc", "soc"));
+  EXPECT_TRUE(DomainMatches("rack.s3.soc", "rack.s3.soc"));
+  // Leaf alias: a bare endpoint name covers that endpoint on every server.
+  EXPECT_TRUE(DomainMatches("soc", "rack.s3.soc"));
+  EXPECT_TRUE(DomainMatches("host", "rack.s0.host"));
+  EXPECT_FALSE(DomainMatches("soc", "rack.s3.host"));
+  // Subtree: a server prefix covers both of its endpoints.
+  EXPECT_TRUE(DomainMatches("rack.s3", "rack.s3.soc"));
+  EXPECT_TRUE(DomainMatches("rack.s3", "rack.s3.host"));
+  EXPECT_FALSE(DomainMatches("rack.s3", "rack.s13.soc"));
+  // Segment boundaries only — no substring matches.
+  EXPECT_FALSE(DomainMatches("oc", "rack.s3.soc"));
+  // A trailing match must begin at a segment boundary: "s3.soc" is the
+  // dot-aligned tail of "rack.s3.soc", "3.soc" is not.
+  EXPECT_TRUE(DomainMatches("s3.soc", "rack.s3.soc"));
+  EXPECT_FALSE(DomainMatches("3.soc", "rack.s3.soc"));
+  // A longer (more scoped) plan name never widens onto a short query.
+  EXPECT_FALSE(DomainMatches("rack.s3.soc", "soc"));
+  EXPECT_FALSE(DomainMatches("rack.s3", "rack"));
+}
+
+TEST(FaultPlan, GrammarAcceptsLegacyAndRackScopedDomains) {
+  // The legacy spelling still parses and (via the leaf alias) still covers
+  // every SoC endpoint of a rack topology.
+  const FaultPlan legacy = MustParse("crash=soc:5:40:10,stall=host:1:2");
+  ASSERT_EQ(legacy.crashes.size(), 1u);
+  EXPECT_EQ(legacy.crashes[0].domain, "soc");
+  EXPECT_TRUE(DomainMatches(legacy.crashes[0].domain, "rack.s7.soc"));
+  EXPECT_TRUE(DomainMatches(legacy.stalls[0].domain, "rack.s0.host"));
+
+  // The rack-scoped spellings parse unchanged: one endpoint, or a whole
+  // server by subtree.
+  const FaultPlan scoped =
+      MustParse("crash=rack.s1.soc:80:160:20;crash=rack.s2:80:200:0");
+  ASSERT_EQ(scoped.crashes.size(), 2u);
+  EXPECT_EQ(scoped.crashes[0].domain, "rack.s1.soc");
+  EXPECT_TRUE(DomainMatches(scoped.crashes[0].domain, "rack.s1.soc"));
+  EXPECT_FALSE(DomainMatches(scoped.crashes[0].domain, "rack.s1.host"));
+  EXPECT_FALSE(DomainMatches(scoped.crashes[0].domain, "soc"));
+  EXPECT_TRUE(DomainMatches(scoped.crashes[1].domain, "rack.s2.host"));
+  EXPECT_TRUE(DomainMatches(scoped.crashes[1].domain, "rack.s2.soc"));
+  EXPECT_FALSE(DomainMatches(scoped.crashes[1].domain, "rack.s20.soc"));
+}
+
 TEST(FaultPlan, JsonRejectsUnknownKeysAndMissingFile) {
   const std::string path = ::testing::TempDir() + "/fault_plan_test_bad.json";
   {

@@ -180,6 +180,42 @@ TEST(FaultInjector, InRewarmEdges) {
   EXPECT_FALSE(inj.InRewarm("host", FromMicros(30)));
 }
 
+TEST(FaultInjector, WindowsMatchHierarchicalDomains) {
+  FaultPlan plan;
+  // Legacy leaf name: covers the SoC endpoint of every rack server.
+  plan.crashes.push_back({"soc", FromMicros(80), FromMicros(140), FromMicros(20)});
+  // Whole-server subtree: both endpoints of rack.s2 die together.
+  plan.crashes.push_back({"rack.s2", FromMicros(10), FromMicros(30), 0});
+  plan.stalls.push_back({"host", FromMicros(5), FromMicros(15)});
+  FaultInjector inj(plan);
+
+  // The leaf alias reaches rack-scoped SoC endpoints (any server)...
+  EXPECT_TRUE(inj.CrashedAt("rack.s0.soc", FromMicros(100)));
+  EXPECT_TRUE(inj.CrashedAt("rack.s7.soc", FromMicros(100)));
+  EXPECT_TRUE(inj.CrashKills("rack.s3.soc", FromMicros(90), FromMicros(95)));
+  EXPECT_TRUE(inj.InRewarm("rack.s3.soc", FromMicros(150)));
+  // ...but never the host endpoints.
+  EXPECT_FALSE(inj.CrashedAt("rack.s0.host", FromMicros(100)));
+
+  // The subtree window kills both endpoints of its server, no others.
+  EXPECT_TRUE(inj.CrashedAt("rack.s2.host", FromMicros(20)));
+  EXPECT_TRUE(inj.CrashedAt("rack.s2.soc", FromMicros(20)));
+  EXPECT_FALSE(inj.CrashedAt("rack.s1.host", FromMicros(20)));
+  EXPECT_FALSE(inj.CrashedAt("rack.s20.soc", FromMicros(20)));
+
+  // Stall windows use the same matcher.
+  EXPECT_GT(inj.StallDelay("rack.s5.host", FromMicros(10)), 0);
+  EXPECT_EQ(inj.StallDelay("rack.s5.soc", FromMicros(10)), 0);
+
+  // Scoped plan names never widen back onto the legacy flat names.
+  FaultPlan scoped;
+  scoped.crashes.push_back({"rack.s1.soc", FromMicros(0), FromMicros(10), 0});
+  FaultInjector narrow(scoped);
+  EXPECT_TRUE(narrow.CrashedAt("rack.s1.soc", FromMicros(5)));
+  EXPECT_FALSE(narrow.CrashedAt("soc", FromMicros(5)));
+  EXPECT_FALSE(narrow.CrashedAt("rack.s1.host", FromMicros(5)));
+}
+
 }  // namespace
 }  // namespace fault
 }  // namespace snicsim

@@ -1,0 +1,174 @@
+// Rack-scale sharded KV property suite (src/topo/rack_kv.h):
+//
+//  - HashRing: primary/follower are distinct, the pair relation is
+//    symmetric, and the map is a pure function of (seed, servers).
+//  - Replay: the rack fingerprint is byte-identical run-to-run and across
+//    --sim-threads — the determinism contract of DESIGN.md §12 lifted to
+//    the full rack.
+//  - Aggregate == materialized: the O(users) reference fleet produces a
+//    byte-identical rack run (same draws, same arrivals, same everything).
+//  - Conservation: both ledgers (home requests, replication) close across
+//    seeds x fault plans, including whole-shard crash windows.
+//  - Failover: a whole-server crash promotes the follower within 2
+//    governor epochs of first evidence and re-homes after restart.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/topo/rack_kv.h"
+#include "src/topo/shard.h"
+
+namespace snicsim {
+namespace {
+
+TEST(HashRing, PairRelationIsSymmetricAndDistinct) {
+  const HashRing ring(4);
+  std::set<int> primaries;
+  for (uint64_t key = 0; key < 512; ++key) {
+    const int p = ring.PrimaryOf(key);
+    const int f = ring.FollowerOf(key);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 4);
+    ASSERT_NE(p, f) << "key " << key;
+    EXPECT_EQ(ring.ReplicaPeerOf(key, p), f);
+    EXPECT_EQ(ring.ReplicaPeerOf(key, f), p);
+    primaries.insert(p);
+  }
+  // 512 keys over 4 servers x 64 vnodes: every server owns something.
+  EXPECT_EQ(primaries.size(), 4u);
+}
+
+TEST(HashRing, MapIsDeterministic) {
+  const HashRing a(5, 32, 99);
+  const HashRing b(5, 32, 99);
+  const HashRing c(5, 32, 100);
+  bool any_diff = false;
+  for (uint64_t key = 0; key < 256; ++key) {
+    EXPECT_EQ(a.PrimaryOf(key), b.PrimaryOf(key));
+    EXPECT_EQ(a.FollowerOf(key), b.FollowerOf(key));
+    any_diff = any_diff || a.PrimaryOf(key) != c.PrimaryOf(key);
+  }
+  EXPECT_TRUE(any_diff);  // the seed actually keys the ring
+}
+
+TEST(RackKvDomainNames, FollowTheRackGrammar) {
+  EXPECT_EQ(RackKvHostDomain(0), "rack.s0.host");
+  EXPECT_EQ(RackKvSocDomain(3), "rack.s3.soc");
+}
+
+// Small-but-complete rack: every subsystem instantiated, a run in well
+// under a second.
+RackKvParams SmallRack() {
+  RackKvParams p;
+  p.servers = 3;
+  p.users = 1500;
+  p.think_mean_us = 500.0;
+  p.zipf_theta = 0.9;
+  p.layout.keys = 4096;
+  p.layout.cached_keys = 1024;
+  p.layout.class_bytes = {64, 512, 2048};
+  p.mix = {0.70, 0.25, 0.05};
+  p.window = FromMicros(150);
+  p.seed = 42;
+  return p;
+}
+
+fault::FaultPlan DropPlan() {
+  fault::FaultPlan f;
+  f.seed = 9;
+  f.drop_rate = 0.05;
+  return f;
+}
+
+fault::FaultPlan SocCrashPlan() {
+  fault::FaultPlan f;
+  f.seed = 9;
+  f.crashes.push_back(
+      {"rack.s1.soc", FromMicros(40), FromMicros(90), FromMicros(10)});
+  return f;
+}
+
+fault::FaultPlan WholeShardCrashPlan() {
+  fault::FaultPlan f;
+  f.seed = 9;
+  f.crashes.push_back(
+      {"rack.s1", FromMicros(40), FromMicros(110), FromMicros(10)});
+  return f;
+}
+
+TEST(RackKv, ReplayAndSimThreadsAreByteIdentical) {
+  RackKvParams p = SmallRack();
+  const RackKvResult a = RunRackKv(p);
+  const RackKvResult b = RunRackKv(p);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  p.sim_threads = 2;
+  const RackKvResult c = RunRackKv(p);
+  EXPECT_EQ(a.Fingerprint(), c.Fingerprint());
+  EXPECT_GT(a.completed, 0u);
+  EXPECT_GT(a.repl_acked, 0u);  // replication exercised
+  EXPECT_EQ(a.rounds, c.rounds);
+  EXPECT_EQ(a.digest, c.digest);
+}
+
+TEST(RackKv, MaterializedFleetIsByteIdentical) {
+  RackKvParams p = SmallRack();
+  const RackKvResult agg = RunRackKv(p);
+  p.materialize_fleet = true;
+  const RackKvResult mat = RunRackKv(p);
+  // Identical draw streams and user-index-independent behavior: the full
+  // rack fingerprint — per-class completions included via the per-server
+  // ledgers and draw counts — matches byte for byte.
+  EXPECT_EQ(agg.Fingerprint(), mat.Fingerprint());
+  EXPECT_EQ(agg.fleet_draws, mat.fleet_draws);
+  // Only the instrumented (non-fingerprint) memory counter differs.
+  EXPECT_GT(mat.resident_client_bytes, agg.resident_client_bytes);
+}
+
+TEST(RackKv, LedgersCloseAcrossSeedsAndPlans) {
+  const std::vector<fault::FaultPlan> plans = {
+      fault::FaultPlan{}, DropPlan(), SocCrashPlan(), WholeShardCrashPlan()};
+  for (uint64_t seed : {1ull, 7ull}) {
+    for (size_t i = 0; i < plans.size(); ++i) {
+      RackKvParams p = SmallRack();
+      p.seed = seed;
+      p.faults = plans[i];
+      const RackKvResult r = RunRackKv(p);
+      EXPECT_TRUE(r.Conserved())
+          << "seed " << seed << " plan " << i << ": generated " << r.generated
+          << " completed " << r.completed << " failed " << r.failed
+          << " shed " << r.shed << " repl " << r.repl_pushed << "/"
+          << r.repl_acked << "/" << r.repl_failed;
+      EXPECT_GT(r.completed, 0u);
+      EXPECT_EQ(r.repl_pushed, r.writes);
+    }
+  }
+}
+
+TEST(RackKv, WholeShardCrashFailsOverWithinTwoEpochs) {
+  RackKvParams p = SmallRack();
+  p.window = FromMicros(250);  // room for crash, recovery, and re-home
+  p.faults = WholeShardCrashPlan();
+  const RackKvResult r = RunRackKv(p);
+  EXPECT_TRUE(r.Conserved());
+  // The crash produced evidence and every affected home promoted.
+  EXPECT_GT(r.crash_refused + r.serve_timeouts, 0u);
+  EXPECT_GT(r.promotions, 0u);
+  EXPECT_LE(r.max_promote_gap_us, 2.0 * ToMicros(p.governor_epoch));
+  // The restarted server was re-homed, and only after its 110 us restart.
+  EXPECT_GT(r.rehomed, 0u);
+  EXPECT_GT(r.first_rehome_at_us, 110.0);
+}
+
+TEST(RackKv, FaultFreeRunHasNoFailoverActivity) {
+  const RackKvResult r = RunRackKv(SmallRack());
+  EXPECT_EQ(r.promotions, 0u);
+  EXPECT_EQ(r.probes, 0u);
+  EXPECT_EQ(r.crash_refused, 0u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.generated, r.completed);
+}
+
+}  // namespace
+}  // namespace snicsim

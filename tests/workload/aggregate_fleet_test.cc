@@ -1,0 +1,139 @@
+// AggregateFleet properties: exact largest-remainder partitioning, the
+// closed-loop invariant (in-flight never exceeds the population), and the
+// draw-stream contract — the aggregate (O(in-flight)) and materialized
+// (O(users) reference) modes consume identical streams and issue identical
+// arrivals, and one class's stream never shifts another's.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/workload/aggregate_fleet.h"
+
+namespace snicsim {
+namespace {
+
+TEST(Partition, SumsExactlyAndFollowsWeights) {
+  const std::vector<uint64_t> p =
+      AggregateFleet::Partition(1000003, {0.70, 0.25, 0.05});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0] + p[1] + p[2], 1000003u);
+  // Each bucket within 1 of the exact share (largest remainder).
+  EXPECT_NEAR(static_cast<double>(p[0]), 0.70 * 1000003, 1.0);
+  EXPECT_NEAR(static_cast<double>(p[1]), 0.25 * 1000003, 1.0);
+  EXPECT_NEAR(static_cast<double>(p[2]), 0.05 * 1000003, 1.0);
+}
+
+TEST(Partition, RemainderTiesResolveToLowestIndex) {
+  // 3 across four equal weights: floor gives 0 each, remainders all equal,
+  // so the three leftovers land on indices 0, 1, 2 deterministically.
+  const std::vector<uint64_t> p =
+      AggregateFleet::Partition(3, {1.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(p, (std::vector<uint64_t>{1, 1, 1, 0}));
+}
+
+TEST(Partition, ZeroWeightGetsNothing) {
+  const std::vector<uint64_t> p = AggregateFleet::Partition(10, {1.0, 0.0});
+  EXPECT_EQ(p, (std::vector<uint64_t>{10, 0}));
+}
+
+// One run of a toy closed loop: every arrival completes a fixed per-class
+// delay later. The completion delay deliberately ignores `user`, so the
+// aggregate and materialized runs schedule identical event sequences.
+struct ToyRun {
+  uint64_t generated = 0;
+  std::vector<uint64_t> per_class;
+  uint64_t draws = 0;
+  uint64_t peak = 0;
+  size_t resident = 0;
+};
+
+ToyRun RunToy(std::vector<uint64_t> users, bool materialize, uint64_t seed,
+              SimTime window = FromMicros(400)) {
+  Simulator sim;
+  AggregateFleetParams p;
+  p.users_per_class = std::move(users);
+  p.think_mean_us = 50.0;
+  p.seed = seed;
+  p.materialize = materialize;
+  AggregateFleet fleet(&sim, p);
+  uint64_t max_inflight = 0;
+  fleet.Start([&](int cls, uint64_t user) {
+    if (materialize) {
+      // Materialized users are real indices into the class population.
+      EXPECT_LT(user, p.users_per_class[static_cast<size_t>(cls)]);
+    }
+    max_inflight = std::max(max_inflight, fleet.inflight_total());
+    EXPECT_LE(fleet.inflight_total(), fleet.users());  // closed loop
+    sim.At(sim.now() + FromMicros(2.0 + cls), [&fleet, cls, user] {
+      fleet.OnComplete(cls, user);
+    });
+  });
+  sim.At(window, [&fleet] { fleet.Stop(); });
+  sim.Run();
+  ToyRun r;
+  r.generated = fleet.generated();
+  for (int c = 0; c < fleet.classes(); ++c) {
+    r.per_class.push_back(fleet.generated(c));
+    EXPECT_EQ(fleet.inflight(c), 0u);  // drained
+  }
+  r.draws = fleet.draws();
+  r.peak = fleet.peak_inflight();
+  r.resident = fleet.resident_state_bytes();
+  return r;
+}
+
+TEST(AggregateFleet, MaterializedModeIssuesIdenticalArrivals) {
+  const ToyRun agg = RunToy({40, 25, 10}, /*materialize=*/false, 7);
+  const ToyRun mat = RunToy({40, 25, 10}, /*materialize=*/true, 7);
+  EXPECT_GT(agg.generated, 0u);
+  EXPECT_EQ(agg.generated, mat.generated);
+  EXPECT_EQ(agg.per_class, mat.per_class);  // identical per-class counts
+  EXPECT_EQ(agg.draws, mat.draws);          // no extra draws materializing
+  EXPECT_EQ(agg.peak, mat.peak);
+  // The reference mode pays O(users); the aggregate mode does not.
+  EXPECT_GT(mat.resident, agg.resident);
+}
+
+TEST(AggregateFleet, ClassStreamsAreIndependent) {
+  // Class 0 alone vs class 0 next to a busy class 1: its arrival count
+  // must not move — per-class streams are seeded independently and never
+  // consume from each other.
+  const ToyRun solo = RunToy({60}, false, 11);
+  const ToyRun pair = RunToy({60, 200}, false, 11);
+  ASSERT_EQ(solo.per_class.size(), 1u);
+  ASSERT_EQ(pair.per_class.size(), 2u);
+  EXPECT_EQ(solo.per_class[0], pair.per_class[0]);
+}
+
+TEST(AggregateFleet, ReplayIsExact) {
+  const ToyRun a = RunToy({30, 30}, false, 3);
+  const ToyRun b = RunToy({30, 30}, false, 3);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.draws, b.draws);
+  EXPECT_EQ(a.per_class, b.per_class);
+  // A different seed actually changes the process.
+  const ToyRun c = RunToy({30, 30}, false, 4);
+  EXPECT_NE(a.draws, c.draws);
+}
+
+TEST(AggregateFleet, ResidentStateIsIndependentOfPopulation) {
+  // Same think time, 100x the users: the aggregate representation stays
+  // O(classes) while the materialized one scales with the population.
+  Simulator sim_small, sim_big;
+  AggregateFleetParams small;
+  small.users_per_class = {1000};
+  AggregateFleetParams big = small;
+  big.users_per_class = {100000};
+  AggregateFleet fs(&sim_small, small);
+  AggregateFleet fb(&sim_big, big);
+  EXPECT_EQ(fs.resident_state_bytes(), fb.resident_state_bytes());
+  AggregateFleetParams mat = big;
+  mat.materialize = true;
+  AggregateFleet fm(&sim_big, mat);
+  EXPECT_GT(fm.resident_state_bytes(), 100000u);
+}
+
+}  // namespace
+}  // namespace snicsim
