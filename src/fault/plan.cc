@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/json_scan.h"
+
 namespace snicsim {
 namespace fault {
 
@@ -69,123 +71,9 @@ bool ParseWindowTimes(const std::string& start_s, const std::string& end_s,
 }
 
 // ---------------------------------------------------------------------------
-// Minimal JSON reader for the schedule-file form. Only what the schema needs:
-// one object of scalars plus arrays of flat objects. Unknown keys are errors
-// (a typo'd schedule must not silently run fault-free).
-
-struct JsonScanner {
-  const std::string& text;
-  size_t pos = 0;
-  std::string* error;
-
-  explicit JsonScanner(const std::string& t, std::string* e) : text(t), error(e) {}
-
-  void SkipWs() {
-    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
-      ++pos;
-    }
-  }
-  bool Fail(const std::string& what) {
-    *error = what + " at offset " + std::to_string(pos);
-    return false;
-  }
-  bool Expect(char c) {
-    SkipWs();
-    if (pos >= text.size() || text[pos] != c) {
-      return Fail(std::string("expected '") + c + "'");
-    }
-    ++pos;
-    return true;
-  }
-  bool Peek(char c) {
-    SkipWs();
-    return pos < text.size() && text[pos] == c;
-  }
-  bool ReadString(std::string* out) {
-    if (!Expect('"')) {
-      return false;
-    }
-    out->clear();
-    while (pos < text.size() && text[pos] != '"') {
-      if (text[pos] == '\\') {
-        return Fail("escapes not supported in schedule strings");
-      }
-      out->push_back(text[pos++]);
-    }
-    if (pos >= text.size()) {
-      return Fail("unterminated string");
-    }
-    ++pos;
-    return true;
-  }
-  bool ReadNumber(double* out) {
-    SkipWs();
-    const char* start = text.c_str() + pos;
-    char* end = nullptr;
-    *out = std::strtod(start, &end);
-    if (end == start) {
-      return Fail("expected number");
-    }
-    pos += static_cast<size_t>(end - start);
-    return true;
-  }
-  // Reads {"k":v,...} where every value is a string or number; calls
-  // `field(key, string_value, number_value, is_string)`.
-  template <typename F>
-  bool ReadFlatObject(F field) {
-    if (!Expect('{')) {
-      return false;
-    }
-    if (Peek('}')) {
-      ++pos;
-      return true;
-    }
-    for (;;) {
-      std::string key;
-      if (!ReadString(&key) || !Expect(':')) {
-        return false;
-      }
-      SkipWs();
-      if (pos < text.size() && text[pos] == '"') {
-        std::string v;
-        if (!ReadString(&v) || !field(key, v, 0.0, true)) {
-          return false;
-        }
-      } else {
-        double v = 0.0;
-        if (!ReadNumber(&v) || !field(key, std::string(), v, false)) {
-          return false;
-        }
-      }
-      if (Peek(',')) {
-        ++pos;
-        continue;
-      }
-      return Expect('}');
-    }
-  }
-  // Reads [obj,obj,...]; calls `element()` positioned at each object.
-  template <typename F>
-  bool ReadArray(F element) {
-    if (!Expect('[')) {
-      return false;
-    }
-    if (Peek(']')) {
-      ++pos;
-      return true;
-    }
-    for (;;) {
-      if (!element()) {
-        return false;
-      }
-      if (Peek(',')) {
-        ++pos;
-        continue;
-      }
-      return Expect(']');
-    }
-  }
-};
+// JSON schedule-file form, read through the shared minimal scanner
+// (src/common/json_scan.h). Unknown keys are errors (a typo'd schedule must
+// not silently run fault-free).
 
 bool ParseJsonPlan(const std::string& text, FaultPlan* out, std::string* error) {
   JsonScanner s(text, error);

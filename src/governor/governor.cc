@@ -56,6 +56,7 @@ void AdaptiveGovernor::BindMetrics(const MetricsRegistry& reg) {
   host_busy_us_.Bind(reg, "serve", "host_busy_us");
   soc_busy_us_.Bind(reg, "serve", "soc_busy_us");
   path3_bytes_.Bind(reg, "serve", "path3_bytes");
+  tenant_path3_bytes_.Bind(reg, "tenant", "path3_bytes");
   if (!ticking_) {
     ticking_ = true;
     ScheduleTick();
@@ -91,9 +92,11 @@ void AdaptiveGovernor::Tick() {
   if (soc_busy_us_.bound()) {
     soc_util_ = std::min(1.0, soc_busy_us_.Sample() / (epoch_us * soc_cores_));
   }
-  if (path3_bytes_.bound()) {
-    // bytes per epoch -> Gbps.
-    path3_rate_gbps_ = path3_bytes_.Sample() * 8.0 / (epoch_us * 1e3);
+  if (path3_bytes_.bound() || tenant_path3_bytes_.bound()) {
+    // bytes per epoch -> Gbps; tenant crossings spend the same budget
+    // (unbound deltas sample as 0, so tenant-free runs are unchanged).
+    path3_rate_gbps_ = (path3_bytes_.Sample() + tenant_path3_bytes_.Sample()) *
+                       8.0 / (epoch_us * 1e3);
   }
   for (int p = 0; p < kPathCount; ++p) {
     if (qp_health_[p]) {

@@ -64,7 +64,11 @@ class AdaptiveGovernor : public RoutePolicy {
   // Binds the epoch sampler to the serving executor's registry entries
   // ("serve.host_busy_us", "serve.soc_busy_us", "serve.path3_bytes") and
   // starts the periodic tick. Optional: without it the governor runs on
-  // completion feedback alone.
+  // completion feedback alone. When a tenant control plane registered
+  // "tenant.path3_bytes" in the same registry, its crossings are added to
+  // the path-③ rate the budget gate meters — tenant traffic spends the
+  // same intra-machine budget serving misses do. Absent entry => bind
+  // fails silently and behavior is unchanged.
   void BindMetrics(const MetricsRegistry& reg);
 
   // Per-path QP health feed (task-level fault awareness). Sampled each
@@ -139,6 +143,7 @@ class AdaptiveGovernor : public RoutePolicy {
   MetricDelta host_busy_us_;
   MetricDelta soc_busy_us_;
   MetricDelta path3_bytes_;
+  MetricDelta tenant_path3_bytes_;
   double host_util_ = 0.0;
   double soc_util_ = 0.0;
   double path3_rate_gbps_ = 0.0;

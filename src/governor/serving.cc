@@ -130,6 +130,19 @@ ServingResult RunServing(const ServingRunConfig& raw) {
     exec.BindResilience(resil.get());
   }
 
+  // Tenant control plane: only exists when tenants are declared, so a
+  // tenant-free run stays byte-identical to a pre-tenancy build. kv-kind
+  // tenants ride the executor's served stream through the observer tap.
+  std::unique_ptr<offload::TenantManager> tenant_mgr;
+  if (!config.tenants.empty()) {
+    tenant_mgr = std::make_unique<offload::TenantManager>(
+        &sim, &bf, injector.get(), config.tenants, serving.host_domain,
+        serving.soc_domain);
+    exec.SetServeObserver([tm = tenant_mgr.get()](int ep, uint32_t bytes) {
+      tm->OnKvServed(ep, bytes);
+    });
+  }
+
   ClientFleet fleet(&sim, &fabric, config.fleet);
   const ZipfDist zipf(config.layout.keys, config.zipf_theta);
 
@@ -160,6 +173,10 @@ ServingResult RunServing(const ServingRunConfig& raw) {
       gov = g.get();
       policy = std::move(g);
       exec.RegisterMetrics(&live_reg);
+      if (tenant_mgr != nullptr) {
+        // The governor's path-③ budget must see tenant crossings too.
+        tenant_mgr->RegisterMetrics(&live_reg);
+      }
       gov->BindMetrics(live_reg);
       for (int p = 0; p < kPathCount; ++p) {
         gov->BindQpHealth(p, [&fleet, p] {
@@ -212,6 +229,9 @@ ServingResult RunServing(const ServingRunConfig& raw) {
       /*observe=*/
       [&](int path, const KvRequest& req, SimTime latency, bool ok) {
         pol->OnComplete(path, req, latency, ok);
+        if (tenant_mgr != nullptr) {
+          tenant_mgr->OnKvOutcome(latency, ok);
+        }
         const bool deadline_met =
             deadline_budget == 0 || latency <= deadline_budget;
         if (resil != nullptr) {
@@ -233,12 +253,19 @@ ServingResult RunServing(const ServingRunConfig& raw) {
         meter.RecordOp(req.bytes, latency);
       });
 
+  if (tenant_mgr != nullptr) {
+    tenant_mgr->Start();
+  }
+
   // Quiesce at the window edge, then drain: every in-flight request
   // terminates, so conservation is exact (not cut off mid-flight).
   sim.At(config.warmup + config.window, [&] {
     fleet.StopIssuing();
     if (gov != nullptr) {
       gov->StopTicking();
+    }
+    if (tenant_mgr != nullptr) {
+      tenant_mgr->StopIssuing();
     }
   });
   sim.Run();
@@ -294,6 +321,9 @@ ServingResult RunServing(const ServingRunConfig& raw) {
     r.crash_drops = exec.crash_drops();
     r.rewarm_misses = exec.rewarm_misses();
   }
+  if (tenant_mgr != nullptr) {
+    r.tenants = tenant_mgr->Results();
+  }
   if (r.issued > 0) {
     r.share_soc = static_cast<double>(r.path_issued[static_cast<size_t>(kPathSoc)]) /
                   static_cast<double>(r.issued);
@@ -326,6 +356,9 @@ ServingResult RunServing(const ServingRunConfig& raw) {
     }
     if (resil != nullptr) {
       resil->RegisterMetrics(&dump);
+    }
+    if (tenant_mgr != nullptr) {
+      tenant_mgr->RegisterMetrics(&dump);
     }
     SNIC_CHECK(dump.WriteJsonFile(config.metrics_path));
   }

@@ -21,6 +21,7 @@
 #include "src/governor/governor.h"
 #include "src/governor/policy.h"
 #include "src/obs/trace.h"
+#include "src/offload/tenancy.h"
 #include "src/resilience/resilience.h"
 #include "src/topo/testbed_params.h"
 #include "src/workload/fleet.h"
@@ -73,6 +74,12 @@ struct ServingRunConfig {
   // Overload-protection / failover layer (src/resilience). Empty => no
   // manager exists and the run is bit-identical to a resilience-free build.
   resilience::ResilienceConfig resil;
+
+  // Multi-tenant offload pipelines sharing this server's SoC
+  // (src/offload/tenancy.h). Empty => no TenantManager exists and the run
+  // is bit-identical to a tenant-free build (pinned by the tenants golden
+  // test's KV-only case).
+  offload::TenantSetConfig tenants;
 
   // Event cores for the simulation (--sim-threads). The serving testbed is
   // a single domain — one BlueField server, one Simulator — so any value is
@@ -153,8 +160,15 @@ struct ServingResult {
   double soc_trip_us = -1.0;
   double soc_trip_gap_us = -1.0;
 
-  // Canonical digest of every field above ("%.17g" doubles): two runs are
-  // replay-equal iff their fingerprints are string-equal.
+  // Per-tenant outcome (empty when the tenant config is empty). Carried
+  // outside Fingerprint() — which committed goldens pin — and digested by
+  // its own TenantSetResult::Fingerprint(); replay comparisons of tenant
+  // runs join both digests.
+  offload::TenantSetResult tenants;
+
+  // Canonical digest of every field above except `tenants` ("%.17g"
+  // doubles): two runs are replay-equal iff their fingerprints are
+  // string-equal (tenant runs additionally compare tenants.Fingerprint()).
   std::string Fingerprint() const;
 };
 

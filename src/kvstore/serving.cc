@@ -43,6 +43,9 @@ void ServingExecutor::ServeHost(uint64_t hdr, ReplyCallback reply) {
   }
   ++host_gets_;
   const uint32_t bytes = config_.layout.BytesOf(hdr);
+  if (observer_) {
+    observer_(resilience::kEndpointHost, bytes);
+  }
   const SimTime dispatch = arrived + config_.host_notify + Stall(config_.host_domain);
   const SimTime cpu_done = host_cpu_.EnqueueAt(dispatch, config_.host_lookup);
   sim_->At(cpu_done, [this, hdr, bytes, arrived, inj,
@@ -71,6 +74,9 @@ void ServingExecutor::ServeSoc(uint64_t hdr, ReplyCallback reply) {
   ++soc_gets_;
   const uint64_t rank = ServingLayout::RankOf(hdr);
   const uint32_t bytes = config_.layout.BytesOf(hdr);
+  if (observer_) {
+    observer_(resilience::kEndpointSoc, bytes);
+  }
   const SimTime dispatch = arrived + config_.soc_notify + Stall(config_.soc_domain);
   const SimTime cpu_done = soc_cpu_.EnqueueAt(dispatch, config_.soc_lookup);
   // Restart comes up with a cold SoC cache: resident ranks miss (and pay

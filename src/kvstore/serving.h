@@ -17,6 +17,7 @@
 #ifndef SRC_KVSTORE_SERVING_H_
 #define SRC_KVSTORE_SERVING_H_
 
+#include <functional>
 #include <string>
 
 #include "src/kvstore/layout.h"
@@ -81,6 +82,15 @@ class ServingExecutor {
                            [this] { return soc_cpu_.Backlog(); });
   }
 
+  // Optional per-served-get tap: fires once per get that an endpoint
+  // actually accepts (after the crash-window check), with the endpoint
+  // index (resilience::kEndpointHost/kEndpointSoc, path-constant
+  // compatible) and the value's size. The tenant control plane
+  // (src/offload/tenancy.h) uses this to ride its kv telemetry tenants on
+  // the real served stream. Unset => zero-cost, byte-identical serving.
+  using ServeObserver = std::function<void(int endpoint, uint32_t bytes)>;
+  void SetServeObserver(ServeObserver obs) { observer_ = std::move(obs); }
+
   const ServingConfig& config() const { return config_; }
 
   // Live serving pools (the oracle policy reads their instantaneous
@@ -101,6 +111,7 @@ class ServingExecutor {
   ServingConfig config_;
   MultiServer host_cpu_;
   MultiServer soc_cpu_;
+  ServeObserver observer_;
   uint64_t host_gets_ = 0;
   uint64_t soc_gets_ = 0;
   uint64_t soc_hits_ = 0;

@@ -1,0 +1,78 @@
+#include "src/offload/arbiter.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace snicsim {
+namespace offload {
+
+WeightedArbiter::WeightedArbiter(Simulator* sim, int cores,
+                                 std::vector<int> weights)
+    : sim_(sim), cores_(cores), idle_(cores), weights_(std::move(weights)) {
+  SNIC_CHECK_GT(cores_, 0);
+  SNIC_CHECK_GT(weights_.size(), 0u);
+  for (int w : weights_) {
+    SNIC_CHECK_GE(w, 1);
+  }
+  credits_.assign(weights_.size(), 0);
+  queues_.resize(weights_.size());
+  grants_.assign(weights_.size(), 0);
+  busy_.assign(weights_.size(), 0);
+}
+
+void WeightedArbiter::Submit(int t, SimTime service,
+                             std::function<void(SimTime)> done) {
+  SNIC_CHECK_GE(t, 0);
+  SNIC_CHECK_LT(static_cast<size_t>(t), queues_.size());
+  queues_[t].push_back(Job{service, sim_->now(), std::move(done)});
+  Dispatch();
+}
+
+SimTime WeightedArbiter::QueueDelay(int t) const {
+  SNIC_CHECK_GE(t, 0);
+  SNIC_CHECK_LT(static_cast<size_t>(t), queues_.size());
+  if (queues_[t].empty()) {
+    return 0;
+  }
+  return sim_->now() - queues_[t].front().enqueued;
+}
+
+void WeightedArbiter::Dispatch() {
+  while (idle_ > 0) {
+    // Smooth WRR round: backlogged tenants earn weight, the richest is
+    // granted (tie -> lowest id) and pays back the active-weight sum.
+    int64_t active_sum = 0;
+    int pick = -1;
+    for (size_t t = 0; t < queues_.size(); ++t) {
+      if (queues_[t].empty()) {
+        continue;
+      }
+      credits_[t] += weights_[t];
+      active_sum += weights_[t];
+      if (pick < 0 || credits_[t] > credits_[static_cast<size_t>(pick)]) {
+        pick = static_cast<int>(t);
+      }
+    }
+    if (pick < 0) {
+      return;  // nothing queued
+    }
+    credits_[static_cast<size_t>(pick)] -= active_sum;
+    Job job = std::move(queues_[static_cast<size_t>(pick)].front());
+    queues_[static_cast<size_t>(pick)].pop_front();
+    --idle_;
+    ++grants_[static_cast<size_t>(pick)];
+    busy_[static_cast<size_t>(pick)] += job.service;
+    const SimTime finish = sim_->now() + job.service;
+    sim_->At(finish, [this, finish, cb = std::move(job.done)]() mutable {
+      ++idle_;
+      if (cb) {
+        cb(finish);
+      }
+      Dispatch();
+    });
+  }
+}
+
+}  // namespace offload
+}  // namespace snicsim

@@ -1,0 +1,467 @@
+#include "src/offload/tenant_config.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/json_scan.h"
+
+namespace snicsim {
+namespace offload {
+
+std::vector<TenantStage> DefaultStages(TenantKind kind) {
+  switch (kind) {
+    case TenantKind::kKv:
+      // Per-request telemetry sketch riding next to the KV serving path.
+      return {TenantStage{"kv_sketch", StageOp::kSketch,
+                          ServiceCurve{FromNanos(120), 0}, Placement::kSoc}};
+    case TenantKind::kFilter:
+      // Host-originated records scanned on the SoC; ~35% match and cross
+      // back, the rest die at the NIC (the pushdown win).
+      return {TenantStage{"scan", StageOp::kScan,
+                          ServiceCurve{FromNanos(300), FromNanos(600)},
+                          Placement::kSoc, /*selectivity=*/0.35}};
+    case TenantKind::kCompress:
+      // Host-originated payloads compressed on the SoC; the return crossing
+      // carries only ratio * bytes.
+      return {TenantStage{"compress", StageOp::kCompress,
+                          ServiceCurve{FromNanos(500), FromNanos(900)},
+                          Placement::kSoc, /*selectivity=*/1.0,
+                          /*ratio=*/0.45}};
+    case TenantKind::kSketch:
+      // SoC-resident telemetry: items are born and die on the SoC, no
+      // path-3 crossings at all.
+      return {TenantStage{"sketch", StageOp::kSketch,
+                          ServiceCurve{FromNanos(250), FromNanos(100)},
+                          Placement::kSoc}};
+  }
+  return {};
+}
+
+Placement EntryPlacement(const TenantSpec& spec) {
+  switch (spec.kind) {
+    case TenantKind::kFilter:
+    case TenantKind::kCompress:
+      return Placement::kHost;
+    case TenantKind::kSketch:
+      return Placement::kSoc;
+    case TenantKind::kKv: {
+      const auto chain =
+          spec.stages.empty() ? DefaultStages(spec.kind) : spec.stages;
+      return chain.empty() ? Placement::kSoc : chain.front().placement;
+    }
+  }
+  return Placement::kSoc;
+}
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::vector<std::string> SplitEntries(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',' || c == ';') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+std::vector<std::string> SplitFields(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool ParseNumber(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseKind(const std::string& s, TenantKind* out) {
+  if (s == "kv") {
+    *out = TenantKind::kKv;
+  } else if (s == "filter") {
+    *out = TenantKind::kFilter;
+  } else if (s == "compress") {
+    *out = TenantKind::kCompress;
+  } else if (s == "sketch") {
+    *out = TenantKind::kSketch;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ValidId(const std::string& id) {
+  if (id.empty()) {
+    return false;
+  }
+  for (char c : id) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-' &&
+        c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Structural checks shared by both grammar forms.
+bool Validate(TenantSetConfig* cfg, std::string* error) {
+  if (cfg->tenants.empty()) {
+    return true;
+  }
+  if (cfg->pools.empty()) {
+    cfg->pools = {2};  // one shared 2-core pool unless declared
+  }
+  for (int c : cfg->pools) {
+    if (c < 1) {
+      *error = "pool core counts must be >= 1";
+      return false;
+    }
+  }
+  if (cfg->host_cores < 1) {
+    *error = "host_cores must be >= 1";
+    return false;
+  }
+  if (cfg->slo_budget < 0.0 || cfg->slo_budget > 1.0) {
+    *error = "budget not in [0, 1]";
+    return false;
+  }
+  for (size_t i = 0; i < cfg->tenants.size(); ++i) {
+    const TenantSpec& t = cfg->tenants[i];
+    if (!ValidId(t.id)) {
+      *error = "tenant id '" + t.id + "' must be non-empty [A-Za-z0-9._-]";
+      return false;
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (cfg->tenants[j].id == t.id) {
+        *error = "duplicate tenant id '" + t.id + "'";
+        return false;
+      }
+    }
+    if (t.weight < 1) {
+      *error = "tenant '" + t.id + "': weight must be >= 1";
+      return false;
+    }
+    if (t.mops < 0.0 || t.cap_mops < 0.0 || t.slo_us < 0.0) {
+      *error = "tenant '" + t.id + "': rates and SLO must be >= 0";
+      return false;
+    }
+    if (t.item_bytes < 1) {
+      *error = "tenant '" + t.id + "': bytes must be >= 1";
+      return false;
+    }
+    if (t.pool < 0 || t.pool >= static_cast<int>(cfg->pools.size())) {
+      *error = "tenant '" + t.id + "': pool " + std::to_string(t.pool) +
+               " out of range (have " + std::to_string(cfg->pools.size()) +
+               " pools)";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseInlineTenant(const std::string& value, TenantSpec* t,
+                       std::string* error) {
+  const auto f = SplitFields(value, ':');
+  if (f.size() < 6 || f.size() > 8) {
+    *error = "tenant wants ID:KIND:WEIGHT:MOPS:BYTES:SLO_US[:CAP_MOPS[:POOL]], got '" +
+             value + "'";
+    return false;
+  }
+  t->id = f[0];
+  if (!ParseKind(f[1], &t->kind)) {
+    *error = "unknown tenant kind '" + f[1] + "' (want kv|filter|compress|sketch)";
+    return false;
+  }
+  double w = 0.0;
+  double mops = 0.0;
+  double bytes = 0.0;
+  double slo = 0.0;
+  if (!ParseNumber(f[2], &w) || !ParseNumber(f[3], &mops) ||
+      !ParseNumber(f[4], &bytes) || !ParseNumber(f[5], &slo)) {
+    *error = "bad tenant numbers in '" + value + "'";
+    return false;
+  }
+  t->weight = static_cast<int>(w);
+  t->mops = mops;
+  t->item_bytes = static_cast<uint32_t>(bytes);
+  t->slo_us = slo;
+  if (f.size() >= 7) {
+    double cap = 0.0;
+    if (!ParseNumber(f[6], &cap)) {
+      *error = "bad tenant cap_mops '" + f[6] + "'";
+      return false;
+    }
+    t->cap_mops = cap;
+  }
+  if (f.size() == 8) {
+    double pool = 0.0;
+    if (!ParseNumber(f[7], &pool)) {
+      *error = "bad tenant pool '" + f[7] + "'";
+      return false;
+    }
+    t->pool = static_cast<int>(pool);
+  }
+  return true;
+}
+
+// @file.json form, via the shared scanner (src/common/json_scan.h).
+bool ParseJsonTenants(const std::string& text, TenantSetConfig* out,
+                      std::string* error) {
+  JsonScanner s(text, error);
+  if (!s.Expect('{')) {
+    return false;
+  }
+  bool more = !s.Peek('}');
+  if (!more) {
+    ++s.pos;
+  }
+  while (more) {
+    std::string key;
+    if (!s.ReadString(&key) || !s.Expect(':')) {
+      return false;
+    }
+    if (key == "cores") {
+      const bool ok = s.ReadArray([&] {
+        double v = 0.0;
+        if (!s.ReadNumber(&v)) {
+          return false;
+        }
+        out->pools.push_back(static_cast<int>(v));
+        return true;
+      });
+      if (!ok) {
+        return false;
+      }
+    } else if (key == "host_cores") {
+      double v = 0.0;
+      if (!s.ReadNumber(&v)) {
+        return false;
+      }
+      out->host_cores = static_cast<int>(v);
+    } else if (key == "seed") {
+      double v = 0.0;
+      if (!s.ReadNumber(&v)) {
+        return false;
+      }
+      if (v < 0.0) {
+        return s.Fail("bad seed");
+      }
+      out->seed = static_cast<uint64_t>(v);
+    } else if (key == "budget") {
+      if (!s.ReadNumber(&out->slo_budget)) {
+        return false;
+      }
+    } else if (key == "tenants") {
+      const bool ok = s.ReadArray([&] {
+        TenantSpec t;
+        std::string kind;
+        if (!s.ReadFlatObject([&](const std::string& k, const std::string& sv,
+                                  double nv, bool is_string) {
+              if (k == "id" && is_string) {
+                t.id = sv;
+                return true;
+              }
+              if (k == "kind" && is_string) {
+                kind = sv;
+                return true;
+              }
+              if (k == "weight" && !is_string) {
+                t.weight = static_cast<int>(nv);
+                return true;
+              }
+              if (k == "mops" && !is_string) {
+                t.mops = nv;
+                return true;
+              }
+              if (k == "bytes" && !is_string) {
+                t.item_bytes = static_cast<uint32_t>(nv);
+                return true;
+              }
+              if (k == "slo_us" && !is_string) {
+                t.slo_us = nv;
+                return true;
+              }
+              if (k == "cap_mops" && !is_string) {
+                t.cap_mops = nv;
+                return true;
+              }
+              if (k == "pool" && !is_string) {
+                t.pool = static_cast<int>(nv);
+                return true;
+              }
+              return s.Fail("unknown tenant field '" + k + "'");
+            })) {
+          return false;
+        }
+        if (kind.empty() || !ParseKind(kind, &t.kind)) {
+          return s.Fail("tenant '" + t.id + "': unknown kind '" + kind +
+                        "' (want kv|filter|compress|sketch)");
+        }
+        out->tenants.push_back(t);
+        return true;
+      });
+      if (!ok) {
+        return false;
+      }
+    } else {
+      return s.Fail("unknown tenant-set key '" + key + "'");
+    }
+    if (s.Peek(',')) {
+      ++s.pos;
+      continue;
+    }
+    if (!s.Expect('}')) {
+      return false;
+    }
+    more = false;
+  }
+  s.SkipWs();
+  if (s.pos != text.size()) {
+    return s.Fail("trailing characters after tenant-set object");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TenantSetConfig::Serialize() const {
+  if (empty()) {
+    return "";
+  }
+  std::string out = "cores=";
+  for (size_t i = 0; i < pools.size(); ++i) {
+    if (i > 0) {
+      out.push_back(':');
+    }
+    out += std::to_string(pools[i]);
+  }
+  out += ",host_cores=" + std::to_string(host_cores);
+  out += ",seed=" + std::to_string(seed);
+  out += ",budget=" + FmtDouble(slo_budget);
+  for (const TenantSpec& t : tenants) {
+    out += ",tenant=" + t.id + ":" + TenantKindName(t.kind) + ":" +
+           std::to_string(t.weight) + ":" + FmtDouble(t.mops) + ":" +
+           std::to_string(t.item_bytes) + ":" + FmtDouble(t.slo_us) + ":" +
+           FmtDouble(t.cap_mops) + ":" + std::to_string(t.pool);
+  }
+  return out;
+}
+
+bool ParseTenantSet(const std::string& spec, TenantSetConfig* out,
+                    std::string* error) {
+  *out = TenantSetConfig();
+  error->clear();
+  if (spec.empty()) {
+    return true;
+  }
+  if (spec[0] == '@') {
+    const std::string path = spec.substr(1);
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      *error = "cannot read tenant-set file '" + path + "'";
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return ParseJsonTenants(buf.str(), out, error) && Validate(out, error);
+  }
+  for (const std::string& entry : SplitEntries(spec)) {
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      *error = "tenant entry '" + entry + "' is not key=value";
+      return false;
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (key == "cores") {
+      out->pools.clear();
+      for (const std::string& f : SplitFields(value, ':')) {
+        double v = 0.0;
+        if (!ParseNumber(f, &v) || v < 1.0) {
+          *error = "bad pool core count '" + f + "' (want integers >= 1)";
+          return false;
+        }
+        out->pools.push_back(static_cast<int>(v));
+      }
+    } else if (key == "host_cores") {
+      double v = 0.0;
+      if (!ParseNumber(value, &v) || v < 1.0) {
+        *error = "bad host_cores '" + value + "'";
+        return false;
+      }
+      out->host_cores = static_cast<int>(v);
+    } else if (key == "seed") {
+      double v = 0.0;
+      if (!ParseNumber(value, &v) || v < 0.0) {
+        *error = "bad seed '" + value + "'";
+        return false;
+      }
+      out->seed = static_cast<uint64_t>(v);
+    } else if (key == "budget") {
+      if (!ParseNumber(value, &out->slo_budget)) {
+        *error = "bad budget '" + value + "'";
+        return false;
+      }
+    } else if (key == "tenant") {
+      TenantSpec t;
+      if (!ParseInlineTenant(value, &t, error)) {
+        return false;
+      }
+      out->tenants.push_back(t);
+    } else {
+      *error = "unknown tenant key '" + key + "'";
+      return false;
+    }
+  }
+  return Validate(out, error);
+}
+
+TenantSetConfig TenantsFlag(Flags& flags) {
+  const std::string spec = flags.GetString(
+      "tenants", "",
+      "tenant set: cores=C[:C...],host_cores=N,seed=S,budget=F,"
+      "tenant=ID:KIND:WEIGHT:MOPS:BYTES:SLO_US[:CAP_MOPS[:POOL]] "
+      "(KIND: kv|filter|compress|sketch), or @file.json");
+  TenantSetConfig cfg;
+  std::string error;
+  if (!ParseTenantSet(spec, &cfg, &error)) {
+    std::fprintf(stderr, "--tenants: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return cfg;
+}
+
+}  // namespace offload
+}  // namespace snicsim

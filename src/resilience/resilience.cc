@@ -8,12 +8,6 @@
 namespace snicsim {
 namespace resilience {
 
-namespace {
-// Shed levels beyond the largest plausible class count add nothing; the cap
-// only bounds how long de-escalation takes after a burst.
-constexpr int kMaxShedLevel = 8;
-}  // namespace
-
 ResilienceManager::ResilienceManager(const ResilienceConfig& cfg)
     : cfg_(cfg), rng_(cfg.seed) {}
 
@@ -37,46 +31,21 @@ bool ResilienceManager::Admit(int ep, int cls, SimTime deadline, SimTime now) {
   if (!cfg_.shedding) {
     return true;
   }
-  // CoDel-style controller on the exact pool backlog: track the windowed
-  // minimum queue delay; if even the *minimum* over a full interval sits
-  // above target, the pool has a standing queue (not a burst) and the shed
-  // level rises by one class. A window whose minimum falls back under half
-  // the target de-escalates by one.
+  // CoDel-style controller on the exact pool backlog (CodelState carries
+  // the semantics; see resilience.h).
   if (e.backlog) {
-    const SimTime delay = e.backlog();
-    e.min_delay = std::min(e.min_delay, delay);
-    if (e.interval_end == 0) {
-      e.interval_end = now + cfg_.codel_interval;
-    } else if (now >= e.interval_end) {
-      if (e.min_delay > cfg_.codel_target) {
-        e.level = std::min(e.level + 1, kMaxShedLevel);
-      } else if (e.min_delay <= cfg_.codel_target / 2) {
-        e.level = std::max(e.level - 1, 0);
-      }
-      e.min_delay = std::numeric_limits<SimTime>::max();
-      e.interval_end = now + cfg_.codel_interval;
-    }
-    if (cls < e.level) {
+    const int level = e.codel.Observe(e.backlog(), cfg_.codel_target,
+                                      cfg_.codel_interval, now);
+    if (cls < level) {
       ++shed_codel_;
       return false;
     }
   }
-  // Token bucket: a deterministic hard rate cap near capacity, the plateau
-  // backstop when the integer shed level alone oscillates around the knee.
-  if (cfg_.bucket_mops > 0.0) {
-    if (!e.bucket_primed) {
-      e.bucket_primed = true;
-      e.tokens = cfg_.bucket_depth;
-      e.bucket_at = now;
-    }
-    e.tokens = std::min(cfg_.bucket_depth,
-                        e.tokens + ToMicros(now - e.bucket_at) * cfg_.bucket_mops);
-    e.bucket_at = now;
-    if (e.tokens < 1.0) {
-      ++shed_bucket_;
-      return false;
-    }
-    e.tokens -= 1.0;
+  // Token bucket rate cap (TokenBucketState, resilience.h).
+  if (cfg_.bucket_mops > 0.0 &&
+      !e.bucket.TryTake(cfg_.bucket_mops, cfg_.bucket_depth, now)) {
+    ++shed_bucket_;
+    return false;
   }
   return true;
 }

@@ -91,6 +91,67 @@ struct ResilienceConfig {
   }
 };
 
+// Reusable admission primitives. ResilienceManager instantiates one of each
+// per serving endpoint; the tenant control plane (src/offload/tenancy.h)
+// instantiates one of each per *tenant*, which is how the §11 mechanisms
+// become per-tenant without forking their arithmetic.
+//
+// CoDel-style controller state: track the windowed minimum queue delay; if
+// even the *minimum* over a full interval sits above target, the pool has a
+// standing queue (not a burst) and the shed level rises by one class. A
+// window whose minimum falls back under half the target de-escalates by one.
+struct CodelState {
+  // Shed levels beyond the largest plausible class count add nothing; the
+  // cap only bounds how long de-escalation takes after a burst.
+  static constexpr int kMaxLevel = 8;
+
+  SimTime interval_end = 0;
+  SimTime min_delay = std::numeric_limits<SimTime>::max();
+  int level = 0;  // value classes below this index are shed
+
+  // Feeds one queue-delay observation at `now`; returns the current level.
+  int Observe(SimTime delay, SimTime target, SimTime interval, SimTime now) {
+    min_delay = std::min(min_delay, delay);
+    if (interval_end == 0) {
+      interval_end = now + interval;
+    } else if (now >= interval_end) {
+      if (min_delay > target) {
+        level = std::min(level + 1, kMaxLevel);
+      } else if (min_delay <= target / 2) {
+        level = std::max(level - 1, 0);
+      }
+      min_delay = std::numeric_limits<SimTime>::max();
+      interval_end = now + interval;
+    }
+    return level;
+  }
+};
+
+// Deterministic token bucket: a hard rate cap near capacity, the plateau
+// backstop when the integer shed level alone oscillates around the knee.
+struct TokenBucketState {
+  double tokens = 0.0;
+  SimTime at = 0;
+  bool primed = false;
+
+  // One admission attempt against `mops` requests/us with `depth` burst
+  // tokens. False means the request is shed.
+  bool TryTake(double mops, double depth, SimTime now) {
+    if (!primed) {
+      primed = true;
+      tokens = depth;
+      at = now;
+    }
+    tokens = std::min(depth, tokens + ToMicros(now - at) * mops);
+    at = now;
+    if (tokens < 1.0) {
+      return false;
+    }
+    tokens -= 1.0;
+    return true;
+  }
+};
+
 enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
 
 constexpr const char* BreakerStateName(BreakerState s) {
@@ -164,7 +225,7 @@ class ResilienceManager {
   uint64_t breaker_reopens() const { return breaker_reopens_; }
   uint64_t breaker_probes_used() const { return breaker_probes_used_; }
   uint64_t draws() const { return draws_; }
-  int shed_level(int ep) const { return eps_[Check(ep)].level; }
+  int shed_level(int ep) const { return eps_[Check(ep)].codel.level; }
 
   // Failover introspection: when did `ep`'s breaker first trip, and how
   // long after the first bad outcome of that window did the trip land?
@@ -180,12 +241,8 @@ class ResilienceManager {
   struct Endpoint {
     // admission
     QueueSignal backlog;
-    SimTime interval_end = 0;
-    SimTime min_delay = std::numeric_limits<SimTime>::max();
-    int level = 0;  // classes below this index are shed
-    double tokens = 0.0;
-    SimTime bucket_at = 0;
-    bool bucket_primed = false;
+    CodelState codel;
+    TokenBucketState bucket;
     // breaker
     BreakerState state = BreakerState::kClosed;
     uint64_t window_total = 0;

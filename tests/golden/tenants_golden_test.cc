@@ -1,0 +1,120 @@
+// Numeric regression pins for the multi-tenant offload plane, plus the
+// tenancy feature's most important negative guarantee: a run with an empty
+// TenantSetConfig is byte-identical to a pre-tenancy build. The first test
+// re-renders the overload shedding point — the exact code of
+// overload_golden_test.cc with c.tenants left default-empty — and diffs it
+// against the *same committed golden*, so any tenant-plane hook that leaks
+// an event, a counter, or an RNG draw into tenant-free serving fails here
+// against a golden this PR did not regenerate.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/governor/serving.h"
+#include "src/offload/tenant_config.h"
+#include "tests/golden/golden_check.h"
+
+namespace snicsim {
+namespace governor {
+namespace {
+
+// Same miniature testbed as overload_golden_test.cc.
+ServingRunConfig TinyServing() {
+  ServingRunConfig c;
+  c.client.threads = 4;
+  c.fleet.machines = 2;
+  c.fleet.logical_clients = 128;
+  c.fleet.seed = 42;
+  c.layout.keys = 4096;
+  c.layout.cached_keys = 1024;
+  c.layout.class_bytes = {64, 128, 512, 1024};
+  c.mix.weights = {0.25, 0.25, 0.25, 0.25};
+  c.zipf_theta = 0.99;
+  c.host_cores = 1;
+  c.soc_cores = 2;
+  c.warmup = FromMicros(20);
+  c.window = FromMicros(100);
+  return c;
+}
+
+// Byte-identity of the zero-tenant path: this is overload_golden_test.cc's
+// SheddingPoint verbatim — c.tenants is default-constructed (empty), which
+// the tenancy contract promises creates no objects at all — checked against
+// the overload.golden committed before the tenant plane existed.
+TEST(GoldenTenants, EmptyTenantSetMatchesPreTenancyOverloadGolden) {
+  auto point = [](bool resilient) {
+    ServingRunConfig c = TinyServing();
+    c.policy = PolicyKind::kGovernor;
+    c.governor.soc_inflight_cap = 1 << 20;
+    c.fleet.open_loop = true;
+    c.fleet.open_mops = 16.0;
+    c.resil.deadline = FromMicros(40);
+    if (resilient) {
+      c.resil.shedding = true;
+      c.resil.codel_target = FromMicros(8);
+      c.resil.codel_interval = FromMicros(20);
+    }
+    EXPECT_TRUE(c.tenants.empty());
+    return c;
+  };
+  Table t({"arm", "mreqs", "generated", "issued", "completed", "shed",
+           "shed_codel", "good", "late"});
+  std::string fingerprints;
+  for (const bool resilient : {false, true}) {
+    const ServingResult r = RunServing(point(resilient));
+    t.Row().Add(resilient ? "shedding" : "deadline-only");
+    t.Add(r.mreqs, 3).Add(r.generated).Add(r.issued).Add(r.completed);
+    t.Add(r.shed).Add(r.shed_codel).Add(r.good).Add(r.late);
+    fingerprints += r.Fingerprint() + "\n";
+    EXPECT_TRUE(r.tenants.tenants.empty());
+  }
+  std::ostringstream os;
+  t.PrintCsv(os);
+  os << fingerprints;
+  CheckGolden("overload.golden", os.str());
+}
+
+// One mixed-tenant consolidation point (the sec_tenants capped arm at
+// moderate load): pins every per-tenant ledger counter, the WRR grant
+// counts, the path-3 crossing volume, and both fingerprints.
+TEST(GoldenTenants, ConsolidationPoint) {
+  ServingRunConfig c = TinyServing();
+  c.policy = PolicyKind::kGovernor;
+  c.fleet.open_loop = true;
+  c.fleet.open_mops = 1.0;
+  c.resil.deadline = FromMicros(40);
+  c.warmup = FromMicros(30);
+  {
+    std::string error;
+    ASSERT_TRUE(offload::ParseTenantSet(
+        "cores=2,host_cores=2,seed=7,budget=0.05,"
+        "tenant=victim:filter:1:0.3:2048:40,"
+        "tenant=agg:compress:8:0.4:4096:0:0.2,"
+        "tenant=kvtel:kv:2:0:1024:40",
+        &c.tenants, &error))
+        << error;
+  }
+
+  const ServingResult r = RunServing(c);
+  EXPECT_TRUE(r.tenants.AllLedgersClosed());
+  Table t({"tenant", "kind", "generated", "admitted", "completed", "failed",
+           "shed_codel", "shed_bucket", "filtered", "violations", "crossings",
+           "path3_bytes", "grants", "p99_us"});
+  for (const offload::TenantResult& tr : r.tenants.tenants) {
+    t.Row().Add(tr.id).Add(offload::TenantKindName(tr.kind));
+    t.Add(tr.generated).Add(tr.admitted).Add(tr.completed).Add(tr.failed);
+    t.Add(tr.shed_codel).Add(tr.shed_bucket).Add(tr.filtered);
+    t.Add(tr.violations).Add(tr.crossings).Add(tr.path3_bytes).Add(tr.grants);
+    t.Add(tr.p99_us, 3);
+  }
+  std::ostringstream os;
+  t.PrintCsv(os);
+  os << r.Fingerprint() << "+" << r.tenants.Fingerprint() << "\n";
+  CheckGolden("tenants.golden", os.str());
+}
+
+}  // namespace
+}  // namespace governor
+}  // namespace snicsim

@@ -9,6 +9,8 @@
 
 #include "src/fault/injector.h"
 #include "src/kvstore/serving.h"
+#include "src/offload/tenancy.h"
+#include "src/offload/tenant_config.h"
 #include "src/resilience/resilience.h"
 #include "src/topo/fabric.h"
 #include "src/topo/server.h"
@@ -98,6 +100,12 @@ TEST(MetricsCatalog, EveryRegisteredLeafIsDocumented) {
   exec.BindResilience(&resil);
   ClientFleet fleet(&sim, &fabric, FleetParams());
   fleet.SetResilience(&resil);
+  // The tenant control plane's "tenant" component rides the same audit.
+  offload::TenantSetConfig tcfg;
+  std::string terr;
+  ASSERT_TRUE(offload::ParseTenantSet("tenant=t0:sketch:1:1:512:0", &tcfg, &terr))
+      << terr;
+  offload::TenantManager tenants(&sim, &bf, &faults, tcfg, "host", "soc");
 
   MetricsRegistry reg;
   rnic.RegisterMetrics(&reg);
@@ -108,6 +116,7 @@ TEST(MetricsCatalog, EveryRegisteredLeafIsDocumented) {
   exec.RegisterMetrics(&reg);
   fleet.RegisterMetrics(&reg);
   resil.RegisterMetrics(&reg);
+  tenants.RegisterMetrics(&reg);
   ASSERT_GT(reg.entries().size(), 30u);  // the graph is fully instrumented
 
   std::ifstream design(std::string(SNICSIM_SOURCE_DIR) + "/DESIGN.md");
