@@ -49,7 +49,7 @@ for b in build/bench/*; do
       "$b" --jobs="$jobs" ${simthreads:+"$simthreads"} ${faults:+"$faults"} \
         ${args[@]+"${args[@]}"}
       ;;
-    fig12_governor|sec_overload|sec_tenants)
+    fig12_governor|sec_overload|sec_tenants|sec_trace)
       # Fault-aware and self-checking: forward --faults and --check both.
       "$b" --jobs="$jobs" ${simthreads:+"$simthreads"} ${faults:+"$faults"} \
         ${check:+"$check"} ${args[@]+"${args[@]}"}

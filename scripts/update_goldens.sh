@@ -7,9 +7,10 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build --target golden_golden_run_test golden_overload_golden_test \
-  golden_tenants_golden_test
+  golden_tenants_golden_test governor_autoscaler_test
 mkdir -p tests/golden/data
 UPDATE_GOLDENS=1 ./build/tests/golden_golden_run_test
 UPDATE_GOLDENS=1 ./build/tests/golden_overload_golden_test
 UPDATE_GOLDENS=1 ./build/tests/golden_tenants_golden_test
+UPDATE_GOLDENS=1 ./build/tests/governor_autoscaler_test
 echo "goldens regenerated; review with: git diff tests/golden/data"

@@ -1,0 +1,197 @@
+// Epoch-driven SoC resource autoscaling and SLO accounting for
+// trace-driven (non-stationary) serving runs.
+//
+// The serving plane and the tenant offload plane compete for one scarce
+// SoC core budget: the ServingExecutor's SoC pool answers path-② GETs
+// while the tenant arbiter pool runs compaction-style background
+// pipelines. A static split of that budget loses somewhere on a diurnal
+// trace — the day's flash crowd wants serving cores the night's
+// compaction holds, and vice versa. The EpochAutoscaler closes the loop:
+// each governor epoch it samples both pools' busy-time deltas (the same
+// per-epoch signal discipline the governor's own utilization sampler
+// uses), and when one side runs hot while the other idles it moves one
+// core across the split, retunes the admission-bucket rate and hedging
+// byte budget to track the serving pool, and swaps the tenant WRR weight
+// set. A hold-down counter enforces hysteresis so a constant-load trace
+// produces no flapping (pinned by tests/governor/autoscaler_test.cc).
+//
+// The SloMonitor rides the same epoch clock and is deliberately separate:
+// *every* arm of a static-vs-autoscaled comparison needs identical
+// violation accounting, so the monitor attaches whenever a trace is
+// attached while the autoscaler attaches only when scaling is enabled.
+// An epoch is in violation when the fleet's bad-outcome fraction (late +
+// deadline-failed + shed over all settled work) or any tenant's SLO-miss
+// fraction exceeds the budget; violation time is attributed to the trace
+// segment the epoch started in, giving the per-phase SLO-violation-
+// minutes surface bench/sec_trace --check compares.
+//
+// Determinism: neither class draws randomness. Decisions are pure
+// functions of epoch-sampled counters, so trace runs replay byte-
+// identically across --jobs and --sim-threads, and a disabled ScaleConfig
+// (enabled == false) creates no autoscaler at all.
+#ifndef SRC_GOVERNOR_AUTOSCALER_H_
+#define SRC_GOVERNOR_AUTOSCALER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/workload/trace/trace.h"
+
+namespace snicsim {
+namespace governor {
+
+struct ScaleConfig {
+  bool enabled = false;
+  // Tolerated bad-outcome fraction per epoch for the SloMonitor. Read even
+  // when `enabled` is false: the static arms of a comparison must account
+  // violations with exactly the same budget the autoscaled arm uses.
+  double slo_budget = 0.01;
+  // Pool-size floors: a move never leaves either side below its minimum.
+  int min_serving_cores = 1;
+  int min_pool_cores = 1;
+  // Dead band: a core moves only when one side's epoch utilization is
+  // above `util_high` while the other's is below `util_low`.
+  double util_high = 0.85;
+  double util_low = 0.55;
+  // Hysteresis: epochs to hold after an action before acting again.
+  int hold_epochs = 3;
+  // Admission-bucket rate per serving core (Mops); 0 leaves the bucket
+  // alone. On every move the bucket is set to serving_cores * this, so
+  // shed capacity tracks the cores it protects.
+  double bucket_mops_per_core = 0.0;
+  // Hedge byte budget per serving core; 0 leaves hedging alone.
+  uint32_t hedge_bytes_per_core = 0;
+  // Tenant WRR weight sets (tenant index in config order) applied when the
+  // split tilts toward serving (scarce: background tenants yield) and when
+  // it tilts back (ample). Empty = no weight retuning.
+  std::vector<int> weights_scarce;
+  std::vector<int> weights_ample;
+
+  bool empty() const { return !enabled; }
+};
+
+// Per-trace-segment slice of the SLO ledger. `generated`/`shed` are the
+// client fleet's per-phase request ledger (overlaid by RunServing, not the
+// monitor): summed over phases they reproduce the run totals exactly, and
+// the trace property tests pin that partition under time-shifted traces.
+struct PhaseResult {
+  uint64_t epochs = 0;
+  uint64_t violation_epochs = 0;
+  double violation_us = 0.0;
+  uint64_t generated = 0;
+  uint64_t shed = 0;
+};
+
+// Everything a trace-driven run adds on top of ServingResult. Carried
+// outside ServingResult::Fingerprint() — which committed goldens pin — and
+// digested separately, exactly like the tenant sub-result.
+struct TraceRunResult {
+  uint64_t epochs = 0;
+  uint64_t violation_epochs = 0;
+  double violation_us = 0.0;  // epochs in violation * epoch length
+  uint64_t actions_up = 0;    // cores moved tenant pool -> serving
+  uint64_t actions_down = 0;  // cores moved serving -> tenant pool
+  uint64_t weight_updates = 0;
+  int final_serving_cores = 0;
+  std::vector<PhaseResult> phases;  // indexed by trace segment
+
+  std::string Fingerprint() const;
+};
+
+// Epoch SLO accounting over a trace. All counter feeds are cumulative;
+// the monitor differences them itself.
+class SloMonitor {
+ public:
+  struct Signals {
+    // Fleet deadline ledger (good + late == completed).
+    std::function<uint64_t()> good;
+    std::function<uint64_t()> late;
+    std::function<uint64_t()> deadline_failed;
+    std::function<uint64_t()> shed;
+    // Tenant SLO ledger; null when no tenant plane exists.
+    std::function<uint64_t()> tenant_checked;
+    std::function<uint64_t()> tenant_violations;
+  };
+
+  // `slo_budget` is the tolerated bad-outcome fraction per epoch.
+  SloMonitor(const trace::TraceDriver* driver, Signals signals,
+             double slo_budget, SimTime epoch);
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  // Called once per governor epoch tick at time `now`.
+  void OnEpoch(SimTime now);
+
+  uint64_t epochs() const { return r_.epochs; }
+  uint64_t violation_epochs() const { return r_.violation_epochs; }
+  // Snapshot of the SLO ledger (scaling-action fields left zero; the
+  // harness overlays the autoscaler's counters).
+  const TraceRunResult& result() const { return r_; }
+
+ private:
+  const trace::TraceDriver* driver_;
+  Signals sig_;
+  double slo_budget_;
+  SimTime epoch_;
+  uint64_t prev_good_ = 0;
+  uint64_t prev_late_ = 0;
+  uint64_t prev_dl_failed_ = 0;
+  uint64_t prev_shed_ = 0;
+  uint64_t prev_tchecked_ = 0;
+  uint64_t prev_tviol_ = 0;
+  TraceRunResult r_;
+};
+
+// Moves cores across the serving-SoC / tenant-pool split once per epoch.
+class EpochAutoscaler {
+ public:
+  struct Actuators {
+    // Serving SoC pool (kv::ServingExecutor::soc_cpu()).
+    std::function<int()> serving_cores;
+    std::function<void(int)> set_serving_cores;
+    std::function<SimTime()> serving_busy;  // cumulative busy time
+    // Tenant arbiter pool (offload::TenantManager pool 0).
+    std::function<int()> pool_cores;
+    std::function<void(int)> set_pool_cores;
+    std::function<SimTime()> pool_busy;  // cumulative granted service
+    // Optional budget actuators; null = not retuned.
+    std::function<void(double)> set_bucket_mops;
+    std::function<void(uint32_t)> set_hedge_max_bytes;
+    std::function<void(int, int)> set_tenant_weight;
+  };
+
+  EpochAutoscaler(const ScaleConfig& cfg, Actuators act, SimTime epoch);
+
+  EpochAutoscaler(const EpochAutoscaler&) = delete;
+  EpochAutoscaler& operator=(const EpochAutoscaler&) = delete;
+
+  // Called once per governor epoch tick at time `now`.
+  void OnEpoch(SimTime now);
+
+  uint64_t actions_up() const { return actions_up_; }
+  uint64_t actions_down() const { return actions_down_; }
+  uint64_t weight_updates() const { return weight_updates_; }
+
+ private:
+  void ApplyBudgets(int serving_cores, bool scarce);
+
+  ScaleConfig cfg_;
+  Actuators act_;
+  SimTime epoch_;
+  SimTime prev_serving_busy_ = 0;
+  SimTime prev_pool_busy_ = 0;
+  int hold_ = 0;
+  uint64_t actions_up_ = 0;
+  uint64_t actions_down_ = 0;
+  uint64_t weight_updates_ = 0;
+};
+
+}  // namespace governor
+}  // namespace snicsim
+
+#endif  // SRC_GOVERNOR_AUTOSCALER_H_

@@ -73,6 +73,14 @@ void AdaptiveGovernor::BindQpHealth(int path, std::function<rdma::QpHealth()> sa
   }
 }
 
+void AdaptiveGovernor::SetEpochHook(std::function<void(SimTime)> hook) {
+  epoch_hook_ = std::move(hook);
+  if (!ticking_) {
+    ticking_ = true;
+    ScheduleTick();
+  }
+}
+
 void AdaptiveGovernor::ScheduleTick() {
   if (TimerWheel* const wheel = sim_->timer_wheel(); wheel != nullptr) {
     wheel->In(cfg_.epoch, [this] { Tick(); });
@@ -114,6 +122,9 @@ void AdaptiveGovernor::Tick() {
     // The breakers advance on the governor's clock: a sick endpoint is
     // tripped out of the admissible set within one epoch of the evidence.
     resil_->OnEpoch(sim_->now());
+  }
+  if (epoch_hook_) {
+    epoch_hook_(sim_->now());
   }
   ScheduleTick();
 }

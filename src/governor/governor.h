@@ -82,6 +82,12 @@ class AdaptiveGovernor : public RoutePolicy {
   // byte-identical to the resilience-free governor.
   void BindResilience(resilience::ResilienceManager* resil) { resil_ = resil; }
 
+  // Invoked once per epoch tick, after the sampled signals update and the
+  // breakers advance — the clock the epoch autoscaler runs on, so scaling
+  // decisions and routing see the same per-epoch deltas. Null (the
+  // default) leaves the tick byte-identical to a hook-free build.
+  void SetEpochHook(std::function<void(SimTime)> hook);
+
   // Ends the periodic epoch tick, so a run can drain to an empty event
   // queue (exact conservation) instead of being cut off mid-flight.
   void StopTicking() { stopped_ = true; }
@@ -102,6 +108,8 @@ class AdaptiveGovernor : public RoutePolicy {
   uint64_t breaker_denied() const { return breaker_denied_; }
   double path3_rate_gbps() const { return path3_rate_gbps_; }
   double path3_budget_gbps() const { return path3_budget_gbps_; }
+  double host_util() const { return host_util_; }
+  double soc_util() const { return soc_util_; }
   const PathPriors& priors() const { return priors_; }
 
  private:
@@ -149,6 +157,7 @@ class AdaptiveGovernor : public RoutePolicy {
   double path3_rate_gbps_ = 0.0;
   bool ticking_ = false;
   bool stopped_ = false;
+  std::function<void(SimTime)> epoch_hook_;
   std::function<rdma::QpHealth()> qp_health_[kPathCount];
   double qp_penalty_us_[kPathCount] = {0.0, 0.0};
 };

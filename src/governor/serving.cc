@@ -146,6 +146,18 @@ ServingResult RunServing(const ServingRunConfig& raw) {
   ClientFleet fleet(&sim, &fabric, config.fleet);
   const ZipfDist zipf(config.layout.keys, config.zipf_theta);
 
+  // Trace layer: the driver only exists when a plan is declared, so a
+  // trace-free run stays byte-identical to a pre-trace build (and a flat
+  // plan consumes zero extra draws — see src/workload/trace/trace.h).
+  std::unique_ptr<trace::TraceDriver> trace_driver;
+  if (!config.trace.empty()) {
+    trace_driver = std::make_unique<trace::TraceDriver>(config.trace);
+    fleet.SetTrace(trace_driver.get());
+    if (tenant_mgr != nullptr) {
+      tenant_mgr->SetTrace(trace_driver.get());
+    }
+  }
+
   // The policy under test. The governor additionally gets the live metric
   // feed (its epoch sampler) and a per-path QP-health view synthesized from
   // the fleet's conservation counters — the task-level fault signal.
@@ -197,6 +209,64 @@ ServingResult RunServing(const ServingRunConfig& raw) {
   SNIC_CHECK(policy != nullptr);
   if (resil != nullptr && gov != nullptr) {
     gov->BindResilience(resil.get());
+  }
+
+  // Epoch SLO accounting + (optionally) the autoscaler, both riding the
+  // governor's epoch tick so scaling and violation ledgers share the same
+  // per-epoch delta discipline routing uses.
+  std::unique_ptr<SloMonitor> slo_monitor;
+  std::unique_ptr<EpochAutoscaler> autoscaler;
+  if (trace_driver != nullptr && gov != nullptr) {
+    SloMonitor::Signals sig;
+    sig.good = [&fleet] { return fleet.good(); };
+    sig.late = [&fleet] { return fleet.late(); };
+    sig.deadline_failed = [&fleet] { return fleet.deadline_failed(); };
+    sig.shed = [&fleet] { return fleet.shed(); };
+    if (tenant_mgr != nullptr) {
+      sig.tenant_checked = [tm = tenant_mgr.get()] {
+        return tm->slo_checked_total();
+      };
+      sig.tenant_violations = [tm = tenant_mgr.get()] {
+        return tm->violations_total();
+      };
+    }
+    slo_monitor = std::make_unique<SloMonitor>(
+        trace_driver.get(), std::move(sig), config.scale.slo_budget,
+        config.governor.epoch);
+    if (config.scale.enabled) {
+      // The scarce budget is the serving SoC pool plus tenant pool 0; both
+      // sides must exist for a split to move.
+      SNIC_CHECK(tenant_mgr != nullptr);
+      EpochAutoscaler::Actuators act;
+      act.serving_cores = [&exec] { return exec.soc_cpu().size(); };
+      act.set_serving_cores = [&exec](int n) { exec.soc_cpu().SetServers(n); };
+      act.serving_busy = [&exec] { return exec.soc_cpu().busy_time(); };
+      act.pool_cores = [tm = tenant_mgr.get()] { return tm->PoolCores(0); };
+      act.set_pool_cores = [tm = tenant_mgr.get()](int n) {
+        tm->SetPoolCores(0, n);
+      };
+      act.pool_busy = [tm = tenant_mgr.get()] { return tm->PoolBusy(0); };
+      if (resil != nullptr) {
+        act.set_bucket_mops = [rp = resil.get()](double mops) {
+          rp->SetBucketMops(mops);
+        };
+        act.set_hedge_max_bytes = [rp = resil.get()](uint32_t bytes) {
+          rp->SetHedgeMaxBytes(bytes);
+        };
+      }
+      act.set_tenant_weight = [tm = tenant_mgr.get()](int t, int w) {
+        tm->SetTenantWeight(t, w);
+      };
+      autoscaler = std::make_unique<EpochAutoscaler>(
+          config.scale, std::move(act), config.governor.epoch);
+    }
+    gov->SetEpochHook(
+        [sm = slo_monitor.get(), as = autoscaler.get()](SimTime now) {
+          sm->OnEpoch(now);
+          if (as != nullptr) {
+            as->OnEpoch(now);
+          }
+        });
   }
 
   Meter meter(&sim);
@@ -324,6 +394,24 @@ ServingResult RunServing(const ServingRunConfig& raw) {
   if (tenant_mgr != nullptr) {
     r.tenants = tenant_mgr->Results();
   }
+  if (slo_monitor != nullptr) {
+    r.trace = slo_monitor->result();
+    if (autoscaler != nullptr) {
+      r.trace.actions_up = autoscaler->actions_up();
+      r.trace.actions_down = autoscaler->actions_down();
+      r.trace.weight_updates = autoscaler->weight_updates();
+    }
+    r.trace.final_serving_cores = exec.soc_cpu().size();
+    // Overlay the fleet's per-phase request ledger: summed over phases it
+    // partitions the run totals exactly (generated/shed), which is what
+    // the trace property tests pin under time-shifted traces.
+    for (size_t i = 0; i < r.trace.phases.size(); ++i) {
+      if (i < fleet.phase_generated().size()) {
+        r.trace.phases[i].generated = fleet.phase_generated()[i];
+        r.trace.phases[i].shed = fleet.phase_shed()[i];
+      }
+    }
+  }
   if (r.issued > 0) {
     r.share_soc = static_cast<double>(r.path_issued[static_cast<size_t>(kPathSoc)]) /
                   static_cast<double>(r.issued);
@@ -359,6 +447,30 @@ ServingResult RunServing(const ServingRunConfig& raw) {
     }
     if (tenant_mgr != nullptr) {
       tenant_mgr->RegisterMetrics(&dump);
+    }
+    // The scale component exists only on trace-driven runs (the monitor
+    // attaches with the trace), so trace-free dumps stay byte-identical.
+    if (slo_monitor != nullptr) {
+      const SloMonitor* sm = slo_monitor.get();
+      const EpochAutoscaler* as = autoscaler.get();
+      dump.Register("scale", "violation_epochs", "count",
+                    "governor epochs past the SLO budget (SloMonitor)",
+                    [sm] { return static_cast<double>(sm->violation_epochs()); });
+      dump.Register("scale", "actions_up", "count",
+                    "cores moved tenant pool -> serving by the autoscaler",
+                    [as] {
+                      return as ? static_cast<double>(as->actions_up()) : 0.0;
+                    });
+      dump.Register("scale", "actions_down", "count",
+                    "cores moved serving -> tenant pool by the autoscaler",
+                    [as] {
+                      return as ? static_cast<double>(as->actions_down()) : 0.0;
+                    });
+      dump.Register("scale", "weight_updates", "count",
+                    "tenant WRR weight retunes applied on scaling actions",
+                    [as] {
+                      return as ? static_cast<double>(as->weight_updates()) : 0.0;
+                    });
     }
     SNIC_CHECK(dump.WriteJsonFile(config.metrics_path));
   }

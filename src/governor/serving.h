@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/fault/plan.h"
+#include "src/governor/autoscaler.h"
 #include "src/governor/governor.h"
 #include "src/governor/policy.h"
 #include "src/obs/trace.h"
@@ -25,6 +26,7 @@
 #include "src/resilience/resilience.h"
 #include "src/topo/testbed_params.h"
 #include "src/workload/fleet.h"
+#include "src/workload/trace/trace.h"
 
 namespace snicsim {
 namespace governor {
@@ -80,6 +82,19 @@ struct ServingRunConfig {
   // is bit-identical to a tenant-free build (pinned by the tenants golden
   // test's KV-only case).
   offload::TenantSetConfig tenants;
+
+  // Non-stationary load trace (src/workload/trace). Empty => no
+  // TraceDriver exists and the run is bit-identical to a trace-free build
+  // (pinned by the autoscaler golden test). With the governor policy a
+  // trace also attaches the epoch SloMonitor, so every arm of a
+  // static-vs-autoscaled comparison shares one violation ledger.
+  trace::TracePlan trace;
+
+  // Epoch autoscaler over the serving-SoC / tenant-pool core split
+  // (src/governor/autoscaler.h). Requires a non-empty trace, the governor
+  // policy, and a tenant plane with at least one pool; disabled => no
+  // autoscaler exists and provisioning stays static.
+  ScaleConfig scale;
 
   // Event cores for the simulation (--sim-threads). The serving testbed is
   // a single domain — one BlueField server, one Simulator — so any value is
@@ -165,6 +180,12 @@ struct ServingResult {
   // its own TenantSetResult::Fingerprint(); replay comparisons of tenant
   // runs join both digests.
   offload::TenantSetResult tenants;
+
+  // Trace-run outcome: the epoch SLO ledger with per-phase splits plus the
+  // autoscaler's action counters (zero when no trace is attached). Also
+  // outside Fingerprint() for the same golden-stability reason; trace
+  // replay comparisons join trace.Fingerprint() too.
+  TraceRunResult trace;
 
   // Canonical digest of every field above except `tenants` ("%.17g"
   // doubles): two runs are replay-equal iff their fingerprints are

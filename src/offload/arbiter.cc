@@ -29,6 +29,33 @@ void WeightedArbiter::Submit(int t, SimTime service,
   Dispatch();
 }
 
+void WeightedArbiter::SetWeight(int t, int weight) {
+  SNIC_CHECK_GE(t, 0);
+  SNIC_CHECK_LT(static_cast<size_t>(t), weights_.size());
+  SNIC_CHECK_GE(weight, 1);
+  weights_[static_cast<size_t>(t)] = weight;
+}
+
+void WeightedArbiter::SetCores(int n) {
+  SNIC_CHECK_GT(n, 0);
+  if (n > cores_) {
+    // Growth may also cancel retire debt a prior shrink still owes.
+    int add = n - cores_;
+    const int repaid = std::min(add, retire_debt_);
+    retire_debt_ -= repaid;
+    add -= repaid;
+    idle_ += add;
+    cores_ = n;
+    Dispatch();
+    return;
+  }
+  int drop = cores_ - n;
+  const int from_idle = std::min(drop, idle_);
+  idle_ -= from_idle;
+  retire_debt_ += drop - from_idle;
+  cores_ = n;
+}
+
 SimTime WeightedArbiter::QueueDelay(int t) const {
   SNIC_CHECK_GE(t, 0);
   SNIC_CHECK_LT(static_cast<size_t>(t), queues_.size());
@@ -63,9 +90,16 @@ void WeightedArbiter::Dispatch() {
     --idle_;
     ++grants_[static_cast<size_t>(pick)];
     busy_[static_cast<size_t>(pick)] += job.service;
+    busy_total_ += job.service;
     const SimTime finish = sim_->now() + job.service;
     sim_->At(finish, [this, finish, cb = std::move(job.done)]() mutable {
-      ++idle_;
+      // A completion either repays one core of shrink debt or frees the
+      // core back into the pool.
+      if (retire_debt_ > 0) {
+        --retire_debt_;
+      } else {
+        ++idle_;
+      }
       if (cb) {
         cb(finish);
       }

@@ -49,7 +49,20 @@ class WeightedArbiter {
   // per-tenant CoDel controllers observe.
   SimTime QueueDelay(int t) const;
 
+  // Epoch-autoscaler actuators. SetWeight retunes tenant t's share for all
+  // *future* grants (credits carry over, so the smooth-WRR schedule shifts
+  // without a burst). SetCores re-provisions the pool: growth frees cores
+  // immediately; shrink first takes idle cores and books the remainder as
+  // retire debt — the next completions retire their cores instead of
+  // re-entering the pool, so running jobs are never killed and every
+  // Submit still completes exactly once.
+  void SetWeight(int t, int weight);
+  void SetCores(int n);
+
   int cores() const { return cores_; }
+  // Total service time granted across all tenants (the pool-utilization
+  // signal the autoscaler samples per epoch).
+  SimTime busy_total() const { return busy_total_; }
   uint64_t grants(int t) const { return grants_[t]; }
   SimTime busy(int t) const { return busy_[t]; }
   uint64_t queued_now(int t) const { return queues_[t].size(); }
@@ -65,13 +78,15 @@ class WeightedArbiter {
   void Dispatch();
 
   Simulator* sim_;
-  const int cores_;
+  int cores_;
   int idle_;
+  int retire_debt_ = 0;  // completions still owed to a shrink
   std::vector<int> weights_;
   std::vector<int64_t> credits_;
   std::vector<std::deque<Job>> queues_;
   std::vector<uint64_t> grants_;
   std::vector<SimTime> busy_;
+  SimTime busy_total_ = 0;
 };
 
 }  // namespace offload

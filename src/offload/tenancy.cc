@@ -128,11 +128,54 @@ void TenantManager::Start() {
 
 void TenantManager::StopIssuing() { issuing_ = false; }
 
+void TenantManager::SetPoolCores(int pool, int cores) {
+  SNIC_CHECK_GE(pool, 0);
+  SNIC_CHECK_LT(static_cast<size_t>(pool), pools_.size());
+  SNIC_CHECK(pools_[static_cast<size_t>(pool)] != nullptr);
+  pools_[static_cast<size_t>(pool)]->SetCores(cores);
+}
+
+void TenantManager::SetTenantWeight(int tenant, int weight) {
+  SNIC_CHECK_GE(tenant, 0);
+  SNIC_CHECK_LT(static_cast<size_t>(tenant), tenants_.size());
+  const Tenant& tn = tenants_[static_cast<size_t>(tenant)];
+  pools_[static_cast<size_t>(tn.spec.pool)]->SetWeight(tn.pool_local, weight);
+}
+
+int TenantManager::PoolCores(int pool) const {
+  SNIC_CHECK_GE(pool, 0);
+  SNIC_CHECK_LT(static_cast<size_t>(pool), pools_.size());
+  SNIC_CHECK(pools_[static_cast<size_t>(pool)] != nullptr);
+  return pools_[static_cast<size_t>(pool)]->cores();
+}
+
+SimTime TenantManager::PoolBusy(int pool) const {
+  SNIC_CHECK_GE(pool, 0);
+  SNIC_CHECK_LT(static_cast<size_t>(pool), pools_.size());
+  SNIC_CHECK(pools_[static_cast<size_t>(pool)] != nullptr);
+  return pools_[static_cast<size_t>(pool)]->busy_total();
+}
+
 void TenantManager::Arrive(int t) {
   if (!issuing_) {
     return;
   }
   Tenant& tn = tenants_[static_cast<size_t>(t)];
+  if (trace_ != nullptr) {
+    const double bg = trace_->BgAt(sim_->now());
+    if (bg <= 0.0) {
+      // Paused phase: no item now; re-arm at the next segment boundary.
+      // Past the trace end the boundary is behind us and the stream ends.
+      const SimTime next = trace_->NextChangeAt(sim_->now());
+      if (next > sim_->now()) {
+        sim_->At(next, [this, t] { Arrive(t); });
+      }
+      return;
+    }
+    Inject(tn, sim_->now(), tn.spec.item_bytes);
+    sim_->In(FromMicros(1.0 / (tn.spec.mops * bg)), [this, t] { Arrive(t); });
+    return;
+  }
   Inject(tn, sim_->now(), tn.spec.item_bytes);
   sim_->In(FromMicros(1.0 / tn.spec.mops), [this, t] { Arrive(t); });
 }
@@ -309,6 +352,22 @@ uint64_t TenantManager::path3_bytes() const {
   uint64_t total = 0;
   for (const Tenant& tn : tenants_) {
     total += tn.r.path3_bytes;
+  }
+  return total;
+}
+
+uint64_t TenantManager::slo_checked_total() const {
+  uint64_t total = 0;
+  for (const Tenant& tn : tenants_) {
+    total += tn.r.slo_checked;
+  }
+  return total;
+}
+
+uint64_t TenantManager::violations_total() const {
+  uint64_t total = 0;
+  for (const Tenant& tn : tenants_) {
+    total += tn.r.violations;
   }
   return total;
 }

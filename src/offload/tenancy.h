@@ -48,6 +48,7 @@
 #include "src/resilience/resilience.h"
 #include "src/sim/server.h"
 #include "src/topo/server.h"
+#include "src/workload/trace/trace.h"
 
 namespace snicsim {
 namespace offload {
@@ -124,11 +125,28 @@ class TenantManager {
 
   const TenantSetConfig& config() const { return cfg_; }
 
+  // Attaches a non-stationary trace *before* Start: each non-kv tenant's
+  // deterministic arrival spacing is divided by the segment's bg
+  // multiplier (compaction-style background phases), and bg == 0 pauses
+  // the stream until the next segment boundary. No draws are involved, so
+  // a flat trace (bg == 1 everywhere) replays byte-identically.
+  void SetTrace(const trace::TraceDriver* trace) { trace_ = trace; }
+
   // Begins every non-kv tenant's open-loop arrival stream (first item one
   // spacing after now). Items already in flight at StopIssuing() drain to
   // completion before the sim goes quiet, which is what closes the ledger.
   void Start();
   void StopIssuing();
+
+  // Epoch-autoscaler actuators and signals, forwarded to the pool
+  // arbiters: re-provision a pool's core count (retire-debt shrink, no
+  // in-flight work killed), retune one tenant's WRR weight (tenant index
+  // in config order), and read a pool's cumulative granted service time
+  // for per-epoch utilization deltas.
+  void SetPoolCores(int pool, int cores);
+  void SetTenantWeight(int tenant, int weight);
+  int PoolCores(int pool) const;
+  SimTime PoolBusy(int pool) const;
 
   // Serving-path feed for kv-kind tenants: one sketch item per served GET
   // (OnKvServed, from the ServingExecutor) and SLO accounting on the
@@ -139,6 +157,11 @@ class TenantManager {
   // Aggregate path-③ bytes shipped by tenant crossings; the governor adds
   // this to the serving plane's own path-③ rate when metering its budget.
   uint64_t path3_bytes() const;
+
+  // Aggregate SLO ledger across tenants — the SloMonitor's per-epoch feed
+  // (cheap cumulative sums, no Results() materialization).
+  uint64_t slo_checked_total() const;
+  uint64_t violations_total() const;
 
   // Exposes aggregate counters under component "tenant" (leaf catalog:
   // DESIGN.md section 6.2).
@@ -182,6 +205,7 @@ class TenantManager {
   TenantSetConfig cfg_;
   std::string host_domain_;
   std::string soc_domain_;
+  const trace::TraceDriver* trace_ = nullptr;
   bool issuing_ = false;
 
   std::vector<std::unique_ptr<WeightedArbiter>> pools_;

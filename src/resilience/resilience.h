@@ -120,6 +120,20 @@ struct CodelState {
       } else if (min_delay <= target / 2) {
         level = std::max(level - 1, 0);
       }
+      // Non-stationary arrivals can leave whole intervals with no
+      // observations at all (a diurnal trough after a flash crowd). The
+      // escalated level from the busy phase would otherwise persist
+      // through the lull — one de-escalation per *arrival* regardless of
+      // the gap length — and shed the first requests of the next phase
+      // against a queue that has long drained. Credit one de-escalation
+      // per fully-missed interval: an empty interval's minimum delay is
+      // vacuously zero.
+      if (level > 0 && now >= interval_end + interval) {
+        const SimTime gap = now - interval_end;
+        const int64_t missed = static_cast<int64_t>(gap / interval);
+        level = static_cast<int>(
+            std::max<int64_t>(0, static_cast<int64_t>(level) - missed));
+      }
       min_delay = std::numeric_limits<SimTime>::max();
       interval_end = now + interval;
     }
@@ -174,6 +188,18 @@ class ResilienceManager {
   ResilienceManager& operator=(const ResilienceManager&) = delete;
 
   const ResilienceConfig& config() const { return cfg_; }
+
+  // Epoch-autoscaler actuators: shed/hedge budgets are re-provisionable at
+  // run time so admission capacity can track the serving cores it protects.
+  // Both change *future* admissions only — no draw is consumed and nothing
+  // in-flight is touched, so runs that never call them are byte-identical
+  // to builds without these hooks.
+  void SetBucketMops(double mops) {
+    cfg_.bucket_mops = mops;
+  }
+  void SetHedgeMaxBytes(uint32_t bytes) {
+    cfg_.hedge_max_bytes = bytes;
+  }
 
   // Exact queue-delay signal for one endpoint's serving pool (the
   // ServingExecutor binds its MultiServer::Backlog here).

@@ -99,6 +99,27 @@ class MultiServer {
     return EnqueueAt(sim_->now(), service, std::move(cb));
   }
 
+  // Re-provisions the pool to `n` servers (the epoch autoscaler's host/SoC
+  // core actuator). Growth adds servers free at the current time; shrink
+  // retires the servers that free *earliest*, so work already dispatched to
+  // a retired-late server still completes — jobs are conserved, only future
+  // dispatch capacity changes.
+  void SetServers(int n) {
+    SNIC_CHECK_GT(n, 0);
+    while (static_cast<int>(next_free_.size()) < n) {
+      next_free_.push_back(sim_->now());
+    }
+    while (static_cast<int>(next_free_.size()) > n) {
+      size_t best = 0;
+      for (size_t i = 1; i < next_free_.size(); ++i) {
+        if (next_free_[i] < next_free_[best]) {
+          best = i;
+        }
+      }
+      next_free_.erase(next_free_.begin() + static_cast<ptrdiff_t>(best));
+    }
+  }
+
   int size() const { return static_cast<int>(next_free_.size()); }
   SimTime busy_time() const { return busy_time_; }
   uint64_t jobs() const { return jobs_; }

@@ -77,11 +77,15 @@ void AggregateFleet::Start(IssueFn issue) {
 
 void AggregateFleet::ScheduleNext(int cls) {
   ClassState& s = cls_[static_cast<size_t>(cls)];
-  // Candidate gaps at the constant max rate users/Z; -log1p(-u) keeps the
+  // Candidate gaps at the constant max rate users/Z (times the trace's
+  // peak multiplier when one is attached); -log1p(-u) keeps the
   // exponential draw finite for u -> 1 and exact for u == 0.
   const double u = Draw(cls);
-  const double gap_us = -std::log1p(-u) * params_.think_mean_us /
-                        static_cast<double>(s.users);
+  double mean_us = params_.think_mean_us / static_cast<double>(s.users);
+  if (trace_ != nullptr) {
+    mean_us /= trace_->peak_rate();
+  }
+  const double gap_us = -std::log1p(-u) * mean_us;
   const SimTime gap = std::max<SimTime>(FromMicros(gap_us), 1);
   sim_->At(sim_->now() + gap, [this, cls] { Candidate(cls); });
 }
@@ -91,11 +95,19 @@ void AggregateFleet::Candidate(int cls) {
     return;  // chain ends; nothing rearms
   }
   ClassState& s = cls_[static_cast<size_t>(cls)];
-  // Thinning: accept with probability idle/users. The draw happens even at
-  // idle == 0 so the stream position depends only on the candidate count.
+  // Thinning: accept with probability idle/users — scaled by the trace's
+  // instantaneous-over-peak ratio when one is attached. The draw happens
+  // even at idle == 0 so the stream position depends only on the candidate
+  // count, and because it is *always* consumed, folding the trace into the
+  // acceptance test leaves the draw-stream layout untouched for any plan.
   const double accept = Draw(cls);
   const uint64_t idle = s.users - s.inflight;
-  if (accept * static_cast<double>(s.users) < static_cast<double>(idle)) {
+  double scale = 1.0;
+  if (trace_ != nullptr) {
+    scale = trace_->RateAt(sim_->now()) / trace_->peak_rate();
+  }
+  if (accept * static_cast<double>(s.users) <
+      static_cast<double>(idle) * scale) {
     ++s.generated;
     ++generated_;
     ++s.inflight;

@@ -37,6 +37,7 @@
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/sim/simulator.h"
+#include "src/workload/trace/trace.h"
 
 namespace snicsim {
 
@@ -63,6 +64,13 @@ class AggregateFleet {
 
   AggregateFleet(const AggregateFleet&) = delete;
   AggregateFleet& operator=(const AggregateFleet&) = delete;
+
+  // Attaches a non-stationary load trace *before* Start. Candidate gaps
+  // run at the trace's peak rate and the (always-consumed) thinning draw
+  // folds the instantaneous rate into the acceptance test, so the
+  // per-class draw-stream layout is unchanged for any trace and a flat
+  // trace replays byte-identically to a trace-free fleet.
+  void SetTrace(const trace::TraceDriver* trace) { trace_ = trace; }
 
   // Starts every class's candidate chain at t = 0 (all users thinking).
   void Start(IssueFn issue);
@@ -119,6 +127,7 @@ class AggregateFleet {
   AggregateFleetParams params_;
   std::vector<ClassState> cls_;
   IssueFn issue_;
+  const trace::TraceDriver* trace_ = nullptr;
   bool stopped_ = false;
   uint64_t users_total_ = 0;
   uint64_t generated_ = 0;

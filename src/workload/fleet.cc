@@ -42,6 +42,14 @@ bool ClientFleet::Reliable() const {
   return sim_->faults() != nullptr && params_.machine.transport_timeout > 0;
 }
 
+void ClientFleet::SetTrace(const trace::TraceDriver* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    phase_generated_.assign(static_cast<size_t>(trace_->segment_count()), 0);
+    phase_shed_.assign(static_cast<size_t>(trace_->segment_count()), 0);
+  }
+}
+
 void ClientFleet::Start(std::vector<TargetSpec> paths, const ZipfDist* zipf,
                         const SizeMixture& mix, std::vector<uint32_t> class_bytes,
                         HeaderFn header, Router route, Observer observe) {
@@ -102,9 +110,15 @@ void ClientFleet::ScheduleArrival(const std::shared_ptr<Logical>& lc) {
   SNIC_CHECK_GT(params_.open_mops, 0.0);
   // Aggregate Poisson process thinned per client: exponential gaps with
   // mean logical_clients / open_mops microseconds, drawn from the client's
-  // own stream (deterministic, order independent).
-  const double mean_us =
+  // own stream (deterministic, order independent). Under a trace the gaps
+  // run at the trace's *peak* rate and each candidate is thinned to the
+  // instantaneous rate below, so the gap-draw stream is a function of the
+  // plan's peak alone — never of which segment a candidate lands in.
+  double mean_us =
       static_cast<double>(params_.logical_clients) / params_.open_mops;
+  if (trace_ != nullptr) {
+    mean_us /= trace_->peak_rate();
+  }
   const double u = lc->rng.NextDouble();
   const double gap_us = -std::log(1.0 - u) * mean_us;
   SimTime dt = FromMicros(gap_us);
@@ -114,6 +128,21 @@ void ClientFleet::ScheduleArrival(const std::shared_ptr<Logical>& lc) {
   sim_->In(dt, [this, lc] {
     if (stopped_) {
       return;
+    }
+    if (trace_ != nullptr) {
+      const double rate = trace_->RateAt(sim_->now());
+      const double peak = trace_->peak_rate();
+      if (rate < peak) {
+        // Exact thinning: accept with probability rate/peak. The draw is
+        // consumed only in sub-peak segments, so a flat trace consumes no
+        // extra draws at all (pre-trace byte identity).
+        const double a = lc->rng.NextDouble();
+        if (a * peak >= rate) {
+          ++thinned_;
+          ScheduleArrival(lc);
+          return;
+        }
+      }
     }
     IssueOne(lc);
     ScheduleArrival(lc);
@@ -126,6 +155,26 @@ void ClientFleet::IssueOne(const std::shared_ptr<Logical>& lc) {
   req.seq = lc->seq++;
   req.rank = zipf_->RankOf(lc->rng.NextDouble());
   req.size_class = mix_.ClassOf(lc->rng.NextDouble());
+  if (trace_ != nullptr) {
+    const SimTime now = sim_->now();
+    const uint64_t churn = trace_->ChurnAt(now);
+    if (churn != 0) {
+      // Working-set rotation: the drawn popularity order is preserved but
+      // re-seated over the keyspace, so formerly SoC-resident hot ranks
+      // miss. Draw-free by design.
+      req.rank = (req.rank + churn) % zipf_->items();
+    }
+    if (trace_->has_scan()) {
+      // One scan draw per issue whenever *any* segment scans, even in
+      // segments whose scan is 0: the stream layout stays a function of
+      // the plan, never of time.
+      if (lc->rng.NextDouble() < trace_->ScanAt(now)) {
+        req.size_class = static_cast<int>(class_bytes_.size()) - 1;
+        ++scan_forced_;
+      }
+    }
+    ++phase_generated_[static_cast<size_t>(trace_->SegmentAt(now))];
+  }
   req.bytes = class_bytes_[static_cast<size_t>(req.size_class)];
   req.hdr = header_(req.rank, req.size_class);
   ++generated_;
@@ -176,6 +225,9 @@ void ClientFleet::IssueResilient(const std::shared_ptr<Logical>& lc, KvRequest r
   if (!resil_->Admit(routed, req.size_class, req.deadline, now)) {
     ++shed_;
     ++path_shed_[static_cast<size_t>(routed)];
+    if (trace_ != nullptr) {
+      ++phase_shed_[static_cast<size_t>(trace_->SegmentAt(now))];
+    }
     if (shed_observer_) {
       shed_observer_(routed, req);
     }
@@ -323,6 +375,16 @@ void ClientFleet::RegisterMetrics(MetricsRegistry* reg) {
     reg->Register(prefix_, "deadline_failed", "count",
                   "requests failed with the deadline budget exhausted",
                   [this] { return static_cast<double>(deadline_failed_); });
+  }
+  // Trace counters exist only when a trace is attached (attach before
+  // registering), so trace-free metric dumps stay byte-identical.
+  if (trace_ != nullptr) {
+    reg->Register("trace", "thinned", "count",
+                  "arrival candidates rejected by trace rate thinning",
+                  [this] { return static_cast<double>(thinned_); });
+    reg->Register("trace", "scan_forced", "count",
+                  "issues whose size class a scan phase forced to the top",
+                  [this] { return static_cast<double>(scan_forced_); });
   }
   for (auto& m : machines_) {
     m->RegisterMetrics(reg);

@@ -32,6 +32,7 @@
 #include "src/topo/fabric.h"
 #include "src/workload/addr_gen.h"
 #include "src/workload/client.h"
+#include "src/workload/trace/trace.h"
 
 namespace snicsim {
 
@@ -109,6 +110,18 @@ class ClientFleet {
   using ShedObserver = std::function<void(int path, const KvRequest&)>;
   void SetShedObserver(ShedObserver observer) { shed_observer_ = std::move(observer); }
 
+  // Attaches a non-stationary load trace *before* Start. Open-loop arrival
+  // gaps shrink to the trace's peak rate and each candidate is thinned to
+  // the instantaneous rate (one counted accept draw, consumed only in
+  // segments below the peak); drawn Zipf ranks rotate by the segment's
+  // churn (draw-free); when any segment has scan > 0 every issue consumes
+  // one scan draw that may force the top size class. A flat trace (rate 1,
+  // churn 0, scan 0 everywhere) therefore consumes zero extra draws and
+  // replays byte-identically to a trace-free fleet. Null (the default)
+  // keeps the pre-trace issue path untouched. Rate thinning applies only
+  // to open-loop fleets; churn and scan modulate closed loops too.
+  void SetTrace(const trace::TraceDriver* trace);
+
   // Stops new issues (closed loops stop re-pumping, open-loop arrival
   // chains end). In-flight requests still terminate, so running the
   // simulation dry afterwards gives exact conservation:
@@ -133,6 +146,14 @@ class ClientFleet {
   uint64_t good() const { return good_; }
   uint64_t late() const { return late_; }
   uint64_t deadline_failed() const { return deadline_failed_; }
+  // Trace-modulation counters (zero without a trace): candidates rejected
+  // by rate thinning, issues whose size class a scan phase forced, and
+  // per-trace-segment splits of generated / shed (the metamorphic suite's
+  // per-phase ledgers). Thinned candidates are not generated.
+  uint64_t thinned() const { return thinned_; }
+  uint64_t scan_forced() const { return scan_forced_; }
+  const std::vector<uint64_t>& phase_generated() const { return phase_generated_; }
+  const std::vector<uint64_t>& phase_shed() const { return phase_shed_; }
   const std::vector<uint64_t>& path_issued() const { return path_issued_; }
   const std::vector<uint64_t>& path_completed() const { return path_completed_; }
   const std::vector<uint64_t>& path_failed() const { return path_failed_; }
@@ -196,6 +217,7 @@ class ClientFleet {
   Observer observe_;
   resilience::ResilienceManager* resil_ = nullptr;
   ShedObserver shed_observer_;
+  const trace::TraceDriver* trace_ = nullptr;
 
   bool stopped_ = false;
   uint64_t generated_ = 0;
@@ -207,6 +229,10 @@ class ClientFleet {
   uint64_t good_ = 0;
   uint64_t late_ = 0;
   uint64_t deadline_failed_ = 0;
+  uint64_t thinned_ = 0;
+  uint64_t scan_forced_ = 0;
+  std::vector<uint64_t> phase_generated_;
+  std::vector<uint64_t> phase_shed_;
   std::vector<uint64_t> path_issued_;
   std::vector<uint64_t> path_completed_;
   std::vector<uint64_t> path_failed_;

@@ -18,6 +18,7 @@
 #include "src/workload/client.h"
 #include "src/workload/fleet.h"
 #include "src/workload/local_requester.h"
+#include "src/workload/trace/trace.h"
 
 namespace snicsim {
 namespace {
@@ -100,6 +101,14 @@ TEST(MetricsCatalog, EveryRegisteredLeafIsDocumented) {
   exec.BindResilience(&resil);
   ClientFleet fleet(&sim, &fabric, FleetParams());
   fleet.SetResilience(&resil);
+  // Attaching a trace driver pulls the conditional "trace" component
+  // (thinning / forced-scan counters) into the audited catalog.
+  trace::TracePlan tplan;
+  std::string tperr;
+  ASSERT_TRUE(trace::ParseTracePlan("duration=100,seg=0:1", &tplan, &tperr))
+      << tperr;
+  trace::TraceDriver tdrv(tplan);
+  fleet.SetTrace(&tdrv);
   // The tenant control plane's "tenant" component rides the same audit.
   offload::TenantSetConfig tcfg;
   std::string terr;
