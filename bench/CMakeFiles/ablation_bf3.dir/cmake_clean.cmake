@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bf3.dir/ablation_bf3.cc.o"
+  "CMakeFiles/ablation_bf3.dir/ablation_bf3.cc.o.d"
+  "ablation_bf3"
+  "ablation_bf3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bf3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vendor.dir/ablation_vendor.cc.o"
+  "CMakeFiles/ablation_vendor.dir/ablation_vendor.cc.o.d"
+  "ablation_vendor"
+  "ablation_vendor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

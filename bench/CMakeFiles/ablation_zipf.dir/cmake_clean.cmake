@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zipf.dir/ablation_zipf.cc.o"
+  "CMakeFiles/ablation_zipf.dir/ablation_zipf.cc.o.d"
+  "ablation_zipf"
+  "ablation_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_doorbell.dir/fig10_doorbell.cc.o"
+  "CMakeFiles/fig10_doorbell.dir/fig10_doorbell.cc.o.d"
+  "fig10_doorbell"
+  "fig10_doorbell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_doorbell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

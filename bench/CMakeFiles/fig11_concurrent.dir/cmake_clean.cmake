@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_concurrent.dir/fig11_concurrent.cc.o"
+  "CMakeFiles/fig11_concurrent.dir/fig11_concurrent.cc.o.d"
+  "fig11_concurrent"
+  "fig11_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

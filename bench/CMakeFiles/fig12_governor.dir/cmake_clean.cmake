@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_governor.dir/fig12_governor.cc.o"
+  "CMakeFiles/fig12_governor.dir/fig12_governor.cc.o.d"
+  "fig12_governor"
+  "fig12_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

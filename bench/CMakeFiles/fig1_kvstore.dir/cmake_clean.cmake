@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_kvstore.dir/fig1_kvstore.cc.o"
+  "CMakeFiles/fig1_kvstore.dir/fig1_kvstore.cc.o.d"
+  "fig1_kvstore"
+  "fig1_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_flow.dir/fig3_flow.cc.o"
+  "CMakeFiles/fig3_flow.dir/fig3_flow.cc.o.d"
+  "fig3_flow"
+  "fig3_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

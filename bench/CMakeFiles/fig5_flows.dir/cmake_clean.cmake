@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_flows.dir/fig5_flows.cc.o"
+  "CMakeFiles/fig5_flows.dir/fig5_flows.cc.o.d"
+  "fig5_flows"
+  "fig5_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_skew.dir/fig7_skew.cc.o"
+  "CMakeFiles/fig7_skew.dir/fig7_skew.cc.o.d"
+  "fig7_skew"
+  "fig7_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

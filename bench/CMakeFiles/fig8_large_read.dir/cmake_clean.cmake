@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_large_read.dir/fig8_large_read.cc.o"
+  "CMakeFiles/fig8_large_read.dir/fig8_large_read.cc.o.d"
+  "fig8_large_read"
+  "fig8_large_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_large_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_host_soc.dir/fig9_host_soc.cc.o"
+  "CMakeFiles/fig9_host_soc.dir/fig9_host_soc.cc.o.d"
+  "fig9_host_soc"
+  "fig9_host_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_host_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rack_scale.dir/rack_scale.cc.o"
+  "CMakeFiles/rack_scale.dir/rack_scale.cc.o.d"
+  "rack_scale"
+  "rack_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rack_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec21_cpu_vs_nic.dir/sec21_cpu_vs_nic.cc.o"
+  "CMakeFiles/sec21_cpu_vs_nic.dir/sec21_cpu_vs_nic.cc.o.d"
+  "sec21_cpu_vs_nic"
+  "sec21_cpu_vs_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec21_cpu_vs_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_interference.dir/sec4_interference.cc.o"
+  "CMakeFiles/sec4_interference.dir/sec4_interference.cc.o.d"
+  "sec4_interference"
+  "sec4_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

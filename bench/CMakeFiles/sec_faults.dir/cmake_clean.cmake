@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_faults.dir/sec_faults.cc.o"
+  "CMakeFiles/sec_faults.dir/sec_faults.cc.o.d"
+  "sec_faults"
+  "sec_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_overload.dir/sec_overload.cc.o"
+  "CMakeFiles/sec_overload.dir/sec_overload.cc.o.d"
+  "sec_overload"
+  "sec_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_tenants.dir/sec_tenants.cc.o"
+  "CMakeFiles/sec_tenants.dir/sec_tenants.cc.o.d"
+  "sec_tenants"
+  "sec_tenants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_tenants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

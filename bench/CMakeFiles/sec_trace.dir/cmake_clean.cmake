@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_trace.dir/sec_trace.cc.o"
+  "CMakeFiles/sec_trace.dir/sec_trace.cc.o.d"
+  "sec_trace"
+  "sec_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

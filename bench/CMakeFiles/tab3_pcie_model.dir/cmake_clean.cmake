@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_pcie_model.dir/tab3_pcie_model.cc.o"
+  "CMakeFiles/tab3_pcie_model.dir/tab3_pcie_model.cc.o.d"
+  "tab3_pcie_model"
+  "tab3_pcie_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_pcie_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

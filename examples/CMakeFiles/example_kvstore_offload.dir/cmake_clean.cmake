@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kvstore_offload.dir/kvstore_offload.cc.o"
+  "CMakeFiles/example_kvstore_offload.dir/kvstore_offload.cc.o.d"
+  "example_kvstore_offload"
+  "example_kvstore_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kvstore_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

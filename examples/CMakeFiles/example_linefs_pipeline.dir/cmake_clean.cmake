@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_linefs_pipeline.dir/linefs_pipeline.cc.o"
+  "CMakeFiles/example_linefs_pipeline.dir/linefs_pipeline.cc.o.d"
+  "example_linefs_pipeline"
+  "example_linefs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_linefs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_offload_advisor.dir/offload_advisor.cc.o"
+  "CMakeFiles/example_offload_advisor.dir/offload_advisor.cc.o.d"
+  "example_offload_advisor"
+  "example_offload_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_offload_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

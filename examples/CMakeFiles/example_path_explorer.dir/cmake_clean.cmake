@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_path_explorer.dir/path_explorer.cc.o"
+  "CMakeFiles/example_path_explorer.dir/path_explorer.cc.o.d"
+  "example_path_explorer"
+  "example_path_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_path_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_txn_workload.dir/txn_workload.cc.o"
+  "CMakeFiles/example_txn_workload.dir/txn_workload.cc.o.d"
+  "example_txn_workload"
+  "example_txn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_txn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_smoke "/root/repo/examples/example_quickstart")
+set_tests_properties(example_quickstart_smoke PROPERTIES  LABELS "tier1" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_path_explorer_smoke "/root/repo/examples/example_path_explorer" "--payloads=64")
+set_tests_properties(example_path_explorer_smoke PROPERTIES  LABELS "tier1" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_offload_advisor_smoke "/root/repo/examples/example_offload_advisor" "--path=snic2" "--verb=write" "--range=2048")
+set_tests_properties(example_offload_advisor_smoke PROPERTIES  LABELS "tier1" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

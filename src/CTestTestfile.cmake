@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("fault")
+subdirs("resilience")
+subdirs("sim")
+subdirs("runtime")
+subdirs("pcie")
+subdirs("mem")
+subdirs("nic")
+subdirs("rdma")
+subdirs("topo")
+subdirs("workload/trace")
+subdirs("offload")
+subdirs("workload")
+subdirs("model")
+subdirs("kvstore")
+subdirs("governor")
+subdirs("txn")

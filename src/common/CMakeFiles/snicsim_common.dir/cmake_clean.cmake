@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_common.dir/flags.cc.o"
+  "CMakeFiles/snicsim_common.dir/flags.cc.o.d"
+  "CMakeFiles/snicsim_common.dir/histogram.cc.o"
+  "CMakeFiles/snicsim_common.dir/histogram.cc.o.d"
+  "CMakeFiles/snicsim_common.dir/table.cc.o"
+  "CMakeFiles/snicsim_common.dir/table.cc.o.d"
+  "CMakeFiles/snicsim_common.dir/units.cc.o"
+  "CMakeFiles/snicsim_common.dir/units.cc.o.d"
+  "libsnicsim_common.a"
+  "libsnicsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/injector.cc" "src/fault/CMakeFiles/snicsim_fault.dir/injector.cc.o" "gcc" "src/fault/CMakeFiles/snicsim_fault.dir/injector.cc.o.d"
+  "/root/repo/src/fault/plan.cc" "src/fault/CMakeFiles/snicsim_fault.dir/plan.cc.o" "gcc" "src/fault/CMakeFiles/snicsim_fault.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/obs/CMakeFiles/snicsim_obs.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/snicsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

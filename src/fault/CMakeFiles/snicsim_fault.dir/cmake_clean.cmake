@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_fault.dir/injector.cc.o"
+  "CMakeFiles/snicsim_fault.dir/injector.cc.o.d"
+  "CMakeFiles/snicsim_fault.dir/plan.cc.o"
+  "CMakeFiles/snicsim_fault.dir/plan.cc.o.d"
+  "libsnicsim_fault.a"
+  "libsnicsim_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_governor.dir/autoscaler.cc.o"
+  "CMakeFiles/snicsim_governor.dir/autoscaler.cc.o.d"
+  "CMakeFiles/snicsim_governor.dir/governor.cc.o"
+  "CMakeFiles/snicsim_governor.dir/governor.cc.o.d"
+  "CMakeFiles/snicsim_governor.dir/policy.cc.o"
+  "CMakeFiles/snicsim_governor.dir/policy.cc.o.d"
+  "CMakeFiles/snicsim_governor.dir/serving.cc.o"
+  "CMakeFiles/snicsim_governor.dir/serving.cc.o.d"
+  "libsnicsim_governor.a"
+  "libsnicsim_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_kvstore.dir/index.cc.o"
+  "CMakeFiles/snicsim_kvstore.dir/index.cc.o.d"
+  "CMakeFiles/snicsim_kvstore.dir/kv.cc.o"
+  "CMakeFiles/snicsim_kvstore.dir/kv.cc.o.d"
+  "CMakeFiles/snicsim_kvstore.dir/serving.cc.o"
+  "CMakeFiles/snicsim_kvstore.dir/serving.cc.o.d"
+  "libsnicsim_kvstore.a"
+  "libsnicsim_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

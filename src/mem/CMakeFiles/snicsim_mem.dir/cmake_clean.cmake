@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_mem.dir/memory.cc.o"
+  "CMakeFiles/snicsim_mem.dir/memory.cc.o.d"
+  "libsnicsim_mem.a"
+  "libsnicsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_model.dir/advisor.cc.o"
+  "CMakeFiles/snicsim_model.dir/advisor.cc.o.d"
+  "libsnicsim_model.a"
+  "libsnicsim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

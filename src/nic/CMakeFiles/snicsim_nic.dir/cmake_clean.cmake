@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_nic.dir/endpoint.cc.o"
+  "CMakeFiles/snicsim_nic.dir/endpoint.cc.o.d"
+  "CMakeFiles/snicsim_nic.dir/engine.cc.o"
+  "CMakeFiles/snicsim_nic.dir/engine.cc.o.d"
+  "libsnicsim_nic.a"
+  "libsnicsim_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

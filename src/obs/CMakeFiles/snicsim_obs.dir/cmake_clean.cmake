@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_obs.dir/metrics.cc.o"
+  "CMakeFiles/snicsim_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/snicsim_obs.dir/trace.cc.o"
+  "CMakeFiles/snicsim_obs.dir/trace.cc.o.d"
+  "libsnicsim_obs.a"
+  "libsnicsim_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_offload.dir/arbiter.cc.o"
+  "CMakeFiles/snicsim_offload.dir/arbiter.cc.o.d"
+  "CMakeFiles/snicsim_offload.dir/tenancy.cc.o"
+  "CMakeFiles/snicsim_offload.dir/tenancy.cc.o.d"
+  "CMakeFiles/snicsim_offload.dir/tenant_config.cc.o"
+  "CMakeFiles/snicsim_offload.dir/tenant_config.cc.o.d"
+  "libsnicsim_offload.a"
+  "libsnicsim_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

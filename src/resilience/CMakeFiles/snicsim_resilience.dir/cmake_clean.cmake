@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_resilience.dir/resilience.cc.o"
+  "CMakeFiles/snicsim_resilience.dir/resilience.cc.o.d"
+  "libsnicsim_resilience.a"
+  "libsnicsim_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for snicsim_resilience.
+# This may be replaced when dependencies are built.

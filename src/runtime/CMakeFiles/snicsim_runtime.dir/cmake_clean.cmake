@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_runtime.dir/sweep_runner.cc.o"
+  "CMakeFiles/snicsim_runtime.dir/sweep_runner.cc.o.d"
+  "libsnicsim_runtime.a"
+  "libsnicsim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

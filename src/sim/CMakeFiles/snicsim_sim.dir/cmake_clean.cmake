@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_sim.dir/parallel.cc.o"
+  "CMakeFiles/snicsim_sim.dir/parallel.cc.o.d"
+  "CMakeFiles/snicsim_sim.dir/timer_wheel.cc.o"
+  "CMakeFiles/snicsim_sim.dir/timer_wheel.cc.o.d"
+  "libsnicsim_sim.a"
+  "libsnicsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

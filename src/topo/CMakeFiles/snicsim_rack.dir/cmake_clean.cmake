@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_rack.dir/rack_kv.cc.o"
+  "CMakeFiles/snicsim_rack.dir/rack_kv.cc.o.d"
+  "libsnicsim_rack.a"
+  "libsnicsim_rack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_topo.dir/rack.cc.o"
+  "CMakeFiles/snicsim_topo.dir/rack.cc.o.d"
+  "CMakeFiles/snicsim_topo.dir/server.cc.o"
+  "CMakeFiles/snicsim_topo.dir/server.cc.o.d"
+  "libsnicsim_topo.a"
+  "libsnicsim_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

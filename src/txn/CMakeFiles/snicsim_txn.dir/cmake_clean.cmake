@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_txn.dir/occ.cc.o"
+  "CMakeFiles/snicsim_txn.dir/occ.cc.o.d"
+  "libsnicsim_txn.a"
+  "libsnicsim_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_workload.dir/aggregate_fleet.cc.o"
+  "CMakeFiles/snicsim_workload.dir/aggregate_fleet.cc.o.d"
+  "CMakeFiles/snicsim_workload.dir/client.cc.o"
+  "CMakeFiles/snicsim_workload.dir/client.cc.o.d"
+  "CMakeFiles/snicsim_workload.dir/fleet.cc.o"
+  "CMakeFiles/snicsim_workload.dir/fleet.cc.o.d"
+  "CMakeFiles/snicsim_workload.dir/harness.cc.o"
+  "CMakeFiles/snicsim_workload.dir/harness.cc.o.d"
+  "CMakeFiles/snicsim_workload.dir/local_requester.cc.o"
+  "CMakeFiles/snicsim_workload.dir/local_requester.cc.o.d"
+  "libsnicsim_workload.a"
+  "libsnicsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicsim_trace.dir/trace.cc.o"
+  "CMakeFiles/snicsim_trace.dir/trace.cc.o.d"
+  "libsnicsim_trace.a"
+  "libsnicsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

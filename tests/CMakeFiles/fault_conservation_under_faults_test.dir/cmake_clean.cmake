@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_conservation_under_faults_test.dir/fault/conservation_under_faults_test.cc.o"
+  "CMakeFiles/fault_conservation_under_faults_test.dir/fault/conservation_under_faults_test.cc.o.d"
+  "fault_conservation_under_faults_test"
+  "fault_conservation_under_faults_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_conservation_under_faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_fault_plan_test.dir/fault/fault_plan_test.cc.o"
+  "CMakeFiles/fault_fault_plan_test.dir/fault/fault_plan_test.cc.o.d"
+  "fault_fault_plan_test"
+  "fault_fault_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_fault_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

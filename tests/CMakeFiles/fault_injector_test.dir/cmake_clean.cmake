@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_injector_test.dir/fault/injector_test.cc.o"
+  "CMakeFiles/fault_injector_test.dir/fault/injector_test.cc.o.d"
+  "fault_injector_test"
+  "fault_injector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

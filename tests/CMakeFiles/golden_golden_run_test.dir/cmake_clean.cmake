@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_golden_run_test.dir/golden/golden_run_test.cc.o"
+  "CMakeFiles/golden_golden_run_test.dir/golden/golden_run_test.cc.o.d"
+  "golden_golden_run_test"
+  "golden_golden_run_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_golden_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_overload_golden_test.dir/golden/overload_golden_test.cc.o"
+  "CMakeFiles/golden_overload_golden_test.dir/golden/overload_golden_test.cc.o.d"
+  "golden_overload_golden_test"
+  "golden_overload_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_overload_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_tenants_golden_test.dir/golden/tenants_golden_test.cc.o"
+  "CMakeFiles/golden_tenants_golden_test.dir/golden/tenants_golden_test.cc.o.d"
+  "golden_tenants_golden_test"
+  "golden_tenants_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_tenants_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

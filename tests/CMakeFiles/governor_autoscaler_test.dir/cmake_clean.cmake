@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governor_autoscaler_test.dir/governor/autoscaler_test.cc.o"
+  "CMakeFiles/governor_autoscaler_test.dir/governor/autoscaler_test.cc.o.d"
+  "governor_autoscaler_test"
+  "governor_autoscaler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governor_autoscaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

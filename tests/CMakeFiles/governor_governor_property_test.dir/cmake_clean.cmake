@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governor_governor_property_test.dir/governor/governor_property_test.cc.o"
+  "CMakeFiles/governor_governor_property_test.dir/governor/governor_property_test.cc.o.d"
+  "governor_governor_property_test"
+  "governor_governor_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governor_governor_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governor_qp_health_test.dir/governor/qp_health_test.cc.o"
+  "CMakeFiles/governor_qp_health_test.dir/governor/qp_health_test.cc.o.d"
+  "governor_qp_health_test"
+  "governor_qp_health_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governor_qp_health_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_calibration_test.dir/integration/calibration_test.cc.o"
+  "CMakeFiles/integration_calibration_test.dir/integration/calibration_test.cc.o.d"
+  "integration_calibration_test"
+  "integration_calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

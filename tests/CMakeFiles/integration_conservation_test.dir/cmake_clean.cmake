@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_conservation_test.dir/integration/conservation_test.cc.o"
+  "CMakeFiles/integration_conservation_test.dir/integration/conservation_test.cc.o.d"
+  "integration_conservation_test"
+  "integration_conservation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_conservation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

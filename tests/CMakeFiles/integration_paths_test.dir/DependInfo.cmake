@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/paths_test.cc" "tests/CMakeFiles/integration_paths_test.dir/integration/paths_test.cc.o" "gcc" "tests/CMakeFiles/integration_paths_test.dir/integration/paths_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/runtime/CMakeFiles/snicsim_runtime.dir/DependInfo.cmake"
+  "/root/repo/src/topo/CMakeFiles/snicsim_rack.dir/DependInfo.cmake"
+  "/root/repo/src/governor/CMakeFiles/snicsim_governor.dir/DependInfo.cmake"
+  "/root/repo/src/offload/CMakeFiles/snicsim_offload.dir/DependInfo.cmake"
+  "/root/repo/src/model/CMakeFiles/snicsim_model.dir/DependInfo.cmake"
+  "/root/repo/src/kvstore/CMakeFiles/snicsim_kvstore.dir/DependInfo.cmake"
+  "/root/repo/src/txn/CMakeFiles/snicsim_txn.dir/DependInfo.cmake"
+  "/root/repo/src/workload/CMakeFiles/snicsim_workload.dir/DependInfo.cmake"
+  "/root/repo/src/resilience/CMakeFiles/snicsim_resilience.dir/DependInfo.cmake"
+  "/root/repo/src/topo/CMakeFiles/snicsim_topo.dir/DependInfo.cmake"
+  "/root/repo/src/nic/CMakeFiles/snicsim_nic.dir/DependInfo.cmake"
+  "/root/repo/src/fault/CMakeFiles/snicsim_fault.dir/DependInfo.cmake"
+  "/root/repo/src/mem/CMakeFiles/snicsim_mem.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/snicsim_sim.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/snicsim_obs.dir/DependInfo.cmake"
+  "/root/repo/src/workload/trace/CMakeFiles/snicsim_trace.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/snicsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_paths_test.dir/integration/paths_test.cc.o"
+  "CMakeFiles/integration_paths_test.dir/integration/paths_test.cc.o.d"
+  "integration_paths_test"
+  "integration_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_index_test.dir/kvstore/index_test.cc.o"
+  "CMakeFiles/kvstore_index_test.dir/kvstore/index_test.cc.o.d"
+  "kvstore_index_test"
+  "kvstore_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_kv_test.dir/kvstore/kv_test.cc.o"
+  "CMakeFiles/kvstore_kv_test.dir/kvstore/kv_test.cc.o.d"
+  "kvstore_kv_test"
+  "kvstore_kv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

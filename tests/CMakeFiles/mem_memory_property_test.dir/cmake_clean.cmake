@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_memory_property_test.dir/mem/memory_property_test.cc.o"
+  "CMakeFiles/mem_memory_property_test.dir/mem/memory_property_test.cc.o.d"
+  "mem_memory_property_test"
+  "mem_memory_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_memory_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

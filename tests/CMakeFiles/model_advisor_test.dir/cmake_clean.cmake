@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_advisor_test.dir/model/advisor_test.cc.o"
+  "CMakeFiles/model_advisor_test.dir/model/advisor_test.cc.o.d"
+  "model_advisor_test"
+  "model_advisor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

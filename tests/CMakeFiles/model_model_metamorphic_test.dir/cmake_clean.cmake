@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_model_metamorphic_test.dir/model/model_metamorphic_test.cc.o"
+  "CMakeFiles/model_model_metamorphic_test.dir/model/model_metamorphic_test.cc.o.d"
+  "model_model_metamorphic_test"
+  "model_model_metamorphic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_model_metamorphic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

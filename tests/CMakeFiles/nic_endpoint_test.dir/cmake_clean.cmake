@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_endpoint_test.dir/nic/endpoint_test.cc.o"
+  "CMakeFiles/nic_endpoint_test.dir/nic/endpoint_test.cc.o.d"
+  "nic_endpoint_test"
+  "nic_endpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

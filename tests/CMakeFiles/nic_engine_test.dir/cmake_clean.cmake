@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_engine_test.dir/nic/engine_test.cc.o"
+  "CMakeFiles/nic_engine_test.dir/nic/engine_test.cc.o.d"
+  "nic_engine_test"
+  "nic_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

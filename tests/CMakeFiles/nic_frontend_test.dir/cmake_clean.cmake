@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_frontend_test.dir/nic/frontend_test.cc.o"
+  "CMakeFiles/nic_frontend_test.dir/nic/frontend_test.cc.o.d"
+  "nic_frontend_test"
+  "nic_frontend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_observability_test.dir/obs/observability_test.cc.o"
+  "CMakeFiles/obs_observability_test.dir/obs/observability_test.cc.o.d"
+  "obs_observability_test"
+  "obs_observability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_observability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

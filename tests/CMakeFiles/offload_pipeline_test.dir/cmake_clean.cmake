@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_pipeline_test.dir/offload/pipeline_test.cc.o"
+  "CMakeFiles/offload_pipeline_test.dir/offload/pipeline_test.cc.o.d"
+  "offload_pipeline_test"
+  "offload_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

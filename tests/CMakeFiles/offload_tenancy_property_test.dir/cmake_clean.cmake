@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_tenancy_property_test.dir/offload/tenancy_property_test.cc.o"
+  "CMakeFiles/offload_tenancy_property_test.dir/offload/tenancy_property_test.cc.o.d"
+  "offload_tenancy_property_test"
+  "offload_tenancy_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_tenancy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

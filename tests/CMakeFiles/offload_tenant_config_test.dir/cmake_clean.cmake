@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_tenant_config_test.dir/offload/tenant_config_test.cc.o"
+  "CMakeFiles/offload_tenant_config_test.dir/offload/tenant_config_test.cc.o.d"
+  "offload_tenant_config_test"
+  "offload_tenant_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_tenant_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcie_link_property_test.dir/pcie/link_property_test.cc.o"
+  "CMakeFiles/pcie_link_property_test.dir/pcie/link_property_test.cc.o.d"
+  "pcie_link_property_test"
+  "pcie_link_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcie_link_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcie_path_test.dir/pcie/path_test.cc.o"
+  "CMakeFiles/pcie_path_test.dir/pcie/path_test.cc.o.d"
+  "pcie_path_test"
+  "pcie_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcie_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

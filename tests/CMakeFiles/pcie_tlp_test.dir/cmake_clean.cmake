@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcie_tlp_test.dir/pcie/tlp_test.cc.o"
+  "CMakeFiles/pcie_tlp_test.dir/pcie/tlp_test.cc.o.d"
+  "pcie_tlp_test"
+  "pcie_tlp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcie_tlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

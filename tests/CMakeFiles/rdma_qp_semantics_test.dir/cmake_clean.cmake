@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_qp_semantics_test.dir/rdma/qp_semantics_test.cc.o"
+  "CMakeFiles/rdma_qp_semantics_test.dir/rdma/qp_semantics_test.cc.o.d"
+  "rdma_qp_semantics_test"
+  "rdma_qp_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_qp_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

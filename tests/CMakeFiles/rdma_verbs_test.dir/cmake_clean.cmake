@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_verbs_test.dir/rdma/verbs_test.cc.o"
+  "CMakeFiles/rdma_verbs_test.dir/rdma/verbs_test.cc.o.d"
+  "rdma_verbs_test"
+  "rdma_verbs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_verbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_overload_property_test.dir/resilience/overload_property_test.cc.o"
+  "CMakeFiles/resilience_overload_property_test.dir/resilience/overload_property_test.cc.o.d"
+  "resilience_overload_property_test"
+  "resilience_overload_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_overload_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_resilience_test.dir/resilience/resilience_test.cc.o"
+  "CMakeFiles/resilience_resilience_test.dir/resilience/resilience_test.cc.o.d"
+  "resilience_resilience_test"
+  "resilience_resilience_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_resilience_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_sweep_determinism_test.dir/runtime/sweep_determinism_test.cc.o"
+  "CMakeFiles/runtime_sweep_determinism_test.dir/runtime/sweep_determinism_test.cc.o.d"
+  "runtime_sweep_determinism_test"
+  "runtime_sweep_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_sweep_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_meter_test.dir/sim/meter_test.cc.o"
+  "CMakeFiles/sim_meter_test.dir/sim/meter_test.cc.o.d"
+  "sim_meter_test"
+  "sim_meter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_queueing_property_test.dir/sim/queueing_property_test.cc.o"
+  "CMakeFiles/sim_queueing_property_test.dir/sim/queueing_property_test.cc.o.d"
+  "sim_queueing_property_test"
+  "sim_queueing_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_queueing_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

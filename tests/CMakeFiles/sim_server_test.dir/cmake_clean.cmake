@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_server_test.dir/sim/server_test.cc.o"
+  "CMakeFiles/sim_server_test.dir/sim/server_test.cc.o.d"
+  "sim_server_test"
+  "sim_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

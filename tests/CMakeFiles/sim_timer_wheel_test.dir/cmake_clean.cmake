@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_timer_wheel_test.dir/sim/timer_wheel_test.cc.o"
+  "CMakeFiles/sim_timer_wheel_test.dir/sim/timer_wheel_test.cc.o.d"
+  "sim_timer_wheel_test"
+  "sim_timer_wheel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_timer_wheel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

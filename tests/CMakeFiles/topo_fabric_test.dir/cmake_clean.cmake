@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_fabric_test.dir/topo/fabric_test.cc.o"
+  "CMakeFiles/topo_fabric_test.dir/topo/fabric_test.cc.o.d"
+  "topo_fabric_test"
+  "topo_fabric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_future_test.dir/topo/future_test.cc.o"
+  "CMakeFiles/topo_future_test.dir/topo/future_test.cc.o.d"
+  "topo_future_test"
+  "topo_future_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_future_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_rack_kv_test.dir/topo/rack_kv_test.cc.o"
+  "CMakeFiles/topo_rack_kv_test.dir/topo/rack_kv_test.cc.o.d"
+  "topo_rack_kv_test"
+  "topo_rack_kv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_rack_kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_server_test.dir/topo/server_test.cc.o"
+  "CMakeFiles/topo_server_test.dir/topo/server_test.cc.o.d"
+  "topo_server_test"
+  "topo_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

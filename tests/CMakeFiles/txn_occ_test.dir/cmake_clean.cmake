@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_occ_test.dir/txn/occ_test.cc.o"
+  "CMakeFiles/txn_occ_test.dir/txn/occ_test.cc.o.d"
+  "txn_occ_test"
+  "txn_occ_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_occ_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

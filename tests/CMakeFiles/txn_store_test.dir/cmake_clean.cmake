@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_store_test.dir/txn/store_test.cc.o"
+  "CMakeFiles/txn_store_test.dir/txn/store_test.cc.o.d"
+  "txn_store_test"
+  "txn_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

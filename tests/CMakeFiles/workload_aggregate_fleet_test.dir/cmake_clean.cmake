@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_aggregate_fleet_test.dir/workload/aggregate_fleet_test.cc.o"
+  "CMakeFiles/workload_aggregate_fleet_test.dir/workload/aggregate_fleet_test.cc.o.d"
+  "workload_aggregate_fleet_test"
+  "workload_aggregate_fleet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_aggregate_fleet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

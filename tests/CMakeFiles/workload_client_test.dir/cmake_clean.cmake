@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_client_test.dir/workload/client_test.cc.o"
+  "CMakeFiles/workload_client_test.dir/workload/client_test.cc.o.d"
+  "workload_client_test"
+  "workload_client_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

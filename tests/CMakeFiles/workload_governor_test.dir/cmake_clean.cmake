@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_governor_test.dir/workload/governor_test.cc.o"
+  "CMakeFiles/workload_governor_test.dir/workload/governor_test.cc.o.d"
+  "workload_governor_test"
+  "workload_governor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_governor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

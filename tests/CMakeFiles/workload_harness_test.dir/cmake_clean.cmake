@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_harness_test.dir/workload/harness_test.cc.o"
+  "CMakeFiles/workload_harness_test.dir/workload/harness_test.cc.o.d"
+  "workload_harness_test"
+  "workload_harness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_local_requester_test.dir/workload/local_requester_test.cc.o"
+  "CMakeFiles/workload_local_requester_test.dir/workload/local_requester_test.cc.o.d"
+  "workload_local_requester_test"
+  "workload_local_requester_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_local_requester_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_trace_config_test.dir/workload/trace_config_test.cc.o"
+  "CMakeFiles/workload_trace_config_test.dir/workload/trace_config_test.cc.o.d"
+  "workload_trace_config_test"
+  "workload_trace_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_trace_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_zipf_test.dir/workload/zipf_test.cc.o"
+  "CMakeFiles/workload_zipf_test.dir/workload/zipf_test.cc.o.d"
+  "workload_zipf_test"
+  "workload_zipf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_zipf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
