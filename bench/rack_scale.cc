@@ -38,6 +38,7 @@
 #include "src/fault/plan.h"
 #include "src/runtime/sweep_runner.h"
 #include "src/topo/rack_kv.h"
+#include "src/workload/trace/trace.h"
 
 using namespace snicsim;  // NOLINT: bench brevity
 
@@ -111,7 +112,8 @@ RackKvParams MemPoint(uint64_t users) {
   return p;
 }
 
-std::vector<RackKvParams> AllCells(const fault::FaultPlan& plan) {
+std::vector<RackKvParams> AllCells(const fault::FaultPlan& plan,
+                                   const trace::TracePlan& tplan) {
   std::vector<RackKvParams> cells;
   for (int servers : kServers) {
     for (uint64_t users : kUsers) {
@@ -124,6 +126,15 @@ std::vector<RackKvParams> AllCells(const fault::FaultPlan& plan) {
   cells.push_back(FailoverPoint());
   cells.push_back(MemPoint(1000000));
   cells.push_back(MemPoint(100000));
+  // A --trace plan rides every cell: rate via the fleets' peak-rate
+  // thinning, churn as a draw-free rank rotation, scan upgrades at issue.
+  // An empty plan leaves every cell byte-identical to a trace-free build
+  // (tests/topo/rack_kv_test.cc pins the flat-trace case too).
+  if (!tplan.empty()) {
+    for (RackKvParams& c : cells) {
+      c.trace = tplan;
+    }
+  }
   return cells;
 }
 
@@ -211,6 +222,7 @@ bool CheckLedger(const RackKvResult& r, const char* label) {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const fault::FaultPlan plan = fault::FaultsFlag(flags);
+  const trace::TracePlan tplan = trace::TraceFlag(flags);
   const bool check = flags.GetBool(
       "check", false,
       "assert determinism + ledgers + dominance + failover + memory bounds");
@@ -221,7 +233,7 @@ int main(int argc, char** argv) {
       "write the rack.* metrics JSON of the 1M-user cell to this file");
   flags.Finish();
 
-  std::vector<RackKvParams> cells = AllCells(plan);
+  std::vector<RackKvParams> cells = AllCells(plan, tplan);
   if (!metrics.empty()) {
     // The 1M-user point is the story-relevant dump: it carries the
     // O(in-flight) counters (rack.peak_inflight, rack.resident_client_bytes)

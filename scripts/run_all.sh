@@ -49,9 +49,14 @@ for b in build/bench/*; do
       "$b" --jobs="$jobs" ${simthreads:+"$simthreads"} ${faults:+"$faults"} \
         ${args[@]+"${args[@]}"}
       ;;
-    fig12_governor|sec_overload|sec_tenants|sec_trace)
+    fig12_governor|sec_overload|sec_tenants|sec_trace|rack_scale)
       # Fault-aware and self-checking: forward --faults and --check both.
       "$b" --jobs="$jobs" ${simthreads:+"$simthreads"} ${faults:+"$faults"} \
+        ${check:+"$check"} ${args[@]+"${args[@]}"}
+      ;;
+    sec_membership)
+      # Self-checking; builds its own permloss/corrupt plans internally.
+      "$b" --jobs="$jobs" ${simthreads:+"$simthreads"} \
         ${check:+"$check"} ${args[@]+"${args[@]}"}
       ;;
     *)

@@ -86,6 +86,11 @@ bool FaultInjector::CrashedAt(const std::string& domain, SimTime at) const {
       return true;
     }
   }
+  for (const PermLossEvent& ev : plan_.permlosses) {
+    if (at >= ev.at && DomainMatches(ev.domain, domain)) {
+      return true;
+    }
+  }
   return false;
 }
 
@@ -93,6 +98,21 @@ bool FaultInjector::CrashKills(const std::string& domain, SimTime from,
                                SimTime to) const {
   for (const CrashWindow& w : plan_.crashes) {
     if (w.start < to && from < w.end && DomainMatches(w.domain, domain)) {
+      return true;
+    }
+  }
+  for (const PermLossEvent& ev : plan_.permlosses) {
+    if (ev.at < to && DomainMatches(ev.domain, domain)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::PermanentlyLostAt(const std::string& domain,
+                                      SimTime at) const {
+  for (const PermLossEvent& ev : plan_.permlosses) {
+    if (at >= ev.at && DomainMatches(ev.domain, domain)) {
       return true;
     }
   }

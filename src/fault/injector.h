@@ -57,6 +57,9 @@ class FaultInjector {
 
   // Crash-window queries (pure; counters live at the consumption sites,
   // which know whether a drop was an arrival or an in-flight kill).
+  // Permanent losses fold in as crash windows that never end: a domain hit
+  // by a `permloss=` event is CrashedAt from its `at` forever, and CrashKills
+  // any span reaching past `at`.
   //
   // Is `domain` dead at instant `at`? Windows are half-open like every
   // other window: at == start is dead, at == end is alive again.
@@ -66,6 +69,10 @@ class FaultInjector {
   // not kill (the reply left before the lights went out), and one ending
   // exactly at `from` doesn't either.
   bool CrashKills(const std::string& domain, SimTime from, SimTime to) const;
+  // Is `domain` permanently gone at `at` (a `permloss=` event fired)? Unlike
+  // CrashedAt this never becomes false again; the rack membership plane uses
+  // it to tell "wait out the restart" from "remove from the ring".
+  bool PermanentlyLostAt(const std::string& domain, SimTime at) const;
   // Is `domain` inside the cold-cache rewarm tail of a crash — i.e. is
   // `at` in [end, end + rewarm) of some window?
   bool InRewarm(const std::string& domain, SimTime at) const;

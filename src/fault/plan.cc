@@ -186,6 +186,67 @@ bool ParseJsonPlan(const std::string& text, FaultPlan* out, std::string* error) 
       if (!ok) {
         return false;
       }
+    } else if (key == "permlosses") {
+      const bool ok = s.ReadArray([&] {
+        PermLossEvent ev;
+        double au = -1.0;
+        if (!s.ReadFlatObject([&](const std::string& k, const std::string& sv,
+                                  double nv, bool is_string) {
+              if (k == "domain" && is_string) {
+                ev.domain = sv;
+                return true;
+              }
+              if (k == "at_us" && !is_string) {
+                au = nv;
+                return true;
+              }
+              return s.Fail("unknown permloss field '" + k + "'");
+            })) {
+          return false;
+        }
+        if (ev.domain.empty() || au < 0.0) {
+          return s.Fail("incomplete permloss (need domain, at_us >= 0)");
+        }
+        ev.at = FromMicros(au);
+        out->permlosses.push_back(ev);
+        return true;
+      });
+      if (!ok) {
+        return false;
+      }
+    } else if (key == "corrupts") {
+      const bool ok = s.ReadArray([&] {
+        CorruptEvent ev;
+        double au = -1.0;
+        if (!s.ReadFlatObject([&](const std::string& k, const std::string& sv,
+                                  double nv, bool is_string) {
+              if (k == "domain" && is_string) {
+                ev.domain = sv;
+                return true;
+              }
+              if (k == "at_us" && !is_string) {
+                au = nv;
+                return true;
+              }
+              if (k == "fraction" && !is_string) {
+                ev.fraction = nv;
+                return true;
+              }
+              return s.Fail("unknown corrupt field '" + k + "'");
+            })) {
+          return false;
+        }
+        if (ev.domain.empty() || au < 0.0 || ev.fraction <= 0.0 ||
+            ev.fraction > 1.0) {
+          return s.Fail("incomplete corrupt (need domain, at_us >= 0, fraction in (0, 1])");
+        }
+        ev.at = FromMicros(au);
+        out->corrupts.push_back(ev);
+        return true;
+      });
+      if (!ok) {
+        return false;
+      }
     } else if (key == "degrades") {
       const bool ok = s.ReadArray([&] {
         DegradeWindow w;
@@ -374,6 +435,36 @@ bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* error)
         w.rewarm = FromMicros(rw);
       }
       out->crashes.push_back(w);
+    } else if (key == "permloss") {
+      const auto f = SplitFields(value, ':');
+      PermLossEvent ev;
+      double au = -1.0;
+      if (f.size() != 2 || f[0].empty() || !ParseNumber(f[1], &au) ||
+          au < 0.0) {
+        *error = "permloss wants DOMAIN:AT (us), got '" + value + "'";
+        return false;
+      }
+      ev.domain = f[0];
+      ev.at = FromMicros(au);
+      out->permlosses.push_back(ev);
+    } else if (key == "corrupt") {
+      const auto f = SplitFields(value, ':');
+      CorruptEvent ev;
+      double au = -1.0;
+      if ((f.size() != 2 && f.size() != 3) || f[0].empty() ||
+          !ParseNumber(f[1], &au) || au < 0.0) {
+        *error = "corrupt wants DOMAIN:AT[:FRACTION] (us), got '" + value + "'";
+        return false;
+      }
+      if (f.size() == 3 &&
+          (!ParseNumber(f[2], &ev.fraction) || ev.fraction <= 0.0 ||
+           ev.fraction > 1.0)) {
+        *error = "corrupt fraction '" + f[2] + "' not in (0, 1]";
+        return false;
+      }
+      ev.domain = f[0];
+      ev.at = FromMicros(au);
+      out->corrupts.push_back(ev);
     } else {
       *error = "unknown fault key '" + key + "'";
       return false;
@@ -387,7 +478,8 @@ FaultPlan FaultsFlag(Flags& flags) {
       "faults", "",
       "fault schedule: drop=P,seed=S,flap=LINK:START:END,"
       "degrade=LINK:START:END:FACTOR,stall=DOMAIN:START:END,"
-      "crash=DOMAIN:START:END[:REWARM] (us), a bare drop rate, or @file.json");
+      "crash=DOMAIN:START:END[:REWARM],permloss=DOMAIN:AT,"
+      "corrupt=DOMAIN:AT[:FRACTION] (us), a bare drop rate, or @file.json");
   FaultPlan plan;
   std::string error;
   if (!ParseFaultPlan(spec, &plan, &error)) {

@@ -60,6 +60,29 @@ struct CrashWindow {
   SimTime rewarm = 0;
 };
 
+// Permanent loss of one fault domain: from `at` onward the domain is dead
+// forever — no restart, no rewarm. Addressed like crash windows (so
+// "rack.s3" kills the whole server, host+SoC). The rack-level membership
+// plane (src/topo/rack_kv.h) reacts by removing the server from the ring
+// and migrating its key ranges; single-server topologies just see an
+// endpoint that never comes back.
+struct PermLossEvent {
+  std::string domain;
+  SimTime at = 0;
+};
+
+// Stored-data corruption on one fault domain: at time `at`, each value the
+// domain stores flips bits with probability `fraction` (chosen by a
+// deterministic hash of (plan seed, domain, key) — no RNG draws, so a
+// corrupt event never shifts any other stream). Detection is by the
+// per-value checksums in the rack integrity layer; components without an
+// integrity store ignore the event.
+struct CorruptEvent {
+  std::string domain;
+  SimTime at = 0;
+  double fraction = 0.05;
+};
+
 struct FaultPlan {
   // Per-frame drop probability on lossy links (network ports only).
   double drop_rate = 0.0;
@@ -70,13 +93,16 @@ struct FaultPlan {
   std::vector<DegradeWindow> degrades;
   std::vector<StallWindow> stalls;
   std::vector<CrashWindow> crashes;
+  std::vector<PermLossEvent> permlosses;
+  std::vector<CorruptEvent> corrupts;
 
   // An empty plan injects nothing; the harness then skips creating an
   // injector entirely so the simulation is bit-identical to a fault-free
   // build.
   bool empty() const {
     return drop_rate == 0.0 && flaps.empty() && degrades.empty() &&
-           stalls.empty() && crashes.empty();
+           stalls.empty() && crashes.empty() && permlosses.empty() &&
+           corrupts.empty();
   }
 };
 
@@ -95,7 +121,8 @@ bool DomainMatches(const std::string& plan_domain, const std::string& query);
 
 // Parses `spec` into `*out`. Two forms:
 //   inline:  "drop=0.01,seed=7,flap=LINK:START:END,degrade=LINK:START:END:F,
-//             stall=DOMAIN:START:END,crash=DOMAIN:START:END[:REWARM]"
+//             stall=DOMAIN:START:END,crash=DOMAIN:START:END[:REWARM],
+//             permloss=DOMAIN:AT,corrupt=DOMAIN:AT[:FRACTION]"
 //             (times in microseconds; keys repeat for multiple windows;
 //             ',' and ';' both separate entries). A bare number with no
 //             key at all — "0.02" — is shorthand for "drop=0.02".
@@ -105,7 +132,9 @@ bool DomainMatches(const std::string& plan_domain, const std::string& query);
 //              "degrades":[{"link":"...","start_us":0,"end_us":50,"factor":4}],
 //              "stalls":[{"domain":"soc","start_us":10,"end_us":60}],
 //              "crashes":[{"domain":"soc","start_us":10,"end_us":60,
-//                          "rewarm_us":30}]}
+//                          "rewarm_us":30}],
+//              "permlosses":[{"domain":"rack.s1","at_us":80}],
+//              "corrupts":[{"domain":"rack.s2","at_us":120,"fraction":0.1}]}
 // Returns false (and sets `*error`) on malformed input.
 bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* error);
 

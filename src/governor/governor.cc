@@ -57,6 +57,7 @@ void AdaptiveGovernor::BindMetrics(const MetricsRegistry& reg) {
   soc_busy_us_.Bind(reg, "serve", "soc_busy_us");
   path3_bytes_.Bind(reg, "serve", "path3_bytes");
   tenant_path3_bytes_.Bind(reg, "tenant", "path3_bytes");
+  repair_path3_bytes_.Bind(reg, "repair", "path3_bytes");
   if (!ticking_) {
     ticking_ = true;
     ScheduleTick();
@@ -100,10 +101,13 @@ void AdaptiveGovernor::Tick() {
   if (soc_busy_us_.bound()) {
     soc_util_ = std::min(1.0, soc_busy_us_.Sample() / (epoch_us * soc_cores_));
   }
-  if (path3_bytes_.bound() || tenant_path3_bytes_.bound()) {
-    // bytes per epoch -> Gbps; tenant crossings spend the same budget
-    // (unbound deltas sample as 0, so tenant-free runs are unchanged).
-    path3_rate_gbps_ = (path3_bytes_.Sample() + tenant_path3_bytes_.Sample()) *
+  if (path3_bytes_.bound() || tenant_path3_bytes_.bound() ||
+      repair_path3_bytes_.bound()) {
+    // bytes per epoch -> Gbps; tenant crossings and repair-plane migration
+    // streams spend the same budget (unbound deltas sample as 0, so runs
+    // without those producers are unchanged).
+    path3_rate_gbps_ = (path3_bytes_.Sample() + tenant_path3_bytes_.Sample() +
+                        repair_path3_bytes_.Sample()) *
                        8.0 / (epoch_us * 1e3);
   }
   for (int p = 0; p < kPathCount; ++p) {

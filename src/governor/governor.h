@@ -67,7 +67,10 @@ class AdaptiveGovernor : public RoutePolicy {
   // completion feedback alone. When a tenant control plane registered
   // "tenant.path3_bytes" in the same registry, its crossings are added to
   // the path-③ rate the budget gate meters — tenant traffic spends the
-  // same intra-machine budget serving misses do. Absent entry => bind
+  // same intra-machine budget serving misses do. Likewise a rack repair
+  // plane registering "repair.path3_bytes" (migration fetches,
+  // src/topo/rack_kv.h) spends the budget, which is what throttles serving
+  // onto path ① while a shard is being rebuilt. Absent entry => bind
   // fails silently and behavior is unchanged.
   void BindMetrics(const MetricsRegistry& reg);
 
@@ -152,6 +155,7 @@ class AdaptiveGovernor : public RoutePolicy {
   MetricDelta soc_busy_us_;
   MetricDelta path3_bytes_;
   MetricDelta tenant_path3_bytes_;
+  MetricDelta repair_path3_bytes_;
   double host_util_ = 0.0;
   double soc_util_ = 0.0;
   double path3_rate_gbps_ = 0.0;

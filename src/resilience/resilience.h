@@ -164,6 +164,29 @@ struct TokenBucketState {
     tokens -= 1.0;
     return true;
   }
+
+  // Amount-metered take for rate-limited background streams (the rack
+  // repair plane's migration throttle meters bytes through this). Refills
+  // at `rate` units/us toward `depth`, then removes `amount` — which may
+  // exceed depth, driving the bucket negative so the deficit is repaid at
+  // `rate`. Returns how long the caller must wait before issuing the *next*
+  // take (0 while credit remains). Pure arithmetic, no draws: pacing delays
+  // are an exact function of the byte sequence, which keeps migration
+  // byte-identical across (--jobs, --sim-threads).
+  SimTime TakeAmount(double rate, double depth, double amount, SimTime now) {
+    if (!primed) {
+      primed = true;
+      tokens = depth;
+      at = now;
+    }
+    tokens = std::min(depth, tokens + ToMicros(now - at) * rate);
+    at = now;
+    tokens -= amount;
+    if (tokens >= 0.0) {
+      return 0;
+    }
+    return FromMicros(-tokens / rate);
+  }
 };
 
 enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };

@@ -28,8 +28,12 @@
 namespace snicsim {
 namespace {
 
-// Terminal status a serving domain reports home for one attempt.
-enum class ReplyStatus : uint8_t { kOk, kShed, kNack };
+// Terminal status a serving domain reports home for one attempt. kRetry is
+// the evidence-free flavor of kNack: the attempt must be re-dispatched (the
+// server bounced a stale membership epoch, or detected corruption it could
+// not heal in place) but the target server is healthy, so it must not feed
+// the failover promoter.
+enum class ReplyStatus : uint8_t { kOk, kShed, kNack, kRetry };
 
 // One in-flight request, resident in its *home* domain's slab. While the
 // request is at the serving domain the pointer travels inside closures as
@@ -42,7 +46,8 @@ struct HomeOp {
   uint64_t gen = 0;
   uint64_t token = 0;
   SimTime start = 0;
-  int cls = 0;
+  int cls = 0;        // fleet population bucket (OnComplete must match)
+  int serve_cls = 0;  // value class actually served (scan bursts upgrade it)
   uint64_t rank = 0;
   uint32_t bytes = 0;
   bool write = false;
@@ -57,6 +62,7 @@ struct HomeOp {
 struct ServeCtx {
   uint64_t gen = 0;
   bool settled = false;
+  bool retry_on_fail = false;  // fail as kRetry (no failover evidence)
   int path = 0;
   SimTime arrived = 0;
   KvRequest req;
@@ -84,6 +90,41 @@ struct ServerView {
   bool down = false;
   int consec_fail = 0;
   SimTime first_evidence = -1;
+  int missed_epochs = 0;  // consecutive probe epochs spent down (permloss)
+};
+
+// One key-range migration stream from a surviving replica to the range's
+// new owner. Pushes are ack-clocked (strictly serial per range) so the
+// in-flight state per range is O(1); the per-domain token bucket paces the
+// aggregate byte rate across all of a survivor's ranges.
+struct MigOp {
+  uint64_t gen = 0;
+  int attempts = 0;
+  int dest = 0;
+  size_t next = 0;     // next index in `ranks` to push
+  uint64_t acked = 0;  // installs acked back; == ranks.size() completes
+  std::vector<uint64_t> ranks;
+};
+
+// One replica-read heal of a corrupt value, from serve-path detection
+// (carries the serve to resume) or the scrubber (ctx == nullptr).
+struct RepairOp {
+  uint64_t gen = 0;
+  uint64_t rank = 0;
+  bool from_scrub = false;
+  ServeCtx* ctx = nullptr;
+  uint64_t ctx_gen = 0;
+};
+
+// Per-domain checksum shadow of the values this server stores. `stored` is
+// the checksum on media; the expected value is a pure function of
+// (rank, version), so corruption == any mismatch. `version` counts local
+// overwrites (served writes, replica applies, migration installs), each of
+// which lands a fresh, clean value.
+struct IntegrityStore {
+  std::vector<uint64_t> stored;
+  std::vector<uint32_t> version;
+  std::vector<uint8_t> repairing;  // de-dups concurrent repairs per rank
 };
 
 // Everything one server domain owns — serving machine, home-side fleet and
@@ -142,6 +183,50 @@ struct KvDomain {
   uint64_t repl_failed = 0;
   uint64_t repl_applied = 0;
   uint64_t repl_stale = 0;
+
+  // Membership & repair plane (allocated/used only when enabled).
+  std::unique_ptr<HashRing> mring;  // this domain's mutable ring copy
+  uint64_t live_mask = 0;
+  uint32_t member_epoch = 0;
+  uint64_t removals = 0;
+  uint64_t stale_epoch_bounces = 0;
+  uint64_t retry_replies = 0;
+  SlabPool<MigOp> migs;
+  uint64_t mig_gen = 0;
+  resilience::TokenBucketState mig_bucket;
+  double mig_rate_bpus = 0.0;  // migration bucket refill, bytes/us
+  uint64_t ranges_started = 0;
+  uint64_t ranges_completed = 0;
+  uint64_t ranges_failed = 0;
+  uint64_t keys_migrated = 0;
+  uint64_t keys_installed = 0;
+  uint64_t keys_lost = 0;
+  uint64_t migration_waits = 0;
+  uint64_t repair_path3_bytes = 0;
+  SimTime membership_change_at = -1;
+  SimTime repair_done_at = -1;
+  SimTime last_failed_start = -1;
+
+  // Integrity layer (allocated only with corrupt events or a scrubber).
+  std::unique_ptr<IntegrityStore> integ;
+  SlabPool<RepairOp> repairs;
+  uint64_t repair_gen = 0;
+  uint64_t scrub_cursor = 0;
+  uint64_t integrity_checks = 0;
+  uint64_t corrupted_keys = 0;
+  uint64_t corrupt_propagated = 0;
+  uint64_t read_repair_detected = 0;
+  uint64_t scrub_checked = 0;
+  uint64_t scrub_detected = 0;
+  uint64_t repaired_read = 0;
+  uint64_t repaired_scrub = 0;
+  uint64_t repaired_write = 0;
+  uint64_t repair_unavailable = 0;
+  uint64_t undetected_corrupt_serves = 0;
+
+  // Trace shaping + goodput series.
+  uint64_t scan_forced = 0;
+  std::vector<uint64_t> completed_by_epoch;
 };
 
 struct RackKv {
@@ -149,6 +234,7 @@ struct RackKv {
   ParallelSimulator* psim = nullptr;
   const HashRing* ring = nullptr;
   const ZipfDist* zipf = nullptr;
+  const trace::TraceDriver* trace = nullptr;
   std::vector<std::unique_ptr<KvDomain>> doms;
 };
 
@@ -162,11 +248,25 @@ void ReplyHome(RackKv& r, DomainId d, HomeOp* op, uint64_t gen, uint64_t token,
 void Evidence(RackKv& r, DomainId d, int target);
 void ServeArrival(RackKv& r, DomainId t, DomainId src, HomeOp* op,
                   uint64_t op_gen, uint64_t op_token, uint64_t rank, int cls,
-                  uint32_t bytes, bool write);
+                  uint32_t bytes, bool write, uint32_t mep, uint64_t mmask);
+void LaunchServe(RackKv& r, DomainId t, ServeCtx* ctx);
 void SettleServe(RackKv& r, DomainId t, ServeCtx* ctx, bool ok, SimTime done);
 void Replicate(RackKv& r, DomainId t, uint64_t rank, int cls, uint32_t bytes);
 void PushReplica(RackKv& r, DomainId t, RepOp* rep);
 void EpochTick(RackKv& r, DomainId d);
+void AdoptMembership(RackKv& r, DomainId d, uint32_t epoch, uint64_t mask);
+void ApplyRemoval(RackKv& r, DomainId d, int s);
+void StartRange(RackKv& r, DomainId d, int dest, std::vector<uint64_t> ranks);
+void PushNextKey(RackKv& r, DomainId d, MigOp* m);
+void PushKey(RackKv& r, DomainId d, MigOp* m, uint64_t rank, int cls,
+             uint32_t bytes);
+void OnPushAck(RackKv& r, DomainId d, MigOp* m, uint64_t gen);
+void OnPushNack(RackKv& r, DomainId d, MigOp* m, uint64_t gen);
+void RangeFailed(RackKv& r, DomainId d, MigOp* m);
+void ScrubTick(RackKv& r, DomainId d);
+void StartRepair(RackKv& r, DomainId d, uint64_t rank, bool from_scrub,
+                 ServeCtx* ctx, uint64_t ctx_gen);
+void FinishRepair(RackKv& r, DomainId d, RepairOp* rp, uint64_t gen, bool ok);
 
 // Whole-server liveness: the rack treats a server as reachable while either
 // endpoint domain is up; the whole-shard crash scenario kills both.
@@ -176,20 +276,146 @@ bool ServerDeadNow(const KvDomain& dom) {
          dom.injector->CrashedAt(dom.soc_domain, dom.sim->now());
 }
 
+// The ring a domain routes by: its own mutable copy under the membership
+// plane, the shared immutable ring otherwise.
+const HashRing& RingOf(const RackKv& r, const KvDomain& dom) {
+  return dom.mring != nullptr ? *dom.mring : *r.ring;
+}
+
+bool LiveInMask(const KvDomain& dom, int s) {
+  return ((dom.live_mask >> s) & 1u) != 0;
+}
+
+// splitmix64 finalizer — the draw-free mixer corruption selection uses.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h = (h ^ static_cast<uint64_t>(static_cast<unsigned char>(c))) *
+        1099511628211ULL;
+  }
+  return h;
+}
+
+// The per-value FNV checksum over (rank, version) — what a clean store
+// holds. Corruption XORs noise into `stored`, so any verify catches it.
+uint64_t ValueChecksum(uint64_t rank, uint32_t version) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((rank >> (8 * i)) & 0xffu)) * 1099511628211ULL;
+  }
+  for (int i = 0; i < 4; ++i) {
+    h = (h ^ ((static_cast<uint64_t>(version) >> (8 * i)) & 0xffu)) *
+        1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr uint64_t kCorruptNoise = 0x5a5a5a5a5a5a5a5aULL;
+
+bool IsCorrupt(const KvDomain& dom, uint64_t rank) {
+  const IntegrityStore& st = *dom.integ;
+  const size_t i = static_cast<size_t>(rank);
+  return st.stored[i] != ValueChecksum(rank, st.version[i]);
+}
+
+// A fresh value lands at `rank` (served write, replica apply, or migration
+// install). Bumps the version and stores the matching checksum — unless the
+// writer itself held a corrupt sole copy (`bad`, migration only), in which
+// case the corruption travels and is accounted as propagated.
+void InstallValue(KvDomain& dom, uint64_t rank, bool bad) {
+  if (dom.integ == nullptr) {
+    return;
+  }
+  IntegrityStore& st = *dom.integ;
+  const size_t i = static_cast<size_t>(rank);
+  const bool was_bad = IsCorrupt(dom, rank);
+  ++st.version[i];
+  st.stored[i] = ValueChecksum(rank, st.version[i]);
+  if (bad) {
+    st.stored[i] ^= kCorruptNoise;
+    if (!was_bad) {
+      ++dom.corrupt_propagated;
+    }
+  } else if (was_bad) {
+    ++dom.repaired_write;
+  }
+}
+
+// Does this domain store `rank` under its current ring (primary or, with
+// replication, follower)?
+bool StoredHere(const RackKv& r, const KvDomain& dom, uint64_t rank) {
+  const HashRing& ring = RingOf(r, dom);
+  if (ring.PrimaryOf(rank) == static_cast<int>(dom.id)) {
+    return true;
+  }
+  return r.p->replicas > 1 &&
+         ring.FollowerOf(rank) == static_cast<int>(dom.id);
+}
+
+// A `corrupt=` event: flip each stored value with probability `fraction`,
+// chosen by a keyed hash of (plan seed, domain, event time, rank) — fully
+// deterministic, zero RNG draws.
+void ApplyCorruption(RackKv& r, DomainId d, double fraction, uint64_t salt) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  if (dom.integ == nullptr) {
+    return;
+  }
+  const uint64_t thresh =
+      fraction >= 1.0 ? ~0ULL
+                      : static_cast<uint64_t>(fraction * 18446744073709551616.0);
+  for (uint64_t rank = 0; rank < r.p->layout.keys; ++rank) {
+    if (!StoredHere(r, dom, rank) || Mix64(salt ^ rank) >= thresh ||
+        IsCorrupt(dom, rank)) {
+      continue;
+    }
+    dom.integ->stored[static_cast<size_t>(rank)] ^= kCorruptNoise;
+    ++dom.corrupted_keys;
+  }
+}
+
+// Deterministic value size for repair traffic: the class table keyed by
+// rank (serving classes are a per-request draw, but repair must not draw).
+int RepairClassOf(const RackKv& r, uint64_t rank) {
+  return static_cast<int>(rank % r.p->layout.class_bytes.size());
+}
+
 void IssueNew(RackKv& r, DomainId d, int cls, uint64_t user) {
   KvDomain& dom = *r.doms[static_cast<size_t>(d)];
   // Payload draws come from the fleet's class stream, in class event order,
   // so aggregate and materialized runs consume identical streams.
-  const uint64_t rank = r.zipf->RankOf(dom.fleet->Draw(cls));
+  uint64_t rank = r.zipf->RankOf(dom.fleet->Draw(cls));
   const bool write = dom.fleet->Draw(cls) < r.p->write_fraction;
+  int serve_cls = cls;
+  if (r.trace != nullptr) {
+    // Working-set churn: a draw-free rank rotation — the trace shifts which
+    // physical keys are hot without touching the draw stream (a zero-churn
+    // trace is byte-identical to no trace at all).
+    rank = (rank + r.trace->ChurnAt(dom.sim->now())) % r.p->layout.keys;
+    if (r.trace->has_scan() &&
+        dom.fleet->Draw(cls) < r.trace->ScanAt(dom.sim->now())) {
+      // Scan burst: the request is upgraded to the largest value class.
+      // `cls` (the fleet population bucket) is untouched — OnComplete must
+      // return the user to the bucket it was drawn from.
+      serve_cls = static_cast<int>(r.p->layout.class_bytes.size()) - 1;
+      ++dom.scan_forced;
+    }
+  }
   ++dom.generated;
   HomeOp* op = dom.ops.Alloc();
   op->gen = ++dom.op_gen;
   op->token = 0;
   op->start = dom.sim->now();
   op->cls = cls;
+  op->serve_cls = serve_cls;
   op->rank = rank;
-  op->bytes = r.p->layout.class_bytes[static_cast<size_t>(cls)];
+  op->bytes = r.p->layout.class_bytes[static_cast<size_t>(serve_cls)];
   op->write = write;
   op->user = user;
   op->attempts = 0;
@@ -203,10 +429,13 @@ void Dispatch(RackKv& r, DomainId d, HomeOp* op) {
   ++dom.issued;
   // Shard routing through the home's failover view: primary unless this
   // home has marked it down, then the ring's follower (the same follower
-  // every home computes — no coordination).
-  const int primary = r.ring->PrimaryOf(op->rank);
+  // every home computes — no coordination). Under the membership plane the
+  // home routes by its own ring copy and stamps its (epoch, mask) on the
+  // request so the serving side can detect divergence.
+  const HashRing& ring = RingOf(r, dom);
+  const int primary = ring.PrimaryOf(op->rank);
   const int target = dom.views[static_cast<size_t>(primary)].down
-                         ? r.ring->FollowerOf(op->rank)
+                         ? ring.FollowerOf(op->rank)
                          : primary;
   op->target = target;
   const uint64_t gen = op->gen;
@@ -217,15 +446,17 @@ void Dispatch(RackKv& r, DomainId d, HomeOp* op) {
   });
   const DomainId src = d;
   const uint64_t rank = op->rank;
-  const int cls = op->cls;
+  const int cls = op->serve_cls;
   const uint32_t bytes = op->bytes;
   const bool write = op->write;
-  r.psim->Post(d, static_cast<DomainId>(target),
-               dom.sim->now() + r.p->rack_link_latency,
-               [rk, target, src, op, gen, token, rank, cls, bytes, write] {
-                 ServeArrival(*rk, static_cast<DomainId>(target), src, op, gen,
-                              token, rank, cls, bytes, write);
-               });
+  const uint32_t mep = dom.member_epoch;
+  const uint64_t mmask = dom.live_mask;
+  r.psim->Post(
+      d, static_cast<DomainId>(target), dom.sim->now() + r.p->rack_link_latency,
+      [rk, target, src, op, gen, token, rank, cls, bytes, write, mep, mmask] {
+        ServeArrival(*rk, static_cast<DomainId>(target), src, op, gen, token,
+                     rank, cls, bytes, write, mep, mmask);
+      });
 }
 
 void OnTimeout(RackKv& r, DomainId d, HomeOp* op, uint64_t gen, uint64_t token) {
@@ -261,15 +492,27 @@ void RetryOrFail(RackKv& r, DomainId d, HomeOp* op) {
 void FinishHome(RackKv& r, DomainId d, HomeOp* op, ReplyStatus status) {
   KvDomain& dom = *r.doms[static_cast<size_t>(d)];
   switch (status) {
-    case ReplyStatus::kOk:
+    case ReplyStatus::kOk: {
       ++dom.completed;
       dom.latency.Record(dom.sim->now() - op->start);
+      // Settle-time epoch bucket: the goodput-during-migration series.
+      const size_t idx =
+          static_cast<size_t>(dom.sim->now() / r.p->governor_epoch);
+      if (dom.completed_by_epoch.size() <= idx) {
+        dom.completed_by_epoch.resize(idx + 1, 0);
+      }
+      ++dom.completed_by_epoch[idx];
       break;
+    }
     case ReplyStatus::kShed:
       ++dom.shed;
       break;
     case ReplyStatus::kNack:
       ++dom.failed;
+      dom.last_failed_start = std::max(dom.last_failed_start, op->start);
+      break;
+    case ReplyStatus::kRetry:
+      SNIC_CHECK(false);  // kRetry re-dispatches in ReplyHome, never lands here
       break;
   }
   dom.fleet->OnComplete(op->cls, op->user);
@@ -293,6 +536,7 @@ void ReplyHome(RackKv& r, DomainId d, HomeOp* op, uint64_t gen, uint64_t token,
     case ReplyStatus::kOk: {
       ServerView& v = dom.views[static_cast<size_t>(op->target)];
       v.consec_fail = 0;
+      v.missed_epochs = 0;
       if (v.down) {
         // A data reply is as good as a probe ack: the server answered.
         v.down = false;
@@ -310,6 +554,13 @@ void ReplyHome(RackKv& r, DomainId d, HomeOp* op, uint64_t gen, uint64_t token,
     case ReplyStatus::kNack:
       ++dom.nacks;
       Evidence(r, d, op->target);
+      RetryOrFail(r, d, op);
+      return;
+    case ReplyStatus::kRetry:
+      // Evidence-free re-dispatch: the server is healthy but bounced the
+      // attempt (stale membership epoch — the bounce carried the newer mask
+      // and this home already adopted it — or unhealable corruption).
+      ++dom.retry_replies;
       RetryOrFail(r, d, op);
       return;
   }
@@ -339,7 +590,7 @@ void Evidence(RackKv& r, DomainId d, int target) {
 
 void ServeArrival(RackKv& r, DomainId t, DomainId src, HomeOp* op,
                   uint64_t op_gen, uint64_t op_token, uint64_t rank, int cls,
-                  uint32_t bytes, bool write) {
+                  uint32_t bytes, bool write, uint32_t mep, uint64_t mmask) {
   KvDomain& dom = *r.doms[static_cast<size_t>(t)];
   RackKv* rk = &r;
   if (ServerDeadNow(dom)) {
@@ -350,6 +601,29 @@ void ServeArrival(RackKv& r, DomainId t, DomainId src, HomeOp* op,
                    ReplyHome(*rk, src, op, op_gen, op_token, ReplyStatus::kNack);
                  });
     return;
+  }
+  if (r.p->membership.enabled) {
+    if (mep < dom.member_epoch) {
+      // The sender routed by an older ring: bounce with this server's
+      // (epoch, mask). The home adopts before the retry re-dispatches, so
+      // one bounce converges the pair — no failure evidence either way.
+      ++dom.stale_epoch_bounces;
+      const uint32_t e = dom.member_epoch;
+      const uint64_t m = dom.live_mask;
+      r.psim->Post(t, src, dom.sim->now() + r.p->rack_link_latency,
+                   [rk, src, op, op_gen, op_token, e, m] {
+                     AdoptMembership(*rk, src, e, m);
+                     ReplyHome(*rk, src, op, op_gen, op_token,
+                               ReplyStatus::kRetry);
+                   });
+      return;
+    }
+    if (mep > dom.member_epoch) {
+      // The sender is ahead: adopt its mask, then serve normally — under
+      // the new ring this server is still the key's owner (the sender just
+      // routed here).
+      AdoptMembership(r, t, mep, mmask);
+    }
   }
   KvRequest req;
   req.client = static_cast<uint64_t>(src);
@@ -372,6 +646,7 @@ void ServeArrival(RackKv& r, DomainId t, DomainId src, HomeOp* op,
   ServeCtx* ctx = dom.serves.Alloc();
   ctx->gen = ++dom.serve_gen;
   ctx->settled = false;
+  ctx->retry_on_fail = false;
   ctx->path = path;
   ctx->arrived = dom.sim->now();
   ctx->req = req;
@@ -393,15 +668,41 @@ void ServeArrival(RackKv& r, DomainId t, DomainId src, HomeOp* op,
     ++here.serve_timeouts;
     SettleServe(*rk, t, ctx, /*ok=*/false, here.sim->now());
   });
+  // Integrity: verify the stored checksum before serving a read. A corrupt
+  // value never reaches the client — the serve parks on a replica-read
+  // repair and resumes (or retries elsewhere) once the heal settles.
+  // Writes skip the gate: they overwrite the value regardless.
+  if (dom.integ != nullptr && !write) {
+    ++dom.integrity_checks;
+    if (IsCorrupt(dom, rank)) {
+      ++dom.read_repair_detected;
+      ctx->retry_on_fail = true;
+      if (dom.integ->repairing[static_cast<size_t>(rank)] != 0) {
+        // A repair for this rank is already in flight; bounce rather than
+        // queue (the retry lands after the heal).
+        SettleServe(r, t, ctx, /*ok=*/false, dom.sim->now());
+      } else {
+        StartRepair(r, t, rank, /*from_scrub=*/false, ctx, sgen);
+      }
+      return;
+    }
+  }
+  LaunchServe(r, t, ctx);
+}
+
+void LaunchServe(RackKv& r, DomainId t, ServeCtx* ctx) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(t)];
+  RackKv* rk = &r;
+  const uint64_t sgen = ctx->gen;
   // Into the full SmartNIC model: FE -> PU -> DMA -> endpoint CPU
   // (ServingExecutor via the registered SendHandler) -> response over the
   // uplink. The request SEND is one header frame; the reply carries the
   // value and pays the wire.
-  NicEndpoint* const ep = path == governor::kPathHost ? dom.bf->host_ep()
-                                                      : dom.bf->soc_ep();
+  NicEndpoint* const ep = ctx->path == governor::kPathHost ? dom.bf->host_ep()
+                                                           : dom.bf->soc_ep();
   PciePath back = dom.fabric->Route(dom.bf->port(), dom.uplink);
   dom.bf->nic().HandleRequest(
-      ep, Verb::kSend, req.hdr, r.p->request_bytes, /*fe_units=*/1.0,
+      ep, Verb::kSend, ctx->req.hdr, r.p->request_bytes, /*fe_units=*/1.0,
       std::move(back),
       [rk, t, ctx, sgen](SimTime delivered) {
         KvDomain& here = *rk->doms[static_cast<size_t>(t)];
@@ -411,12 +712,32 @@ void ServeArrival(RackKv& r, DomainId t, DomainId src, HomeOp* op,
         }
         SettleServe(*rk, t, ctx, /*ok=*/true, delivered);
       },
-      /*req_id=*/op_token);
+      /*req_id=*/ctx->op_token);
 }
 
 void SettleServe(RackKv& r, DomainId t, ServeCtx* ctx, bool ok, SimTime done) {
   KvDomain& dom = *r.doms[static_cast<size_t>(t)];
   ctx->settled = true;
+  if (ok && dom.integ != nullptr) {
+    if (ctx->write) {
+      // The served write lands a fresh value: version bump + clean checksum
+      // (healing any corruption the old value carried).
+      InstallValue(dom, ctx->req.rank, /*bad=*/false);
+    } else if (IsCorrupt(dom, ctx->req.rank)) {
+      // Corrupted mid-serve (a corrupt= window fired while the value was in
+      // the pipeline): demote to an evidence-free retry and schedule the
+      // heal. The client never sees the bad bytes.
+      ++dom.read_repair_detected;
+      ctx->retry_on_fail = true;
+      ok = false;
+      if (dom.integ->repairing[static_cast<size_t>(ctx->req.rank)] == 0) {
+        StartRepair(r, t, ctx->req.rank, /*from_scrub=*/false, nullptr, 0);
+      }
+    }
+    if (ok && IsCorrupt(dom, ctx->req.rank)) {
+      ++dom.undetected_corrupt_serves;  // structurally unreachable
+    }
+  }
   const SimTime latency = done - ctx->arrived;
   dom.gov->OnComplete(ctx->path, ctx->req, latency, ok);
   if (dom.resil != nullptr) {
@@ -435,7 +756,9 @@ void SettleServe(RackKv& r, DomainId t, ServeCtx* ctx, bool ok, SimTime done) {
   HomeOp* const op = ctx->op;
   const uint64_t op_gen = ctx->op_gen;
   const uint64_t op_token = ctx->op_token;
-  const ReplyStatus status = ok ? ReplyStatus::kOk : ReplyStatus::kNack;
+  const ReplyStatus status =
+      ok ? ReplyStatus::kOk
+         : (ctx->retry_on_fail ? ReplyStatus::kRetry : ReplyStatus::kNack);
   r.psim->Post(t, src, dom.sim->now() + r.p->rack_link_latency,
                [rk, src, op, op_gen, op_token, status] {
                  ReplyHome(*rk, src, op, op_gen, op_token, status);
@@ -451,7 +774,7 @@ void Replicate(RackKv& r, DomainId t, uint64_t rank, int cls, uint32_t bytes) {
   rep->gen = ++dom.rep_gen;
   rep->token = 0;
   rep->attempts = 0;
-  rep->peer = r.ring->ReplicaPeerOf(rank, static_cast<int>(t));
+  rep->peer = RingOf(r, dom).ReplicaPeerOf(rank, static_cast<int>(t));
   rep->rank = rank;
   rep->cls = cls;
   rep->bytes = bytes;
@@ -532,9 +855,10 @@ void PushReplica(RackKv& r, DomainId t, RepOp* rep) {
               const SimTime applied = f.bf->soc_memory().Access(
                   f.sim->now(), rk->p->layout.Pack(rank, cls), bytes,
                   /*is_write=*/true);
-              f.sim->At(applied, [rk, t, peer, rep, gen, token] {
+              f.sim->At(applied, [rk, t, peer, rep, gen, token, rank] {
                 KvDomain& ff = *rk->doms[static_cast<size_t>(peer)];
                 ++ff.repl_applied;
+                InstallValue(ff, rank, /*bad=*/false);
                 rk->psim->Post(
                     static_cast<DomainId>(peer), t,
                     ff.sim->now() + rk->p->rack_link_latency,
@@ -562,9 +886,27 @@ void EpochTick(RackKv& r, DomainId d) {
   KvDomain& dom = *r.doms[static_cast<size_t>(d)];
   RackKv* rk = &r;
   // Probe every down-marked server once per epoch; the first ack re-homes.
+  // Under the membership plane each down epoch also counts toward permanent
+  // loss: the K-th consecutive missed epoch removes the server from this
+  // domain's ring (every live domain reaches the same verdict on its own
+  // probe clock; epoch stamping reconciles any skew between them).
   for (int s = 0; s < r.p->servers; ++s) {
-    if (s == d || !dom.views[static_cast<size_t>(s)].down) {
+    if (s == d) {
       continue;
+    }
+    ServerView& v = dom.views[static_cast<size_t>(s)];
+    if (r.p->membership.enabled && !LiveInMask(dom, s)) {
+      continue;  // already removed: no probes, no further evidence
+    }
+    if (!v.down) {
+      continue;
+    }
+    if (r.p->membership.enabled) {
+      ++v.missed_epochs;
+      if (v.missed_epochs >= r.p->membership.permloss_epochs) {
+        ApplyRemoval(r, d, s);
+        continue;
+      }
     }
     ++dom.probes;
     r.psim->Post(d, static_cast<DomainId>(s),
@@ -578,6 +920,7 @@ void EpochTick(RackKv& r, DomainId d) {
                                   [rk, d, s] {
                                     KvDomain& home = *rk->doms[static_cast<size_t>(d)];
                                     ServerView& v = home.views[static_cast<size_t>(s)];
+                                    v.missed_epochs = 0;
                                     if (!v.down) {
                                       return;
                                     }
@@ -590,8 +933,377 @@ void EpochTick(RackKv& r, DomainId d) {
                                   });
                  });
   }
+  if (r.p->membership.enabled && dom.integ != nullptr &&
+      r.p->membership.scrub_keys_per_epoch > 0 && !ServerDeadNow(dom)) {
+    ScrubTick(r, d);
+  }
   if (dom.sim->now() + r.p->governor_epoch < r.p->window) {
     dom.wheel->In(r.p->governor_epoch, [rk, d] { EpochTick(*rk, d); });
+  }
+}
+
+// Adopt the removals carried by a bounce or a stamped request: replay, in
+// ascending server order, every removal the sender has executed that this
+// domain hasn't. Adoption is a union of removals (removals are permanent
+// and commutative), so two domains that independently detected *different*
+// losses at the same epoch still converge — each adopts the other's
+// removals and both land on the popcount epoch of the merged mask.
+void AdoptMembership(RackKv& r, DomainId d, uint32_t epoch, uint64_t mask) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  if (!r.p->membership.enabled || epoch <= dom.member_epoch) {
+    return;
+  }
+  for (int s = 0; s < r.p->servers; ++s) {
+    if (LiveInMask(dom, s) && ((mask >> s) & 1u) == 0) {
+      ApplyRemoval(r, d, s);
+    }
+  }
+}
+
+// Execute one ring removal at this domain: bump the epoch, drop the
+// server's vnodes, and — if this domain is the surviving replica of any of
+// the dead server's key ranges — start streaming those keys to their new
+// ring owners.
+void ApplyRemoval(RackKv& r, DomainId d, int s) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  if (!LiveInMask(dom, s)) {
+    return;
+  }
+  // Snapshot, under the pre-removal ring, every rank the dead server held
+  // (as primary or follower) together with its surviving pair member.
+  struct Affected {
+    uint64_t rank;
+    int survivor;  // the pair member that is not `s` (or -1: s was both)
+  };
+  std::vector<Affected> affected;
+  if (r.p->replicas > 1) {
+    const HashRing& old_ring = *dom.mring;
+    for (uint64_t rank = 0; rank < r.p->layout.keys; ++rank) {
+      const int p = old_ring.PrimaryOf(rank);
+      const int f = old_ring.FollowerOf(rank);
+      if (p != s && f != s) {
+        continue;
+      }
+      affected.push_back(Affected{rank, p == s ? f : p});
+    }
+  }
+  dom.live_mask &= ~(1ull << s);
+  ++dom.member_epoch;
+  ++dom.removals;
+  if (dom.membership_change_at < 0) {
+    dom.membership_change_at = dom.sim->now();
+  }
+  dom.mring->RemoveServer(s);
+  // The removed server is gone for good: clear the failover view so the
+  // probe machinery never touches it again.
+  dom.views[static_cast<size_t>(s)] = ServerView{};
+  if (r.p->replicas <= 1) {
+    return;
+  }
+  // Migration duty: this domain streams exactly the ranks for which IT is
+  // the surviving replica (each affected rank has one survivor, so exactly
+  // one live domain claims it — no duplicate streams without coordination).
+  const bool self_live =
+      LiveInMask(dom, static_cast<int>(d)) && !ServerDeadNow(dom);
+  const HashRing& ring = *dom.mring;
+  std::vector<std::vector<uint64_t>> by_dest(
+      static_cast<size_t>(r.p->servers));
+  for (const Affected& a : affected) {
+    if (!LiveInMask(dom, a.survivor)) {
+      // Both replicas are gone. The rank is charged to its live new primary
+      // (one counter per rank rack-wide, no matter how many domains notice).
+      if (self_live && ring.PrimaryOf(a.rank) == static_cast<int>(d)) {
+        ++dom.keys_lost;
+      }
+      continue;
+    }
+    if (a.survivor != static_cast<int>(d) || !self_live) {
+      continue;
+    }
+    // New replica pair under the post-removal ring; the member that isn't
+    // the survivor needs a copy.
+    const int np = ring.PrimaryOf(a.rank);
+    const int nf = ring.FollowerOf(a.rank);
+    const int dest = np == static_cast<int>(d) ? nf : np;
+    SNIC_CHECK_NE(dest, static_cast<int>(d));
+    by_dest[static_cast<size_t>(dest)].push_back(a.rank);
+  }
+  for (int dest = 0; dest < r.p->servers; ++dest) {
+    std::vector<uint64_t>& ranks = by_dest[static_cast<size_t>(dest)];
+    for (size_t off = 0; off < ranks.size();
+         off += static_cast<size_t>(r.p->membership.migrate_batch)) {
+      const size_t end =
+          std::min(ranks.size(),
+                   off + static_cast<size_t>(r.p->membership.migrate_batch));
+      StartRange(r, d, dest,
+                 std::vector<uint64_t>(ranks.begin() + off, ranks.begin() + end));
+    }
+  }
+}
+
+void StartRange(RackKv& r, DomainId d, int dest, std::vector<uint64_t> ranks) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  ++dom.ranges_started;
+  MigOp* m = dom.migs.Alloc();
+  m->gen = ++dom.mig_gen;
+  m->attempts = 1;
+  m->dest = dest;
+  m->next = 0;
+  m->acked = 0;
+  m->ranks = std::move(ranks);
+  PushNextKey(r, d, m);
+}
+
+// Advance the range's strictly-serial push stream, paced by the shared
+// migration token bucket (TakeAmount debits the bytes up front; a negative
+// balance defers the push by exactly the refill time).
+void PushNextKey(RackKv& r, DomainId d, MigOp* m) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  if (m->next >= m->ranks.size()) {
+    return;  // all pushed; the tail acks complete the range
+  }
+  const uint64_t rank = m->ranks[m->next];
+  const int cls = RepairClassOf(r, rank);
+  const uint32_t bytes = r.p->layout.class_bytes[static_cast<size_t>(cls)];
+  ++m->next;
+  const SimTime wait = dom.mig_bucket.TakeAmount(
+      dom.mig_rate_bpus, r.p->membership.migration_burst_bytes,
+      static_cast<double>(bytes), dom.sim->now());
+  if (wait > 0) {
+    ++dom.migration_waits;
+    RackKv* rk = &r;
+    const uint64_t gen = m->gen;
+    dom.wheel->In(wait, [rk, d, m, gen, rank, cls, bytes] {
+      if (m->gen != gen) {
+        return;
+      }
+      PushKey(*rk, d, m, rank, cls, bytes);
+    });
+    return;
+  }
+  PushKey(r, d, m, rank, cls, bytes);
+}
+
+// One key: fetch the value out of host DRAM over path ③ (the same
+// ExecuteLocalOp leg replication pays, metered as repair.path3_bytes), then
+// push it to the destination, which installs into SoC memory and acks.
+void PushKey(RackKv& r, DomainId d, MigOp* m, uint64_t rank, int cls,
+             uint32_t bytes) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  RackKv* rk = &r;
+  if (dom.injector != nullptr &&
+      dom.injector->CrashedAt(dom.soc_domain, dom.sim->now())) {
+    RangeFailed(r, d, m);  // the streaming engine runs on the survivor's SoC
+    return;
+  }
+  dom.repair_path3_bytes += bytes;
+  const bool src_bad = dom.integ != nullptr && IsCorrupt(dom, rank);
+  const uint64_t gen = m->gen;
+  const int dest = m->dest;
+  const uint32_t mep = dom.member_epoch;
+  const uint64_t mmask = dom.live_mask;
+  const SimTime fetch_start = dom.sim->now();
+  dom.bf->nic().ExecuteLocalOp(
+      dom.bf->soc_ep(), dom.bf->host_ep(), Verb::kRead,
+      r.p->layout.Pack(rank, cls), bytes,
+      [rk, d, m, gen, dest, rank, cls, bytes, src_bad, mep, mmask,
+       fetch_start](SimTime done) {
+        KvDomain& here = *rk->doms[static_cast<size_t>(d)];
+        if (m->gen != gen) {
+          return;
+        }
+        if (here.injector != nullptr &&
+            here.injector->CrashKills(here.soc_domain, fetch_start, done)) {
+          RangeFailed(*rk, d, m);
+          return;
+        }
+        rk->psim->Post(
+            d, static_cast<DomainId>(dest),
+            here.sim->now() + rk->p->rack_link_latency,
+            [rk, d, m, gen, dest, rank, cls, bytes, src_bad, mep, mmask] {
+              KvDomain& f = *rk->doms[static_cast<size_t>(dest)];
+              if (ServerDeadNow(f)) {
+                // Post is reliable, so an explicit nack (not a timer) keeps
+                // the per-key ledger exact: every push resolves.
+                rk->psim->Post(static_cast<DomainId>(dest), d,
+                               f.sim->now() + rk->p->rack_link_latency,
+                               [rk, d, m, gen] {
+                                 OnPushNack(*rk, d, m, gen);
+                               });
+                return;
+              }
+              AdoptMembership(*rk, static_cast<DomainId>(dest), mep, mmask);
+              const SimTime applied = f.bf->soc_memory().Access(
+                  f.sim->now(), rk->p->layout.Pack(rank, cls), bytes,
+                  /*is_write=*/true);
+              f.sim->At(applied, [rk, d, m, gen, dest, rank, src_bad] {
+                KvDomain& ff = *rk->doms[static_cast<size_t>(dest)];
+                ++ff.keys_installed;
+                InstallValue(ff, rank, src_bad);
+                rk->psim->Post(static_cast<DomainId>(dest), d,
+                               ff.sim->now() + rk->p->rack_link_latency,
+                               [rk, d, m, gen] { OnPushAck(*rk, d, m, gen); });
+              });
+            });
+      },
+      /*req_id=*/gen);
+}
+
+void OnPushAck(RackKv& r, DomainId d, MigOp* m, uint64_t gen) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  if (m->gen != gen) {
+    return;
+  }
+  ++dom.keys_migrated;
+  ++m->acked;
+  if (m->acked == m->ranks.size()) {
+    ++dom.ranges_completed;
+    dom.repair_done_at = std::max(dom.repair_done_at, dom.sim->now());
+    m->gen = 0;
+    dom.migs.Free(m);
+    return;
+  }
+  PushNextKey(r, d, m);
+}
+
+void OnPushNack(RackKv& r, DomainId d, MigOp* m, uint64_t gen) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  if (m->gen != gen) {
+    return;
+  }
+  if (m->attempts >= r.p->membership.range_max_attempts) {
+    RangeFailed(r, d, m);
+    return;
+  }
+  ++m->attempts;
+  m->next = static_cast<size_t>(m->acked);  // rewind to the unacked tail
+  RackKv* rk = &r;
+  dom.wheel->In(r.p->governor_epoch, [rk, d, m, gen] {
+    if (m->gen != gen) {
+      return;
+    }
+    PushNextKey(*rk, d, m);
+  });
+}
+
+void RangeFailed(RackKv& r, DomainId d, MigOp* m) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  ++dom.ranges_failed;
+  m->gen = 0;
+  dom.migs.Free(m);
+}
+
+// Anti-entropy: verify `scrub_keys_per_epoch` stored ranks per epoch behind
+// a wrapping cursor. The walk itself is pure computation — a detection is
+// the only thing that schedules events (the repair), so a clean store scrubs
+// for free and stays byte-identical to a scrubber-free run.
+void ScrubTick(RackKv& r, DomainId d) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  const uint64_t n =
+      std::min<uint64_t>(r.p->membership.scrub_keys_per_epoch, r.p->layout.keys);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t rank = dom.scrub_cursor;
+    dom.scrub_cursor = (dom.scrub_cursor + 1) % r.p->layout.keys;
+    if (!StoredHere(r, dom, rank)) {
+      continue;
+    }
+    ++dom.scrub_checked;
+    ++dom.integrity_checks;
+    if (!IsCorrupt(dom, rank) ||
+        dom.integ->repairing[static_cast<size_t>(rank)] != 0) {
+      continue;
+    }
+    ++dom.scrub_detected;
+    StartRepair(r, d, rank, /*from_scrub=*/true, nullptr, 0);
+  }
+}
+
+// Heal one corrupt rank from the replica pair's other member: read its copy
+// (SoC memory access at the peer), and if the peer holds a clean value,
+// overwrite the local checksum. A parked serve (read-path detection)
+// resumes on success and retries elsewhere on failure.
+void StartRepair(RackKv& r, DomainId d, uint64_t rank, bool from_scrub,
+                 ServeCtx* ctx, uint64_t ctx_gen) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  dom.integ->repairing[static_cast<size_t>(rank)] = 1;
+  RepairOp* rp = dom.repairs.Alloc();
+  rp->gen = ++dom.repair_gen;
+  rp->rank = rank;
+  rp->from_scrub = from_scrub;
+  rp->ctx = ctx;
+  rp->ctx_gen = ctx_gen;
+  if (r.p->replicas <= 1) {
+    FinishRepair(r, d, rp, rp->gen, /*ok=*/false);  // nowhere to heal from
+    return;
+  }
+  const int peer = RingOf(r, dom).ReplicaPeerOf(rank, static_cast<int>(d));
+  const int cls = RepairClassOf(r, rank);
+  const uint32_t bytes = r.p->layout.class_bytes[static_cast<size_t>(cls)];
+  const uint64_t gen = rp->gen;
+  RackKv* rk = &r;
+  r.psim->Post(
+      d, static_cast<DomainId>(peer), dom.sim->now() + r.p->rack_link_latency,
+      [rk, d, rp, gen, peer, rank, cls, bytes] {
+        KvDomain& p = *rk->doms[static_cast<size_t>(peer)];
+        const bool have = !ServerDeadNow(p) &&
+                          !(p.integ != nullptr && IsCorrupt(p, rank));
+        if (!have) {
+          rk->psim->Post(static_cast<DomainId>(peer), d,
+                         p.sim->now() + rk->p->rack_link_latency,
+                         [rk, d, rp, gen] {
+                           FinishRepair(*rk, d, rp, gen, /*ok=*/false);
+                         });
+          return;
+        }
+        const SimTime read_done = p.bf->soc_memory().Access(
+            p.sim->now(), rk->p->layout.Pack(rank, cls), bytes,
+            /*is_write=*/false);
+        p.sim->At(read_done, [rk, d, rp, gen, peer] {
+          KvDomain& pp = *rk->doms[static_cast<size_t>(peer)];
+          rk->psim->Post(static_cast<DomainId>(peer), d,
+                         pp.sim->now() + rk->p->rack_link_latency,
+                         [rk, d, rp, gen] {
+                           FinishRepair(*rk, d, rp, gen, /*ok=*/true);
+                         });
+        });
+      });
+}
+
+void FinishRepair(RackKv& r, DomainId d, RepairOp* rp, uint64_t gen, bool ok) {
+  KvDomain& dom = *r.doms[static_cast<size_t>(d)];
+  if (rp->gen != gen) {
+    return;
+  }
+  const uint64_t rank = rp->rank;
+  dom.integ->repairing[static_cast<size_t>(rank)] = 0;
+  if (ok && IsCorrupt(dom, rank)) {
+    // Heal in place: restore the expected checksum at the current version
+    // (a concurrent write may have already healed it — then the repair is a
+    // no-op and the write's counter keeps the ledger exact).
+    IntegrityStore& st = *dom.integ;
+    const size_t i = static_cast<size_t>(rank);
+    st.stored[i] = ValueChecksum(rank, st.version[i]);
+    if (rp->from_scrub) {
+      ++dom.repaired_scrub;
+    } else {
+      ++dom.repaired_read;
+    }
+  }
+  if (!ok) {
+    ++dom.repair_unavailable;
+  }
+  ServeCtx* const ctx = rp->ctx;
+  const uint64_t ctx_gen = rp->ctx_gen;
+  rp->gen = 0;
+  dom.repairs.Free(rp);
+  if (ctx != nullptr && ctx->gen == ctx_gen && !ctx->settled) {
+    // The parked serve resumes against a (hopefully) clean value; if the
+    // heal failed it bounces home as an evidence-free retry.
+    if (ok) {
+      LaunchServe(r, d, ctx);
+    } else {
+      SettleServe(r, d, ctx, /*ok=*/false, dom.sim->now());
+    }
   }
 }
 
@@ -636,7 +1348,27 @@ std::string RackKvResult::Fingerprint() const {
   AppendU(&s, static_cast<uint64_t>(p50_ps));
   AppendU(&s, static_cast<uint64_t>(p99_ps));
   AppendU(&s, static_cast<uint64_t>(max_ps));
+  for (uint64_t v :
+       {removals, member_epoch, stale_epoch_bounces, retry_replies,
+        ranges_started, ranges_completed, ranges_failed, keys_migrated,
+        keys_installed, keys_lost, migration_waits, repair_path3_bytes}) {
+    AppendU(&s, v);
+  }
+  AppendD(&s, membership_change_at_us);
+  AppendD(&s, repair_done_at_us);
+  AppendD(&s, last_failed_start_us);
+  for (uint64_t v :
+       {integrity_checks, corrupted_keys, corrupt_propagated,
+        read_repair_detected, scrub_checked, scrub_detected, repaired_read,
+        repaired_scrub, repaired_write, repair_unavailable, corrupt_remaining,
+        undetected_corrupt_serves, scan_forced}) {
+    AppendU(&s, v);
+  }
   for (uint64_t v : server_completed) {
+    AppendU(&s, v);
+  }
+  AppendU(&s, completed_by_epoch.size());
+  for (uint64_t v : completed_by_epoch) {
     AppendU(&s, v);
   }
   return s;
@@ -654,6 +1386,22 @@ RackKvResult RunRackKv(const RackKvParams& params) {
   SNIC_CHECK_GT(params.window, 0);
   SNIC_CHECK_EQ(params.mix.size(), params.layout.class_bytes.size());
   params.layout.Validate();
+  if (params.membership.enabled) {
+    // Removal keeps >= 2 ring members (shard.h asserts per removal); 64
+    // bits bound the live mask.
+    SNIC_CHECK_GE(params.servers, 3);
+    SNIC_CHECK_LE(params.servers, 63);
+    SNIC_CHECK_GE(params.replicas, 2);
+    SNIC_CHECK_GE(params.membership.permloss_epochs, 1);
+    SNIC_CHECK_GE(params.membership.migrate_batch, 1);
+    SNIC_CHECK_GE(params.membership.range_max_attempts, 1);
+    SNIC_CHECK_GT(params.membership.migration_burst_bytes, 0.0);
+  }
+  if (!params.trace.empty()) {
+    std::string why;
+    const bool trace_ok = params.trace.Validate(&why);
+    SNIC_CHECK(trace_ok);
+  }
 
   ParallelSimulator psim(params.servers, params.rack_link_latency,
                          params.sim_threads);
@@ -663,12 +1411,28 @@ RackKvResult RunRackKv(const RackKvParams& params) {
   // every jobs/sim_threads level sees identical per-bucket populations.
   const std::vector<uint64_t> per_server = AggregateFleet::Partition(
       params.users, std::vector<double>(static_cast<size_t>(params.servers), 1.0));
+  // The repair plane's reserved slice of the intra-machine path-③ budget.
+  const double migration_gbps =
+      params.membership.migration_gbps > 0.0
+          ? params.membership.migration_gbps
+          : 0.25 * SafePath3BudgetGbps(params.testbed);
+  // Gbps -> bytes/us (1 Gbps == 125 B/us).
+  const double mig_rate_bpus = migration_gbps * 125.0;
+  // The integrity store exists iff something can dirty or verify it.
+  const bool want_integrity =
+      !params.faults.corrupts.empty() ||
+      (params.membership.enabled && params.membership.scrub_keys_per_epoch > 0);
 
   RackKv rack;
   rack.p = &params;
   rack.psim = &psim;
   rack.ring = &ring;
   rack.zipf = &zipf;
+  std::unique_ptr<trace::TraceDriver> trace_driver;
+  if (!params.trace.empty()) {
+    trace_driver = std::make_unique<trace::TraceDriver>(params.trace);
+    rack.trace = trace_driver.get();
+  }
   rack.doms.reserve(static_cast<size_t>(params.servers));
   const ClientParams client_params;  // governor latency priors only
   for (int d = 0; d < params.servers; ++d) {
@@ -710,6 +1474,30 @@ RackKvResult RunRackKv(const RackKvParams& params) {
         client_params, params.layout.class_bytes);
     dom->live_reg = std::make_unique<MetricsRegistry>();
     dom->exec->RegisterMetrics(dom->live_reg.get());
+    if (params.membership.enabled) {
+      // Registered before BindMetrics so the governor's path-③ budget gate
+      // samples migration traffic: repair bytes spend the same
+      // SafePath3BudgetGbps serving misses do (DESIGN.md §16).
+      KvDomain* dp = dom.get();
+      dom->live_reg->Register(
+          "repair", "path3_bytes", "bytes",
+          "migration-fetch bytes pulled over path 3 by the repair plane",
+          [dp] { return static_cast<double>(dp->repair_path3_bytes); });
+      dom->mring = std::make_unique<HashRing>(ring);
+      dom->live_mask = (params.servers >= 64)
+                           ? ~0ull
+                           : ((1ull << params.servers) - 1);
+      dom->mig_rate_bpus = mig_rate_bpus;
+    }
+    if (want_integrity) {
+      dom->integ = std::make_unique<IntegrityStore>();
+      dom->integ->stored.resize(static_cast<size_t>(params.layout.keys));
+      dom->integ->version.assign(static_cast<size_t>(params.layout.keys), 0);
+      dom->integ->repairing.assign(static_cast<size_t>(params.layout.keys), 0);
+      for (uint64_t rank = 0; rank < params.layout.keys; ++rank) {
+        dom->integ->stored[static_cast<size_t>(rank)] = ValueChecksum(rank, 0);
+      }
+    }
     dom->gov->BindMetrics(*dom->live_reg);
     if (dom->resil != nullptr) {
       dom->gov->BindResilience(dom->resil.get());
@@ -721,6 +1509,9 @@ RackKvResult RunRackKv(const RackKvParams& params) {
     fp.seed = params.seed ^ (0xd1b54a32d192ed03ull * (d + 1));
     fp.materialize = params.materialize_fleet;
     dom->fleet = std::make_unique<AggregateFleet>(dom->sim, std::move(fp));
+    if (rack.trace != nullptr) {
+      dom->fleet->SetTrace(rack.trace);
+    }
     dom->views.assign(static_cast<size_t>(params.servers), ServerView{});
     rack.doms.push_back(std::move(dom));
   }
@@ -736,6 +1527,20 @@ RackKvResult RunRackKv(const RackKvParams& params) {
       fleet->Start([rk, d](int cls, uint64_t user) { IssueNew(*rk, d, cls, user); });
       EpochTick(*rk, d);
     });
+    // corrupt= events addressed to this server (either endpoint or the
+    // whole-server prefix) fire as draw-free checksum flips at `at`.
+    for (const fault::CorruptEvent& ev : params.faults.corrupts) {
+      if (!fault::DomainMatches(ev.domain, dom.host_domain) &&
+          !fault::DomainMatches(ev.domain, dom.soc_domain)) {
+        continue;
+      }
+      const double frac = ev.fraction;
+      const uint64_t salt = params.faults.seed ^ Fnv1a(dom.soc_domain) ^
+                            Mix64(static_cast<uint64_t>(ev.at));
+      dom.sim->At(ev.at, [rk, d, frac, salt] {
+        ApplyCorruption(*rk, d, frac, salt);
+      });
+    }
     dom.sim->At(params.window, [fleet, dp] {
       fleet->Stop();
       dp->gov->StopTicking();
@@ -764,6 +1569,8 @@ RackKvResult RunRackKv(const RackKvParams& params) {
     SNIC_CHECK_EQ(dom.ops.live(), 0u);
     SNIC_CHECK_EQ(dom.serves.live(), 0u);
     SNIC_CHECK_EQ(dom.reps.live(), 0u);
+    SNIC_CHECK_EQ(dom.migs.live(), 0u);
+    SNIC_CHECK_EQ(dom.repairs.live(), 0u);
     out.generated += dom.generated;
     out.issued += dom.issued;
     out.completed += dom.completed;
@@ -823,15 +1630,75 @@ RackKvResult RunRackKv(const RackKvParams& params) {
         dom.fleet->resident_state_bytes() +
         dom.ops.capacity() * sizeof(HomeOp) +
         dom.serves.capacity() * sizeof(ServeCtx) +
-        dom.reps.capacity() * sizeof(RepOp);
+        dom.reps.capacity() * sizeof(RepOp) +
+        dom.migs.capacity() * sizeof(MigOp) +
+        dom.repairs.capacity() * sizeof(RepairOp);
     out.server_completed.push_back(dom.server_completed);
     latency.Merge(dom.latency);
+    // Membership & repair plane.
+    out.removals += dom.removals;
+    out.member_epoch = std::max<uint64_t>(out.member_epoch, dom.member_epoch);
+    out.stale_epoch_bounces += dom.stale_epoch_bounces;
+    out.retry_replies += dom.retry_replies;
+    out.ranges_started += dom.ranges_started;
+    out.ranges_completed += dom.ranges_completed;
+    out.ranges_failed += dom.ranges_failed;
+    out.keys_migrated += dom.keys_migrated;
+    out.keys_installed += dom.keys_installed;
+    out.keys_lost += dom.keys_lost;
+    out.migration_waits += dom.migration_waits;
+    out.repair_path3_bytes += dom.repair_path3_bytes;
+    if (dom.membership_change_at >= 0 &&
+        (out.membership_change_at_us < 0 ||
+         ToMicros(dom.membership_change_at) < out.membership_change_at_us)) {
+      out.membership_change_at_us = ToMicros(dom.membership_change_at);
+    }
+    if (dom.repair_done_at >= 0) {
+      out.repair_done_at_us =
+          std::max(out.repair_done_at_us, ToMicros(dom.repair_done_at));
+    }
+    if (dom.last_failed_start >= 0) {
+      out.last_failed_start_us =
+          std::max(out.last_failed_start_us, ToMicros(dom.last_failed_start));
+    }
+    // Integrity layer. corrupt_remaining counts every domain, dead ones
+    // included — a lost server keeps its bad values, and counting them is
+    // what closes the corruption ledger under permloss+corrupt.
+    out.integrity_checks += dom.integrity_checks;
+    out.corrupted_keys += dom.corrupted_keys;
+    out.corrupt_propagated += dom.corrupt_propagated;
+    out.read_repair_detected += dom.read_repair_detected;
+    out.scrub_checked += dom.scrub_checked;
+    out.scrub_detected += dom.scrub_detected;
+    out.repaired_read += dom.repaired_read;
+    out.repaired_scrub += dom.repaired_scrub;
+    out.repaired_write += dom.repaired_write;
+    out.repair_unavailable += dom.repair_unavailable;
+    out.undetected_corrupt_serves += dom.undetected_corrupt_serves;
+    if (dom.integ != nullptr) {
+      for (uint64_t rank = 0; rank < params.layout.keys; ++rank) {
+        if (IsCorrupt(dom, rank)) {
+          ++out.corrupt_remaining;
+        }
+      }
+    }
+    out.scan_forced += dom.scan_forced;
+    if (dom.completed_by_epoch.size() > out.completed_by_epoch.size()) {
+      out.completed_by_epoch.resize(dom.completed_by_epoch.size(), 0);
+    }
+    for (size_t i = 0; i < dom.completed_by_epoch.size(); ++i) {
+      out.completed_by_epoch[i] += dom.completed_by_epoch[i];
+    }
     for (uint64_t v :
          {dom.generated, dom.completed, dom.failed, dom.shed, dom.timeouts,
           dom.nacks, dom.stale_replies, dom.crash_refused, dom.serve_timeouts,
           dom.writes, dom.repl_acked, dom.promotions, dom.rehomed,
           dom.server_completed, dom.fleet->draws(), dom.gov->draws(),
-          dom.sim->processed(), static_cast<uint64_t>(dom.sim->now())}) {
+          dom.sim->processed(), static_cast<uint64_t>(dom.sim->now()),
+          dom.removals, static_cast<uint64_t>(dom.member_epoch),
+          dom.stale_epoch_bounces, dom.ranges_completed, dom.keys_migrated,
+          dom.keys_installed, dom.scrub_detected, dom.repaired_read,
+          dom.repaired_scrub, dom.scan_forced}) {
       mix(v);
     }
   }

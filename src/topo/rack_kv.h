@@ -31,6 +31,25 @@
 // ≤ 2 governor epochs in the crash-failover scenario (bench/rack_scale
 // --check asserts it).
 //
+// Membership change & repair (opt-in, DESIGN.md §16). With
+// membership.enabled, each domain carries its own copy of the ring plus a
+// (member_epoch, live-mask) pair; a down server that stays unresponsive
+// for `permloss_epochs` consecutive probe epochs is removed from the ring
+// (`permloss=` faults model the loss). Epochs are stamped on every routed
+// request: a server ahead of the request bounces it with its newer mask
+// (bounce-and-retry, no failure evidence) and a server behind adopts the
+// newer mask before serving, so every domain converges to the same ring
+// without coordination — the epoch is always the popcount of removed
+// servers, a pure function of the mask. For each removed server, the
+// surviving replica of each of its key ranges streams those keys to their
+// new ring owner over path ③ (the same host-DRAM fetch replication pays),
+// paced by a byte-metered token bucket provisioned out of
+// SafePath3BudgetGbps and metered as `repair.path3_bytes` against the
+// governor's budget gate. The integrity layer (allocated only when the
+// plan has `corrupt=` events or the scrubber is on) shadows every stored
+// value with an FNV checksum, verifies on every serve, and walks shards at
+// a budgeted per-epoch rate, repairing from the surviving replica.
+//
 // Every field of RackKvResult, including the replay digest, is
 // byte-identical at any --jobs x --sim-threads combination (DESIGN.md §12);
 // request state is materialized only while in flight, so the peak resident
@@ -49,6 +68,7 @@
 #include "src/resilience/resilience.h"
 #include "src/sim/domain.h"
 #include "src/topo/testbed_params.h"
+#include "src/workload/trace/trace.h"
 
 namespace snicsim {
 
@@ -84,6 +104,38 @@ struct RackKvParams {
   fault::FaultPlan faults;
   resilience::ResilienceConfig resil;  // empty() => no manager at all
   std::string metrics_path;  // dump the rack.* catalog when non-empty
+
+  // Membership-change & repair plane (DESIGN.md §16). Default-off: with
+  // enabled=false none of the machinery below allocates, no extra events or
+  // draws occur, and a run is byte-identical to one on a membership-free
+  // build.
+  struct MembershipParams {
+    bool enabled = false;
+    // Permanent-loss detection: a down-marked server still unresponsive on
+    // its K-th consecutive probe epoch is removed from the ring (governor
+    // epochs double as the probe clock).
+    int permloss_epochs = 3;
+    // Migration token-bucket rate in Gbps. <= 0 derives a quarter of
+    // SafePath3BudgetGbps(testbed): the repair plane's reserved share of
+    // the same intra-machine budget the governor polices for serving.
+    double migration_gbps = 0.0;
+    double migration_burst_bytes = 8192.0;  // bucket depth
+    int migrate_batch = 64;      // keys per migration range
+    int range_max_attempts = 3;  // per-range push retry budget
+    // Anti-entropy scrubber: ranks checksum-verified per governor epoch per
+    // server (0 disables the scrubber; allocating the integrity store when
+    // > 0). The walk itself is draw-free and event-free — only a detection
+    // schedules repair traffic.
+    uint64_t scrub_keys_per_epoch = 0;
+  };
+  MembershipParams membership;
+
+  // Non-stationary load shape replayed through every domain's fleet
+  // (src/workload/trace/trace.h): rate via exact peak-rate thinning, churn
+  // as a draw-free rank rotation, scan bursts as one plan-gated draw per
+  // issue. empty() => no trace machinery; a flat trace is byte-identical
+  // to no trace at all.
+  trace::TracePlan trace;
 };
 
 struct RackKvResult {
@@ -147,12 +199,57 @@ struct RackKvResult {
   int64_t p50_ps = 0;
   int64_t p99_ps = 0;
   int64_t max_ps = 0;
+  // Membership & repair plane (all zero unless membership.enabled).
+  uint64_t removals = 0;      // ring removals executed, summed over domains
+  uint64_t member_epoch = 0;  // highest membership epoch reached
+  uint64_t stale_epoch_bounces = 0;  // requests bounced for a stale epoch
+  uint64_t retry_replies = 0;  // evidence-free retry replies settled home
+  // Repair ledgers: ranges_started == ranges_completed + ranges_failed and
+  // keys_migrated == keys_installed after drain.
+  uint64_t ranges_started = 0;
+  uint64_t ranges_completed = 0;
+  uint64_t ranges_failed = 0;
+  uint64_t keys_migrated = 0;   // pushes acked back at the migrating survivor
+  uint64_t keys_installed = 0;  // installs applied at the new owner
+  uint64_t keys_lost = 0;       // both replicas gone before repair could run
+  uint64_t migration_waits = 0;      // token-bucket pacer deferrals
+  uint64_t repair_path3_bytes = 0;   // migration fetches metered vs budget
+  double membership_change_at_us = -1.0;  // first removal executed
+  double repair_done_at_us = -1.0;        // last migration range completed
+  double last_failed_start_us = -1.0;     // start of the latest failed request
+  // Integrity layer (zero without corrupt events or a scrubber). Ledger:
+  // corrupted_keys + corrupt_propagated ==
+  //     repaired_read + repaired_scrub + repaired_write + corrupt_remaining.
+  uint64_t integrity_checks = 0;
+  uint64_t corrupted_keys = 0;      // checksum flips injected by corrupt=
+  uint64_t corrupt_propagated = 0;  // migrated while the sole copy was bad
+  uint64_t read_repair_detected = 0;
+  uint64_t scrub_checked = 0;
+  uint64_t scrub_detected = 0;
+  uint64_t repaired_read = 0;       // healed from the replica (serve path)
+  uint64_t repaired_scrub = 0;      // healed from the replica (scrubber)
+  uint64_t repaired_write = 0;      // overwritten by a fresh write/install
+  uint64_t repair_unavailable = 0;  // replica dead or also corrupt
+  uint64_t corrupt_remaining = 0;   // still-bad stored values at drain (dead
+                                    // servers keep theirs, so the ledger
+                                    // closes even under permloss+corrupt)
+  uint64_t undetected_corrupt_serves = 0;  // must stay 0: every serve verifies
+  // Trace shaping (zero without a trace plan).
+  uint64_t scan_forced = 0;
   // Per-server completed counts (load-concentration dominance checks).
   std::vector<uint64_t> server_completed;
+  // Completions bucketed by governor-epoch index of their settle time —
+  // the goodput-during-migration series sec_membership's floor check reads.
+  std::vector<uint64_t> completed_by_epoch;
 
   bool Conserved() const {
     return generated == completed + failed + shed &&
-           repl_pushed == repl_acked + repl_failed;
+           repl_pushed == repl_acked + repl_failed &&
+           ranges_started == ranges_completed + ranges_failed &&
+           keys_migrated == keys_installed &&
+           corrupted_keys + corrupt_propagated ==
+               repaired_read + repaired_scrub + repaired_write +
+                   corrupt_remaining;
   }
 
   // Every deterministic field, fixed formatting — the byte-compare unit for

@@ -10,9 +10,14 @@
 // without coordination.
 //
 // Determinism: the ring is built once from (seed, server, vnode) hashes
-// with a keyed 64-bit mixer; no RNG stream is consumed. The ring is
-// immutable after construction and shared read-only across parallel-sim
-// domains exactly like ZipfDist (src/sim/domain.h shared-const rule).
+// with a keyed 64-bit mixer; no RNG stream is consumed. A shared ring is
+// read-only across parallel-sim domains exactly like ZipfDist
+// (src/sim/domain.h shared-const rule). Membership change (RemoveServer /
+// AddServer) mutates, so the rack membership plane gives each domain its
+// own copy and mutates only from that domain's events; because a server's
+// vnode points are a pure function of (keyed seed, server, vnode index),
+// removal and re-addition are exact inverses and every domain that applies
+// the same membership set converges to the identical ring.
 #ifndef SRC_TOPO_SHARD_H_
 #define SRC_TOPO_SHARD_H_
 
@@ -28,7 +33,9 @@ class HashRing {
  public:
   HashRing(int servers, int vnodes_per_server = 64,
            uint64_t seed = 0x5a4dULL)
-      : servers_(servers) {
+      : servers_(servers),
+        vnodes_(vnodes_per_server),
+        live_(static_cast<size_t>(servers), 1) {
     SNIC_CHECK_GE(servers, 2);
     SNIC_CHECK_GT(vnodes_per_server, 0);
     points_.reserve(static_cast<size_t>(servers * vnodes_per_server));
@@ -36,22 +43,54 @@ class HashRing {
     // `seed ^ v` would let seeds differing only in the vnode-index bits
     // produce the same input *set* (vnodes permuted within each server),
     // i.e. the identical ring.
-    const uint64_t keyed = Mix(seed);
+    keyed_ = Mix(seed);
     for (int s = 0; s < servers; ++s) {
-      for (int v = 0; v < vnodes_per_server; ++v) {
-        points_.push_back(Point{
-            Mix(keyed ^ (static_cast<uint64_t>(s) << 32 | static_cast<uint64_t>(v))),
-            s});
+      for (int v = 0; v < vnodes_; ++v) {
+        points_.push_back(Point{PointHash(s, v), s});
       }
     }
-    std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
-      // Hash ties broken by server id: the order must not depend on the
-      // (unspecified) relative order std::sort leaves equal keys in.
-      return a.hash != b.hash ? a.hash < b.hash : a.server < b.server;
-    });
+    SortPoints();
   }
 
   int servers() const { return servers_; }
+
+  // Membership. Ids stay in [0, servers): removal takes a server's vnodes
+  // off the ring (its keys fall to the next live owner clockwise — the
+  // minimal-disruption property the churn tests pin), re-addition puts the
+  // exact same vnode points back, restoring the original assignment. At
+  // least 2 servers must remain live so FollowerOf always has a distinct
+  // peer.
+  bool IsLive(int server) const {
+    return live_[static_cast<size_t>(server)] != 0;
+  }
+
+  int LiveCount() const {
+    int n = 0;
+    for (uint8_t l : live_) {
+      n += l;
+    }
+    return n;
+  }
+
+  void RemoveServer(int server) {
+    SNIC_CHECK(IsLive(server));
+    SNIC_CHECK_GE(LiveCount(), 3);
+    live_[static_cast<size_t>(server)] = 0;
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [server](const Point& p) {
+                                   return p.server == server;
+                                 }),
+                  points_.end());
+  }
+
+  void AddServer(int server) {
+    SNIC_CHECK(!IsLive(server));
+    live_[static_cast<size_t>(server)] = 1;
+    for (int v = 0; v < vnodes_; ++v) {
+      points_.push_back(Point{PointHash(server, v), server});
+    }
+    SortPoints();
+  }
 
   // The server owning `key` (the shard primary).
   int PrimaryOf(uint64_t key) const { return points_[Lookup(key)].server; }
@@ -92,6 +131,21 @@ class HashRing {
     return x ^ (x >> 31);
   }
 
+  uint64_t PointHash(int s, int v) const {
+    return Mix(keyed_ ^
+               (static_cast<uint64_t>(s) << 32 | static_cast<uint64_t>(v)));
+  }
+
+  void SortPoints() {
+    std::sort(points_.begin(), points_.end(),
+              [](const Point& a, const Point& b) {
+                // Hash ties broken by server id: the order must not depend
+                // on the (unspecified) relative order std::sort leaves
+                // equal keys in.
+                return a.hash != b.hash ? a.hash < b.hash : a.server < b.server;
+              });
+  }
+
   // First ring point at or clockwise after hash(key), wrapping.
   size_t Lookup(uint64_t key) const {
     const uint64_t h = Mix(key);
@@ -105,6 +159,9 @@ class HashRing {
   }
 
   int servers_;
+  int vnodes_;
+  uint64_t keyed_ = 0;
+  std::vector<uint8_t> live_;
   std::vector<Point> points_;
 };
 

@@ -182,6 +182,62 @@ TEST(FaultPlan, GrammarAcceptsLegacyAndRackScopedDomains) {
   EXPECT_FALSE(DomainMatches(scoped.crashes[1].domain, "rack.s20.soc"));
 }
 
+TEST(FaultPlan, InlinePermLossAndCorrupt) {
+  const FaultPlan plan = MustParse(
+      "permloss=rack.s1:120;permloss=rack.s3:500,"
+      "corrupt=rack.s2:150:0.25;corrupt=soc:10");
+  ASSERT_EQ(plan.permlosses.size(), 2u);
+  EXPECT_EQ(plan.permlosses[0].domain, "rack.s1");
+  EXPECT_EQ(plan.permlosses[0].at, FromMicros(120));
+  EXPECT_EQ(plan.permlosses[1].domain, "rack.s3");
+  EXPECT_EQ(plan.permlosses[1].at, FromMicros(500));
+  ASSERT_EQ(plan.corrupts.size(), 2u);
+  EXPECT_EQ(plan.corrupts[0].domain, "rack.s2");
+  EXPECT_EQ(plan.corrupts[0].at, FromMicros(150));
+  EXPECT_DOUBLE_EQ(plan.corrupts[0].fraction, 0.25);
+  EXPECT_DOUBLE_EQ(plan.corrupts[1].fraction, 0.05);  // grammar default
+  // A permloss/corrupt-only plan is non-empty: the harness must build an
+  // injector for it.
+  EXPECT_FALSE(MustParse("permloss=rack.s1:120").empty());
+  EXPECT_FALSE(MustParse("corrupt=soc:10").empty());
+}
+
+TEST(FaultPlan, PermLossAndCorruptRejectMalformedSpecs) {
+  MustFail("permloss=rack.s1");           // missing AT
+  MustFail("permloss=:120");              // empty domain
+  MustFail("permloss=rack.s1:-5");        // negative time
+  MustFail("permloss=rack.s1:120:extra"); // too many fields
+  MustFail("corrupt=soc");                // missing AT
+  MustFail("corrupt=:10");                // empty domain
+  MustFail("corrupt=soc:10:0");           // fraction must be > 0
+  MustFail("corrupt=soc:10:1.5");         // fraction must be <= 1
+  MustFail("corrupt=soc:10:0.2:extra");   // too many fields
+}
+
+TEST(FaultPlan, JsonPermLossAndCorrupt) {
+  const std::string path = ::testing::TempDir() + "/fault_plan_test_repair.json";
+  {
+    std::ofstream out(path);
+    out << R"({"seed": 9,
+               "permlosses": [{"domain": "rack.s1", "at_us": 120}],
+               "corrupts": [{"domain": "rack.s2", "at_us": 150,
+                             "fraction": 0.25}]})";
+  }
+  const FaultPlan plan = MustParse("@" + path);
+  ASSERT_EQ(plan.permlosses.size(), 1u);
+  EXPECT_EQ(plan.permlosses[0].domain, "rack.s1");
+  EXPECT_EQ(plan.permlosses[0].at, FromMicros(120));
+  ASSERT_EQ(plan.corrupts.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.corrupts[0].fraction, 0.25);
+
+  const std::string bad = ::testing::TempDir() + "/fault_plan_test_repair_bad.json";
+  {
+    std::ofstream out(bad);
+    out << R"({"permlosses": [{"domain": "rack.s1"}]})";  // no at_us
+  }
+  MustFail("@" + bad);
+}
+
 TEST(FaultPlan, JsonRejectsUnknownKeysAndMissingFile) {
   const std::string path = ::testing::TempDir() + "/fault_plan_test_bad.json";
   {

@@ -19,6 +19,7 @@
 
 #include "src/topo/rack_kv.h"
 #include "src/topo/shard.h"
+#include "src/workload/trace/trace.h"
 
 namespace snicsim {
 namespace {
@@ -51,6 +52,55 @@ TEST(HashRing, MapIsDeterministic) {
     any_diff = any_diff || a.PrimaryOf(key) != c.PrimaryOf(key);
   }
   EXPECT_TRUE(any_diff);  // the seed actually keys the ring
+}
+
+TEST(HashRing, RemoveServerIsMinimalDisruption) {
+  const HashRing before(5);
+  HashRing after(5);
+  after.RemoveServer(2);
+  EXPECT_FALSE(after.IsLive(2));
+  EXPECT_EQ(after.LiveCount(), 4);
+  for (uint64_t key = 0; key < 2048; ++key) {
+    const int p = before.PrimaryOf(key);
+    const int f = before.FollowerOf(key);
+    const int np = after.PrimaryOf(key);
+    const int nf = after.FollowerOf(key);
+    ASSERT_NE(np, 2) << "key " << key;
+    ASSERT_NE(nf, 2) << "key " << key;
+    if (p != 2 && f != 2) {
+      // Keys whose pair never touched the removed server keep their exact
+      // assignment: removal only re-seats the dead server's keys.
+      ASSERT_EQ(np, p) << "key " << key;
+      ASSERT_EQ(nf, f) << "key " << key;
+    } else if (p == 2) {
+      // The follower is the first non-dead server clockwise — exactly what
+      // Lookup falls to once the dead vnodes are gone. Every home that
+      // removes the same server promotes the same replacement.
+      ASSERT_EQ(np, f) << "key " << key;
+    } else {
+      // Dead follower: the primary keeps ownership, a new follower steps
+      // in from the surviving ring.
+      ASSERT_EQ(np, p) << "key " << key;
+    }
+  }
+}
+
+TEST(HashRing, RemoveThenAddRestoresTheOriginalAssignment) {
+  const HashRing fresh(5, 32, 7);
+  HashRing churned(5, 32, 7);
+  churned.RemoveServer(1);
+  churned.RemoveServer(3);
+  EXPECT_EQ(churned.LiveCount(), 3);
+  // Re-add in the opposite order: vnode points are a pure function of
+  // (seed, server, vnode), so membership ops commute and the churned ring
+  // converges back onto the fresh one point-for-point.
+  churned.AddServer(1);
+  churned.AddServer(3);
+  EXPECT_EQ(churned.LiveCount(), 5);
+  for (uint64_t key = 0; key < 2048; ++key) {
+    ASSERT_EQ(churned.PrimaryOf(key), fresh.PrimaryOf(key)) << "key " << key;
+    ASSERT_EQ(churned.FollowerOf(key), fresh.FollowerOf(key)) << "key " << key;
+  }
 }
 
 TEST(RackKvDomainNames, FollowTheRackGrammar) {
@@ -168,6 +218,132 @@ TEST(RackKv, FaultFreeRunHasNoFailoverActivity) {
   EXPECT_EQ(r.crash_refused, 0u);
   EXPECT_EQ(r.failed, 0u);
   EXPECT_EQ(r.generated, r.completed);
+}
+
+// -- Membership-change & repair plane (DESIGN.md §16) ---------------------
+
+TEST(RackKv, QuietMembershipIsByteIdenticalToDisabled) {
+  // The plane's no-regression pin: enabling membership without any fault
+  // (and without the scrubber) allocates the per-domain ring copies but
+  // consumes no draws and schedules no events — the fingerprint, with all
+  // its membership fields at zero, matches the disabled run byte for byte.
+  RackKvParams p = SmallRack();
+  const RackKvResult off = RunRackKv(p);
+  p.membership.enabled = true;
+  const RackKvResult on = RunRackKv(p);
+  EXPECT_EQ(off.Fingerprint(), on.Fingerprint());
+  EXPECT_EQ(on.removals, 0u);
+  EXPECT_EQ(on.member_epoch, 0u);
+  EXPECT_EQ(on.ranges_started, 0u);
+  EXPECT_EQ(on.integrity_checks, 0u);
+}
+
+TEST(RackKv, FlatTraceIsByteIdenticalToTraceFree) {
+  // A flat trace (rate 1, churn 0, scan 0, bg 1) consumes zero extra draws
+  // by construction, so wiring --trace through the rack must not move a
+  // single byte of the fingerprint.
+  RackKvParams p = SmallRack();
+  const RackKvResult bare = RunRackKv(p);
+  p.trace.version = 1;
+  p.trace.duration_us = ToMicros(p.window);
+  p.trace.segments.push_back({0.0, 1.0, 0, 0.0, 1.0});
+  const RackKvResult flat = RunRackKv(p);
+  EXPECT_EQ(bare.Fingerprint(), flat.Fingerprint());
+  EXPECT_EQ(flat.scan_forced, 0u);
+}
+
+TEST(RackKv, ShapedTraceChangesTheRunButStaysDeterministic) {
+  RackKvParams p = SmallRack();
+  const RackKvResult bare = RunRackKv(p);
+  p.trace.version = 1;
+  p.trace.duration_us = ToMicros(p.window);
+  p.trace.segments.push_back({0.0, 1.0, 0, 0.0, 1.0});
+  p.trace.segments.push_back({60.0, 0.5, 97, 0.3, 1.0});
+  const RackKvResult shaped = RunRackKv(p);
+  EXPECT_NE(bare.Fingerprint(), shaped.Fingerprint());
+  EXPECT_GT(shaped.scan_forced, 0u);  // the scan window forced top-class ops
+  EXPECT_TRUE(shaped.Conserved());
+  RackKvParams p2 = p;
+  p2.sim_threads = 2;
+  EXPECT_EQ(RunRackKv(p2).Fingerprint(), shaped.Fingerprint());
+}
+
+RackKvParams MembershipRack() {
+  RackKvParams p = SmallRack();
+  p.servers = 4;  // RemoveServer needs >= 3 live before each removal
+  p.window = FromMicros(400);
+  p.membership.enabled = true;
+  p.faults.seed = 9;
+  return p;
+}
+
+TEST(RackKv, PermanentLossConvergesMigratesAndLosesNothing) {
+  RackKvParams p = MembershipRack();
+  p.faults.permlosses.push_back({"rack.s1", FromMicros(60)});
+  const RackKvResult r = RunRackKv(p);
+  EXPECT_TRUE(r.Conserved());
+  // Every home executed the one removal (the dead server's own home side
+  // adopts it via a stale-epoch bounce) and landed on epoch 1.
+  EXPECT_EQ(r.member_epoch, 1u);
+  EXPECT_GE(r.removals, static_cast<uint64_t>(p.servers - 1));
+  EXPECT_LE(r.removals, static_cast<uint64_t>(p.servers));
+  EXPECT_GT(r.stale_epoch_bounces, 0u);
+  // Detection sits a promote window plus permloss_epochs probe epochs
+  // after the loss.
+  EXPECT_GE(r.membership_change_at_us, 60.0);
+  EXPECT_LE(r.membership_change_at_us,
+            60.0 + (p.membership.permloss_epochs + 8) *
+                       ToMicros(p.governor_epoch));
+  // With replicas intact a single loss strands nothing: every affected
+  // range migrates off the survivor and every pushed key is installed.
+  EXPECT_EQ(r.keys_lost, 0u);
+  EXPECT_EQ(r.ranges_failed, 0u);
+  EXPECT_GT(r.keys_migrated, 0u);
+  EXPECT_EQ(r.keys_migrated, r.keys_installed);
+  EXPECT_GT(r.repair_path3_bytes, 0u);
+  EXPECT_GT(r.repair_done_at_us, r.membership_change_at_us);
+  // The repair plane keeps the determinism contract.
+  RackKvParams p2 = p;
+  p2.sim_threads = 2;
+  EXPECT_EQ(RunRackKv(p2).Fingerprint(), r.Fingerprint());
+}
+
+TEST(RackKv, CorruptionIsDetectedHealedAndNeverServed) {
+  RackKvParams p = MembershipRack();
+  p.membership.scrub_keys_per_epoch = 1024;  // full sweep in 4 epochs
+  p.faults.corrupts.push_back({"rack.s1", FromMicros(30), 0.3});
+  const RackKvResult r = RunRackKv(p);
+  EXPECT_TRUE(r.Conserved());
+  EXPECT_GT(r.corrupted_keys, 0u);
+  // Every flip was caught by the scrubber or a serve-path verify, healed
+  // from the surviving replica (or overwritten), and none remain.
+  EXPECT_GT(r.scrub_detected + r.read_repair_detected, 0u);
+  EXPECT_EQ(r.corrupt_remaining, 0u);
+  EXPECT_EQ(r.undetected_corrupt_serves, 0u);
+  // Corruption alone must not trigger membership change.
+  EXPECT_EQ(r.removals, 0u);
+  EXPECT_EQ(r.keys_migrated, 0u);
+  RackKvParams p2 = p;
+  p2.sim_threads = 2;
+  EXPECT_EQ(RunRackKv(p2).Fingerprint(), r.Fingerprint());
+}
+
+TEST(RackKv, LossAndCorruptionComposeWithClosedLedgers) {
+  RackKvParams p = MembershipRack();
+  p.membership.scrub_keys_per_epoch = 1024;
+  p.faults.permlosses.push_back({"rack.s1", FromMicros(60)});
+  p.faults.corrupts.push_back({"rack.s2", FromMicros(80), 0.2});
+  const RackKvResult r = RunRackKv(p);
+  EXPECT_TRUE(r.Conserved());
+  EXPECT_EQ(r.member_epoch, 1u);
+  EXPECT_GT(r.keys_migrated, 0u);
+  EXPECT_GT(r.corrupted_keys, 0u);
+  // Migration may move a corrupt sole copy — counted, healed where a clean
+  // replica survives, surfaced (never silently served) where none does.
+  EXPECT_EQ(r.undetected_corrupt_serves, 0u);
+  RackKvParams p2 = p;
+  p2.sim_threads = 2;
+  EXPECT_EQ(RunRackKv(p2).Fingerprint(), r.Fingerprint());
 }
 
 }  // namespace
